@@ -1,0 +1,587 @@
+package rafda
+
+// Benchmark harness: one benchmark per experiment in DESIGN.md §4.
+// EXPERIMENTS.md records the paper claim vs. the measured shape for each.
+//
+//	E1  Figures 2–5   transformation of the paper's sample class X
+//	E2  §2.4          transformability analysis over the JDK-like corpus
+//	E3  Figure 1/§4   the redistribution scenario, local vs remote
+//	E4  §3            RAFDA transformation vs wrapper baseline overhead
+//	E5  §1/§2         proxy protocol families under LAN conditions
+//	E6  §4            dynamic redistribution: policy flips and migration
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"rafda/internal/corpus"
+	"rafda/internal/minijava"
+	"rafda/internal/transform"
+	"rafda/internal/vm"
+	"rafda/internal/wrapper"
+)
+
+// figureXSource is the paper's Figure 2 class X with its collaborators.
+const figureXSource = `
+class Y {
+    static int K = 17;
+    Y() {}
+    int n(long j) { return (int) j + 1; }
+}
+class Z {
+    int seed;
+    Z(int seed) { this.seed = seed; }
+    int q(int i) { return seed + i; }
+}
+class X {
+    private Y y;
+    X(Y y) { this.y = y; }
+    protected int m(long j) { return y.n(j); }
+    static final Z z = new Z(Y.K);
+    static int p(int i) { return z.q(i); }
+}
+class Main {
+    static void main() {
+        X x = new X(new Y());
+        sys.System.println("m=" + x.m(41));
+        sys.System.println("p=" + X.p(3));
+    }
+}`
+
+// BenchmarkE1_TransformFigureX measures the §2 transformation pipeline
+// on the paper's sample class (Figures 2→3,4,5): interface extraction,
+// property-isation, static→singleton conversion, factory generation and
+// reference rewriting.
+func BenchmarkE1_TransformFigureX(b *testing.B) {
+	prog, err := minijava.Compile(figureXSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transform.Transform(prog, transform.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1_TransformCorpus500 measures transformer throughput on a
+// 500-class synthetic library (classes transformed per second).
+func BenchmarkE1_TransformCorpus500(b *testing.B) {
+	p := corpus.JDKLike()
+	p.Classes = 500
+	prog := corpus.Generate(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := transform.Transform(prog, transform.Options{Protocols: []string{"rrp"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Transformed)), "classes")
+		}
+	}
+}
+
+// BenchmarkE2_Transformability runs the §2.4 substitutability analysis
+// over the full 8,200-class JDK-like corpus and reports the
+// non-transformable percentage (paper: "about 40%").
+func BenchmarkE2_Transformability(b *testing.B) {
+	prog := corpus.Generate(corpus.JDKLike())
+	b.ResetTimer()
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		a := transform.Analyze(prog)
+		pct = a.Stats().Percent()
+	}
+	b.ReportMetric(pct, "%nontransformable")
+}
+
+// BenchmarkE2_NativeSensitivity sweeps native-method density, the
+// paper's stated driver ("this percentage would increase if the user
+// code contains native methods").
+func BenchmarkE2_NativeSensitivity(b *testing.B) {
+	for _, nat := range []int{50, 150, 300, 500} {
+		b.Run(fmt.Sprintf("coreNative=%d", nat), func(b *testing.B) {
+			p := corpus.JDKLike()
+			p.Classes = 2000
+			p.CoreNativeFrac = nat
+			prog := corpus.Generate(p)
+			var pct float64
+			for i := 0; i < b.N; i++ {
+				pct = transform.Analyze(prog).Stats().Percent()
+			}
+			b.ReportMetric(pct, "%nontransformable")
+		})
+	}
+}
+
+// figure1Bench is the Figure 1 scenario for measurement: A holds a
+// (possibly remote) C; one use() is one interaction with the shared
+// instance.
+const figure1Bench = `
+class C {
+    int state;
+    C(int s) { this.state = s; }
+    int bump() { state = state + 1; return state; }
+}
+class A {
+    C c;
+    A(C c) { this.c = c; }
+    int use() { return c.bump(); }
+}
+class Setup {
+    static A make() { return new A(new C(0)); }
+}
+class Main { static void main() {} }`
+
+// BenchmarkE3_Figure1 measures one interaction with the shared C
+// instance in every deployment the paper contrasts: the untransformed
+// original, the transformed program with C local, and the transformed
+// program with C remote behind each proxy protocol (LAN conditions).
+func BenchmarkE3_Figure1(b *testing.B) {
+	b.Run("original", func(b *testing.B) {
+		prog, err := minijava.Compile(figure1Bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		machine := vm.MustNew(prog)
+		a, err := machine.Invoke("Setup", "make", vm.Value{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := machine.Invoke(a.O.Class.Name, "use", a, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("transformed-local", func(b *testing.B) {
+		tr := mustTransformed(b, figure1Bench)
+		n, err := tr.NewNode(NodeConfig{Name: "solo"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		a, err := n.Call("Setup", "make")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref := a.(*Ref)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := n.CallOn(ref, "use"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	for _, proto := range []string{"inproc", "rrp", "soap", "json"} {
+		b.Run("remote-"+proto, func(b *testing.B) {
+			tr := mustTransformed(b, figure1Bench)
+			client, _, cleanup := remotePair(b, tr, proto, "C", NetProfile{})
+			defer cleanup()
+			a, err := client.Call("Setup", "make")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ref := a.(*Ref)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.CallOn(ref, "use"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// hotLoopSource is the E4 workload: a tight in-program loop of method
+// calls and field updates, where interposition overhead dominates.
+const hotLoopSource = `
+class Hot {
+    int v;
+    Hot(int v) { this.v = v; }
+    int step(int x) { v = v + x; return v; }
+}
+class Driver {
+    static int run(int n) {
+        Hot h = new Hot(0);
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            acc = h.step(1);
+        }
+        return acc;
+    }
+}
+class Main { static void main() {} }`
+
+const hotLoopIters = 1000
+
+// BenchmarkE4_InterpositionOverhead quantifies §3's comparison: the
+// untransformed program, the RAFDA-transformed program (all-local), and
+// the wrapper-per-object baseline the paper says has "significantly
+// greater overhead".
+func BenchmarkE4_InterpositionOverhead(b *testing.B) {
+	run := func(b *testing.B, machine *vm.VM, class string) {
+		b.Helper()
+		args := []vm.Value{vm.IntV(hotLoopIters)}
+		for i := 0; i < b.N; i++ {
+			res, err := machine.Invoke(class, "run", vm.Value{}, args)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.I != hotLoopIters {
+				b.Fatalf("bad result %d", res.I)
+			}
+		}
+	}
+
+	b.Run("original", func(b *testing.B) {
+		prog, err := minijava.Compile(hotLoopSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, vm.MustNew(prog), "Driver")
+	})
+
+	b.Run("rafda-local", func(b *testing.B) {
+		prog, err := minijava.Compile(hotLoopSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := transform.Transform(prog, transform.Options{Protocols: []string{"rrp"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		machine := vm.MustNew(res.Program)
+		transform.BindLocal(machine, res)
+		run(b, machine, transform.CFactory("Driver"))
+	})
+
+	b.Run("wrapper", func(b *testing.B) {
+		prog, err := minijava.Compile(hotLoopSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := wrapper.Transform(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, vm.MustNew(res.Program), "Driver")
+	})
+}
+
+// BenchmarkE4_PropertyAblation isolates the cost of property-isation
+// (field access through get_/set_ instead of direct access) — the
+// design decision DESIGN.md §5 calls out.
+func BenchmarkE4_PropertyAblation(b *testing.B) {
+	direct := `
+class Cell { int v; Cell(int v) { this.v = v; } }
+class Driver {
+    static int run(int n) {
+        Cell c = new Cell(0);
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) { c.v = c.v + 1; acc = c.v; }
+        return acc;
+    }
+}
+class Main { static void main() {} }`
+	b.Run("direct-field", func(b *testing.B) {
+		prog, err := minijava.Compile(direct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		machine := vm.MustNew(prog)
+		args := []vm.Value{vm.IntV(hotLoopIters)}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := machine.Invoke("Driver", "run", vm.Value{}, args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("properties", func(b *testing.B) {
+		prog, err := minijava.Compile(direct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := transform.Transform(prog, transform.Options{Protocols: []string{"rrp"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		machine := vm.MustNew(res.Program)
+		transform.BindLocal(machine, res)
+		args := []vm.Value{vm.IntV(hotLoopIters)}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := machine.Invoke(transform.CFactory("Driver"), "run", vm.Value{}, args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// echoSource is the E5 workload: a remote echo of a payload, isolating
+// per-call protocol cost (marshalling + framing + transport).
+const echoSource = `
+class EchoSvc {
+    string echo(string s) { return s; }
+    int add(int a, int b) { return a + b; }
+}
+class Setup {
+    static EchoSvc make() { return new EchoSvc(); }
+}
+class Main { static void main() {} }`
+
+// BenchmarkE5_Protocols compares the proxy protocol families the paper
+// names (§1: "SOAP-based, RMI-based, ...") on small-argument calls and
+// on growing payloads, under simulated LAN conditions.
+func BenchmarkE5_Protocols(b *testing.B) {
+	for _, proto := range []string{"inproc", "rrp", "soap", "json"} {
+		b.Run(proto+"/add", func(b *testing.B) {
+			tr := mustTransformed(b, echoSource)
+			client, _, cleanup := remotePair(b, tr, proto, "EchoSvc", NetProfile{})
+			defer cleanup()
+			svc, err := client.Call("Setup", "make")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ref := svc.(*Ref)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := client.CallOn(ref, "add", 20, 22)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.(int64) != 42 {
+					b.Fatal("bad echo")
+				}
+			}
+		})
+		for _, size := range []int{16, 1024, 16384} {
+			b.Run(fmt.Sprintf("%s/echo%dB", proto, size), func(b *testing.B) {
+				tr := mustTransformed(b, echoSource)
+				client, _, cleanup := remotePair(b, tr, proto, "EchoSvc", NetProfile{})
+				defer cleanup()
+				svc, err := client.Call("Setup", "make")
+				if err != nil {
+					b.Fatal(err)
+				}
+				ref := svc.(*Ref)
+				payload := makePayload(size)
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got, err := client.CallOn(ref, "echo", payload)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(got.(string)) != size {
+						b.Fatal("bad payload")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE5_WANLatencyDominates repeats the small-call comparison
+// under simulated WAN conditions (20 ms one-way): propagation delay
+// swamps encoding differences, so the protocol choice stops mattering —
+// the crossover the shape analysis in EXPERIMENTS.md discusses.
+func BenchmarkE5_WANLatencyDominates(b *testing.B) {
+	for _, proto := range []string{"rrp", "soap"} {
+		b.Run(proto, func(b *testing.B) {
+			tr := mustTransformed(b, echoSource)
+			client, _, cleanup := remotePair(b, tr, proto, "EchoSvc", NetWAN)
+			defer cleanup()
+			svc, err := client.Call("Setup", "make")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ref := svc.(*Ref)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.CallOn(ref, "add", 1, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_Redistribution measures the §4 dynamic-reconfiguration
+// mechanisms: flipping creation policy at run time, and migrating a
+// live object between nodes (including the in-place proxy morph).
+func BenchmarkE6_Redistribution(b *testing.B) {
+	migSource := `
+class Bag {
+    int a; int b; int c;
+    Bag(int a) { this.a = a; this.b = a * 2; this.c = a * 3; }
+    int sum() { return a + b + c; }
+}
+class Holder {
+    static Bag held = new Bag(1);
+    static int poke() { return held.sum(); }
+}
+class Main { static void main() {} }`
+
+	b.Run("policy-flip", func(b *testing.B) {
+		tr := mustTransformed(b, figure1Bench)
+		client, server, cleanup := remotePair(b, tr, "rrp", "", NetProfile{})
+		defer cleanup()
+		ep := server.Endpoint("rrp")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				if err := client.PlaceClass("C", ep); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if err := client.PlaceClass("C", "local"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := client.Call("Setup", "make"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("migrate-roundtrip", func(b *testing.B) {
+		tr := mustTransformed(b, migSource)
+		nodeA, err := tr.NewNode(NodeConfig{Name: "a"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nodeA.Close()
+		nodeB, err := tr.NewNode(NodeConfig{Name: "b"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nodeB.Close()
+		epA, err := nodeA.Serve("rrp", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		epB, err := nodeB.Serve("rrp", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		href, err := nodeA.ReadStatic("Holder", "held")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref := href.(*Ref)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			target := epB
+			if i%2 == 1 {
+				target = epA
+			}
+			if err := nodeA.Migrate(ref, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got, err := nodeA.Call("Holder", "poke"); err != nil || got.(int64) != 6 {
+			b.Fatalf("state lost after %d migrations: %v %v", b.N, got, err)
+		}
+	})
+
+	b.Run("post-migration-call", func(b *testing.B) {
+		tr := mustTransformed(b, migSource)
+		nodeA, err := tr.NewNode(NodeConfig{Name: "a"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nodeA.Close()
+		nodeB, err := tr.NewNode(NodeConfig{Name: "b"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nodeB.Close()
+		if _, err := nodeA.Serve("rrp", ""); err != nil {
+			b.Fatal(err)
+		}
+		epB, err := nodeB.Serve("rrp", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		href, err := nodeA.ReadStatic("Holder", "held")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := nodeA.Migrate(href.(*Ref), epB); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got, err := nodeA.Call("Holder", "poke"); err != nil || got.(int64) != 6 {
+				b.Fatalf("poke: %v %v", got, err)
+			}
+		}
+	})
+}
+
+// ---- helpers ----
+
+func mustTransformed(b *testing.B, src string) *Transformed {
+	b.Helper()
+	prog, err := CompileString(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := prog.Transform(WithProtocols("inproc", "rrp", "soap", "json"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// remotePair builds a client/server pair over proto under the given
+// network profile (zero profile: raw loopback, isolating protocol cost);
+// placeClass (when non-empty) is placed on the server.
+func remotePair(b *testing.B, tr *Transformed, proto, placeClass string, net NetProfile) (client, server *Node, cleanup func()) {
+	b.Helper()
+	server, err := tr.NewNode(NodeConfig{Name: "server", Network: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep, err := server.Serve(proto, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err = tr.NewNode(NodeConfig{Name: "client", Network: net})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Serve(proto, ""); err != nil {
+		b.Fatal(err)
+	}
+	if placeClass != "" {
+		if err := client.PlaceClass(placeClass, ep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return client, server, func() {
+		_ = client.Close()
+		_ = server.Close()
+	}
+}
+
+func makePayload(n int) string {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte('a' + i%26)
+	}
+	return string(buf)
+}
+
+var _ = io.Discard

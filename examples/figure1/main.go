@@ -1,0 +1,118 @@
+// Figure 1 end-to-end: objects of classes A and B share an instance of
+// class C.  The application is redistributed so that the shared C lives
+// on a second node behind a proxy Cp, without touching the program —
+// only policy changes.  Finally the live instance is pulled back by
+// migration, demonstrating dynamic redistribution (§4).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rafda"
+)
+
+const source = `
+class C {
+    int state;
+    C(int s) { this.state = s; }
+    int bump() { state = state + 1; return state; }
+}
+class A {
+    C c;
+    A(C c) { this.c = c; }
+    int use() { return c.bump(); }
+}
+class B {
+    C c;
+    B(C c) { this.c = c; }
+    int use() { return c.bump(); }
+}
+class World {
+    static C shared = new C(100);
+    static A a = new A(shared);
+    static B b = new B(shared);
+    static string round() {
+        return "a->" + a.use() + "  b->" + b.use();
+    }
+}
+class Main { static void main() {} }`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	prog, err := rafda.CompileString(source)
+	if err != nil {
+		return err
+	}
+	tr, err := prog.Transform()
+	if err != nil {
+		return err
+	}
+
+	left, err := tr.NewNode(rafda.NodeConfig{Name: "left", Output: os.Stdout})
+	if err != nil {
+		return err
+	}
+	defer left.Close()
+	right, err := tr.NewNode(rafda.NodeConfig{Name: "right", Output: os.Stdout})
+	if err != nil {
+		return err
+	}
+	defer right.Close()
+
+	rightEP, err := right.Serve("rrp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	if _, err := left.Serve("rrp", "127.0.0.1:0"); err != nil {
+		return err
+	}
+
+	// Scenario 1: everything collocated on the left node.
+	fmt.Println("== collocated (A, B, C on node left) ==")
+	for i := 0; i < 2; i++ {
+		out, err := left.Call("World", "round")
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + out.(string))
+	}
+
+	// Scenario 2 (the figure): migrate the live shared C to the right
+	// node.  The local instance becomes the proxy Cp in place; A's and
+	// B's references now cross the network transparently.
+	href, err := left.ReadStatic("World", "shared")
+	if err != nil {
+		return err
+	}
+	shared := href.(*rafda.Ref)
+	if err := left.Migrate(shared, rightEP); err != nil {
+		return err
+	}
+	fmt.Printf("\n== redistributed: C migrated to %s ==\n", rightEP)
+	fmt.Printf("  local reference now points at %s\n", shared.ClassName())
+	for i := 0; i < 2; i++ {
+		out, err := left.Call("World", "round")
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + out.(string))
+	}
+
+	ls, rs := left.Stats(), right.Stats()
+	fmt.Printf("\nleft : %d remote calls out, %d migrations out\n", ls.RemoteCallsOut, ls.MigrationsOut)
+	fmt.Printf("right: %d remote calls served, %d migrations in\n", rs.RemoteCallsIn, rs.MigrationsIn)
+
+	// Scenario 3: future instances of C also placed remotely by policy.
+	if err := left.PlaceClass("C", rightEP); err != nil {
+		return err
+	}
+	fmt.Println("\npolicy updated: new instances of C will be created on node right")
+	return nil
+}

@@ -1,0 +1,96 @@
+// Quickstart: compile a small program, inspect the substitutability
+// analysis, transform it, and run both versions — demonstrating the
+// paper's core promise that the transformed program is semantically
+// equivalent while every class becomes substitutable.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rafda"
+)
+
+const source = `
+class Library {
+    string name;
+    Book[] shelf;
+    int count;
+    Library(string name, int capacity) {
+        this.name = name;
+        this.shelf = new Book[capacity];
+        this.count = 0;
+    }
+    void add(Book b) {
+        shelf[count] = b;
+        count = count + 1;
+    }
+    int total() {
+        int pages = 0;
+        for (int i = 0; i < count; i = i + 1) {
+            pages = pages + shelf[i].pages;
+        }
+        return pages;
+    }
+}
+class Book {
+    string title;
+    int pages;
+    Book(string t, int p) { this.title = t; this.pages = p; }
+}
+class Main {
+    static void main() {
+        Library lib = new Library("St Andrews", 8);
+        lib.add(new Book("Reflection in Practice", 320));
+        lib.add(new Book("Distributed Objects", 412));
+        lib.add(new Book("Middleware 2003", 198));
+        sys.System.println(lib.name + " holds " + lib.count + " books, " + lib.total() + " pages");
+    }
+}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	prog, err := rafda.CompileString(source)
+	if err != nil {
+		return err
+	}
+	if errs := prog.Verify(); len(errs) > 0 {
+		return fmt.Errorf("verification: %v", errs[0])
+	}
+
+	fmt.Println("== substitutability analysis (paper §2.4) ==")
+	analysis := prog.Analyze()
+	for _, class := range []string{"Library", "Book", "Main", "sys.Object", "sys.Exception"} {
+		fmt.Printf("  %-14s %s\n", class, analysis.Why(class))
+	}
+
+	fmt.Println("\n== original program ==")
+	if err := prog.Run("Main", os.Stdout); err != nil {
+		return err
+	}
+
+	tr, err := prog.Transform()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== generated classes for Library (paper §2.1–2.3) ==")
+	for _, c := range tr.Program().Classes() {
+		if len(c) > 7 && c[:7] == "Library" {
+			fmt.Println("  " + c)
+		}
+	}
+
+	fmt.Println("\n== transformed program, single address space (paper §4) ==")
+	if err := tr.RunLocal("Main", os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nidentical output: the transformation preserved the program's semantics")
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package guid generates globally unique identifiers for exported
+// objects.  Identifiers embed the issuing node's name and a counter, so
+// they are unique across a deployment, deterministic within a run (which
+// keeps experiments reproducible), and human-readable in traces.
+package guid
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Generator issues GUIDs for one node.
+type Generator struct {
+	node string
+	seq  atomic.Uint64
+}
+
+// NewGenerator returns a generator stamping ids with the node name.
+func NewGenerator(node string) *Generator {
+	return &Generator{node: node}
+}
+
+// Next returns a fresh GUID such as "nodeA#42".
+func (g *Generator) Next() string {
+	return fmt.Sprintf("%s#%d", g.node, g.seq.Add(1))
+}
+
+// ClassGUID returns the well-known GUID under which a class's static
+// singleton is addressed, e.g. "class:Config".  Statics are unique per
+// hosting node, so no counter is needed.
+func ClassGUID(class string) string {
+	return "class:" + class
+}
+
+// IsClassGUID reports whether id addresses a class singleton and returns
+// the class name.
+func IsClassGUID(id string) (string, bool) {
+	const p = "class:"
+	if len(id) > len(p) && id[:len(p)] == p {
+		return id[len(p):], true
+	}
+	return "", false
+}

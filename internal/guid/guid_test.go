@@ -1,0 +1,65 @@
+package guid
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNextUniqueAndPrefixed(t *testing.T) {
+	g := NewGenerator("nodeA")
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if !strings.HasPrefix(id, "nodeA#") {
+			t.Fatalf("bad prefix: %s", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcurrentNext(t *testing.T) {
+	g := NewGenerator("n")
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, 200)
+			for i := 0; i < 200; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate %s", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClassGUID(t *testing.T) {
+	id := ClassGUID("pkg.C")
+	if id != "class:pkg.C" {
+		t.Fatalf("%q", id)
+	}
+	cls, ok := IsClassGUID(id)
+	if !ok || cls != "pkg.C" {
+		t.Fatalf("%q %v", cls, ok)
+	}
+	if _, ok := IsClassGUID("nodeA#7"); ok {
+		t.Fatal("object guid misread as class guid")
+	}
+	if _, ok := IsClassGUID("class:"); ok {
+		t.Fatal("empty class accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package ir
+
+import "fmt"
+
+// CodeBuilder incrementally assembles a method body.  It supports forward
+// labels so generators (codegen, transformer, proxies, factories) never
+// compute jump targets by hand.
+type CodeBuilder struct {
+	code     []Instr
+	labels   map[string]int   // label -> pc
+	fixups   map[string][]int // label -> pcs of jumps awaiting target
+	maxLocal int
+}
+
+// NewCodeBuilder returns an empty builder.
+func NewCodeBuilder() *CodeBuilder {
+	return &CodeBuilder{
+		labels: make(map[string]int),
+		fixups: make(map[string][]int),
+	}
+}
+
+// PC returns the index the next emitted instruction will have.
+func (b *CodeBuilder) PC() int { return len(b.code) }
+
+// Emit appends an instruction and returns its pc.
+func (b *CodeBuilder) Emit(in Instr) int {
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// Op emits a zero-operand instruction.
+func (b *CodeBuilder) Op(op Op) int { return b.Emit(Instr{Op: op}) }
+
+// ConstInt pushes an integer constant.
+func (b *CodeBuilder) ConstInt(v int64) { b.Emit(Instr{Op: OpConstInt, A: v}) }
+
+// ConstBool pushes a boolean constant.
+func (b *CodeBuilder) ConstBool(v bool) {
+	var a int64
+	if v {
+		a = 1
+	}
+	b.Emit(Instr{Op: OpConstBool, A: a})
+}
+
+// ConstFloat pushes a float constant.
+func (b *CodeBuilder) ConstFloat(v float64) { b.Emit(Instr{Op: OpConstFloat, F: v}) }
+
+// ConstString pushes a string constant.
+func (b *CodeBuilder) ConstString(s string) { b.Emit(Instr{Op: OpConstString, Str: s}) }
+
+// ConstNull pushes a typed null.
+func (b *CodeBuilder) ConstNull(t Type) {
+	tt := t
+	b.Emit(Instr{Op: OpConstNull, TypeRef: &tt})
+}
+
+// Load pushes local slot n.
+func (b *CodeBuilder) Load(n int) {
+	b.noteLocal(n)
+	b.Emit(Instr{Op: OpLoad, A: int64(n)})
+}
+
+// Store pops into local slot n.
+func (b *CodeBuilder) Store(n int) {
+	b.noteLocal(n)
+	b.Emit(Instr{Op: OpStore, A: int64(n)})
+}
+
+func (b *CodeBuilder) noteLocal(n int) {
+	if n+1 > b.maxLocal {
+		b.maxLocal = n + 1
+	}
+}
+
+// New emits object allocation for the named class.
+func (b *CodeBuilder) New(class string) { b.Emit(Instr{Op: OpNew, Owner: class}) }
+
+// GetField emits an instance field read.
+func (b *CodeBuilder) GetField(owner, name string) {
+	b.Emit(Instr{Op: OpGetField, Owner: owner, Member: name})
+}
+
+// PutField emits an instance field write.
+func (b *CodeBuilder) PutField(owner, name string) {
+	b.Emit(Instr{Op: OpPutField, Owner: owner, Member: name})
+}
+
+// GetStatic emits a static field read.
+func (b *CodeBuilder) GetStatic(owner, name string) {
+	b.Emit(Instr{Op: OpGetStatic, Owner: owner, Member: name})
+}
+
+// PutStatic emits a static field write.
+func (b *CodeBuilder) PutStatic(owner, name string) {
+	b.Emit(Instr{Op: OpPutStatic, Owner: owner, Member: name})
+}
+
+// Invoke emits an invocation of the given kind.
+func (b *CodeBuilder) Invoke(op Op, owner, name string, nargs int) {
+	b.Emit(Instr{Op: op, Owner: owner, Member: name, NArgs: nargs})
+}
+
+// Label defines the named label at the current pc and patches pending
+// forward references.
+func (b *CodeBuilder) Label(name string) {
+	pc := b.PC()
+	b.labels[name] = pc
+	for _, at := range b.fixups[name] {
+		b.code[at].A = int64(pc)
+	}
+	delete(b.fixups, name)
+}
+
+// Jump emits an unconditional jump to the named label.
+func (b *CodeBuilder) Jump(label string) { b.jumpOp(OpJump, label) }
+
+// JumpIf emits a jump taken when the popped condition is true.
+func (b *CodeBuilder) JumpIf(label string) { b.jumpOp(OpJumpIf, label) }
+
+// JumpIfNot emits a jump taken when the popped condition is false.
+func (b *CodeBuilder) JumpIfNot(label string) { b.jumpOp(OpJumpIfNot, label) }
+
+func (b *CodeBuilder) jumpOp(op Op, label string) {
+	pc := b.Emit(Instr{Op: op, A: -1})
+	if at, ok := b.labels[label]; ok {
+		b.code[pc].A = int64(at)
+		return
+	}
+	b.fixups[label] = append(b.fixups[label], pc)
+}
+
+// Cast emits a checked cast to t.
+func (b *CodeBuilder) Cast(t Type) {
+	tt := t
+	b.Emit(Instr{Op: OpCast, TypeRef: &tt})
+}
+
+// Return emits a void return.
+func (b *CodeBuilder) Return() { b.Op(OpReturn) }
+
+// ReturnValue emits a value return.
+func (b *CodeBuilder) ReturnValue() { b.Op(OpReturnValue) }
+
+// SetMinLocals raises the builder's recorded local count (e.g. to cover
+// parameters that are never re-loaded).
+func (b *CodeBuilder) SetMinLocals(n int) {
+	if n > b.maxLocal {
+		b.maxLocal = n
+	}
+}
+
+// MaxLocals returns the highest local slot count observed.
+func (b *CodeBuilder) MaxLocals() int { return b.maxLocal }
+
+// Build returns the assembled code, failing if any label is unresolved.
+func (b *CodeBuilder) Build() ([]Instr, error) {
+	if len(b.fixups) > 0 {
+		for name := range b.fixups {
+			return nil, fmt.Errorf("unresolved label %q", name)
+		}
+	}
+	return b.code, nil
+}
+
+// MustBuild is Build that panics on unresolved labels; generators use it
+// because label sets are static.
+func (b *CodeBuilder) MustBuild() []Instr {
+	code, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

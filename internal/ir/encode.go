@@ -1,0 +1,296 @@
+package ir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary program encoding ("RAFDA class archive").  The format is a simple
+// tagged stream: varints for integers, length-prefixed UTF-8 for strings.
+// It plays the role of the class-file format: the CLI stores compiled and
+// transformed programs in it, and nodes exchange class definitions with it
+// when a proxy class must be made available on a peer.
+
+const archiveMagic = "RAFDA\x01"
+
+// EncodeProgram writes p to w in archive format.
+func EncodeProgram(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	e := &encoder{w: bw}
+	e.raw([]byte(archiveMagic))
+	e.uvarint(uint64(p.Len()))
+	for _, c := range p.Classes() {
+		e.class(c)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// DecodeProgram reads an archive produced by EncodeProgram.
+func DecodeProgram(r io.Reader) (*Program, error) {
+	d := &decoder{r: bufio.NewReader(r)}
+	magic := make([]byte, len(archiveMagic))
+	if _, err := io.ReadFull(d.r, magic); err != nil {
+		return nil, fmt.Errorf("read archive magic: %w", err)
+	}
+	if string(magic) != archiveMagic {
+		return nil, fmt.Errorf("bad archive magic %q", magic)
+	}
+	n := d.uvarint()
+	p := NewProgram()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		c := d.class()
+		if d.err != nil {
+			break
+		}
+		if err := p.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return p, nil
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.raw(e.buf[:n])
+}
+
+func (e *encoder) varint(v int64) {
+	n := binary.PutVarint(e.buf[:], v)
+	e.raw(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.raw([]byte(s))
+}
+
+func (e *encoder) boolean(b bool) {
+	if b {
+		e.uvarint(1)
+	} else {
+		e.uvarint(0)
+	}
+}
+
+func (e *encoder) typ(t Type) {
+	e.str(t.Descriptor())
+}
+
+func (e *encoder) class(c *Class) {
+	e.str(c.Name)
+	e.str(c.Super)
+	e.uvarint(uint64(len(c.Interfaces)))
+	for _, i := range c.Interfaces {
+		e.str(i)
+	}
+	e.boolean(c.IsInterface)
+	e.boolean(c.Abstract)
+	e.boolean(c.Final)
+	e.boolean(c.Special)
+	e.str(c.Meta)
+	e.uvarint(uint64(len(c.Fields)))
+	for _, f := range c.Fields {
+		e.str(f.Name)
+		e.typ(f.Type)
+		e.boolean(f.Static)
+		e.boolean(f.Final)
+		e.uvarint(uint64(f.Access))
+	}
+	e.uvarint(uint64(len(c.Methods)))
+	for _, m := range c.Methods {
+		e.method(m)
+	}
+}
+
+func (e *encoder) method(m *Method) {
+	e.str(m.Name)
+	e.uvarint(uint64(len(m.Params)))
+	for _, p := range m.Params {
+		e.typ(p)
+	}
+	e.typ(m.Return)
+	e.boolean(m.Static)
+	e.boolean(m.Native)
+	e.boolean(m.Abstract)
+	e.boolean(m.Final)
+	e.uvarint(uint64(m.Access))
+	e.uvarint(uint64(m.MaxLocals))
+	e.uvarint(uint64(len(m.Handlers)))
+	for _, h := range m.Handlers {
+		e.uvarint(uint64(h.Start))
+		e.uvarint(uint64(h.End))
+		e.uvarint(uint64(h.Target))
+		e.str(h.CatchClass)
+	}
+	e.uvarint(uint64(len(m.Code)))
+	for _, in := range m.Code {
+		e.instr(in)
+	}
+}
+
+func (e *encoder) instr(in Instr) {
+	e.uvarint(uint64(in.Op))
+	e.varint(in.A)
+	e.uvarint(math.Float64bits(in.F))
+	e.str(in.Str)
+	e.str(in.Owner)
+	e.str(in.Member)
+	e.uvarint(uint64(in.NArgs))
+	if in.TypeRef != nil {
+		e.boolean(true)
+		e.typ(*in.TypeRef)
+	} else {
+		e.boolean(false)
+	}
+}
+
+type decoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil && err != nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	d.fail(err)
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	d.fail(err)
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		d.fail(fmt.Errorf("string length %d too large", n))
+		return ""
+	}
+	b := make([]byte, n)
+	_, err := io.ReadFull(d.r, b)
+	d.fail(err)
+	return string(b)
+}
+
+func (d *decoder) boolean() bool { return d.uvarint() != 0 }
+
+func (d *decoder) typ() Type {
+	s := d.str()
+	if d.err != nil {
+		return Type{}
+	}
+	t, err := ParseDescriptor(s)
+	d.fail(err)
+	return t
+}
+
+func (d *decoder) class() *Class {
+	c := &Class{}
+	c.Name = d.str()
+	c.Super = d.str()
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		c.Interfaces = append(c.Interfaces, d.str())
+	}
+	c.IsInterface = d.boolean()
+	c.Abstract = d.boolean()
+	c.Final = d.boolean()
+	c.Special = d.boolean()
+	c.Meta = d.str()
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		f := Field{}
+		f.Name = d.str()
+		f.Type = d.typ()
+		f.Static = d.boolean()
+		f.Final = d.boolean()
+		f.Access = Access(d.uvarint())
+		c.Fields = append(c.Fields, f)
+	}
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		c.Methods = append(c.Methods, d.method())
+	}
+	return c
+}
+
+func (d *decoder) method() *Method {
+	m := &Method{}
+	m.Name = d.str()
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		m.Params = append(m.Params, d.typ())
+	}
+	m.Return = d.typ()
+	m.Static = d.boolean()
+	m.Native = d.boolean()
+	m.Abstract = d.boolean()
+	m.Final = d.boolean()
+	m.Access = Access(d.uvarint())
+	m.MaxLocals = int(d.uvarint())
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		h := TryHandler{}
+		h.Start = int(d.uvarint())
+		h.End = int(d.uvarint())
+		h.Target = int(d.uvarint())
+		h.CatchClass = d.str()
+		m.Handlers = append(m.Handlers, h)
+	}
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		m.Code = append(m.Code, d.instr())
+	}
+	return m
+}
+
+func (d *decoder) instr() Instr {
+	in := Instr{}
+	in.Op = Op(d.uvarint())
+	in.A = d.varint()
+	in.F = math.Float64frombits(d.uvarint())
+	in.Str = d.str()
+	in.Owner = d.str()
+	in.Member = d.str()
+	in.NArgs = int(d.uvarint())
+	if d.boolean() {
+		t := d.typ()
+		in.TypeRef = &t
+	}
+	if d.err == nil && !in.Op.Valid() {
+		d.fail(fmt.Errorf("invalid opcode %d", in.Op))
+	}
+	return in
+}

@@ -1,0 +1,331 @@
+package ir
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeDescriptorRoundTrip(t *testing.T) {
+	cases := []Type{
+		Void, Bool, Int, Float, String,
+		Ref("X"), Ref("pkg.sub.Class"),
+		ArrayOf(Int), ArrayOf(Ref("Y")), ArrayOf(ArrayOf(String)),
+	}
+	for _, c := range cases {
+		d := c.Descriptor()
+		back, err := ParseDescriptor(d)
+		if err != nil {
+			t.Fatalf("parse %q: %v", d, err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("round trip %v -> %q -> %v", c, d, back)
+		}
+	}
+}
+
+// randomType builds an arbitrary type for property tests.
+func randomType(r *rand.Rand, depth int) Type {
+	switch k := r.Intn(7); {
+	case k == 0:
+		return Bool
+	case k == 1:
+		return Int
+	case k == 2:
+		return Float
+	case k == 3:
+		return String
+	case k == 4 && depth > 0:
+		return ArrayOf(randomType(r, depth-1))
+	default:
+		names := []string{"A", "B", "pkg.C", "sys.Object", "Very.Long.Name"}
+		return Ref(names[r.Intn(len(names))])
+	}
+}
+
+func TestTypeDescriptorRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		typ := randomType(r, 3)
+		back, err := ParseDescriptor(typ.Descriptor())
+		return err == nil && back.Equal(typ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDescriptorErrors(t *testing.T) {
+	for _, bad := range []string{"", "Q", "L", "Lfoo", "[", "II", "Lfoo;x"} {
+		if _, err := ParseDescriptor(bad); err == nil {
+			t.Errorf("descriptor %q should fail", bad)
+		}
+	}
+}
+
+func TestMethodKeysAndSignature(t *testing.T) {
+	m := &Method{Name: "m", Params: []Type{Int, Ref("X")}, Return: ArrayOf(Int)}
+	if m.Key() != "m/2" {
+		t.Fatalf("key %q", m.Key())
+	}
+	if got := m.Signature(); got != "m(ILX;)[I" {
+		t.Fatalf("signature %q", got)
+	}
+}
+
+func sampleClass() *Class {
+	return &Class{
+		Name:       "demo.Sample",
+		Super:      ObjectClass,
+		Interfaces: []string{"demo.Iface"},
+		Fields: []Field{
+			{Name: "x", Type: Int, Access: AccessPrivate},
+			{Name: "names", Type: ArrayOf(String), Access: AccessPublic},
+			{Name: "count", Type: Int, Static: true, Access: AccessPackage},
+		},
+		Methods: []*Method{
+			{Name: ConstructorName, Return: Void, Access: AccessPublic,
+				MaxLocals: 1, Code: []Instr{{Op: OpReturn}}},
+			{Name: "work", Params: []Type{Int}, Return: Int, Access: AccessPublic,
+				MaxLocals: 2,
+				Handlers:  []TryHandler{{Start: 0, End: 2, Target: 2, CatchClass: ThrowableClass}},
+				Code: []Instr{
+					{Op: OpLoad, A: 1},
+					{Op: OpReturnValue},
+					{Op: OpPop},
+					{Op: OpConstInt, A: -1},
+					{Op: OpReturnValue},
+				}},
+			{Name: "nat", Return: Void, Native: true, Access: AccessPublic},
+		},
+	}
+}
+
+func TestProgramBasics(t *testing.T) {
+	p := NewProgram()
+	c := sampleClass()
+	if err := p.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(c); err == nil {
+		t.Fatal("duplicate add must fail")
+	}
+	if !p.Has("demo.Sample") || p.Len() != 1 {
+		t.Fatal("basic lookups broken")
+	}
+	p.Remove("demo.Sample")
+	if p.Has("demo.Sample") || p.Len() != 0 {
+		t.Fatal("remove broken")
+	}
+}
+
+func TestResolveThroughHierarchy(t *testing.T) {
+	p := NewProgram()
+	p.MustAdd(&Class{Name: ObjectClass, Special: true})
+	p.MustAdd(&Class{
+		Name: "Base", Super: ObjectClass,
+		Fields:  []Field{{Name: "b", Type: Int}},
+		Methods: []*Method{{Name: "m", Return: Void, Code: []Instr{{Op: OpReturn}}}},
+	})
+	p.MustAdd(&Class{Name: "Derived", Super: "Base"})
+
+	dc, dm, err := p.ResolveMethod("Derived", "m", 0)
+	if err != nil || dc.Name != "Base" || dm.Name != "m" {
+		t.Fatalf("resolve method: %v %v %v", dc, dm, err)
+	}
+	fc, ff, err := p.ResolveField("Derived", "b")
+	if err != nil || fc.Name != "Base" || ff.Name != "b" {
+		t.Fatalf("resolve field: %v %v %v", fc, ff, err)
+	}
+	if !p.IsSubclassOf("Derived", ObjectClass) {
+		t.Fatal("subclass chain broken")
+	}
+	if p.IsSubclassOf("Base", "Derived") {
+		t.Fatal("reversed subclass relation")
+	}
+}
+
+func TestImplementsViaInterfaceExtension(t *testing.T) {
+	p := NewProgram()
+	p.MustAdd(&Class{Name: ObjectClass, Special: true})
+	p.MustAdd(&Class{Name: "I", IsInterface: true, Abstract: true})
+	p.MustAdd(&Class{Name: "J", IsInterface: true, Abstract: true, Interfaces: []string{"I"}})
+	p.MustAdd(&Class{Name: "C", Super: ObjectClass, Interfaces: []string{"J"}})
+	p.MustAdd(&Class{Name: "D", Super: "C"})
+
+	for _, tc := range []struct {
+		class, iface string
+		want         bool
+	}{
+		{"C", "J", true}, {"C", "I", true}, {"D", "I", true},
+		{"C", "C", false}, {"D", "Missing", false},
+	} {
+		if got := p.Implements(tc.class, tc.iface); got != tc.want {
+			t.Errorf("Implements(%s,%s)=%v want %v", tc.class, tc.iface, got, tc.want)
+		}
+	}
+	if !p.AssignableTo("D", ObjectClass) || !p.AssignableTo("D", "I") {
+		t.Fatal("assignability broken")
+	}
+}
+
+func TestReferencedClasses(t *testing.T) {
+	c := sampleClass()
+	c.Methods = append(c.Methods, &Method{
+		Name: "refs", Return: Void, Access: AccessPublic, MaxLocals: 1,
+		Code: []Instr{
+			{Op: OpNew, Owner: "other.Made"},
+			{Op: OpPop},
+			{Op: OpConstNull, TypeRef: &Type{Kind: KindRef, Name: "other.Nulled"}},
+			{Op: OpPop},
+			{Op: OpReturn},
+		},
+	})
+	got := c.ReferencedClasses()
+	want := []string{"demo.Iface", "other.Made", "other.Nulled", ObjectClass, ThrowableClass}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("referenced = %v want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProgram()
+	p.MustAdd(sampleClass())
+	q := p.Clone()
+	qc := q.Class("demo.Sample")
+	qc.Fields[0].Name = "mutated"
+	qc.Methods[1].Code[0].A = 999
+	orig := p.Class("demo.Sample")
+	if orig.Fields[0].Name != "x" {
+		t.Fatal("clone shares fields")
+	}
+	if orig.Methods[1].Code[0].A != 1 {
+		t.Fatal("clone shares code")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := NewProgram()
+	p.MustAdd(&Class{Name: ObjectClass, Special: true})
+	p.MustAdd(sampleClass())
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodeProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.SortedNames(), q.SortedNames()) {
+		t.Fatalf("names differ")
+	}
+	a, b := p.Class("demo.Sample"), q.Class("demo.Sample")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("class round trip:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeProgram(bytes.NewReader([]byte("not an archive"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeProgram(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestCodeBuilderLabels(t *testing.T) {
+	b := NewCodeBuilder()
+	b.ConstBool(true)
+	b.JumpIfNot("end") // forward reference
+	b.ConstInt(1)
+	b.Store(0)
+	b.Label("loop")
+	b.Load(0)
+	b.ConstInt(10)
+	b.Op(OpCmpLt)
+	b.JumpIfNot("end")
+	b.Load(0)
+	b.ConstInt(1)
+	b.Op(OpAdd)
+	b.Store(0)
+	b.Jump("loop") // backward reference
+	b.Label("end")
+	b.Return()
+	code, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All jump targets resolved and in range.
+	for pc, in := range code {
+		if in.IsJump() {
+			if in.A < 0 || in.A > int64(len(code)) {
+				t.Fatalf("pc %d: unresolved target %d", pc, in.A)
+			}
+		}
+	}
+	if b.MaxLocals() != 1 {
+		t.Fatalf("max locals %d", b.MaxLocals())
+	}
+}
+
+func TestCodeBuilderUnresolvedLabel(t *testing.T) {
+	b := NewCodeBuilder()
+	b.Jump("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unresolved label accepted")
+	}
+}
+
+func TestPrintShapes(t *testing.T) {
+	c := sampleClass()
+	flat := Sprint(c, PrintOptions{})
+	if !strings.Contains(flat, "class demo.Sample implements demo.Iface") {
+		t.Fatalf("header missing:\n%s", flat)
+	}
+	if strings.Contains(flat, "0:") {
+		t.Fatal("flat print leaked code")
+	}
+	full := Sprint(c, PrintOptions{Code: true})
+	if !strings.Contains(full, "load 1") || !strings.Contains(full, "try [0,2) catch sys.Throwable -> 2") {
+		t.Fatalf("full print missing code:\n%s", full)
+	}
+	iface := &Class{Name: "I", IsInterface: true, Abstract: true}
+	if !strings.Contains(Sprint(iface, PrintOptions{}), "interface I") {
+		t.Fatal("interface print broken")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"const.i 42":          {Op: OpConstInt, A: 42},
+		"const.s \"hi\"":      {Op: OpConstString, Str: "hi"},
+		"getfield X.f":        {Op: OpGetField, Owner: "X", Member: "f"},
+		"invokevirtual X.m/2": {Op: OpInvokeVirtual, Owner: "X", Member: "m", NArgs: 2},
+		"jump @7":             {Op: OpJump, A: 7},
+		"new X":               {Op: OpNew, Owner: "X"},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%v prints %q want %q", in.Op, got, want)
+		}
+	}
+}
+
+func TestProgramMissingReferences(t *testing.T) {
+	p := NewProgram()
+	p.MustAdd(&Class{Name: ObjectClass, Special: true})
+	p.MustAdd(&Class{
+		Name: "Lonely", Super: ObjectClass,
+		Fields: []Field{{Name: "f", Type: Ref("Ghost")}},
+	})
+	missing := p.MissingReferences()
+	if len(missing) != 2 { // Ghost and ThrowableClass... no: only Ghost
+		if !(len(missing) == 1 && missing[0] == "Ghost") {
+			t.Fatalf("missing = %v", missing)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package minijava
+
+import "rafda/internal/ir"
+
+// File is one parsed compilation unit.
+type File struct {
+	Name    string
+	Classes []*ClassDecl
+}
+
+// ClassDecl is a class or interface declaration.
+type ClassDecl struct {
+	Pos         Pos
+	Name        string
+	Super       string // empty => sys.Object for classes
+	Interfaces  []string
+	IsInterface bool
+	Abstract    bool
+	Final       bool
+	Fields      []*FieldDecl
+	Methods     []*MethodDecl
+}
+
+// FieldDecl is a field with an optional initialiser expression.
+type FieldDecl struct {
+	Pos    Pos
+	Name   string
+	Type   TypeExpr
+	Static bool
+	Final  bool
+	Access ir.Access
+	Init   Expr // may be nil
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+}
+
+// MethodDecl is a method, constructor (IsCtor) or native declaration.
+type MethodDecl struct {
+	Pos      Pos
+	Name     string
+	Params   []Param
+	Return   TypeExpr
+	Static   bool
+	Native   bool
+	Abstract bool
+	Final    bool
+	Access   ir.Access
+	IsCtor   bool
+	Body     []Stmt // nil for native/abstract
+}
+
+// TypeExpr is an unresolved source type.
+type TypeExpr struct {
+	Pos   Pos
+	Name  string // "int", "float", "bool", "string", "void", or class name
+	Array int    // array nesting depth
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() Pos }
+
+// VarDeclStmt declares a local: `T x = e;` or `T x;`.
+type VarDeclStmt struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+	Init Expr // may be nil
+
+	Slot int // local slot (set by checker)
+}
+
+// AssignStmt is `lhs = rhs;` where lhs is an assignable expression.
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+// ExprStmt evaluates an expression for effect (calls, new).
+type ExprStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is `for (init; cond; post) body`; any part may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+}
+
+// ReturnStmt returns a value (E may be nil for void).
+type ReturnStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ThrowStmt throws a throwable.
+type ThrowStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+// CatchClause is one catch arm.
+type CatchClause struct {
+	Pos   Pos
+	Class string
+	Name  string
+	Body  []Stmt
+
+	Slot int // local slot of the caught exception (set by checker)
+}
+
+// TryStmt is try/catch (no finally; the paper's language issues section
+// notes exceptions are a Java-specific concern — we support the core).
+type TryStmt struct {
+	Pos     Pos
+	Body    []Stmt
+	Catches []CatchClause
+}
+
+// BlockStmt is a braced scope.
+type BlockStmt struct {
+	Pos  Pos
+	Body []Stmt
+}
+
+// SuperCallStmt is `super(args);` — only legal as a constructor's first
+// statement.
+type SuperCallStmt struct {
+	Pos  Pos
+	Args []Expr
+}
+
+func (s *VarDeclStmt) stmtPos() Pos   { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos    { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos      { return s.Pos }
+func (s *IfStmt) stmtPos() Pos        { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos     { return s.Pos }
+func (s *ForStmt) stmtPos() Pos       { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos    { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos     { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos  { return s.Pos }
+func (s *ThrowStmt) stmtPos() Pos     { return s.Pos }
+func (s *TryStmt) stmtPos() Pos       { return s.Pos }
+func (s *BlockStmt) stmtPos() Pos     { return s.Pos }
+func (s *SuperCallStmt) stmtPos() Pos { return s.Pos }
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.  After type checking each
+// node's T() reports its resolved IR type.
+type Expr interface {
+	exprPos() Pos
+	T() ir.Type
+	setT(ir.Type)
+}
+
+type exprType struct{ t ir.Type }
+
+func (e *exprType) T() ir.Type     { return e.t }
+func (e *exprType) setT(t ir.Type) { e.t = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprType
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprType
+	Pos Pos
+	V   float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	exprType
+	Pos Pos
+	V   string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprType
+	Pos Pos
+	V   bool
+}
+
+// NullLit is null.
+type NullLit struct {
+	exprType
+	Pos Pos
+}
+
+// ThisExpr is `this`.
+type ThisExpr struct {
+	exprType
+	Pos Pos
+}
+
+// Ident is an unqualified name: local, parameter, implicit this-field, or
+// own-class static.  Resolution recorded in Kind.
+type Ident struct {
+	exprType
+	Pos  Pos
+	Name string
+
+	// Resolution (set by the checker).
+	Kind  IdentKind
+	Slot  int    // local slot, for IdentLocal
+	Owner string // declaring class, for field/static
+}
+
+// IdentKind says how an Ident resolved.
+type IdentKind uint8
+
+// Ident resolutions.
+const (
+	IdentUnresolved IdentKind = iota
+	IdentLocal
+	IdentField  // implicit this.<name>
+	IdentStatic // own-class or named-class static
+)
+
+// FieldAccess is `expr.name` (instance field) or `Class.name` (static).
+type FieldAccess struct {
+	exprType
+	Pos   Pos
+	Recv  Expr   // nil for static access via class name
+	Class string // set for static access
+	Name  string
+
+	Owner      string // declaring class (set by checker)
+	Static     bool
+	IsArrayLen bool // expr.length on arrays
+}
+
+// CallExpr is `recv.m(args)`, `Class.m(args)` or `m(args)` (implicit this
+// or own-class static).
+type CallExpr struct {
+	exprType
+	Pos    Pos
+	Recv   Expr   // nil for static or implicit-this call
+	Class  string // set for static call via class name
+	Method string
+	Args   []Expr
+
+	Owner        string // declaring class (set by checker)
+	Static       bool
+	OnInterface  bool // dispatch via interface type
+	ImplicitThis bool
+}
+
+// NewExpr is `new C(args)`.
+type NewExpr struct {
+	exprType
+	Pos   Pos
+	Class string
+	Args  []Expr
+}
+
+// NewArrayExpr is `new T[len]`.
+type NewArrayExpr struct {
+	exprType
+	Pos  Pos
+	Elem TypeExpr
+	Len  Expr
+}
+
+// IndexExpr is `arr[i]`.
+type IndexExpr struct {
+	exprType
+	Pos   Pos
+	Arr   Expr
+	Index Expr
+}
+
+// UnaryExpr is `-e` or `!e`.
+type UnaryExpr struct {
+	exprType
+	Pos Pos
+	Op  string
+	E   Expr
+}
+
+// BinaryExpr is a binary operation, including short-circuit && and ||.
+type BinaryExpr struct {
+	exprType
+	Pos Pos
+	Op  string
+	L   Expr
+	R   Expr
+
+	IsConcat bool // '+' resolved to string concatenation
+}
+
+// CastExpr is `(T) e`.
+type CastExpr struct {
+	exprType
+	Pos    Pos
+	Target TypeExpr
+	E      Expr
+}
+
+// InstanceOfExpr is `e instanceof C`.
+type InstanceOfExpr struct {
+	exprType
+	Pos   Pos
+	E     Expr
+	Class string
+}
+
+func (e *IntLit) exprPos() Pos         { return e.Pos }
+func (e *FloatLit) exprPos() Pos       { return e.Pos }
+func (e *StringLit) exprPos() Pos      { return e.Pos }
+func (e *BoolLit) exprPos() Pos        { return e.Pos }
+func (e *NullLit) exprPos() Pos        { return e.Pos }
+func (e *ThisExpr) exprPos() Pos       { return e.Pos }
+func (e *Ident) exprPos() Pos          { return e.Pos }
+func (e *FieldAccess) exprPos() Pos    { return e.Pos }
+func (e *CallExpr) exprPos() Pos       { return e.Pos }
+func (e *NewExpr) exprPos() Pos        { return e.Pos }
+func (e *NewArrayExpr) exprPos() Pos   { return e.Pos }
+func (e *IndexExpr) exprPos() Pos      { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos      { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos     { return e.Pos }
+func (e *CastExpr) exprPos() Pos       { return e.Pos }
+func (e *InstanceOfExpr) exprPos() Pos { return e.Pos }

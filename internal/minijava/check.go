@@ -1,0 +1,635 @@
+package minijava
+
+import (
+	"fmt"
+
+	"rafda/internal/ir"
+	"rafda/internal/stdlib"
+)
+
+// CheckError reports a semantic error with its position.
+type CheckError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *CheckError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// nullType is the type of the null literal; assignable to any reference
+// or array type.
+var nullType = ir.Type{Kind: ir.KindRef, Name: "<null>"}
+
+func isNullType(t ir.Type) bool { return t.Kind == ir.KindRef && t.Name == "<null>" }
+
+// checker performs semantic analysis over a set of files and produces the
+// signature-level ir.Program the code generator fills in.
+type checker struct {
+	files []*File
+	decls map[string]*ClassDecl // user classes by name
+	sig   *ir.Program           // signatures: stdlib + skeletons of user classes
+}
+
+func newChecker(files []*File) *checker {
+	return &checker{
+		files: files,
+		decls: make(map[string]*ClassDecl),
+		sig:   stdlib.Program(),
+	}
+}
+
+// collect builds class signature skeletons (pass 1).
+func (c *checker) collect() error {
+	for _, f := range c.files {
+		for _, cd := range f.Classes {
+			if _, dup := c.decls[cd.Name]; dup {
+				return &CheckError{Pos: cd.Pos, Msg: "duplicate class " + cd.Name}
+			}
+			if c.sig.Has(cd.Name) {
+				return &CheckError{Pos: cd.Pos, Msg: "class " + cd.Name + " conflicts with a system class"}
+			}
+			c.decls[cd.Name] = cd
+		}
+	}
+	// Build skeletons after all names are known so types can refer
+	// forward.
+	for _, f := range c.files {
+		for _, cd := range f.Classes {
+			skel, err := c.skeleton(cd)
+			if err != nil {
+				return err
+			}
+			if err := c.sig.Add(skel); err != nil {
+				return &CheckError{Pos: cd.Pos, Msg: err.Error()}
+			}
+		}
+	}
+	// Validate super/interface links.
+	for _, cd := range c.decls {
+		if cd.Super != "" {
+			sc := c.sig.Class(cd.Super)
+			if sc == nil {
+				return &CheckError{Pos: cd.Pos, Msg: "unknown superclass " + cd.Super}
+			}
+			if sc.IsInterface {
+				return &CheckError{Pos: cd.Pos, Msg: "cannot extend interface " + cd.Super + " with 'extends' on a class"}
+			}
+			if sc.Final {
+				return &CheckError{Pos: cd.Pos, Msg: "cannot extend final class " + cd.Super}
+			}
+		}
+		for _, in := range cd.Interfaces {
+			ic := c.sig.Class(in)
+			if ic == nil {
+				return &CheckError{Pos: cd.Pos, Msg: "unknown interface " + in}
+			}
+			if !ic.IsInterface {
+				return &CheckError{Pos: cd.Pos, Msg: in + " is not an interface"}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) skeleton(cd *ClassDecl) (*ir.Class, error) {
+	cls := &ir.Class{
+		Name:        cd.Name,
+		IsInterface: cd.IsInterface,
+		Abstract:    cd.Abstract || cd.IsInterface,
+		Final:       cd.Final,
+		Interfaces:  append([]string(nil), cd.Interfaces...),
+	}
+	if !cd.IsInterface {
+		cls.Super = cd.Super
+		if cls.Super == "" {
+			cls.Super = ir.ObjectClass
+		}
+	} else if cd.Super != "" {
+		// `interface I extends J` arrives via Super from the parser.
+		cls.Interfaces = append([]string{cd.Super}, cls.Interfaces...)
+		cd.Interfaces = cls.Interfaces
+		cd.Super = ""
+	}
+	seenFields := map[string]bool{}
+	for _, fd := range cd.Fields {
+		if cd.IsInterface {
+			return nil, &CheckError{Pos: fd.Pos, Msg: "interfaces cannot declare fields"}
+		}
+		if seenFields[fd.Name] {
+			return nil, &CheckError{Pos: fd.Pos, Msg: "duplicate field " + fd.Name}
+		}
+		seenFields[fd.Name] = true
+		t, err := c.resolveType(fd.Type)
+		if err != nil {
+			return nil, err
+		}
+		if t.IsVoid() {
+			return nil, &CheckError{Pos: fd.Pos, Msg: "field cannot be void"}
+		}
+		cls.Fields = append(cls.Fields, ir.Field{
+			Name: fd.Name, Type: t, Static: fd.Static, Final: fd.Final, Access: fd.Access,
+		})
+	}
+	seenMethods := map[string]bool{}
+	hasCtor := false
+	for _, md := range cd.Methods {
+		if md.IsCtor {
+			hasCtor = true
+		}
+		m, err := c.methodSkeleton(cd, md)
+		if err != nil {
+			return nil, err
+		}
+		if seenMethods[m.Key()] {
+			return nil, &CheckError{Pos: md.Pos, Msg: fmt.Sprintf("duplicate method %s with %d parameter(s)", md.Name, len(md.Params))}
+		}
+		seenMethods[m.Key()] = true
+		cls.Methods = append(cls.Methods, m)
+	}
+	if !cd.IsInterface && !hasCtor {
+		// Synthesised default constructor; body generated in codegen.
+		cd.Methods = append(cd.Methods, &MethodDecl{
+			Pos: cd.Pos, Name: ir.ConstructorName, IsCtor: true,
+			Return: TypeExpr{Name: "void", Pos: cd.Pos},
+			Access: ir.AccessPublic,
+			Body:   []Stmt{},
+		})
+		cls.Methods = append(cls.Methods, &ir.Method{
+			Name: ir.ConstructorName, Return: ir.Void, Access: ir.AccessPublic,
+		})
+	}
+	// Synthesised <clinit> when static field initialisers exist.
+	needClinit := false
+	for _, fd := range cd.Fields {
+		if fd.Static && fd.Init != nil {
+			needClinit = true
+		}
+	}
+	if needClinit {
+		cls.Methods = append(cls.Methods, &ir.Method{
+			Name: ir.StaticInitName, Return: ir.Void, Static: true, Access: ir.AccessPrivate,
+		})
+	}
+	return cls, nil
+}
+
+func (c *checker) methodSkeleton(cd *ClassDecl, md *MethodDecl) (*ir.Method, error) {
+	m := &ir.Method{
+		Name:     md.Name,
+		Static:   md.Static,
+		Native:   md.Native,
+		Abstract: md.Abstract,
+		Final:    md.Final,
+		Access:   md.Access,
+	}
+	if cd.IsInterface {
+		if md.Static || md.Native || md.Body != nil {
+			return nil, &CheckError{Pos: md.Pos, Msg: "interface methods must be abstract instance methods"}
+		}
+		m.Abstract = true
+		m.Access = ir.AccessPublic
+	}
+	rt, err := c.resolveType(md.Return)
+	if err != nil {
+		return nil, err
+	}
+	m.Return = rt
+	seen := map[string]bool{}
+	for _, pm := range md.Params {
+		if seen[pm.Name] {
+			return nil, &CheckError{Pos: pm.Pos, Msg: "duplicate parameter " + pm.Name}
+		}
+		seen[pm.Name] = true
+		pt, err := c.resolveType(pm.Type)
+		if err != nil {
+			return nil, err
+		}
+		if pt.IsVoid() {
+			return nil, &CheckError{Pos: pm.Pos, Msg: "parameter cannot be void"}
+		}
+		m.Params = append(m.Params, pt)
+	}
+	return m, nil
+}
+
+func (c *checker) resolveType(te TypeExpr) (ir.Type, error) {
+	var base ir.Type
+	switch te.Name {
+	case "void":
+		base = ir.Void
+	case "int", "long":
+		base = ir.Int
+	case "float", "double":
+		base = ir.Float
+	case "bool", "boolean":
+		base = ir.Bool
+	case "string":
+		base = ir.String
+	default:
+		if !c.sig.Has(te.Name) {
+			// During skeleton construction, forward and self references
+			// are visible in decls but not yet in sig.
+			if _, declared := c.decls[te.Name]; !declared {
+				return ir.Type{}, &CheckError{Pos: te.Pos, Msg: "unknown type " + te.Name}
+			}
+		}
+		base = ir.Ref(te.Name)
+	}
+	for i := 0; i < te.Array; i++ {
+		if base.IsVoid() {
+			return ir.Type{}, &CheckError{Pos: te.Pos, Msg: "array of void"}
+		}
+		base = ir.ArrayOf(base)
+	}
+	return base, nil
+}
+
+// assignable reports whether a value of type `from` can bind to `to`,
+// optionally via the int->float widening conversion.
+func (c *checker) assignable(from, to ir.Type) bool {
+	if isNullType(from) {
+		return to.IsRef() || to.IsArray()
+	}
+	if from.Equal(to) {
+		return true
+	}
+	if from.Kind == ir.KindInt && to.Kind == ir.KindFloat {
+		return true
+	}
+	if from.IsRef() && to.IsRef() {
+		return c.sig.AssignableTo(from.Name, to.Name)
+	}
+	return false
+}
+
+// ---- Method-body checking ----
+
+type local struct {
+	slot int
+	typ  ir.Type
+}
+
+type scope struct {
+	vars   map[string]local
+	parent *scope
+}
+
+func (s *scope) lookup(name string) (local, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if l, ok := cur.vars[name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+type methodCtx struct {
+	c        *checker
+	class    *ClassDecl
+	irClass  *ir.Class
+	method   *MethodDecl
+	irMethod *ir.Method
+	scope    *scope
+	nextSlot int
+	loop     int
+}
+
+func (c *checker) checkBodies() error {
+	for _, f := range c.files {
+		for _, cd := range f.Classes {
+			irc := c.sig.Class(cd.Name)
+			for _, md := range cd.Methods {
+				if md.Native || md.Abstract || (md.Body == nil && !md.IsCtor) {
+					continue
+				}
+				if err := c.checkMethod(cd, irc, md); err != nil {
+					return err
+				}
+			}
+			// Field initialisers are checked in the context of a
+			// synthetic method: instance inits as instance, static as
+			// static.
+			for _, fd := range cd.Fields {
+				if fd.Init == nil {
+					continue
+				}
+				mc := &methodCtx{
+					c: c, class: cd, irClass: irc,
+					method:   &MethodDecl{Pos: fd.Pos, Static: fd.Static, Return: TypeExpr{Name: "void"}},
+					irMethod: &ir.Method{Static: fd.Static, Return: ir.Void},
+					scope:    &scope{vars: map[string]local{}},
+				}
+				if !fd.Static {
+					mc.nextSlot = 1
+				}
+				t, err := mc.checkExpr(fd.Init)
+				if err != nil {
+					return err
+				}
+				ft, _ := c.resolveType(fd.Type)
+				if !c.assignable(t, ft) {
+					return &CheckError{Pos: fd.Pos,
+						Msg: fmt.Sprintf("cannot initialise field %s (%s) with %s", fd.Name, ft, t)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkMethod(cd *ClassDecl, irc *ir.Class, md *MethodDecl) error {
+	irm := irc.Method(methodIRName(md), len(md.Params))
+	if irm == nil {
+		return &CheckError{Pos: md.Pos, Msg: "internal: missing method skeleton " + md.Name}
+	}
+	mc := &methodCtx{
+		c: c, class: cd, irClass: irc, method: md, irMethod: irm,
+		scope: &scope{vars: map[string]local{}},
+	}
+	if !md.Static {
+		mc.nextSlot = 1 // this
+	}
+	for i, pm := range md.Params {
+		mc.scope.vars[pm.Name] = local{slot: mc.nextSlot, typ: irm.Params[i]}
+		mc.nextSlot++
+	}
+	// Constructors: validate any leading super(...) call.
+	if md.IsCtor {
+		for i, s := range md.Body {
+			if sc, ok := s.(*SuperCallStmt); ok {
+				if i != 0 {
+					return &CheckError{Pos: sc.Pos, Msg: "super(...) must be the first statement"}
+				}
+				superName := irc.Super
+				if superName == "" {
+					return &CheckError{Pos: sc.Pos, Msg: "class has no superclass"}
+				}
+				superCls := c.sig.Class(superName)
+				ctor := superCls.Method(ir.ConstructorName, len(sc.Args))
+				if ctor == nil {
+					return &CheckError{Pos: sc.Pos,
+						Msg: fmt.Sprintf("superclass %s has no constructor with %d argument(s)", superName, len(sc.Args))}
+				}
+				for j, a := range sc.Args {
+					at, err := mc.checkExpr(a)
+					if err != nil {
+						return err
+					}
+					if !c.assignable(at, ctor.Params[j]) {
+						return &CheckError{Pos: a.exprPos(),
+							Msg: fmt.Sprintf("super argument %d: cannot use %s as %s", j+1, at, ctor.Params[j])}
+					}
+				}
+			}
+		}
+	}
+	body := md.Body
+	if md.IsCtor && len(body) > 0 {
+		if _, ok := body[0].(*SuperCallStmt); ok {
+			body = body[1:]
+		}
+	}
+	if err := mc.checkStmts(body); err != nil {
+		return err
+	}
+	return nil
+}
+
+func methodIRName(md *MethodDecl) string {
+	if md.IsCtor {
+		return ir.ConstructorName
+	}
+	return md.Name
+}
+
+func (mc *methodCtx) pushScope() { mc.scope = &scope{vars: map[string]local{}, parent: mc.scope} }
+func (mc *methodCtx) popScope()  { mc.scope = mc.scope.parent }
+
+func (mc *methodCtx) errf(pos Pos, format string, a ...any) error {
+	return &CheckError{Pos: pos, Msg: fmt.Sprintf(format, a...)}
+}
+
+func (mc *methodCtx) checkStmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := mc.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mc *methodCtx) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarDeclStmt:
+		t, err := mc.c.resolveType(st.Type)
+		if err != nil {
+			return err
+		}
+		if t.IsVoid() {
+			return mc.errf(st.Pos, "variable cannot be void")
+		}
+		if _, exists := mc.scope.vars[st.Name]; exists {
+			return mc.errf(st.Pos, "variable %s redeclared in this scope", st.Name)
+		}
+		if st.Init != nil {
+			it, err := mc.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if !mc.c.assignable(it, t) {
+				return mc.errf(st.Pos, "cannot assign %s to %s %s", it, t, st.Name)
+			}
+		}
+		st.Slot = mc.nextSlot
+		mc.scope.vars[st.Name] = local{slot: mc.nextSlot, typ: t}
+		mc.nextSlot++
+		return nil
+
+	case *AssignStmt:
+		lt, err := mc.checkLValue(st.LHS)
+		if err != nil {
+			return err
+		}
+		rt, err := mc.checkExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if !mc.c.assignable(rt, lt) {
+			return mc.errf(st.Pos, "cannot assign %s to %s", rt, lt)
+		}
+		return nil
+
+	case *ExprStmt:
+		switch st.E.(type) {
+		case *CallExpr, *NewExpr:
+			_, err := mc.checkExpr(st.E)
+			return err
+		default:
+			return mc.errf(st.Pos, "expression statement must be a call or allocation")
+		}
+
+	case *IfStmt:
+		ct, err := mc.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != ir.KindBool {
+			return mc.errf(st.Pos, "if condition must be bool, got %s", ct)
+		}
+		mc.pushScope()
+		err = mc.checkStmts(st.Then)
+		mc.popScope()
+		if err != nil {
+			return err
+		}
+		if st.Else != nil {
+			mc.pushScope()
+			err = mc.checkStmts(st.Else)
+			mc.popScope()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *WhileStmt:
+		ct, err := mc.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct.Kind != ir.KindBool {
+			return mc.errf(st.Pos, "while condition must be bool, got %s", ct)
+		}
+		mc.pushScope()
+		mc.loop++
+		err = mc.checkStmts(st.Body)
+		mc.loop--
+		mc.popScope()
+		return err
+
+	case *ForStmt:
+		mc.pushScope()
+		defer mc.popScope()
+		if st.Init != nil {
+			if err := mc.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			ct, err := mc.checkExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if ct.Kind != ir.KindBool {
+				return mc.errf(st.Pos, "for condition must be bool, got %s", ct)
+			}
+		}
+		if st.Post != nil {
+			if err := mc.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		mc.loop++
+		err := mc.checkStmts(st.Body)
+		mc.loop--
+		return err
+
+	case *ReturnStmt:
+		want := mc.irMethod.Return
+		if st.E == nil {
+			if !want.IsVoid() {
+				return mc.errf(st.Pos, "missing return value (%s expected)", want)
+			}
+			return nil
+		}
+		if want.IsVoid() {
+			return mc.errf(st.Pos, "void method cannot return a value")
+		}
+		got, err := mc.checkExpr(st.E)
+		if err != nil {
+			return err
+		}
+		if !mc.c.assignable(got, want) {
+			return mc.errf(st.Pos, "cannot return %s as %s", got, want)
+		}
+		return nil
+
+	case *BreakStmt:
+		if mc.loop == 0 {
+			return mc.errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if mc.loop == 0 {
+			return mc.errf(st.Pos, "continue outside loop")
+		}
+		return nil
+
+	case *ThrowStmt:
+		t, err := mc.checkExpr(st.E)
+		if err != nil {
+			return err
+		}
+		if !t.IsRef() || (!isNullType(t) && !mc.c.sig.IsSubclassOf(t.Name, ir.ThrowableClass)) {
+			return mc.errf(st.Pos, "throw requires a %s, got %s", ir.ThrowableClass, t)
+		}
+		return nil
+
+	case *TryStmt:
+		mc.pushScope()
+		err := mc.checkStmts(st.Body)
+		mc.popScope()
+		if err != nil {
+			return err
+		}
+		for i := range st.Catches {
+			cc := &st.Catches[i]
+			cls := mc.c.sig.Class(cc.Class)
+			if cls == nil {
+				return mc.errf(cc.Pos, "unknown exception class %s", cc.Class)
+			}
+			if !mc.c.sig.IsSubclassOf(cc.Class, ir.ThrowableClass) {
+				return mc.errf(cc.Pos, "%s is not a throwable", cc.Class)
+			}
+			mc.pushScope()
+			cc.Slot = mc.nextSlot
+			mc.scope.vars[cc.Name] = local{slot: mc.nextSlot, typ: ir.Ref(cc.Class)}
+			mc.nextSlot++
+			err := mc.checkStmts(cc.Body)
+			mc.popScope()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *BlockStmt:
+		mc.pushScope()
+		err := mc.checkStmts(st.Body)
+		mc.popScope()
+		return err
+
+	case *SuperCallStmt:
+		return mc.errf(st.Pos, "super(...) is only allowed as a constructor's first statement")
+
+	default:
+		return mc.errf(s.stmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+// checkLValue validates an assignment target and returns its type.
+func (mc *methodCtx) checkLValue(e Expr) (ir.Type, error) {
+	switch t := e.(type) {
+	case *Ident, *FieldAccess, *IndexExpr:
+		_ = t
+		typ, err := mc.checkExpr(e)
+		if err != nil {
+			return ir.Type{}, err
+		}
+		if fa, ok := e.(*FieldAccess); ok && fa.IsArrayLen {
+			return ir.Type{}, mc.errf(fa.Pos, "cannot assign to array length")
+		}
+		return typ, nil
+	default:
+		return ir.Type{}, mc.errf(e.exprPos(), "not an assignable expression")
+	}
+}

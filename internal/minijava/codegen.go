@@ -1,0 +1,550 @@
+package minijava
+
+import (
+	"fmt"
+
+	"rafda/internal/ir"
+	"rafda/internal/stdlib"
+)
+
+// generate fills in method bodies on the signature program.  Checking has
+// already annotated the AST (types, slots, resolutions), so generation is
+// a straightforward walk.
+func (c *checker) generate() error {
+	for _, f := range c.files {
+		for _, cd := range f.Classes {
+			if err := c.genClass(cd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) genClass(cd *ClassDecl) error {
+	irc := c.sig.Class(cd.Name)
+	for _, md := range cd.Methods {
+		if md.Native || md.Abstract || cd.IsInterface {
+			continue
+		}
+		irm := irc.Method(methodIRName(md), len(md.Params))
+		g := &codegen{c: c, class: cd, irClass: irc, method: md, irMethod: irm, b: ir.NewCodeBuilder()}
+		if err := g.genMethod(); err != nil {
+			return err
+		}
+	}
+	// <clinit> from static field initialisers, in declaration order.
+	if clinit := irc.StaticInit(); clinit != nil {
+		g := &codegen{
+			c: c, class: cd, irClass: irc,
+			method:   &MethodDecl{Static: true, Return: TypeExpr{Name: "void"}},
+			irMethod: clinit,
+			b:        ir.NewCodeBuilder(),
+		}
+		for _, fd := range cd.Fields {
+			if !fd.Static || fd.Init == nil {
+				continue
+			}
+			ft, _ := c.resolveType(fd.Type)
+			g.genExpr(fd.Init)
+			g.convert(fd.Init.T(), ft)
+			g.b.PutStatic(cd.Name, fd.Name)
+		}
+		g.b.Return()
+		clinit.Code = g.b.MustBuild()
+		clinit.MaxLocals = g.b.MaxLocals()
+		clinit.Handlers = g.handlers
+	}
+	return nil
+}
+
+type loopLabels struct {
+	brk  string
+	cont string
+}
+
+type codegen struct {
+	c        *checker
+	class    *ClassDecl
+	irClass  *ir.Class
+	method   *MethodDecl
+	irMethod *ir.Method
+	b        *ir.CodeBuilder
+	handlers []ir.TryHandler
+	loops    []loopLabels
+	labelSeq int
+}
+
+func (g *codegen) label(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s%d", prefix, g.labelSeq)
+}
+
+func (g *codegen) genMethod() error {
+	nparams := len(g.method.Params)
+	base := 0
+	if !g.irMethod.Static {
+		base = 1
+	}
+	g.b.SetMinLocals(base + nparams)
+
+	body := g.method.Body
+	if g.method.IsCtor {
+		// Super constructor call: explicit, or implicit no-arg.
+		if len(body) > 0 {
+			if sc, ok := body[0].(*SuperCallStmt); ok {
+				g.b.Load(0)
+				superCls := g.c.sig.Class(g.irClass.Super)
+				ctor := superCls.Method(ir.ConstructorName, len(sc.Args))
+				for i, a := range sc.Args {
+					g.genExpr(a)
+					g.convert(a.T(), ctor.Params[i])
+				}
+				g.b.Invoke(ir.OpInvokeSpecial, g.irClass.Super, ir.ConstructorName, len(sc.Args))
+				body = body[1:]
+			} else {
+				g.implicitSuper()
+			}
+		} else {
+			g.implicitSuper()
+		}
+		// Instance field initialisers run after super, before the body.
+		for _, fd := range g.class.Fields {
+			if fd.Static || fd.Init == nil {
+				continue
+			}
+			ft, _ := g.c.resolveType(fd.Type)
+			g.b.Load(0)
+			g.genExpr(fd.Init)
+			g.convert(fd.Init.T(), ft)
+			g.b.PutField(g.class.Name, fd.Name)
+		}
+	}
+
+	g.genStmts(body)
+
+	// Implicit trailing return for void methods; non-void methods that
+	// fall off the end fault at run time (no static flow analysis).
+	if g.irMethod.Return.IsVoid() {
+		g.b.Return()
+	} else {
+		g.b.New(stdlib.RuntimeExceptionClass)
+		g.b.Op(ir.OpDup)
+		g.b.ConstString("missing return in " + g.class.Name + "." + g.method.Name)
+		g.b.Invoke(ir.OpInvokeSpecial, stdlib.RuntimeExceptionClass, ir.ConstructorName, 1)
+		g.b.Op(ir.OpThrow)
+	}
+
+	code, err := g.b.Build()
+	if err != nil {
+		return err
+	}
+	g.irMethod.Code = code
+	g.irMethod.MaxLocals = g.b.MaxLocals()
+	g.irMethod.Handlers = g.handlers
+	return nil
+}
+
+func (g *codegen) implicitSuper() {
+	super := g.irClass.Super
+	if super == "" {
+		return
+	}
+	superCls := g.c.sig.Class(super)
+	if superCls == nil || superCls.Method(ir.ConstructorName, 0) == nil {
+		return
+	}
+	g.b.Load(0)
+	g.b.Invoke(ir.OpInvokeSpecial, super, ir.ConstructorName, 0)
+}
+
+func (g *codegen) genStmts(stmts []Stmt) {
+	for _, s := range stmts {
+		g.genStmt(s)
+	}
+}
+
+func (g *codegen) genStmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarDeclStmt:
+		t, _ := g.c.resolveType(st.Type)
+		if st.Init != nil {
+			g.genExpr(st.Init)
+			g.convert(st.Init.T(), t)
+		} else {
+			g.genZero(t)
+		}
+		g.b.Store(st.Slot)
+
+	case *AssignStmt:
+		g.genAssign(st.LHS, st.RHS)
+
+	case *ExprStmt:
+		g.genExpr(st.E)
+		if !st.E.T().IsVoid() {
+			g.b.Op(ir.OpPop)
+		}
+
+	case *IfStmt:
+		elseL := g.label("else")
+		endL := g.label("endif")
+		g.genExpr(st.Cond)
+		g.b.JumpIfNot(elseL)
+		g.genStmts(st.Then)
+		g.b.Jump(endL)
+		g.b.Label(elseL)
+		if st.Else != nil {
+			g.genStmts(st.Else)
+		}
+		g.b.Label(endL)
+
+	case *WhileStmt:
+		condL := g.label("while")
+		endL := g.label("endwhile")
+		g.b.Label(condL)
+		g.genExpr(st.Cond)
+		g.b.JumpIfNot(endL)
+		g.loops = append(g.loops, loopLabels{brk: endL, cont: condL})
+		g.genStmts(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Jump(condL)
+		g.b.Label(endL)
+
+	case *ForStmt:
+		condL := g.label("for")
+		postL := g.label("forpost")
+		endL := g.label("endfor")
+		if st.Init != nil {
+			g.genStmt(st.Init)
+		}
+		g.b.Label(condL)
+		if st.Cond != nil {
+			g.genExpr(st.Cond)
+			g.b.JumpIfNot(endL)
+		}
+		g.loops = append(g.loops, loopLabels{brk: endL, cont: postL})
+		g.genStmts(st.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Label(postL)
+		if st.Post != nil {
+			g.genStmt(st.Post)
+		}
+		g.b.Jump(condL)
+		g.b.Label(endL)
+
+	case *ReturnStmt:
+		if st.E == nil {
+			g.b.Return()
+			return
+		}
+		g.genExpr(st.E)
+		g.convert(st.E.T(), g.irMethod.Return)
+		g.b.ReturnValue()
+
+	case *BreakStmt:
+		g.b.Jump(g.loops[len(g.loops)-1].brk)
+	case *ContinueStmt:
+		g.b.Jump(g.loops[len(g.loops)-1].cont)
+
+	case *ThrowStmt:
+		g.genExpr(st.E)
+		g.b.Op(ir.OpThrow)
+
+	case *TryStmt:
+		g.genTry(st)
+
+	case *BlockStmt:
+		g.genStmts(st.Body)
+
+	default:
+		panic(fmt.Sprintf("codegen: unknown statement %T", s))
+	}
+}
+
+func (g *codegen) genTry(st *TryStmt) {
+	endL := g.label("endtry")
+	start := g.b.PC()
+	g.genStmts(st.Body)
+	end := g.b.PC()
+	g.b.Jump(endL)
+
+	for i := range st.Catches {
+		cc := &st.Catches[i]
+		target := g.b.PC()
+		g.handlers = append(g.handlers, ir.TryHandler{
+			Start: start, End: end, Target: target, CatchClass: cc.Class,
+		})
+		g.b.Store(cc.Slot)
+		g.genStmts(cc.Body)
+		g.b.Jump(endL)
+	}
+	g.b.Label(endL)
+}
+
+func (g *codegen) genAssign(lhs Expr, rhs Expr) {
+	switch t := lhs.(type) {
+	case *Ident:
+		switch t.Kind {
+		case IdentLocal:
+			g.genExpr(rhs)
+			g.convert(rhs.T(), t.T())
+			g.b.Store(t.Slot)
+		case IdentField:
+			g.b.Load(0)
+			g.genExpr(rhs)
+			g.convert(rhs.T(), t.T())
+			g.b.PutField(t.Owner, t.Name)
+		case IdentStatic:
+			g.genExpr(rhs)
+			g.convert(rhs.T(), t.T())
+			g.b.PutStatic(t.Owner, t.Name)
+		default:
+			panic("codegen: unresolved ident " + t.Name)
+		}
+
+	case *FieldAccess:
+		if t.Static {
+			g.genExpr(rhs)
+			g.convert(rhs.T(), t.T())
+			g.b.PutStatic(t.Owner, t.Name)
+			return
+		}
+		g.genExpr(t.Recv)
+		g.genExpr(rhs)
+		g.convert(rhs.T(), t.T())
+		g.b.PutField(t.Owner, t.Name)
+
+	case *IndexExpr:
+		g.genExpr(t.Arr)
+		g.genExpr(t.Index)
+		g.genExpr(rhs)
+		g.convert(rhs.T(), t.T())
+		g.b.Op(ir.OpAStore)
+
+	default:
+		panic("codegen: bad assignment target")
+	}
+}
+
+// convert emits the int->float widening when needed.
+func (g *codegen) convert(from, to ir.Type) {
+	if from.Kind == ir.KindInt && to.Kind == ir.KindFloat {
+		g.b.Cast(ir.Float)
+	}
+}
+
+func (g *codegen) genZero(t ir.Type) {
+	switch t.Kind {
+	case ir.KindInt:
+		g.b.ConstInt(0)
+	case ir.KindFloat:
+		g.b.ConstFloat(0)
+	case ir.KindBool:
+		g.b.ConstBool(false)
+	case ir.KindString:
+		g.b.ConstString("")
+	default:
+		g.b.ConstNull(t)
+	}
+}
+
+func (g *codegen) genExpr(e Expr) {
+	switch t := e.(type) {
+	case *IntLit:
+		g.b.ConstInt(t.V)
+	case *FloatLit:
+		g.b.ConstFloat(t.V)
+	case *StringLit:
+		g.b.ConstString(t.V)
+	case *BoolLit:
+		g.b.ConstBool(t.V)
+	case *NullLit:
+		g.b.ConstNull(ir.Ref(ir.ObjectClass))
+	case *ThisExpr:
+		g.b.Load(0)
+
+	case *Ident:
+		switch t.Kind {
+		case IdentLocal:
+			g.b.Load(t.Slot)
+		case IdentField:
+			g.b.Load(0)
+			g.b.GetField(t.Owner, t.Name)
+		case IdentStatic:
+			g.b.GetStatic(t.Owner, t.Name)
+		default:
+			panic("codegen: unresolved ident " + t.Name)
+		}
+
+	case *FieldAccess:
+		if t.Static {
+			g.b.GetStatic(t.Owner, t.Name)
+			return
+		}
+		g.genExpr(t.Recv)
+		if t.IsArrayLen {
+			g.b.Op(ir.OpArrayLen)
+			return
+		}
+		g.b.GetField(t.Owner, t.Name)
+
+	case *CallExpr:
+		g.genCall(t)
+
+	case *NewExpr:
+		cls := g.c.sig.Class(t.Class)
+		ctor := cls.Method(ir.ConstructorName, len(t.Args))
+		g.b.New(t.Class)
+		g.b.Op(ir.OpDup)
+		for i, a := range t.Args {
+			g.genExpr(a)
+			g.convert(a.T(), ctor.Params[i])
+		}
+		g.b.Invoke(ir.OpInvokeSpecial, t.Class, ir.ConstructorName, len(t.Args))
+
+	case *NewArrayExpr:
+		elem, _ := g.c.resolveType(t.Elem)
+		g.genExpr(t.Len)
+		te := elem
+		g.b.Emit(ir.Instr{Op: ir.OpNewArray, TypeRef: &te})
+
+	case *IndexExpr:
+		g.genExpr(t.Arr)
+		g.genExpr(t.Index)
+		g.b.Op(ir.OpALoad)
+
+	case *UnaryExpr:
+		g.genExpr(t.E)
+		if t.Op == "-" {
+			g.b.Op(ir.OpNeg)
+		} else {
+			g.b.Op(ir.OpNot)
+		}
+
+	case *BinaryExpr:
+		g.genBinary(t)
+
+	case *CastExpr:
+		g.genExpr(t.E)
+		target, _ := g.c.resolveType(t.Target)
+		if !t.E.T().Equal(target) {
+			g.b.Cast(target)
+		}
+
+	case *InstanceOfExpr:
+		g.genExpr(t.E)
+		te := ir.Ref(t.Class)
+		g.b.Emit(ir.Instr{Op: ir.OpInstanceOf, TypeRef: &te})
+
+	default:
+		panic(fmt.Sprintf("codegen: unknown expression %T", e))
+	}
+}
+
+func (g *codegen) genCall(t *CallExpr) {
+	m := g.c.sig.Class(t.Owner).Method(t.Method, len(t.Args))
+	if t.Static {
+		for i, a := range t.Args {
+			g.genExpr(a)
+			g.convert(a.T(), m.Params[i])
+		}
+		g.b.Invoke(ir.OpInvokeStatic, t.Owner, t.Method, len(t.Args))
+		return
+	}
+	if t.ImplicitThis {
+		g.b.Load(0)
+	} else {
+		g.genExpr(t.Recv)
+	}
+	for i, a := range t.Args {
+		g.genExpr(a)
+		g.convert(a.T(), m.Params[i])
+	}
+	op := ir.OpInvokeVirtual
+	if t.OnInterface {
+		op = ir.OpInvokeInterface
+	}
+	g.b.Invoke(op, t.Owner, t.Method, len(t.Args))
+}
+
+func (g *codegen) genBinary(t *BinaryExpr) {
+	switch t.Op {
+	case "&&":
+		falseL := g.label("andF")
+		endL := g.label("andE")
+		g.genExpr(t.L)
+		g.b.JumpIfNot(falseL)
+		g.genExpr(t.R)
+		g.b.Jump(endL)
+		g.b.Label(falseL)
+		g.b.ConstBool(false)
+		g.b.Label(endL)
+		return
+	case "||":
+		trueL := g.label("orT")
+		endL := g.label("orE")
+		g.genExpr(t.L)
+		g.b.JumpIf(trueL)
+		g.genExpr(t.R)
+		g.b.Jump(endL)
+		g.b.Label(trueL)
+		g.b.ConstBool(true)
+		g.b.Label(endL)
+		return
+	}
+
+	if t.IsConcat {
+		g.genConcatOperand(t.L)
+		g.genConcatOperand(t.R)
+		g.b.Op(ir.OpConcat)
+		return
+	}
+
+	g.genExpr(t.L)
+	g.genExpr(t.R)
+	switch t.Op {
+	case "+":
+		g.b.Op(ir.OpAdd)
+	case "-":
+		g.b.Op(ir.OpSub)
+	case "*":
+		g.b.Op(ir.OpMul)
+	case "/":
+		g.b.Op(ir.OpDiv)
+	case "%":
+		g.b.Op(ir.OpRem)
+	case "==":
+		g.b.Op(ir.OpCmpEq)
+	case "!=":
+		g.b.Op(ir.OpCmpNe)
+	case "<":
+		g.b.Op(ir.OpCmpLt)
+	case "<=":
+		g.b.Op(ir.OpCmpLe)
+	case ">":
+		g.b.Op(ir.OpCmpGt)
+	case ">=":
+		g.b.Op(ir.OpCmpGe)
+	default:
+		panic("codegen: bad binary op " + t.Op)
+	}
+}
+
+// genConcatOperand emits an operand of string concatenation, converting
+// non-strings via the sys.Strings natives (or toString for objects).
+func (g *codegen) genConcatOperand(e Expr) {
+	g.genExpr(e)
+	switch e.T().Kind {
+	case ir.KindString:
+	case ir.KindInt:
+		g.b.Invoke(ir.OpInvokeStatic, stdlib.StringsClass, "ofInt", 1)
+	case ir.KindFloat:
+		g.b.Invoke(ir.OpInvokeStatic, stdlib.StringsClass, "ofFloat", 1)
+	case ir.KindBool:
+		g.b.Invoke(ir.OpInvokeStatic, stdlib.StringsClass, "ofBool", 1)
+	case ir.KindRef:
+		g.b.Invoke(ir.OpInvokeVirtual, ir.ObjectClass, "toString", 0)
+	default:
+		panic("codegen: non-concatable operand")
+	}
+}

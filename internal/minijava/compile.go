@@ -1,0 +1,54 @@
+package minijava
+
+import (
+	"fmt"
+	"sort"
+
+	"rafda/internal/ir"
+)
+
+// CompileFiles parses, checks and compiles a set of named sources into a
+// complete IR program (including the system library).  Files are processed
+// in sorted-name order for determinism.
+func CompileFiles(sources map[string]string) (*ir.Program, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var files []*File
+	for _, n := range names {
+		f, err := Parse(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	c := newChecker(files)
+	if err := c.collect(); err != nil {
+		return nil, err
+	}
+	if err := c.checkBodies(); err != nil {
+		return nil, err
+	}
+	if err := c.generate(); err != nil {
+		return nil, err
+	}
+	return c.sig, nil
+}
+
+// Compile compiles a single source string.
+func Compile(src string) (*ir.Program, error) {
+	return CompileFiles(map[string]string{"input.mj": src})
+}
+
+// MustCompile is Compile that panics on error; for tests and examples
+// with static sources.
+func MustCompile(src string) *ir.Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(fmt.Sprintf("minijava: %v", err))
+	}
+	return p
+}

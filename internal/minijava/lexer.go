@@ -1,0 +1,229 @@
+package minijava
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// LexError reports a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &LexError{Pos: start, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-character punctuation, longest first.
+var punct2 = []string{"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--"}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+
+	case c >= '0' && c <= '9':
+		start := lx.off
+		isFloat := false
+		for lx.off < len(lx.src) {
+			ch := lx.peek()
+			if ch >= '0' && ch <= '9' {
+				lx.advance()
+				continue
+			}
+			if ch == '.' && !isFloat && lx.peek2() >= '0' && lx.peek2() <= '9' {
+				isFloat = true
+				lx.advance()
+				continue
+			}
+			break
+		}
+		text := lx.src[start:lx.off]
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return Token{}, &LexError{Pos: pos, Msg: "bad float literal " + text}
+			}
+			return Token{Kind: TokFloat, Text: text, FloV: f, Pos: pos}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, &LexError{Pos: pos, Msg: "bad int literal " + text}
+		}
+		return Token{Kind: TokInt, Text: text, IntV: n, Pos: pos}, nil
+
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, &LexError{Pos: pos, Msg: "unterminated string literal"}
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.off >= len(lx.src) {
+					return Token{}, &LexError{Pos: pos, Msg: "unterminated escape"}
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case 'r':
+					b.WriteByte('\r')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return Token{}, &LexError{Pos: pos, Msg: fmt.Sprintf("bad escape \\%c", esc)}
+				}
+				continue
+			}
+			if ch == '\n' {
+				return Token{}, &LexError{Pos: pos, Msg: "newline in string literal"}
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+
+	default:
+		two := ""
+		if lx.off+1 < len(lx.src) {
+			two = lx.src[lx.off : lx.off+2]
+		}
+		for _, p := range punct2 {
+			if two == p {
+				lx.advance()
+				lx.advance()
+				return Token{Kind: TokPunct, Text: p, Pos: pos}, nil
+			}
+		}
+		if strings.IndexByte("+-*/%<>=!(){}[];,.&|", c) >= 0 {
+			lx.advance()
+			return Token{Kind: TokPunct, Text: string(c), Pos: pos}, nil
+		}
+		return Token{}, &LexError{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+// lexAll tokenises the entire input.
+func lexAll(file, src string) ([]Token, error) {
+	lx := newLexer(file, src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,215 @@
+package minijava
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := lexAll("t.mj", src)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, `class X { int a = 42; float f = 3.5; string s = "hi\n"; }`)
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "class" {
+		t.Fatalf("first token %v", toks[0])
+	}
+	found := map[string]bool{}
+	for _, tk := range toks {
+		switch tk.Kind {
+		case TokInt:
+			if tk.IntV == 42 {
+				found["int"] = true
+			}
+		case TokFloat:
+			if tk.FloV == 3.5 {
+				found["float"] = true
+			}
+		case TokString:
+			if tk.Text == "hi\n" {
+				found["string"] = true
+			}
+		}
+	}
+	for _, k := range []string{"int", "float", "string"} {
+		if !found[k] {
+			t.Errorf("literal %s not lexed (kinds %v)", k, kinds)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, `
+// line comment with class keyword
+/* block
+   comment */ class /* inline */ X {}
+`)
+	if toks[0].Text != "class" || toks[1].Text != "X" {
+		t.Fatalf("comments not skipped: %v %v", toks[0], toks[1])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "class\n  X")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("pos %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("pos %v", toks[1].Pos)
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks := lexKinds(t, "a == b != c <= d >= e && f || g")
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"==", "!=", "<=", ">=", "&&", "||"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Fatalf("ops %v want %v", ops, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := map[string]string{
+		`"unterminated`:   "unterminated string",
+		"\"bad\\q\"":      "bad escape",
+		"/* never closed": "unterminated block comment",
+		"@":               "unexpected character",
+		"\"nl\n\"":        "newline in string",
+	}
+	for src, frag := range cases {
+		_, err := lexAll("t.mj", src)
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Errorf("%q: want error containing %q, got %v", src, frag, err)
+		}
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	cases := []string{
+		`class {`,
+		`class X extends {}`,
+		`class X { int ; }`,
+		`class X { void m() { if } }`,
+		`class X { void m() { return 1 + ; } }`,
+		`class X { void m() { try {} } }`, // try without catch
+	}
+	for _, src := range cases {
+		_, err := Parse("t.mj", src)
+		if err == nil {
+			t.Errorf("%q parsed successfully", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "t.mj:") {
+			t.Errorf("%q: error lacks position: %v", src, err)
+		}
+	}
+}
+
+func TestParserDisambiguation(t *testing.T) {
+	// Declarations vs expressions, casts vs parens, dotted names.
+	prog, err := Compile(`
+class Box { int v; Box(int v) { this.v = v; } }
+class Main {
+    static void main() {
+        Box b = new Box(3);          // IDENT IDENT -> declaration
+        int[] xs = new int[2];       // IDENT [ ] -> array decl
+        xs[0] = b.v;                 // expr [ ] -> index
+        int z = (xs[0]) + 1;         // paren, not cast
+        float f = (float) z;         // primitive cast
+        Box c = (Box) b;             // class cast
+        sys.System.println("" + z + "," + f + "," + c.v);
+    }
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !prog.Has("Main") {
+		t.Fatal("missing Main")
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	expectOut(t, `
+class Main {
+    static void main() {
+        int x = 2;
+        if (x > 0)
+            if (x > 10) sys.System.println("big");
+            else sys.System.println("small");
+    }
+}`, "small\n")
+}
+
+func TestNestedTryAndRethrow(t *testing.T) {
+	expectOut(t, `
+class Main {
+    static void main() {
+        try {
+            try {
+                throw new sys.RuntimeException("inner");
+            } catch (sys.NullPointerException e) {
+                sys.System.println("wrong handler");
+            }
+        } catch (sys.RuntimeException e) {
+            sys.System.println("outer caught " + e.getMessage());
+        }
+    }
+}`, "outer caught inner\n")
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectOut(t, `
+class Main {
+    static int calls = 0;
+    static bool touch(bool v) { calls = calls + 1; return v; }
+    static void main() {
+        bool a = touch(false) && touch(true);
+        sys.System.println("and calls=" + calls + " a=" + a);
+        calls = 0;
+        bool o = touch(true) || touch(false);
+        sys.System.println("or calls=" + calls + " o=" + o);
+    }
+}`, "and calls=1 a=false\nor calls=1 o=true\n")
+}
+
+func TestFloatIntMixing(t *testing.T) {
+	expectOut(t, `
+class Main {
+    static float half(int x) { return x / 2.0; }
+    static void main() {
+        float f = 3;          // int -> float widening on init
+        f = f + 1;            // mixed arithmetic
+        sys.System.println("f=" + f);
+        sys.System.println("h=" + half(7));
+    }
+}`, "f=4\nh=3.5\n")
+}
+
+func TestStaticsInheritedAccess(t *testing.T) {
+	expectOut(t, `
+class Base { static int shared = 5; }
+class Derived extends Base {
+    static int get() { return shared; }
+}
+class Main {
+    static void main() {
+        sys.System.println("" + Derived.get());
+        Base.shared = 9;
+        sys.System.println("" + Derived.get());
+    }
+}`, "5\n9\n")
+}

@@ -1,0 +1,973 @@
+package minijava
+
+import (
+	"fmt"
+
+	"rafda/internal/ir"
+)
+
+// ParseError reports a syntax error with its position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse parses one compilation unit.
+func Parse(file, src string) (*File, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, file: file}
+	f := &File{Name: file}
+	for !p.atEOF() {
+		cd, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, cd)
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	file string
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *parser) peekAt(n int) Token {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[i]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(pos Pos, format string, a ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, a...)}
+}
+
+func (p *parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf(p.cur().Pos, "expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return Token{}, p.errf(t.Pos, "expected identifier, found %s", t)
+	}
+	p.advance()
+	return t, nil
+}
+
+type modifiers struct {
+	access   ir.Access
+	static   bool
+	final    bool
+	native   bool
+	abstract bool
+}
+
+func (p *parser) modifiers() modifiers {
+	m := modifiers{access: ir.AccessPackage}
+	for {
+		switch {
+		case p.acceptKw("public"):
+			m.access = ir.AccessPublic
+		case p.acceptKw("protected"):
+			m.access = ir.AccessProtected
+		case p.acceptKw("private"):
+			m.access = ir.AccessPrivate
+		case p.acceptKw("static"):
+			m.static = true
+		case p.acceptKw("final"):
+			m.final = true
+		case p.acceptKw("native"):
+			m.native = true
+		case p.acceptKw("abstract"):
+			m.abstract = true
+		default:
+			return m
+		}
+	}
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	mods := p.modifiers()
+	isIface := false
+	switch {
+	case p.acceptKw("class"):
+	case p.acceptKw("interface"):
+		isIface = true
+	default:
+		return nil, p.errf(p.cur().Pos, "expected 'class' or 'interface', found %s", p.cur())
+	}
+	nameTok := p.cur()
+	name, _, err := p.qualifiedNameLoose()
+	if err != nil {
+		return nil, err
+	}
+	cd := &ClassDecl{
+		Pos:         nameTok.Pos,
+		Name:        name,
+		IsInterface: isIface,
+		Abstract:    mods.abstract,
+		Final:       mods.final,
+	}
+	if p.acceptKw("extends") {
+		s, _, err := p.qualifiedNameLoose()
+		if err != nil {
+			return nil, err
+		}
+		cd.Super = s
+	}
+	if p.acceptKw("implements") {
+		for {
+			s, _, err := p.qualifiedNameLoose()
+			if err != nil {
+				return nil, err
+			}
+			cd.Interfaces = append(cd.Interfaces, s)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf(p.cur().Pos, "unexpected end of input in class %s", cd.Name)
+		}
+		if err := p.member(cd); err != nil {
+			return nil, err
+		}
+	}
+	p.advance() // }
+	return cd, nil
+}
+
+// qualifiedNameLoose parses IDENT ("." IDENT)* unconditionally; used in
+// declaration headers where dotted names are unambiguous.
+func (p *parser) qualifiedNameLoose() (string, Pos, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return "", Pos{}, err
+	}
+	name := t.Text
+	for p.isPunct(".") && p.peekAt(1).Kind == TokIdent {
+		p.advance()
+		nt, _ := p.expectIdent()
+		name += "." + nt.Text
+	}
+	return name, t.Pos, nil
+}
+
+func (p *parser) member(cd *ClassDecl) error {
+	mods := p.modifiers()
+
+	// Constructor: Name "(" — the declared name equals the class's last
+	// segment.
+	if p.cur().Kind == TokIdent && p.cur().Text == lastSegment(cd.Name) &&
+		p.peekAt(1).Kind == TokPunct && p.peekAt(1).Text == "(" {
+		ctorTok := p.advance()
+		params, err := p.params()
+		if err != nil {
+			return err
+		}
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		cd.Methods = append(cd.Methods, &MethodDecl{
+			Pos:    ctorTok.Pos,
+			Name:   ir.ConstructorName,
+			Params: params,
+			Return: TypeExpr{Name: "void", Pos: ctorTok.Pos},
+			Access: mods.access,
+			IsCtor: true,
+			Body:   body,
+		})
+		return nil
+	}
+
+	typ, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+
+	if p.isPunct("(") {
+		params, err := p.params()
+		if err != nil {
+			return err
+		}
+		md := &MethodDecl{
+			Pos:      nameTok.Pos,
+			Name:     nameTok.Text,
+			Params:   params,
+			Return:   typ,
+			Static:   mods.static,
+			Native:   mods.native,
+			Abstract: mods.abstract || cd.IsInterface,
+			Final:    mods.final,
+			Access:   mods.access,
+		}
+		if md.Native || md.Abstract {
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		} else {
+			body, err := p.block()
+			if err != nil {
+				return err
+			}
+			md.Body = body
+		}
+		cd.Methods = append(cd.Methods, md)
+		return nil
+	}
+
+	// Field.
+	fd := &FieldDecl{
+		Pos:    nameTok.Pos,
+		Name:   nameTok.Text,
+		Type:   typ,
+		Static: mods.static,
+		Final:  mods.final,
+		Access: mods.access,
+	}
+	if p.acceptPunct("=") {
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		fd.Init = e
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	cd.Fields = append(cd.Fields, fd)
+	return nil
+}
+
+func lastSegment(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+func (p *parser) params() ([]Param, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []Param
+	for !p.isPunct(")") {
+		typ, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Param{Pos: nameTok.Pos, Name: nameTok.Text, Type: typ})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) typeExpr() (TypeExpr, error) {
+	t := p.cur()
+	var name string
+	switch {
+	case t.Kind == TokKeyword && isTypeKeyword(t.Text):
+		name = t.Text
+		p.advance()
+	case t.Kind == TokIdent:
+		n, _, err := p.qualifiedNameLoose()
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		name = n
+	default:
+		return TypeExpr{}, p.errf(t.Pos, "expected type, found %s", t)
+	}
+	te := TypeExpr{Pos: t.Pos, Name: name}
+	for p.isPunct("[") && p.peekAt(1).Kind == TokPunct && p.peekAt(1).Text == "]" {
+		p.advance()
+		p.advance()
+		te.Array++
+	}
+	return te, nil
+}
+
+func isTypeKeyword(s string) bool {
+	switch s {
+	case "void", "int", "long", "float", "double", "bool", "boolean", "string":
+		return true
+	}
+	return false
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf(p.cur().Pos, "unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.advance() // }
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isPunct("{"):
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &BlockStmt{Pos: t.Pos, Body: body}, nil
+
+	case p.isKw("if"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		thenS, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		var elseS []Stmt
+		if p.acceptKw("else") {
+			elseS, err = p.stmtAsBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Pos: t.Pos, Cond: cond, Then: thenS, Else: elseS}, nil
+
+	case p.isKw("while"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+
+	case p.isKw("for"):
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var initS, postS Stmt
+		var cond Expr
+		var err error
+		if !p.isPunct(";") {
+			initS, err = p.simpleStmtNoSemi()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(";") {
+			cond, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			postS, err = p.simpleStmtNoSemi()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: t.Pos, Init: initS, Cond: cond, Post: postS, Body: body}, nil
+
+	case p.isKw("return"):
+		p.advance()
+		var e Expr
+		var err error
+		if !p.isPunct(";") {
+			e, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: t.Pos, E: e}, nil
+
+	case p.isKw("break"):
+		p.advance()
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+
+	case p.isKw("continue"):
+		p.advance()
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+
+	case p.isKw("throw"):
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ThrowStmt{Pos: t.Pos, E: e}, nil
+
+	case p.isKw("try"):
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		ts := &TryStmt{Pos: t.Pos, Body: body}
+		for p.isKw("catch") {
+			cp := p.advance().Pos
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			cls, _, err := p.qualifiedNameLoose()
+			if err != nil {
+				return nil, err
+			}
+			nameTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			cbody, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			ts.Catches = append(ts.Catches, CatchClause{
+				Pos: cp, Class: cls, Name: nameTok.Text, Body: cbody,
+			})
+		}
+		if len(ts.Catches) == 0 {
+			return nil, p.errf(t.Pos, "try without catch")
+		}
+		return ts, nil
+
+	case p.isKw("super") && p.peekAt(1).Kind == TokPunct && p.peekAt(1).Text == "(":
+		p.advance()
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &SuperCallStmt{Pos: t.Pos, Args: args}, nil
+
+	default:
+		s, err := p.simpleStmtNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *parser) stmtAsBlock() ([]Stmt, error) {
+	if p.isPunct("{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+// simpleStmtNoSemi parses a declaration, assignment or expression
+// statement without the trailing semicolon (shared by for-clauses).
+func (p *parser) simpleStmtNoSemi() (Stmt, error) {
+	t := p.cur()
+	if p.looksLikeVarDecl() {
+		typ, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		vd := &VarDeclStmt{Pos: nameTok.Pos, Name: nameTok.Text, Type: typ}
+		if p.acceptPunct("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = e
+		}
+		return vd, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("=") {
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.Pos, LHS: e, RHS: rhs}, nil
+	}
+	return &ExprStmt{Pos: t.Pos, E: e}, nil
+}
+
+// looksLikeVarDecl distinguishes `T x ...` from an expression.
+func (p *parser) looksLikeVarDecl() bool {
+	t := p.cur()
+	if t.Kind == TokKeyword && isTypeKeyword(t.Text) {
+		return true
+	}
+	if t.Kind != TokIdent {
+		return false
+	}
+	// Scan past a dotted name and array brackets, then require IDENT.
+	i := 1
+	for p.peekAt(i).Kind == TokPunct && p.peekAt(i).Text == "." && p.peekAt(i+1).Kind == TokIdent {
+		i += 2
+	}
+	for p.peekAt(i).Kind == TokPunct && p.peekAt(i).Text == "[" &&
+		p.peekAt(i+1).Kind == TokPunct && p.peekAt(i+1).Text == "]" {
+		i += 2
+	}
+	return p.peekAt(i).Kind == TokIdent
+}
+
+// ---- Expression parsing ----
+
+func (p *parser) args() ([]Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for !p.isPunct(")") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		pos := p.advance().Pos
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		pos := p.advance().Pos
+		r, err := p.eqExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("==") || p.isPunct("!=") {
+		op := p.advance()
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("<") || p.isPunct("<=") || p.isPunct(">") || p.isPunct(">="):
+			op := p.advance()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Pos: op.Pos, Op: op.Text, L: l, R: r}
+		case p.isKw("instanceof"):
+			pos := p.advance().Pos
+			cls, _, err := p.qualifiedNameLoose()
+			if err != nil {
+				return nil, err
+			}
+			l = &InstanceOfExpr{Pos: pos, E: l, Class: cls}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") || p.isPunct("%") {
+		op := p.advance()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: op.Pos, Op: op.Text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if p.isPunct("-") || p.isPunct("!") {
+		p.advance()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: t.Text, E: e}, nil
+	}
+	if ok, te := p.tryCast(); ok {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &CastExpr{Pos: t.Pos, Target: te, E: e}, nil
+	}
+	return p.postfixExpr()
+}
+
+// tryCast speculatively matches "(" type ")" when followed by the start
+// of a unary expression; on failure the parser position is unchanged.
+func (p *parser) tryCast() (bool, TypeExpr) {
+	if !p.isPunct("(") {
+		return false, TypeExpr{}
+	}
+	save := p.pos
+	p.advance()
+	te, err := p.typeExpr()
+	if err != nil || !p.isPunct(")") {
+		p.pos = save
+		return false, TypeExpr{}
+	}
+	isPrimitive := isTypeKeyword(te.Name)
+	p.advance() // ")"
+	nt := p.cur()
+	startsUnary := false
+	switch nt.Kind {
+	case TokIdent, TokInt, TokFloat, TokString:
+		startsUnary = true
+	case TokKeyword:
+		switch nt.Text {
+		case "this", "new", "null", "true", "false":
+			startsUnary = true
+		}
+	case TokPunct:
+		if nt.Text == "(" || nt.Text == "!" {
+			startsUnary = true
+		}
+		// "-" after a cast is ambiguous with subtraction; only primitive
+		// casts accept it: `(int) -x` casts, `(a) - b` subtracts.
+		if nt.Text == "-" && isPrimitive {
+			startsUnary = true
+		}
+	}
+	if !startsUnary || te.Array > 0 && !startsUnary {
+		p.pos = save
+		return false, TypeExpr{}
+	}
+	return true, te
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct(".") && p.peekAt(1).Kind == TokIdent:
+			pos := p.advance().Pos
+			nameTok, _ := p.expectIdent()
+			if p.isPunct("(") {
+				callArgs, err := p.args()
+				if err != nil {
+					return nil, err
+				}
+				e = &CallExpr{Pos: pos, Recv: e, Method: nameTok.Text, Args: callArgs}
+			} else {
+				e = &FieldAccess{Pos: pos, Recv: e, Name: nameTok.Text}
+			}
+		case p.isPunct("["):
+			pos := p.advance().Pos
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Pos: pos, Arr: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.advance()
+		return &IntLit{Pos: t.Pos, V: t.IntV}, nil
+	case t.Kind == TokFloat:
+		p.advance()
+		return &FloatLit{Pos: t.Pos, V: t.FloV}, nil
+	case t.Kind == TokString:
+		p.advance()
+		return &StringLit{Pos: t.Pos, V: t.Text}, nil
+	case p.isKw("true"):
+		p.advance()
+		return &BoolLit{Pos: t.Pos, V: true}, nil
+	case p.isKw("false"):
+		p.advance()
+		return &BoolLit{Pos: t.Pos, V: false}, nil
+	case p.isKw("null"):
+		p.advance()
+		return &NullLit{Pos: t.Pos}, nil
+	case p.isKw("this"):
+		p.advance()
+		return &ThisExpr{Pos: t.Pos}, nil
+
+	case p.isKw("new"):
+		p.advance()
+		te, err := p.typeExprNoArray()
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct("[") {
+			p.advance()
+			length, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &NewArrayExpr{Pos: t.Pos, Elem: te, Len: length}, nil
+		}
+		if isTypeKeyword(te.Name) {
+			return nil, p.errf(t.Pos, "cannot instantiate primitive type %s", te.Name)
+		}
+		callArgs, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &NewExpr{Pos: t.Pos, Class: te.Name, Args: callArgs}, nil
+
+	case p.isPunct("("):
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.Kind == TokIdent:
+		p.advance()
+		if p.isPunct("(") {
+			callArgs, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: t.Pos, Method: t.Text, Args: callArgs, ImplicitThis: true}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+
+	default:
+		return nil, p.errf(t.Pos, "expected expression, found %s", t)
+	}
+}
+
+// typeExprNoArray parses a type without consuming `[` (so `new T[n]` can
+// read the length expression).
+func (p *parser) typeExprNoArray() (TypeExpr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword && isTypeKeyword(t.Text):
+		p.advance()
+		return TypeExpr{Pos: t.Pos, Name: t.Text}, nil
+	case t.Kind == TokIdent:
+		n, _, err := p.qualifiedNameLoose()
+		if err != nil {
+			return TypeExpr{}, err
+		}
+		return TypeExpr{Pos: t.Pos, Name: n}, nil
+	default:
+		return TypeExpr{}, p.errf(t.Pos, "expected type, found %s", t)
+	}
+}

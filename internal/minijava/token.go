@@ -1,0 +1,76 @@
+// Package minijava implements the source front end: a miniature Java-like
+// language compiled to the IR.  The paper's input is compiled Java; this
+// package lets the reproduction express the paper's sample programs
+// (e.g. Figure 2's class X) in source form and compile them to verified
+// bytecode for transformation and execution.
+//
+// The language supports classes with single inheritance, interfaces,
+// instance and static fields (with initialisers), constructors, methods,
+// native method declarations, arrays, strings, exceptions
+// (throw/try/catch), and the usual statements and expressions.  Methods
+// may be overloaded by arity only, matching the IR's method model.
+package minijava
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokPunct
+)
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	IntV int64
+	FloV float64
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"class": true, "interface": true, "extends": true, "implements": true,
+	"public": true, "protected": true, "private": true,
+	"static": true, "final": true, "native": true, "abstract": true,
+	"void": true, "int": true, "long": true, "float": true, "double": true,
+	"bool": true, "boolean": true, "string": true,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"break": true, "continue": true,
+	"new": true, "this": true, "super": true, "null": true,
+	"true": true, "false": true,
+	"throw": true, "try": true, "catch": true, "finally": true,
+	"instanceof": true,
+}

@@ -1,0 +1,130 @@
+// Package netsim injects simulated network conditions — latency, jitter,
+// bandwidth limits and failures — into net.Conn traffic.  It stands in
+// for the paper's LAN testbed: experiments run over real sockets on one
+// machine while netsim supplies the propagation characteristics, so the
+// protocol comparisons measure shape rather than this machine's loopback.
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes simulated link conditions.  The zero value is a
+// perfect link.
+type Profile struct {
+	// Latency is the one-way propagation delay applied to each write.
+	Latency time.Duration
+	// Jitter adds a deterministic pseudo-random extra delay in
+	// [0, Jitter) per write.
+	Jitter time.Duration
+	// BandwidthBps, when positive, adds len(p)*8/BandwidthBps of
+	// serialisation delay per write.
+	BandwidthBps int64
+	// FailAfterWrites, when positive, makes every write after the Nth
+	// fail with a connection error — the §4 network-failure caveat.
+	FailAfterWrites int64
+	// Seed drives jitter; a fixed seed keeps runs reproducible.
+	Seed uint64
+}
+
+// Common profiles used by the experiments.
+var (
+	// LAN approximates the paper's local-area deployment target.
+	LAN = Profile{Latency: 100 * time.Microsecond, BandwidthBps: 1e9}
+	// Campus is a multi-switch network.
+	Campus = Profile{Latency: 500 * time.Microsecond, Jitter: 100 * time.Microsecond, BandwidthBps: 1e8}
+	// WAN is a wide-area link.
+	WAN = Profile{Latency: 20 * time.Millisecond, Jitter: 2 * time.Millisecond, BandwidthBps: 1e7}
+)
+
+// Conn wraps c with the profile's behaviour.
+func (p Profile) Conn(c net.Conn) net.Conn {
+	if p == (Profile{}) {
+		return c
+	}
+	return &conn{Conn: c, p: p, rng: p.Seed | 1}
+}
+
+// Listener wraps l so every accepted connection carries the profile.
+func (p Profile) Listener(l net.Listener) net.Listener {
+	if p == (Profile{}) {
+		return l
+	}
+	return &listener{Listener: l, p: p}
+}
+
+// Dialer wraps a dial function so produced connections carry the profile.
+func (p Profile) Dialer(dial func(network, addr string) (net.Conn, error)) func(network, addr string) (net.Conn, error) {
+	if p == (Profile{}) {
+		return dial
+	}
+	return func(network, addr string) (net.Conn, error) {
+		c, err := dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return p.Conn(c), nil
+	}
+}
+
+type listener struct {
+	net.Listener
+	p Profile
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.p.Conn(c), nil
+}
+
+type conn struct {
+	net.Conn
+	p      Profile
+	writes atomic.Int64
+
+	mu  sync.Mutex
+	rng uint64
+}
+
+// FailedError reports an injected connection failure.
+type FailedError struct{ Writes int64 }
+
+func (e *FailedError) Error() string {
+	return fmt.Sprintf("netsim: injected failure after %d writes", e.Writes)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	n := c.writes.Add(1)
+	if c.p.FailAfterWrites > 0 && n > c.p.FailAfterWrites {
+		return 0, &FailedError{Writes: n - 1}
+	}
+	d := c.p.Latency
+	if c.p.Jitter > 0 {
+		c.mu.Lock()
+		c.rng = splitmix(c.rng)
+		j := time.Duration(c.rng % uint64(c.p.Jitter))
+		c.mu.Unlock()
+		d += j
+	}
+	if c.p.BandwidthBps > 0 {
+		d += time.Duration(int64(len(p)) * 8 * int64(time.Second) / c.p.BandwidthBps)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

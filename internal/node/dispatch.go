@@ -1,0 +1,247 @@
+package node
+
+import (
+	"fmt"
+
+	"rafda/internal/guid"
+	"rafda/internal/stdlib"
+	"rafda/internal/transform"
+	"rafda/internal/vm"
+	"rafda/internal/wire"
+)
+
+// dispatch serves one incoming request.  It runs on a transport
+// goroutine; all VM work happens under the VM lock via WithLock, and any
+// nested outgoing proxy calls release the lock while blocked, so
+// re-entrant call chains between nodes cannot deadlock.
+func (n *Node) dispatch(req *wire.Request) *wire.Response {
+	n.countStat(func(s *Stats) { s.RemoteCallsIn++ })
+	switch req.Op {
+	case wire.OpPing:
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: n.name}}
+
+	case wire.OpCreate:
+		return n.dispatchCreate(req)
+
+	case wire.OpInvoke:
+		return n.dispatchInvoke(req)
+
+	case wire.OpInvokeClass:
+		return n.dispatchInvokeClass(req)
+
+	case wire.OpMigrateIn:
+		return n.dispatchMigrateIn(req)
+
+	case wire.OpMigrateOut:
+		return n.dispatchMigrateOut(req)
+
+	default:
+		return wire.Errorf(req, "node %s: unsupported op %v", n.name, req.Op)
+	}
+}
+
+func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
+	if !n.result.Substitutable(req.Class) {
+		return wire.Errorf(req, "node %s: class %s is not substitutable", n.name, req.Class)
+	}
+	n.countStat(func(s *Stats) { s.Creates++ })
+	resp := &wire.Response{ID: req.ID}
+	n.machine.WithLock(func(env *vm.Env) {
+		val, thrown, err := env.Construct(transform.OLocal(req.Class), nil)
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		if thrown != nil {
+			resp.ExClass, resp.ExMsg = vm.ThrownMessage(thrown)
+			return
+		}
+		mv, err := n.marshalValue(val, "")
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		resp.Result = mv
+	})
+	return resp
+}
+
+func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID}
+	n.machine.WithLock(func(env *vm.Env) {
+		var recv vm.Value
+		if class, ok := guid.IsClassGUID(req.GUID); ok {
+			me, thrown, err := n.localSingleton(env, class)
+			if err != nil {
+				resp.Err = err.Error()
+				return
+			}
+			if thrown != nil {
+				resp.ExClass, resp.ExMsg = vm.ThrownMessage(thrown)
+				return
+			}
+			recv = me
+		} else {
+			obj, ok := n.exports.Get(req.GUID)
+			if !ok {
+				resp.Err = fmt.Sprintf("node %s: unknown object %s", n.name, req.GUID)
+				return
+			}
+			recv = vm.RefV(obj)
+		}
+		n.invokeOn(env, resp, recv, req)
+	})
+	return resp
+}
+
+func (n *Node) dispatchInvokeClass(req *wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID}
+	n.machine.WithLock(func(env *vm.Env) {
+		me, thrown, err := n.localSingleton(env, req.Class)
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		if thrown != nil {
+			resp.ExClass, resp.ExMsg = vm.ThrownMessage(thrown)
+			return
+		}
+		n.invokeOn(env, resp, me, req)
+	})
+	return resp
+}
+
+// invokeOn performs the call on a resolved receiver and fills resp.
+func (n *Node) invokeOn(env *vm.Env, resp *wire.Response, recv vm.Value, req *wire.Request) {
+	args := make([]vm.Value, len(req.Args))
+	for i, wv := range req.Args {
+		av, err := n.unmarshalValue(env, wv)
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		args[i] = av
+	}
+	if recv.O == nil {
+		resp.Err = "nil receiver"
+		return
+	}
+	res, thrown, err := env.Call(recv.O.Class.Name, req.Method, recv, args)
+	if err != nil {
+		resp.Err = err.Error()
+		return
+	}
+	if thrown != nil {
+		resp.ExClass, resp.ExMsg = vm.ThrownMessage(thrown)
+		return
+	}
+	mv, err := n.marshalValue(res, "")
+	if err != nil {
+		resp.Err = err.Error()
+		return
+	}
+	resp.Result = mv
+}
+
+func (n *Node) dispatchMigrateIn(req *wire.Request) *wire.Response {
+	if !n.result.Substitutable(req.Class) {
+		return wire.Errorf(req, "node %s: cannot adopt non-substitutable class %s", n.name, req.Class)
+	}
+	n.countStat(func(s *Stats) { s.MigrationsIn++ })
+	resp := &wire.Response{ID: req.ID}
+	n.machine.WithLock(func(env *vm.Env) {
+		obj, err := env.New(transform.OLocal(req.Class))
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		for _, f := range req.Fields {
+			fv, err := n.unmarshalValue(env, f.Value)
+			if err != nil {
+				resp.Err = err.Error()
+				return
+			}
+			obj.Set(f.Name, fv)
+		}
+		mv, err := n.marshalValue(vm.RefV(obj), "")
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		resp.Result = mv
+	})
+	return resp
+}
+
+// dispatchMigrateOut serves a holder's request to move one of our
+// objects elsewhere: migrate it (morphing our copy into a forwarding
+// proxy) and return the new reference.
+func (n *Node) dispatchMigrateOut(req *wire.Request) *wire.Response {
+	obj, ok := n.exports.Get(req.GUID)
+	if !ok {
+		return wire.Errorf(req, "node %s: unknown object %s", n.name, req.GUID)
+	}
+	// Already forwarding?  Then the object moved on; report its current
+	// location so the caller can retarget (and retry there if needed).
+	if isProxyObject(obj) {
+		var ref wire.RemoteRef
+		n.machine.WithLock(func(*vm.Env) {
+			base, proto, _, _ := transform.IsProxyClass(obj.Class.Name)
+			ref = wire.RemoteRef{
+				GUID:     obj.Get(transform.ProxyFieldGUID).S,
+				Endpoint: obj.Get(transform.ProxyFieldEndpoint).S,
+				Proto:    proto,
+				Target:   base,
+			}
+		})
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KRef, Ref: &ref}}
+	}
+	if err := n.Migrate(vm.RefV(obj), req.Endpoint); err != nil {
+		return wire.Errorf(req, "%v", err)
+	}
+	// After Migrate the object is a proxy holding the new location.
+	var ref wire.RemoteRef
+	n.machine.WithLock(func(*vm.Env) {
+		base, proto, _, _ := transform.IsProxyClass(obj.Class.Name)
+		ref = wire.RemoteRef{
+			GUID:     obj.Get(transform.ProxyFieldGUID).S,
+			Endpoint: obj.Get(transform.ProxyFieldEndpoint).S,
+			Proto:    proto,
+			Target:   base,
+		}
+	})
+	return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KRef, Ref: &ref}}
+}
+
+// localSingleton returns (creating and initialising on first use) the
+// local statics singleton for class, regardless of this node's own
+// policy — a remote caller's policy decided the singleton lives here.
+// Caller must hold the VM lock (env).
+func (n *Node) localSingleton(env *vm.Env, class string) (vm.Value, *vm.Thrown, error) {
+	if !n.machine.Program().Has(transform.CLocal(class)) {
+		return vm.Value{}, nil, fmt.Errorf("node %s: no statics implementation for %s", n.name, class)
+	}
+	key := "local:" + class
+	if e, ok := n.singletons[key]; ok {
+		return e.val, nil, nil
+	}
+	me, thrown, err := env.Call(transform.CLocal(class), transform.SingletonGet, vm.Value{}, nil)
+	if thrown != nil || err != nil {
+		return vm.Value{}, thrown, err
+	}
+	// Register (and export) before clinit so initialisation cycles
+	// terminate, mirroring JVM class-initialisation semantics.
+	n.singletons[key] = singletonEntry{val: me, local: true}
+	n.exports.Put(guid.ClassGUID(class), me.O)
+	if _, thrown, err := env.Call(transform.CFactory(class), transform.ClinitMethod, vm.Value{}, []vm.Value{me}); thrown != nil || err != nil {
+		delete(n.singletons, key)
+		return vm.Value{}, thrown, err
+	}
+	return me, nil, nil
+}
+
+// remoteError builds the sys.RemoteException thrown when infrastructure
+// fails — the paper's §4 network-failure caveat surfacing in-program.
+func remoteError(env *vm.Env, format string, a ...any) *vm.Thrown {
+	return env.Throw(stdlib.RemoteExceptionClass, fmt.Sprintf(format, a...))
+}

@@ -1,0 +1,200 @@
+package node
+
+import (
+	"fmt"
+
+	"rafda/internal/guid"
+	"rafda/internal/ir"
+	"rafda/internal/transform"
+	"rafda/internal/vm"
+	"rafda/internal/wire"
+)
+
+// Marshalling rules (VM lock must be held by the caller):
+//
+//   - primitives and strings travel by value;
+//   - arrays travel by value (element-wise), like RMI arrays;
+//   - proxy instances re-marshal as the remote reference they already
+//     hold, so references retarget rather than chain;
+//   - other objects are exported into the node's table and travel as a
+//     remote reference back to this node.
+//
+// Unmarshalling inverts this, short-circuiting references that point at
+// this node back to the live local object.
+
+func (n *Node) marshalValue(v vm.Value, viaProto string) (wire.Value, error) {
+	switch v.K {
+	case 0, ir.KindVoid:
+		return wire.Value{Kind: wire.KVoid}, nil
+	case ir.KindBool:
+		return wire.Value{Kind: wire.KBool, Bool: v.Bool()}, nil
+	case ir.KindInt:
+		return wire.Value{Kind: wire.KInt, Int: v.I}, nil
+	case ir.KindFloat:
+		return wire.Value{Kind: wire.KFloat, Float: v.F}, nil
+	case ir.KindString:
+		return wire.Value{Kind: wire.KString, Str: v.S}, nil
+	case ir.KindRef:
+		if v.O == nil {
+			return wire.Value{Kind: wire.KNull}, nil
+		}
+		return n.marshalObject(v.O, viaProto)
+	case ir.KindArray:
+		if v.A == nil {
+			return wire.Value{Kind: wire.KNull}, nil
+		}
+		out := wire.Value{Kind: wire.KArray, Elem: v.A.Elem.Descriptor()}
+		out.Arr = make([]wire.Value, len(v.A.Vals))
+		for i, el := range v.A.Vals {
+			mv, err := n.marshalValue(el, viaProto)
+			if err != nil {
+				return wire.Value{}, err
+			}
+			out.Arr[i] = mv
+		}
+		return out, nil
+	default:
+		return wire.Value{}, fmt.Errorf("cannot marshal value kind %v", v.K)
+	}
+}
+
+func (n *Node) marshalObject(obj *vm.Object, viaProto string) (wire.Value, error) {
+	if isProxyObject(obj) {
+		// Re-export the reference the proxy holds: the receiver will
+		// talk to the object's home directly.
+		base, proto, classSide, _ := transform.IsProxyClass(obj.Class.Name)
+		return wire.Value{Kind: wire.KRef, Ref: &wire.RemoteRef{
+			GUID:      obj.Get(transform.ProxyFieldGUID).S,
+			Endpoint:  obj.Get(transform.ProxyFieldEndpoint).S,
+			Proto:     proto,
+			Target:    orString(obj.Get(transform.ProxyFieldTarget).S, base),
+			ClassSide: classSide,
+		}}, nil
+	}
+	base := baseClassOf(obj.Class.Name)
+	if !n.result.Substitutable(base) {
+		// Throwables travel via the response exception channel; any
+		// other non-substitutable object cannot cross the boundary.
+		return wire.Value{}, fmt.Errorf("object of class %s is not substitutable and cannot cross address spaces", obj.Class.Name)
+	}
+	ep := n.anyEndpoint(viaProto)
+	if ep == "" {
+		return wire.Value{}, fmt.Errorf("node %s exports object of %s but serves no transport", n.name, base)
+	}
+	id := n.exports.Ensure(obj)
+	proto, _, _ := splitProto(ep)
+	return wire.Value{Kind: wire.KRef, Ref: &wire.RemoteRef{
+		GUID:     id,
+		Endpoint: ep,
+		Proto:    proto,
+		Target:   base,
+	}}, nil
+}
+
+func (n *Node) unmarshalValue(env *vm.Env, v wire.Value) (vm.Value, error) {
+	switch v.Kind {
+	case wire.KVoid:
+		return vm.Value{}, nil
+	case wire.KNull:
+		return vm.NullV(), nil
+	case wire.KBool:
+		return vm.BoolV(v.Bool), nil
+	case wire.KInt:
+		return vm.IntV(v.Int), nil
+	case wire.KFloat:
+		return vm.FloatV(v.Float), nil
+	case wire.KString:
+		return vm.StringV(v.Str), nil
+	case wire.KRef:
+		return n.unmarshalRef(env, v.Ref)
+	case wire.KArray:
+		elem, err := ir.ParseDescriptor(v.Elem)
+		if err != nil {
+			return vm.Value{}, fmt.Errorf("bad array element descriptor %q: %w", v.Elem, err)
+		}
+		arr := vm.NewArray(elem, len(v.Arr))
+		for i, wv := range v.Arr {
+			ev, err := n.unmarshalValue(env, wv)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			arr.Vals[i] = ev
+		}
+		return vm.ArrayV(arr), nil
+	default:
+		return vm.Value{}, fmt.Errorf("cannot unmarshal value kind %v", v.Kind)
+	}
+}
+
+func (n *Node) unmarshalRef(env *vm.Env, ref *wire.RemoteRef) (vm.Value, error) {
+	if ref == nil {
+		return vm.NullV(), nil
+	}
+	// Reference back to this node: unwrap to the live object.
+	if n.servesEndpoint(ref.Endpoint) {
+		if obj, ok := n.exports.Get(ref.GUID); ok {
+			return vm.RefV(obj), nil
+		}
+		if class, ok := guid.IsClassGUID(ref.GUID); ok {
+			me, thrown, err := n.localSingleton(env, class)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			if thrown != nil {
+				cls, msg := vm.ThrownMessage(thrown)
+				return vm.Value{}, fmt.Errorf("initialising statics of %s: %s: %s", class, cls, msg)
+			}
+			return me, nil
+		}
+		return vm.Value{}, fmt.Errorf("reference %s points at this node but is not exported", ref.GUID)
+	}
+	// Foreign reference: materialise a proxy.
+	proxyClass := transform.OProxy(ref.Target, ref.Proto)
+	if ref.ClassSide {
+		proxyClass = transform.CProxy(ref.Target, ref.Proto)
+	}
+	if !n.machine.Program().Has(proxyClass) {
+		return vm.Value{}, fmt.Errorf("no proxy class %s for incoming reference", proxyClass)
+	}
+	obj, err := env.New(proxyClass)
+	if err != nil {
+		return vm.Value{}, err
+	}
+	setProxyFields(obj, ref.GUID, ref.Endpoint, ref.Proto, ref.Target)
+	return vm.RefV(obj), nil
+}
+
+func setProxyFields(obj *vm.Object, id, endpoint, proto, target string) {
+	obj.Set(transform.ProxyFieldGUID, vm.StringV(id))
+	obj.Set(transform.ProxyFieldEndpoint, vm.StringV(endpoint))
+	obj.Set(transform.ProxyFieldProto, vm.StringV(proto))
+	obj.Set(transform.ProxyFieldTarget, vm.StringV(target))
+}
+
+// servesEndpoint reports whether endpoint is one of this node's own.
+func (n *Node) servesEndpoint(endpoint string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ep := range n.endpoints {
+		if ep == endpoint {
+			return true
+		}
+	}
+	return false
+}
+
+func splitProto(endpoint string) (proto, addr string, err error) {
+	for i := 0; i+2 < len(endpoint); i++ {
+		if endpoint[i] == ':' && endpoint[i+1] == '/' && endpoint[i+2] == '/' {
+			return endpoint[:i], endpoint[i+3:], nil
+		}
+	}
+	return "", "", fmt.Errorf("bad endpoint %q", endpoint)
+}
+
+func orString(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

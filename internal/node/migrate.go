@@ -1,0 +1,125 @@
+package node
+
+import (
+	"fmt"
+
+	"rafda/internal/transform"
+	"rafda/internal/vm"
+	"rafda/internal/wire"
+)
+
+// Migrate moves a live object to the node at targetEndpoint and morphs
+// the local instance, in place, into a proxy to its new home.  Every
+// existing local reference to the object immediately observes the proxy
+// — the Figure 1 substitution of C by Cp — and, because the object stays
+// exported here, remote references forward transparently.
+//
+// ref may be a local transformed instance or a proxy: migrating through
+// a proxy forwards the request to the object's home node (OpMigrateOut),
+// and the proxy then retargets to the object's new home.
+func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
+	if ref.O == nil {
+		return fmt.Errorf("node %s: migrate of nil reference", n.name)
+	}
+	obj := ref.O
+	proto, _, err := splitProto(targetEndpoint)
+	if err != nil {
+		return err
+	}
+	if isProxyObject(obj) {
+		return n.migrateViaHome(obj, targetEndpoint)
+	}
+
+	// Snapshot the object's state under the VM lock.  Referenced objects
+	// are exported and travel as references back to this node.
+	var base string
+	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpMigrateIn}
+	var snapErr error
+	n.machine.WithLock(func(env *vm.Env) {
+		baseName, kind := transform.BaseOfGenerated(obj.Class.Name)
+		if kind != transform.SuffixOLocal {
+			snapErr = fmt.Errorf("node %s: cannot migrate %s (only local transformed instances move)", n.name, obj.Class.Name)
+			return
+		}
+		base = baseName
+		req.Class = base
+		for name, val := range obj.Fields {
+			mv, err := n.marshalValue(val, proto)
+			if err != nil {
+				snapErr = fmt.Errorf("node %s: marshal field %s: %w", n.name, name, err)
+				return
+			}
+			req.Fields = append(req.Fields, wire.NamedValue{Name: name, Value: mv})
+		}
+	})
+	if snapErr != nil {
+		return snapErr
+	}
+
+	// Ship the state.
+	client, err := n.client(targetEndpoint)
+	if err != nil {
+		return fmt.Errorf("node %s: migrate dial: %w", n.name, err)
+	}
+	resp, err := client.Call(req)
+	if err != nil {
+		return fmt.Errorf("node %s: migrate call: %w", n.name, err)
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("node %s: migrate rejected: %s", n.name, resp.Err)
+	}
+	if resp.Result.Kind != wire.KRef || resp.Result.Ref == nil {
+		return fmt.Errorf("node %s: migrate returned no reference", n.name)
+	}
+	newRef := resp.Result.Ref
+
+	// Morph the local object into a proxy to its new home.  All existing
+	// references (including this node's export-table entry, which now
+	// forwards) follow automatically.
+	proxyClass := transform.OProxy(base, newRef.Proto)
+	fields := map[string]vm.Value{
+		transform.ProxyFieldGUID:     vm.StringV(newRef.GUID),
+		transform.ProxyFieldEndpoint: vm.StringV(newRef.Endpoint),
+		transform.ProxyFieldProto:    vm.StringV(newRef.Proto),
+		transform.ProxyFieldTarget:   vm.StringV(base),
+	}
+	if err := n.machine.Morph(obj, proxyClass, fields); err != nil {
+		return fmt.Errorf("node %s: morph after migrate: %w", n.name, err)
+	}
+	n.countStat(func(s *Stats) { s.MigrationsOut++ })
+	return nil
+}
+
+// migrateViaHome forwards a migration request through a proxy to the
+// object's current home and retargets the proxy to the new location.
+func (n *Node) migrateViaHome(proxy *vm.Object, targetEndpoint string) error {
+	var home, id string
+	n.machine.WithLock(func(*vm.Env) {
+		home = proxy.Get(transform.ProxyFieldEndpoint).S
+		id = proxy.Get(transform.ProxyFieldGUID).S
+	})
+	if home == targetEndpoint {
+		return nil // already there
+	}
+	client, err := n.client(home)
+	if err != nil {
+		return fmt.Errorf("node %s: migrate-out dial home: %w", n.name, err)
+	}
+	resp, err := client.Call(&wire.Request{
+		ID: n.nextReqID(), Op: wire.OpMigrateOut, GUID: id, Endpoint: targetEndpoint,
+	})
+	if err != nil {
+		return fmt.Errorf("node %s: migrate-out: %w", n.name, err)
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("node %s: migrate-out rejected: %s", n.name, resp.Err)
+	}
+	newRef := resp.Result.Ref
+	if resp.Result.Kind != wire.KRef || newRef == nil {
+		return fmt.Errorf("node %s: migrate-out returned no reference", n.name)
+	}
+	n.machine.WithLock(func(*vm.Env) {
+		setProxyFields(proxy, newRef.GUID, newRef.Endpoint, newRef.Proto, newRef.Target)
+	})
+	return nil
+}

@@ -1,0 +1,194 @@
+package node
+
+import (
+	"strings"
+
+	"rafda/internal/guid"
+	"rafda/internal/policy"
+	"rafda/internal/transform"
+	"rafda/internal/transport"
+	"rafda/internal/vm"
+	"rafda/internal/wire"
+)
+
+// registerFactoryNatives binds make and discover for every transformed
+// class.  These are the paper's only implementation-aware methods: they
+// consult the policy table and build either local implementations or
+// proxies.
+func (n *Node) registerFactoryNatives() {
+	for _, class := range n.result.Transformed {
+		class := class
+		n.machine.RegisterNative(transform.OFactory(class), transform.MakeMethod, 0,
+			func(env *vm.Env, _ vm.Value, _ []vm.Value) (vm.Value, *vm.Thrown, error) {
+				pl, _ := n.pol.For(class)
+				if pl.Kind != policy.Remote {
+					return env.Construct(transform.OLocal(class), nil)
+				}
+				return n.remoteCreate(env, class, pl)
+			})
+		n.machine.RegisterNative(transform.CFactory(class), transform.DiscoverMethod, 0,
+			func(env *vm.Env, _ vm.Value, _ []vm.Value) (vm.Value, *vm.Thrown, error) {
+				return n.discover(env, class)
+			})
+	}
+}
+
+// remoteCreate implements make() under a remote placement: ask the
+// placement's node to instantiate the class and wrap the returned
+// reference in a proxy.  The subsequent factory init call runs locally
+// and initialises the remote object through the proxy's properties.
+func (n *Node) remoteCreate(env *vm.Env, class string, pl policy.Placement) (vm.Value, *vm.Thrown, error) {
+	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpCreate, Class: class}
+	resp, callErr := n.callRemote(env, pl.Endpoint, req)
+	if callErr != nil {
+		return vm.Value{}, remoteError(env, "create %s at %s: %v", class, pl.Endpoint, callErr), nil
+	}
+	if resp.Err != "" {
+		return vm.Value{}, remoteError(env, "create %s: %s", class, resp.Err), nil
+	}
+	if resp.ExClass != "" {
+		return vm.Value{}, n.rethrow(env, resp), nil
+	}
+	val, err := n.unmarshalValue(env, resp.Result)
+	if err != nil {
+		return vm.Value{}, remoteError(env, "create %s: %v", class, err), nil
+	}
+	return val, nil, nil
+}
+
+// discover implements the class factory's discover(): local singleton or
+// statics proxy per policy, cached until the policy version changes (so
+// run-time re-policy takes effect — §4 dynamic reconfiguration).
+func (n *Node) discover(env *vm.Env, class string) (vm.Value, *vm.Thrown, error) {
+	pl, ver := n.pol.For(class)
+	key := "discover:" + class
+	if e, ok := n.singletons[key]; ok && e.version == ver {
+		return e.val, nil, nil
+	}
+	if pl.Kind != policy.Remote {
+		me, thrown, err := n.localSingleton(env, class)
+		if thrown != nil || err != nil {
+			return vm.Value{}, thrown, err
+		}
+		n.singletons[key] = singletonEntry{val: me, version: ver, local: true}
+		return me, nil, nil
+	}
+	proxyClass := transform.CProxy(class, pl.Proto)
+	if !n.machine.Program().Has(proxyClass) {
+		return vm.Value{}, remoteError(env, "no %s proxy generated for statics of %s", pl.Proto, class), nil
+	}
+	obj, err := env.New(proxyClass)
+	if err != nil {
+		return vm.Value{}, nil, err
+	}
+	setProxyFields(obj, guid.ClassGUID(class), pl.Endpoint, pl.Proto, class)
+	me := vm.RefV(obj)
+	n.singletons[key] = singletonEntry{val: me, version: ver}
+	return me, nil, nil
+}
+
+// registerProxyNatives binds the class-level native handler of every
+// generated proxy class: each method call marshals its arguments, sends
+// an invocation over the proxy's transport, and unmarshals the reply.
+func (n *Node) registerProxyNatives() {
+	for _, c := range n.result.Program.Classes() {
+		classSide := strings.HasPrefix(c.Meta, "generated:c-proxy:")
+		if !classSide && !strings.HasPrefix(c.Meta, "generated:o-proxy:") {
+			continue
+		}
+		n.machine.RegisterClassNative(c.Name, func(env *vm.Env, method string, recv vm.Value, args []vm.Value) (vm.Value, *vm.Thrown, error) {
+			return n.proxyInvoke(env, classSide, method, recv, args)
+		})
+	}
+}
+
+// proxyInvoke performs one remote method invocation on behalf of a proxy
+// object.
+func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.Value, args []vm.Value) (vm.Value, *vm.Thrown, error) {
+	if recv.O == nil {
+		return vm.Value{}, remoteError(env, "proxy invocation on null"), nil
+	}
+	endpoint := recv.O.Get(transform.ProxyFieldEndpoint).S
+	target := recv.O.Get(transform.ProxyFieldTarget).S
+	id := recv.O.Get(transform.ProxyFieldGUID).S
+	proto, _, _ := splitProto(endpoint)
+
+	// A proxy can end up pointing at this very node (e.g. after an
+	// object is migrated back home): collapse to a direct call.
+	if n.servesEndpoint(endpoint) {
+		if classSide {
+			me, thrown, err := n.localSingleton(env, target)
+			if thrown != nil || err != nil {
+				return vm.Value{}, thrown, err
+			}
+			return env.Call(me.O.Class.Name, method, me, args)
+		}
+		if obj, ok := n.exports.Get(id); ok {
+			return env.Call(obj.Class.Name, method, vm.RefV(obj), args)
+		}
+		return vm.Value{}, remoteError(env, "%s.%s: stale self-reference %s", target, method, id), nil
+	}
+
+	req := &wire.Request{ID: n.nextReqID(), Method: method}
+	if classSide {
+		req.Op = wire.OpInvokeClass
+		req.Class = target
+	} else {
+		req.Op = wire.OpInvoke
+		req.GUID = id
+	}
+	req.Args = make([]wire.Value, len(args))
+	for i, a := range args {
+		mv, err := n.marshalValue(a, proto)
+		if err != nil {
+			return vm.Value{}, remoteError(env, "marshal argument %d of %s.%s: %v", i+1, target, method, err), nil
+		}
+		req.Args[i] = mv
+	}
+
+	n.countStat(func(s *Stats) { s.RemoteCallsOut++ })
+	resp, callErr := n.callRemote(env, endpoint, req)
+	if callErr != nil {
+		return vm.Value{}, remoteError(env, "%s.%s at %s: %v", target, method, endpoint, callErr), nil
+	}
+	if resp.Err != "" {
+		return vm.Value{}, remoteError(env, "%s.%s: %s", target, method, resp.Err), nil
+	}
+	if resp.ExClass != "" {
+		return vm.Value{}, n.rethrow(env, resp), nil
+	}
+	val, err := n.unmarshalValue(env, resp.Result)
+	if err != nil {
+		return vm.Value{}, remoteError(env, "unmarshal result of %s.%s: %v", target, method, err), nil
+	}
+	return val, nil, nil
+}
+
+// callRemote sends a request while the VM lock is released, so incoming
+// work (including callbacks from the callee) can execute meanwhile.
+func (n *Node) callRemote(env *vm.Env, endpoint string, req *wire.Request) (*wire.Response, error) {
+	var resp *wire.Response
+	var err error
+	env.RunUnlocked(func() {
+		var c transport.Client
+		c, err = n.client(endpoint)
+		if err != nil {
+			return
+		}
+		resp, err = c.Call(req)
+	})
+	return resp, err
+}
+
+// rethrow re-materialises a remote program exception locally.  The
+// exception class always exists locally (both nodes run the same
+// transformed program); if it somehow does not, degrade to
+// sys.RemoteException.
+func (n *Node) rethrow(env *vm.Env, resp *wire.Response) *vm.Thrown {
+	obj, err := env.New(resp.ExClass)
+	if err != nil {
+		return remoteError(env, "remote exception %s: %s", resp.ExClass, resp.ExMsg)
+	}
+	obj.Set("message", vm.StringV(resp.ExMsg))
+	return &vm.Thrown{Obj: obj}
+}

@@ -1,0 +1,301 @@
+// Package node implements a RAFDA address space: a VM loaded with a
+// transformed program, an exported-object table, policy-driven factory
+// natives, proxy natives performing remote invocations, and servers for
+// any subset of the transport protocols.  Together with the transformer
+// it realises the paper's flexible distribution: the same program runs
+// with any assignment of classes to nodes, decided by policy, and the
+// assignment can change at run time via re-policy plus object migration.
+package node
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"rafda/internal/policy"
+	"rafda/internal/registry"
+	"rafda/internal/transform"
+	"rafda/internal/transport"
+	"rafda/internal/vm"
+)
+
+// Config configures a node.
+type Config struct {
+	// Name identifies the node in GUIDs and diagnostics.
+	Name string
+	// Result is the transformed program the node hosts.
+	Result *transform.Result
+	// Transports supplies the protocol implementations; nil means all
+	// four defaults without network simulation.
+	Transports *transport.Registry
+	// Output receives the program's console output.
+	Output io.Writer
+	// VMOpts are extra VM options (step limits, clock).
+	VMOpts []vm.Option
+}
+
+// Node is one address space.
+type Node struct {
+	name    string
+	result  *transform.Result
+	machine *vm.VM
+	reg     *transport.Registry
+	exports *registry.Table
+	pol     *policy.Table
+
+	// mu guards servers, endpoints and clients (not VM state).
+	mu        sync.Mutex
+	servers   []transport.Server
+	endpoints map[string]string // proto -> this node's endpoint
+	clients   map[string]transport.Client
+	closed    bool
+
+	// VM-lock-guarded state (only touched from natives and dispatch,
+	// which hold the VM lock).
+	singletons map[string]singletonEntry
+	reqSeq     uint64
+
+	// stats
+	stats Stats
+}
+
+type singletonEntry struct {
+	val     vm.Value
+	version uint64
+	local   bool
+}
+
+// Stats counts node activity (read with Snapshot).
+type Stats struct {
+	RemoteCallsOut uint64
+	RemoteCallsIn  uint64
+	Creates        uint64
+	MigrationsOut  uint64
+	MigrationsIn   uint64
+}
+
+// New builds a node over a transformed program and registers the factory
+// and proxy natives.
+func New(cfg Config) (*Node, error) {
+	if cfg.Result == nil {
+		return nil, fmt.Errorf("node %q: nil transform result", cfg.Name)
+	}
+	if cfg.Name == "" {
+		cfg.Name = "node"
+	}
+	opts := cfg.VMOpts
+	if cfg.Output != nil {
+		opts = append(opts, vm.WithOutput(cfg.Output))
+	}
+	machine, err := vm.New(cfg.Result.Program.Clone(), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("node %q: %w", cfg.Name, err)
+	}
+	reg := cfg.Transports
+	if reg == nil {
+		reg = transport.Default(transport.Options{})
+	}
+	n := &Node{
+		name:       cfg.Name,
+		result:     cfg.Result,
+		machine:    machine,
+		reg:        reg,
+		exports:    registry.New(cfg.Name),
+		pol:        policy.NewTable(),
+		endpoints:  make(map[string]string),
+		clients:    make(map[string]transport.Client),
+		singletons: make(map[string]singletonEntry),
+	}
+	n.registerFactoryNatives()
+	n.registerProxyNatives()
+	return n, nil
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// VM returns the node's interpreter.
+func (n *Node) VM() *vm.VM { return n.machine }
+
+// Policy returns the node's mutable policy table.
+func (n *Node) Policy() *policy.Table { return n.pol }
+
+// Exports returns the number of exported objects.
+func (n *Node) Exports() int { return n.exports.Len() }
+
+// Snapshot returns a copy of the activity counters.
+func (n *Node) Snapshot() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *Node) countStat(f func(*Stats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+// Serve starts listening on the given protocol ("" addr picks a free
+// port, or an auto name for inproc) and returns the endpoint.
+func (n *Node) Serve(proto, addr string) (string, error) {
+	t, err := n.reg.Get(proto)
+	if err != nil {
+		return "", err
+	}
+	srv, err := t.Listen(addr, n.dispatch)
+	if err != nil {
+		return "", fmt.Errorf("node %s serve %s: %w", n.name, proto, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers = append(n.servers, srv)
+	n.endpoints[proto] = srv.Endpoint()
+	return srv.Endpoint(), nil
+}
+
+// Endpoint returns this node's endpoint for proto ("" when not serving).
+func (n *Node) Endpoint(proto string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.endpoints[proto]
+}
+
+// anyEndpoint returns a serving endpoint, preferring proto.
+func (n *Node) anyEndpoint(proto string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[proto]; ok {
+		return ep
+	}
+	for _, ep := range n.endpoints {
+		return ep
+	}
+	return ""
+}
+
+// Close shuts the servers and cached clients.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	servers := n.servers
+	clients := n.clients
+	n.servers = nil
+	n.clients = make(map[string]transport.Client)
+	n.mu.Unlock()
+
+	var firstErr error
+	for _, s := range servers {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// client returns a cached client for endpoint, dialling on first use.
+func (n *Node) client(endpoint string) (transport.Client, error) {
+	n.mu.Lock()
+	if c, ok := n.clients[endpoint]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	c, err := n.reg.Dial(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if prev, ok := n.clients[endpoint]; ok {
+		_ = c.Close()
+		return prev, nil
+	}
+	n.clients[endpoint] = c
+	return c, nil
+}
+
+// nextReqID issues a request id (VM lock NOT required; uses node mutex).
+func (n *Node) nextReqID() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reqSeq++
+	return n.reqSeq
+}
+
+// RunMain executes the transformed program's entry point.
+func (n *Node) RunMain(mainClass string) error {
+	class, method := n.result.MainEntry(mainClass)
+	if _, err := n.machine.Invoke(class, method, vm.Value{}, nil); err != nil {
+		return fmt.Errorf("node %s: run %s.%s: %w", n.name, class, method, err)
+	}
+	return nil
+}
+
+// InvokeStatic calls an original static method through the transformed
+// program's class factory forwarder (or directly when the class was not
+// transformed).  It is the host-language entry point used by examples,
+// tests and benchmarks.
+func (n *Node) InvokeStatic(class, method string, args ...vm.Value) (vm.Value, error) {
+	target := class
+	if n.machine.Program().Has(transform.CFactory(class)) {
+		target = transform.CFactory(class)
+	}
+	return n.machine.Invoke(target, method, vm.Value{}, args)
+}
+
+// ReadStatic reads an original static field through the factory
+// forwarder.
+func (n *Node) ReadStatic(class, field string) (vm.Value, error) {
+	target := transform.CFactory(class)
+	if !n.machine.Program().Has(target) {
+		return n.machine.GetStatic(class, field)
+	}
+	return n.machine.Invoke(target, transform.Getter(field), vm.Value{}, nil)
+}
+
+// WriteStatic writes an original static field through the factory
+// forwarder.
+func (n *Node) WriteStatic(class, field string, val vm.Value) error {
+	target := transform.CFactory(class)
+	if !n.machine.Program().Has(target) {
+		return n.machine.SetStatic(class, field, val)
+	}
+	_, err := n.machine.Invoke(target, transform.Setter(field), vm.Value{}, []vm.Value{val})
+	return err
+}
+
+// CallOn invokes a method on an object reference previously obtained
+// from this node (e.g. via InvokeStatic).
+func (n *Node) CallOn(recv vm.Value, method string, args ...vm.Value) (vm.Value, error) {
+	if recv.K == 0 || recv.O == nil {
+		return vm.Value{}, fmt.Errorf("node %s: CallOn with nil receiver", n.name)
+	}
+	return n.machine.Invoke(recv.O.Class.Name, method, recv, args)
+}
+
+// baseClassOf maps a generated implementation class name back to the
+// original class ("C_O_Local" -> "C"); non-generated names map to
+// themselves.
+func baseClassOf(name string) string {
+	if base, kind := transform.BaseOfGenerated(name); kind != "" {
+		return base
+	}
+	return name
+}
+
+// isProxyObject reports whether obj is a generated proxy instance.
+func isProxyObject(obj *vm.Object) bool {
+	return strings.HasPrefix(obj.Class.Meta, "generated:o-proxy:") ||
+		strings.HasPrefix(obj.Class.Meta, "generated:c-proxy:")
+}

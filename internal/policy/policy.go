@@ -1,0 +1,123 @@
+// Package policy captures distribution policy: which implementation the
+// factories' make and discover methods select for each class (§2.3 "the
+// object creation method contains the policy determining which of the
+// classes implementing A_O_Int will be used").  Policy is mutable at run
+// time; changing it re-draws the program's distribution boundaries for
+// subsequent creations and discoveries, which together with object
+// migration realises the paper's §4 dynamic reconfiguration.
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Kind selects local or remote implementations.
+type Kind uint8
+
+// Placement kinds.
+const (
+	Local Kind = iota + 1
+	Remote
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Local:
+		return "local"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Placement says where instances (and the statics singleton) of a class
+// live and which proxy protocol reaches them.
+type Placement struct {
+	Kind     Kind
+	Proto    string // proxy protocol, for Remote
+	Endpoint string // remote node endpoint, for Remote
+}
+
+// LocalPlacement is the default: instances are created in-process.
+var LocalPlacement = Placement{Kind: Local}
+
+// RemoteAt builds a remote placement from a full endpoint
+// ("proto://addr").
+func RemoteAt(endpoint string) (Placement, error) {
+	i := strings.Index(endpoint, "://")
+	if i <= 0 {
+		return Placement{}, fmt.Errorf("bad endpoint %q", endpoint)
+	}
+	return Placement{Kind: Remote, Proto: endpoint[:i], Endpoint: endpoint}, nil
+}
+
+// Table maps classes to placements.  Rules are exact class names; the
+// default applies otherwise.  A version counter lets caches detect
+// re-configuration.  Table is safe for concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	rules   map[string]Placement
+	def     Placement
+	version uint64
+}
+
+// NewTable returns an all-local policy table.
+func NewTable() *Table {
+	return &Table{rules: make(map[string]Placement), def: LocalPlacement}
+}
+
+// SetDefault replaces the fallback placement.
+func (t *Table) SetDefault(p Placement) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.def = p
+	t.version++
+}
+
+// SetClass pins a class's placement.
+func (t *Table) SetClass(class string, p Placement) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules[class] = p
+	t.version++
+}
+
+// Clear removes a class rule, reverting it to the default.
+func (t *Table) Clear(class string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.rules, class)
+	t.version++
+}
+
+// For returns the placement for class and the table version it was read
+// at.
+func (t *Table) For(class string) (Placement, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.rules[class]; ok {
+		return p, t.version
+	}
+	return t.def, t.version
+}
+
+// Version returns the current configuration version.
+func (t *Table) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Snapshot returns a copy of the rules plus the default, for reporting.
+func (t *Table) Snapshot() (map[string]Placement, Placement) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]Placement, len(t.rules))
+	for k, v := range t.rules {
+		out[k] = v
+	}
+	return out, t.def
+}

@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDefaultIsLocal(t *testing.T) {
+	tab := NewTable()
+	pl, ver := tab.For("Anything")
+	if pl.Kind != Local || ver != 0 {
+		t.Fatalf("default: %+v ver=%d", pl, ver)
+	}
+}
+
+func TestRulesAndVersioning(t *testing.T) {
+	tab := NewTable()
+	remote, err := RemoteAt("rrp://10.0.0.1:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Proto != "rrp" || remote.Endpoint != "rrp://10.0.0.1:7" {
+		t.Fatalf("%+v", remote)
+	}
+	tab.SetClass("C", remote)
+	pl, v1 := tab.For("C")
+	if pl.Kind != Remote {
+		t.Fatal("rule not applied")
+	}
+	if other, _ := tab.For("D"); other.Kind != Local {
+		t.Fatal("rule leaked")
+	}
+	tab.Clear("C")
+	pl, v2 := tab.For("C")
+	if pl.Kind != Local || v2 <= v1 {
+		t.Fatalf("clear: %+v v1=%d v2=%d", pl, v1, v2)
+	}
+	tab.SetDefault(remote)
+	if pl, _ := tab.For("Anything"); pl.Kind != Remote {
+		t.Fatal("default not applied")
+	}
+}
+
+func TestRemoteAtRejectsGarbage(t *testing.T) {
+	if _, err := RemoteAt("not-an-endpoint"); err == nil {
+		t.Fatal("garbage endpoint accepted")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	tab := NewTable()
+	remote, _ := RemoteAt("soap://h:1")
+	tab.SetClass("C", remote)
+	rules, def := tab.Snapshot()
+	if def.Kind != Local || len(rules) != 1 {
+		t.Fatalf("%+v %+v", rules, def)
+	}
+	rules["C"] = Placement{Kind: Local}
+	if pl, _ := tab.For("C"); pl.Kind != Remote {
+		t.Fatal("snapshot aliased internal state")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tab := NewTable()
+	remote, _ := RemoteAt("rrp://h:1")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if i%2 == 0 {
+					tab.SetClass("C", remote)
+				} else {
+					tab.Clear("C")
+				}
+				tab.For("C")
+				tab.Version()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestKindString(t *testing.T) {
+	if Local.String() != "local" || Remote.String() != "remote" {
+		t.Fatal("kind strings")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}

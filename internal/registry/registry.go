@@ -1,0 +1,81 @@
+// Package registry maintains a node's exported-object table: the map
+// from GUIDs to live VM objects that remote references point at.
+package registry
+
+import (
+	"sync"
+
+	"rafda/internal/guid"
+	"rafda/internal/vm"
+)
+
+// Table is one node's export table.  It is safe for concurrent use.
+type Table struct {
+	mu     sync.Mutex
+	gen    *guid.Generator
+	byGUID map[string]*vm.Object
+	byObj  map[*vm.Object]string
+}
+
+// New returns an empty table issuing GUIDs stamped with node.
+func New(node string) *Table {
+	return &Table{
+		gen:    guid.NewGenerator(node),
+		byGUID: make(map[string]*vm.Object),
+		byObj:  make(map[*vm.Object]string),
+	}
+}
+
+// Ensure exports obj (idempotently) and returns its GUID.
+func (t *Table) Ensure(obj *vm.Object) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byObj[obj]; ok {
+		return id
+	}
+	id := t.gen.Next()
+	t.byGUID[id] = obj
+	t.byObj[obj] = id
+	return id
+}
+
+// Put exports obj under a caller-chosen GUID (class singletons).
+func (t *Table) Put(id string, obj *vm.Object) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byGUID[id] = obj
+	t.byObj[obj] = id
+}
+
+// Get resolves a GUID.
+func (t *Table) Get(id string) (*vm.Object, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	obj, ok := t.byGUID[id]
+	return obj, ok
+}
+
+// GUIDOf returns the GUID obj is exported under, if any.
+func (t *Table) GUIDOf(obj *vm.Object) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.byObj[obj]
+	return id, ok
+}
+
+// Remove withdraws an export.
+func (t *Table) Remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if obj, ok := t.byGUID[id]; ok {
+		delete(t.byObj, obj)
+		delete(t.byGUID, id)
+	}
+}
+
+// Len returns the number of exported objects.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byGUID)
+}

@@ -1,0 +1,219 @@
+// Package stdlib defines the built-in system class library (the sys.*
+// hierarchy).  It plays the role of java.lang/java.io in the paper: a set
+// of classes with VM-level semantics — throwables, console I/O, native
+// methods — that are available to every program and, per §2.4, are never
+// transformable.
+//
+// The class *declarations* live here so that the front end (type
+// checking), the transformer (substitutability analysis) and the verifier
+// can all see them without importing the VM.  The native *implementations*
+// are registered by internal/vm.
+package stdlib
+
+import "rafda/internal/ir"
+
+// Names of the system classes, beyond those aliased in package ir.
+const (
+	ExceptionClass        = "sys.Exception"
+	RuntimeExceptionClass = "sys.RuntimeException"
+	NullPointerClass      = "sys.NullPointerException"
+	ArithmeticClass       = "sys.ArithmeticException"
+	ClassCastClass        = "sys.ClassCastException"
+	IndexBoundsClass      = "sys.IndexOutOfBoundsException"
+	// RemoteException signals network failure on a proxy call — the §4
+	// caveat that distribution weakens strict semantic equivalence.
+	RemoteExceptionClass = "sys.RemoteException"
+	StringsClass         = "sys.Strings"
+	RandomClass          = "sys.Random"
+	ClockClass           = "sys.Clock"
+)
+
+// Program returns a fresh copy of the system library.  Callers may merge it
+// into an application program; each call builds new Class values so that
+// callers can never alias each other's copies.
+func Program() *ir.Program {
+	p := ir.NewProgram()
+	p.MustAdd(objectClass())
+	p.MustAdd(throwable(ir.ThrowableClass, ir.ObjectClass))
+	p.MustAdd(throwable(ExceptionClass, ir.ThrowableClass))
+	p.MustAdd(throwable(RuntimeExceptionClass, ir.ThrowableClass))
+	p.MustAdd(throwable(NullPointerClass, RuntimeExceptionClass))
+	p.MustAdd(throwable(ArithmeticClass, RuntimeExceptionClass))
+	p.MustAdd(throwable(ClassCastClass, RuntimeExceptionClass))
+	p.MustAdd(throwable(IndexBoundsClass, RuntimeExceptionClass))
+	p.MustAdd(throwable(RemoteExceptionClass, RuntimeExceptionClass))
+	p.MustAdd(systemClass())
+	p.MustAdd(stringsClass())
+	p.MustAdd(mathClass())
+	p.MustAdd(randomClass())
+	p.MustAdd(clockClass())
+	return p
+}
+
+// IsSystemClass reports whether name belongs to the sys.* hierarchy.
+func IsSystemClass(name string) bool {
+	return len(name) > 4 && name[:4] == "sys."
+}
+
+func nativeStatic(name string, ret ir.Type, params ...ir.Type) *ir.Method {
+	return &ir.Method{
+		Name:   name,
+		Params: params,
+		Return: ret,
+		Static: true,
+		Native: true,
+		Access: ir.AccessPublic,
+	}
+}
+
+func nativeInstance(name string, ret ir.Type, params ...ir.Type) *ir.Method {
+	return &ir.Method{
+		Name:   name,
+		Params: params,
+		Return: ret,
+		Native: true,
+		Access: ir.AccessPublic,
+	}
+}
+
+func objectClass() *ir.Class {
+	return &ir.Class{
+		Name:    ir.ObjectClass,
+		Special: true,
+		Methods: []*ir.Method{
+			// Default constructor: does nothing.
+			{Name: ir.ConstructorName, Return: ir.Void, Access: ir.AccessPublic,
+				Code: []ir.Instr{{Op: ir.OpReturn}}, MaxLocals: 1},
+			nativeInstance("toString", ir.String),
+			nativeInstance("hashCode", ir.Int),
+			nativeInstance("getClass", ir.String),
+		},
+	}
+}
+
+// throwable builds one class of the throwable hierarchy.  Each carries a
+// message and a constructor taking it; getMessage is plain bytecode.
+func throwable(name, super string) *ir.Class {
+	ctor := &ir.Method{
+		Name:      ir.ConstructorName,
+		Params:    []ir.Type{ir.String},
+		Return:    ir.Void,
+		Access:    ir.AccessPublic,
+		MaxLocals: 2,
+		Code: []ir.Instr{
+			{Op: ir.OpLoad, A: 0},
+			{Op: ir.OpLoad, A: 1},
+			{Op: ir.OpPutField, Owner: name, Member: "message"},
+			{Op: ir.OpReturn},
+		},
+	}
+	defCtor := &ir.Method{
+		Name:      ir.ConstructorName,
+		Return:    ir.Void,
+		Access:    ir.AccessPublic,
+		MaxLocals: 1,
+		Code: []ir.Instr{
+			{Op: ir.OpLoad, A: 0},
+			{Op: ir.OpConstString, Str: ""},
+			{Op: ir.OpPutField, Owner: name, Member: "message"},
+			{Op: ir.OpReturn},
+		},
+	}
+	getMsg := &ir.Method{
+		Name:      "getMessage",
+		Return:    ir.String,
+		Access:    ir.AccessPublic,
+		MaxLocals: 1,
+		Code: []ir.Instr{
+			{Op: ir.OpLoad, A: 0},
+			{Op: ir.OpGetField, Owner: name, Member: "message"},
+			{Op: ir.OpReturnValue},
+		},
+	}
+	return &ir.Class{
+		Name:    name,
+		Super:   super,
+		Special: true,
+		Fields: []ir.Field{
+			{Name: "message", Type: ir.String, Access: ir.AccessPrivate},
+		},
+		Methods: []*ir.Method{defCtor, ctor, getMsg},
+	}
+}
+
+func systemClass() *ir.Class {
+	return &ir.Class{
+		Name:    ir.SystemClass,
+		Super:   ir.ObjectClass,
+		Special: true,
+		Methods: []*ir.Method{
+			nativeStatic("println", ir.Void, ir.String),
+			nativeStatic("print", ir.Void, ir.String),
+			nativeStatic("printInt", ir.Void, ir.Int),
+		},
+	}
+}
+
+func stringsClass() *ir.Class {
+	return &ir.Class{
+		Name:    StringsClass,
+		Super:   ir.ObjectClass,
+		Special: true,
+		Methods: []*ir.Method{
+			nativeStatic("length", ir.Int, ir.String),
+			nativeStatic("charAt", ir.Int, ir.String, ir.Int),
+			nativeStatic("substring", ir.String, ir.String, ir.Int, ir.Int),
+			nativeStatic("indexOf", ir.Int, ir.String, ir.String),
+			nativeStatic("ofInt", ir.String, ir.Int),
+			nativeStatic("ofFloat", ir.String, ir.Float),
+			nativeStatic("ofBool", ir.String, ir.Bool),
+			nativeStatic("parseInt", ir.Int, ir.String),
+			nativeStatic("equals", ir.Bool, ir.String, ir.String),
+			nativeStatic("repeat", ir.String, ir.String, ir.Int),
+		},
+	}
+}
+
+func mathClass() *ir.Class {
+	return &ir.Class{
+		Name:    ir.MathClass,
+		Super:   ir.ObjectClass,
+		Special: true,
+		Methods: []*ir.Method{
+			nativeStatic("abs", ir.Int, ir.Int),
+			nativeStatic("min", ir.Int, ir.Int, ir.Int),
+			nativeStatic("max", ir.Int, ir.Int, ir.Int),
+			nativeStatic("sqrt", ir.Float, ir.Float),
+			nativeStatic("pow", ir.Float, ir.Float, ir.Float),
+			nativeStatic("floor", ir.Int, ir.Float),
+			nativeStatic("toFloat", ir.Float, ir.Int),
+		},
+	}
+}
+
+// randomClass is a deterministic linear-congruential generator exposed as
+// pure functions: next(state) -> new state, value(state, bound) -> [0,bound).
+// Determinism keeps the semantic-equivalence experiments exact.
+func randomClass() *ir.Class {
+	return &ir.Class{
+		Name:    RandomClass,
+		Super:   ir.ObjectClass,
+		Special: true,
+		Methods: []*ir.Method{
+			nativeStatic("next", ir.Int, ir.Int),
+			nativeStatic("value", ir.Int, ir.Int, ir.Int),
+		},
+	}
+}
+
+func clockClass() *ir.Class {
+	return &ir.Class{
+		Name:    ClockClass,
+		Super:   ir.ObjectClass,
+		Special: true,
+		Methods: []*ir.Method{
+			nativeStatic("nanos", ir.Int),
+			nativeStatic("millis", ir.Int),
+		},
+	}
+}

@@ -1,0 +1,67 @@
+package stdlib
+
+import (
+	"testing"
+
+	"rafda/internal/ir"
+)
+
+func TestProgramIsFreshPerCall(t *testing.T) {
+	a := Program()
+	b := Program()
+	ca, cb := a.Class(ir.ObjectClass), b.Class(ir.ObjectClass)
+	if ca == cb {
+		t.Fatal("Program() returns aliased classes")
+	}
+	ca.Name = "mutated"
+	if b.Class(ir.ObjectClass).Name != ir.ObjectClass {
+		t.Fatal("mutation leaked across copies")
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	p := Program()
+	for _, tc := range []struct {
+		class, ancestor string
+	}{
+		{ExceptionClass, ir.ThrowableClass},
+		{NullPointerClass, RuntimeExceptionClass},
+		{RemoteExceptionClass, ir.ThrowableClass},
+		{ArithmeticClass, ir.ThrowableClass},
+	} {
+		if !p.IsSubclassOf(tc.class, tc.ancestor) {
+			t.Errorf("%s should extend %s", tc.class, tc.ancestor)
+		}
+	}
+	// Every class is special (never transformable).
+	for _, c := range p.Classes() {
+		if !c.Special {
+			t.Errorf("%s not marked special", c.Name)
+		}
+	}
+}
+
+func TestThrowablesHaveMessageProtocol(t *testing.T) {
+	p := Program()
+	for _, name := range []string{ir.ThrowableClass, ExceptionClass, NullPointerClass, RemoteExceptionClass} {
+		c := p.Class(name)
+		if c == nil {
+			t.Fatalf("missing %s", name)
+		}
+		if c.Method("getMessage", 0) == nil {
+			t.Errorf("%s lacks getMessage", name)
+		}
+		if c.Method(ir.ConstructorName, 1) == nil {
+			t.Errorf("%s lacks message constructor", name)
+		}
+	}
+}
+
+func TestIsSystemClass(t *testing.T) {
+	if !IsSystemClass("sys.Object") || !IsSystemClass("sys.Anything") {
+		t.Fatal("sys.* not recognised")
+	}
+	if IsSystemClass("system.X") || IsSystemClass("sys") || IsSystemClass("X") {
+		t.Fatal("false positive")
+	}
+}

@@ -1,0 +1,120 @@
+package transform
+
+import (
+	"fmt"
+
+	"rafda/internal/ir"
+)
+
+// DefaultProtocols is the proxy family generated when none is specified,
+// mirroring the paper's "e.g. SOAP-based, RMI-based" examples: soap is
+// XML-over-HTTP, rrp (RAFDA Remote Protocol) is the binary TCP protocol
+// playing the RMI role, json is JSON-over-HTTP.
+var DefaultProtocols = []string{"rrp", "soap", "json"}
+
+// Options configure a transformation.
+type Options struct {
+	// Protocols lists the proxy protocol suffixes to generate.  Empty
+	// means DefaultProtocols.
+	Protocols []string
+	// Exclude bars classes from transformation by policy; exclusion
+	// closes transitively per §2.4.
+	Exclude []string
+}
+
+// Result is a completed transformation.
+type Result struct {
+	// Program is the transformed program: generated classes plus
+	// untouched non-transformable originals.
+	Program *ir.Program
+	// Analysis is the substitutability analysis the transformation used;
+	// nil when the Result was reconstructed from an archive.
+	Analysis *Analysis
+	// Protocols are the proxy protocols generated.
+	Protocols []string
+	// Transformed lists the classes that were substituted, in program
+	// order.
+	Transformed []string
+
+	substitutable map[string]bool
+}
+
+// Substitutable reports whether the named original class was transformed
+// (and may therefore cross address spaces).
+func (r *Result) Substitutable(class string) bool {
+	if r.substitutable == nil {
+		r.substitutable = make(map[string]bool, len(r.Transformed))
+		for _, c := range r.Transformed {
+			r.substitutable[c] = true
+		}
+	}
+	return r.substitutable[class]
+}
+
+// Reconstruct rebuilds a Result from an already-transformed program
+// (e.g. decoded from an archive): substituted classes are recognised by
+// their generated factories, protocols by the proxy classes present.
+func Reconstruct(prog *ir.Program) (*Result, error) {
+	res := &Result{Program: prog}
+	protos := map[string]bool{}
+	for _, c := range prog.Classes() {
+		if base, kind := BaseOfGenerated(c.Name); kind == SuffixOFactory {
+			res.Transformed = append(res.Transformed, base)
+		}
+		if _, proto, _, ok := IsProxyClass(c.Name); ok {
+			protos[proto] = true
+		}
+	}
+	if len(res.Transformed) == 0 {
+		return nil, fmt.Errorf("program contains no generated factories; not a transformed program")
+	}
+	for p := range protos {
+		res.Protocols = append(res.Protocols, p)
+	}
+	return res, nil
+}
+
+// Transform applies the paper's full §2 transformation pipeline to prog
+// and returns the componentised program.  The input program is not
+// modified.
+func Transform(prog *ir.Program, opts Options) (*Result, error) {
+	protocols := opts.Protocols
+	if len(protocols) == 0 {
+		protocols = append([]string(nil), DefaultProtocols...)
+	}
+	analysis := Analyze(prog, opts.Exclude...)
+
+	t := &transformer{
+		a:         analysis,
+		src:       prog,
+		out:       ir.NewProgram(),
+		protocols: protocols,
+	}
+	res := &Result{
+		Analysis:  analysis,
+		Protocols: protocols,
+	}
+	for _, c := range prog.Classes() {
+		if !analysis.Transformable(c.Name) {
+			t.out.MustAdd(ir.CloneClass(c))
+			continue
+		}
+		if err := t.generateClass(c); err != nil {
+			return nil, fmt.Errorf("transform %s: %w", c.Name, err)
+		}
+		res.Transformed = append(res.Transformed, c.Name)
+	}
+	res.Program = t.out
+	return res, nil
+}
+
+// MainEntry returns the invocation target for the program entry point
+// `static void main()` on mainClass after transformation: the class
+// factory forwarder when mainClass was transformed, or the original
+// class otherwise.
+func (r *Result) MainEntry(mainClass string) (class, method string) {
+	if r.Program.Has(CFactory(mainClass)) {
+		return CFactory(mainClass), "main"
+	}
+	return mainClass, "main"
+}

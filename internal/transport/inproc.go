@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rafda/internal/wire"
+)
+
+// inproc delivers requests by direct function call within the process.
+// It is the zero-overhead baseline of the protocol experiments and the
+// transport used by collocated multi-node tests.
+
+var inprocMu sync.RWMutex
+var inprocHandlers = map[string]Handler{}
+var inprocSeq atomic.Uint64
+
+// Inproc is the in-process transport.
+type Inproc struct{}
+
+// NewInproc returns the in-process transport.
+func NewInproc() *Inproc { return &Inproc{} }
+
+// Proto returns "inproc".
+func (*Inproc) Proto() string { return "inproc" }
+
+// Listen registers the handler under addr (auto-assigned when empty).
+func (*Inproc) Listen(addr string, h Handler) (Server, error) {
+	if addr == "" {
+		addr = fmt.Sprintf("ep%d", inprocSeq.Add(1))
+	}
+	inprocMu.Lock()
+	defer inprocMu.Unlock()
+	if _, exists := inprocHandlers[addr]; exists {
+		return nil, fmt.Errorf("inproc address %q already in use", addr)
+	}
+	inprocHandlers[addr] = h
+	return &inprocServer{addr: addr}, nil
+}
+
+// Dial returns a client invoking the registered handler directly.
+func (*Inproc) Dial(endpoint string) (Client, error) {
+	proto, addr, err := SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	if proto != "inproc" {
+		return nil, fmt.Errorf("inproc transport cannot dial %q", endpoint)
+	}
+	return &inprocClient{addr: addr}, nil
+}
+
+type inprocServer struct{ addr string }
+
+func (s *inprocServer) Endpoint() string { return JoinEndpoint("inproc", s.addr) }
+
+func (s *inprocServer) Close() error {
+	inprocMu.Lock()
+	defer inprocMu.Unlock()
+	delete(inprocHandlers, s.addr)
+	return nil
+}
+
+type inprocClient struct{ addr string }
+
+func (c *inprocClient) Call(req *wire.Request) (*wire.Response, error) {
+	inprocMu.RLock()
+	h := inprocHandlers[c.addr]
+	inprocMu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("inproc endpoint %q not listening", c.addr)
+	}
+	return h(req), nil
+}
+
+func (c *inprocClient) Close() error { return nil }

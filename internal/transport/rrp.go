@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"rafda/internal/wire"
+)
+
+// RRP — the RAFDA Remote Protocol — is the binary TCP transport playing
+// the paper's "RMI-based proxy" role: persistent connections carrying
+// length-prefixed frames in the wire package's binary encoding.
+type RRP struct {
+	opts Options
+}
+
+// NewRRP returns the RRP transport.
+func NewRRP(opts Options) *RRP { return &RRP{opts: opts} }
+
+// Proto returns "rrp".
+func (*RRP) Proto() string { return "rrp" }
+
+// Listen starts a TCP accept loop on addr.
+func (t *RRP) Listen(addr string, h Handler) (Server, error) {
+	l, err := t.opts.listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rrp listen: %w", err)
+	}
+	s := &rrpServer{l: l}
+	go s.acceptLoop(h)
+	return s, nil
+}
+
+type rrpServer struct {
+	l      net.Listener
+	wg     sync.WaitGroup
+	closed sync.Once
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	down  bool
+}
+
+func (s *rrpServer) Endpoint() string { return JoinEndpoint("rrp", s.l.Addr().String()) }
+
+func (s *rrpServer) Close() error {
+	var err error
+	s.closed.Do(func() {
+		err = s.l.Close()
+		s.mu.Lock()
+		s.down = true
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return err
+}
+
+func (s *rrpServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *rrpServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *rrpServer) acceptLoop(h Handler) {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			serveRRPConn(conn, h)
+		}()
+	}
+}
+
+func serveRRPConn(conn net.Conn, h Handler) {
+	br := bufio.NewReader(conn)
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(bytes.NewReader(frame))
+		if err != nil {
+			return
+		}
+		resp := h(req)
+		var buf bytes.Buffer
+		if err := wire.EncodeResponse(&buf, resp); err != nil {
+			return
+		}
+		if err := writeFrame(conn, buf.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+// Dial opens a persistent connection to the endpoint.
+func (t *RRP) Dial(endpoint string) (Client, error) {
+	proto, addr, err := SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	if proto != "rrp" {
+		return nil, fmt.Errorf("rrp transport cannot dial %q", endpoint)
+	}
+	conn, err := t.opts.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rrp dial %s: %w", addr, err)
+	}
+	return &rrpClient{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+type rrpClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func (c *rrpClient) Call(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var buf bytes.Buffer
+	if err := wire.EncodeRequest(&buf, req); err != nil {
+		return nil, fmt.Errorf("rrp encode: %w", err)
+	}
+	if err := writeFrame(c.conn, buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("rrp send: %w", err)
+	}
+	frame, err := readFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("rrp receive: %w", err)
+	}
+	resp, err := wire.DecodeResponse(bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("rrp decode: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("rrp response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+func (c *rrpClient) Close() error { return c.conn.Close() }
+
+const maxFrame = 64 << 20
+
+// writeFrame emits the length prefix and payload in a single Write so a
+// frame is one wire message (one syscall, and one latency charge under
+// netsim).
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	frame := make([]byte, 0, n+len(payload))
+	frame = append(frame, hdr[:n]...)
+	frame = append(frame, payload...)
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, errors.New("frame too large")
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(br, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,134 @@
+// Package transport carries wire messages between nodes.  Four protocols
+// are provided, mirroring the paper's proxy families: inproc (collocated
+// calls), rrp (the binary RAFDA Remote Protocol over TCP, playing RMI's
+// role), soap (XML over HTTP) and json (JSON over HTTP).  Proxies differ
+// only in which transport their invocations traverse.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"rafda/internal/netsim"
+	"rafda/internal/wire"
+)
+
+// Handler serves incoming requests (implemented by the node runtime).
+type Handler func(*wire.Request) *wire.Response
+
+// Server is a listening endpoint.
+type Server interface {
+	// Endpoint returns the full dialable endpoint, e.g. "rrp://1.2.3.4:70".
+	Endpoint() string
+	Close() error
+}
+
+// Client is a connection to a remote endpoint.
+type Client interface {
+	Call(*wire.Request) (*wire.Response, error)
+	Close() error
+}
+
+// Transport is one wire protocol.
+type Transport interface {
+	// Proto returns the scheme, e.g. "rrp".
+	Proto() string
+	// Listen starts serving on addr ("host:port", empty port allowed).
+	Listen(addr string, h Handler) (Server, error)
+	// Dial connects to an endpoint previously returned by a Server.
+	Dial(endpoint string) (Client, error)
+}
+
+// Options tune socket-based transports; the zero value uses the real
+// network directly.
+type Options struct {
+	// Profile injects simulated network conditions on both accepted and
+	// dialled connections.
+	Profile netsim.Profile
+}
+
+func (o Options) listen(addr string) (net.Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return o.Profile.Listener(l), nil
+}
+
+func (o Options) dial(addr string) (net.Conn, error) {
+	return o.Profile.Dialer(func(network, a string) (net.Conn, error) {
+		return net.Dial(network, a)
+	})("tcp", addr)
+}
+
+// SplitEndpoint splits "proto://addr" into its parts.
+func SplitEndpoint(endpoint string) (proto, addr string, err error) {
+	i := strings.Index(endpoint, "://")
+	if i <= 0 {
+		return "", "", fmt.Errorf("bad endpoint %q (want proto://addr)", endpoint)
+	}
+	return endpoint[:i], endpoint[i+3:], nil
+}
+
+// JoinEndpoint builds "proto://addr".
+func JoinEndpoint(proto, addr string) string { return proto + "://" + addr }
+
+// Registry maps protocol names to transports.
+type Registry struct {
+	byProto map[string]Transport
+}
+
+// NewRegistry builds a registry over the given transports.
+func NewRegistry(ts ...Transport) *Registry {
+	r := &Registry{byProto: make(map[string]Transport, len(ts))}
+	for _, t := range ts {
+		r.byProto[t.Proto()] = t
+	}
+	return r
+}
+
+// Default returns a registry with all four protocols under the given
+// options (inproc ignores them).
+func Default(opts Options) *Registry {
+	return NewRegistry(
+		NewInproc(),
+		NewRRP(opts),
+		NewSOAP(opts),
+		NewJSON(opts),
+	)
+}
+
+// Get returns the transport for proto.
+func (r *Registry) Get(proto string) (Transport, error) {
+	t, ok := r.byProto[proto]
+	if !ok {
+		return nil, fmt.Errorf("unknown transport protocol %q", proto)
+	}
+	return t, nil
+}
+
+// Protos returns the registered protocol names.
+func (r *Registry) Protos() []string {
+	out := make([]string, 0, len(r.byProto))
+	for p := range r.byProto {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Dial resolves the endpoint's protocol and dials it.
+func (r *Registry) Dial(endpoint string) (Client, error) {
+	proto, _, err := SplitEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	t, err := r.Get(proto)
+	if err != nil {
+		return nil, err
+	}
+	return t.Dial(endpoint)
+}

@@ -1,0 +1,255 @@
+// Package verifier checks IR programs before execution or
+// transformation, standing in for the JVM bytecode verifier: the paper
+// relies on transformations being "performed on code that has already
+// been verified by a standard compiler".  The front end's output and the
+// transformer's output are both verified in tests, which guards the
+// transformation's structural correctness independently of execution.
+package verifier
+
+import (
+	"fmt"
+
+	"rafda/internal/ir"
+)
+
+// Error is one verification failure.
+type Error struct {
+	Class  string
+	Method string // empty for class-level problems
+	PC     int    // -1 when not code-related
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Method == "":
+		return fmt.Sprintf("%s: %s", e.Class, e.Msg)
+	case e.PC < 0:
+		return fmt.Sprintf("%s.%s: %s", e.Class, e.Method, e.Msg)
+	default:
+		return fmt.Sprintf("%s.%s pc=%d: %s", e.Class, e.Method, e.PC, e.Msg)
+	}
+}
+
+// Verify checks the whole program and returns every problem found.
+func Verify(p *ir.Program) []error {
+	v := &verifier{p: p}
+	for _, missing := range p.MissingReferences() {
+		v.errs = append(v.errs, &Error{Class: missing, PC: -1, Msg: "referenced class is missing from the program"})
+	}
+	v.checkHierarchy()
+	for _, c := range p.Classes() {
+		v.checkClass(c)
+	}
+	return v.errs
+}
+
+// VerifyOne checks a single class against the program.
+func VerifyOne(p *ir.Program, c *ir.Class) []error {
+	v := &verifier{p: p}
+	v.checkClass(c)
+	return v.errs
+}
+
+type verifier struct {
+	p    *ir.Program
+	errs []error
+}
+
+func (v *verifier) errf(class, method string, pc int, format string, a ...any) {
+	v.errs = append(v.errs, &Error{Class: class, Method: method, PC: pc, Msg: fmt.Sprintf(format, a...)})
+}
+
+// checkHierarchy detects superclass/interface cycles.
+func (v *verifier) checkHierarchy() {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var visit func(name string) bool
+	visit = func(name string) bool {
+		switch state[name] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		state[name] = grey
+		c := v.p.Class(name)
+		if c != nil {
+			if c.Super != "" && v.p.Has(c.Super) {
+				if !visit(c.Super) {
+					v.errf(name, "", -1, "superclass cycle through %s", c.Super)
+				}
+			}
+			for _, i := range c.Interfaces {
+				if v.p.Has(i) {
+					if !visit(i) {
+						v.errf(name, "", -1, "interface cycle through %s", i)
+					}
+				}
+			}
+		}
+		state[name] = black
+		return true
+	}
+	for _, n := range v.p.Names() {
+		visit(n)
+	}
+}
+
+func (v *verifier) checkClass(c *ir.Class) {
+	// Superclass constraints.
+	if c.Super != "" {
+		if sc := v.p.Class(c.Super); sc != nil {
+			if sc.IsInterface {
+				v.errf(c.Name, "", -1, "superclass %s is an interface", c.Super)
+			}
+			if sc.Final {
+				v.errf(c.Name, "", -1, "superclass %s is final", c.Super)
+			}
+		}
+	}
+	if c.IsInterface {
+		if c.Super != "" {
+			v.errf(c.Name, "", -1, "interface has a superclass")
+		}
+		if len(c.Fields) > 0 {
+			v.errf(c.Name, "", -1, "interface declares fields")
+		}
+	}
+	for _, i := range c.Interfaces {
+		if ic := v.p.Class(i); ic != nil && !ic.IsInterface {
+			v.errf(c.Name, "", -1, "implements non-interface %s", i)
+		}
+	}
+	// Member uniqueness.
+	fields := map[string]bool{}
+	for _, f := range c.Fields {
+		if fields[f.Name] {
+			v.errf(c.Name, "", -1, "duplicate field %s", f.Name)
+		}
+		fields[f.Name] = true
+		v.checkType(c.Name, "", f.Type, false)
+	}
+	methods := map[string]bool{}
+	for _, m := range c.Methods {
+		if methods[m.Key()] {
+			v.errf(c.Name, m.Name, -1, "duplicate method (same name and arity)")
+		}
+		methods[m.Key()] = true
+		v.checkMethod(c, m)
+	}
+	// Concrete classes must implement their interfaces.
+	if !c.IsInterface && !c.Abstract {
+		v.checkImplements(c)
+	}
+}
+
+func (v *verifier) checkImplements(c *ir.Class) {
+	seen := map[string]bool{}
+	var require func(iface string)
+	require = func(iface string) {
+		if seen[iface] {
+			return
+		}
+		seen[iface] = true
+		ic := v.p.Class(iface)
+		if ic == nil {
+			return
+		}
+		for _, m := range ic.Methods {
+			if dc, dm, err := v.p.ResolveMethod(c.Name, m.Name, len(m.Params)); err != nil || dm.Abstract {
+				_ = dc
+				v.errf(c.Name, "", -1, "does not implement %s.%s/%d", iface, m.Name, len(m.Params))
+			}
+		}
+		for _, super := range ic.Interfaces {
+			require(super)
+		}
+	}
+	visited := map[string]bool{}
+	for cur := c; cur != nil && !visited[cur.Name]; {
+		visited[cur.Name] = true
+		for _, i := range cur.Interfaces {
+			require(i)
+		}
+		if cur.Super == "" {
+			break
+		}
+		cur = v.p.Class(cur.Super)
+	}
+	// Abstract methods inherited from abstract superclasses must be
+	// overridden somewhere in the chain.
+	visited = map[string]bool{c.Name: true}
+	for cur := v.classOf(c.Super); cur != nil && !visited[cur.Name]; cur = v.classOf(cur.Super) {
+		visited[cur.Name] = true
+		for _, m := range cur.Methods {
+			if !m.Abstract {
+				continue
+			}
+			if _, dm, err := v.p.ResolveMethod(c.Name, m.Name, len(m.Params)); err != nil || dm.Abstract {
+				v.errf(c.Name, "", -1, "abstract method %s.%s/%d not implemented", cur.Name, m.Name, len(m.Params))
+			}
+		}
+	}
+}
+
+func (v *verifier) classOf(name string) *ir.Class {
+	if name == "" {
+		return nil
+	}
+	return v.p.Class(name)
+}
+
+func (v *verifier) checkType(class, method string, t ir.Type, allowVoid bool) {
+	base := t.BaseElem()
+	if base.Kind == ir.KindVoid && (!allowVoid || t.IsArray()) {
+		v.errf(class, method, -1, "void used as a value type")
+	}
+	if base.Kind == ir.KindRef && !v.p.Has(base.Name) {
+		v.errf(class, method, -1, "unknown type %s", base.Name)
+	}
+}
+
+func (v *verifier) checkMethod(c *ir.Class, m *ir.Method) {
+	for _, pt := range m.Params {
+		v.checkType(c.Name, m.Name, pt, false)
+	}
+	v.checkType(c.Name, m.Name, m.Return, true)
+
+	switch {
+	case m.Abstract && len(m.Code) > 0:
+		v.errf(c.Name, m.Name, -1, "abstract method has code")
+	case m.Native && len(m.Code) > 0:
+		v.errf(c.Name, m.Name, -1, "native method has code")
+	case m.Abstract && m.Native:
+		v.errf(c.Name, m.Name, -1, "method is both abstract and native")
+	case c.IsInterface && !m.Abstract:
+		v.errf(c.Name, m.Name, -1, "interface method must be abstract")
+	case !m.Abstract && !m.Native && len(m.Code) == 0:
+		v.errf(c.Name, m.Name, -1, "concrete method has no code")
+	}
+	if m.IsConstructor() && m.Static {
+		v.errf(c.Name, m.Name, -1, "constructor cannot be static")
+	}
+	if m.IsStaticInit() && !m.Static {
+		v.errf(c.Name, m.Name, -1, "<clinit> must be static")
+	}
+	if len(m.Code) > 0 {
+		v.checkCode(c, m)
+	}
+	for _, h := range m.Handlers {
+		if h.Start < 0 || h.End > len(m.Code) || h.Start >= h.End {
+			v.errf(c.Name, m.Name, -1, "handler range [%d,%d) invalid", h.Start, h.End)
+		}
+		if h.Target < 0 || h.Target >= len(m.Code) {
+			v.errf(c.Name, m.Name, -1, "handler target %d out of range", h.Target)
+		}
+		if h.CatchClass != "" && !v.p.Has(h.CatchClass) {
+			v.errf(c.Name, m.Name, -1, "handler catches unknown class %s", h.CatchClass)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package verifier
+
+import (
+	"strings"
+	"testing"
+
+	"rafda/internal/ir"
+	"rafda/internal/minijava"
+	"rafda/internal/stdlib"
+	"rafda/internal/transform"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := minijava.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+const goodSource = `
+class Pair {
+    int a;
+    int b;
+    Pair(int a, int b) { this.a = a; this.b = b; }
+    int sum() { return a + b; }
+    static Pair of(int a, int b) { return new Pair(a, b); }
+}
+class Main {
+    static void main() {
+        Pair p = Pair.of(1, 2);
+        sys.System.println("sum=" + p.sum());
+        try {
+            int x = 1 / (p.sum() - 3);
+            sys.System.println("x=" + x);
+        } catch (sys.ArithmeticException e) {
+            sys.System.println("div0");
+        }
+        int[] xs = new int[3];
+        for (int i = 0; i < xs.length; i = i + 1) { xs[i] = i; }
+        while (p.sum() < 0) { break; }
+    }
+}`
+
+func TestCompilerOutputVerifies(t *testing.T) {
+	p := compile(t, goodSource)
+	if errs := Verify(p); len(errs) > 0 {
+		for _, e := range errs {
+			t.Errorf("unexpected: %v", e)
+		}
+	}
+}
+
+func TestSystemLibraryVerifies(t *testing.T) {
+	if errs := Verify(stdlib.Program()); len(errs) > 0 {
+		for _, e := range errs {
+			t.Errorf("unexpected: %v", e)
+		}
+	}
+}
+
+// TestTransformedOutputVerifies is the key structural guarantee: the
+// transformer's generated program is itself verifiable.
+func TestTransformedOutputVerifies(t *testing.T) {
+	p := compile(t, goodSource)
+	res, err := transform.Transform(p, transform.Options{})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if errs := Verify(res.Program); len(errs) > 0 {
+		for _, e := range errs {
+			t.Errorf("transformed program: %v", e)
+		}
+	}
+}
+
+func mustContainError(t *testing.T, errs []error, frag string) {
+	t.Helper()
+	for _, e := range errs {
+		if strings.Contains(e.Error(), frag) {
+			return
+		}
+	}
+	t.Fatalf("no error containing %q in %v", frag, errs)
+}
+
+func baseProgram() *ir.Program { return stdlib.Program() }
+
+func TestMissingReference(t *testing.T) {
+	p := baseProgram()
+	p.MustAdd(&ir.Class{
+		Name:  "Orphan",
+		Super: ir.ObjectClass,
+		Fields: []ir.Field{
+			{Name: "f", Type: ir.Ref("Ghost"), Access: ir.AccessPrivate},
+		},
+	})
+	mustContainError(t, Verify(p), "missing from the program")
+}
+
+func TestHierarchyCycle(t *testing.T) {
+	p := baseProgram()
+	p.MustAdd(&ir.Class{Name: "A", Super: "B"})
+	p.MustAdd(&ir.Class{Name: "B", Super: "A"})
+	mustContainError(t, Verify(p), "superclass cycle")
+}
+
+func TestDuplicateMembers(t *testing.T) {
+	p := baseProgram()
+	p.MustAdd(&ir.Class{
+		Name:  "Dup",
+		Super: ir.ObjectClass,
+		Fields: []ir.Field{
+			{Name: "x", Type: ir.Int},
+			{Name: "x", Type: ir.Int},
+		},
+	})
+	mustContainError(t, Verify(p), "duplicate field")
+}
+
+func TestAbstractWithCode(t *testing.T) {
+	p := baseProgram()
+	p.MustAdd(&ir.Class{
+		Name: "Bad", Super: ir.ObjectClass, Abstract: true,
+		Methods: []*ir.Method{{
+			Name: "m", Return: ir.Void, Abstract: true,
+			Code: []ir.Instr{{Op: ir.OpReturn}},
+		}},
+	})
+	mustContainError(t, Verify(p), "abstract method has code")
+}
+
+func TestUnimplementedInterface(t *testing.T) {
+	p := baseProgram()
+	p.MustAdd(&ir.Class{
+		Name: "I", IsInterface: true, Abstract: true,
+		Methods: []*ir.Method{{Name: "m", Return: ir.Void, Abstract: true}},
+	})
+	p.MustAdd(&ir.Class{
+		Name: "C", Super: ir.ObjectClass, Interfaces: []string{"I"},
+	})
+	mustContainError(t, Verify(p), "does not implement I.m/0")
+}
+
+func method(code ...ir.Instr) *ir.Method {
+	return &ir.Method{Name: "m", Return: ir.Void, Access: ir.AccessPublic, Code: code, MaxLocals: 4}
+}
+
+func classWith(m *ir.Method) *ir.Program {
+	p := stdlib.Program()
+	p.MustAdd(&ir.Class{Name: "T", Super: ir.ObjectClass, Methods: []*ir.Method{m}})
+	return p
+}
+
+func TestStackUnderflow(t *testing.T) {
+	p := classWith(method(
+		ir.Instr{Op: ir.OpPop},
+		ir.Instr{Op: ir.OpReturn},
+	))
+	mustContainError(t, Verify(p), "underflow")
+}
+
+func TestJumpOutOfRange(t *testing.T) {
+	p := classWith(method(
+		ir.Instr{Op: ir.OpJump, A: 99},
+		ir.Instr{Op: ir.OpReturn},
+	))
+	mustContainError(t, Verify(p), "out of range")
+}
+
+func TestFallOffEnd(t *testing.T) {
+	p := classWith(method(
+		ir.Instr{Op: ir.OpConstInt, A: 1},
+		ir.Instr{Op: ir.OpPop},
+	))
+	mustContainError(t, Verify(p), "fall off the end")
+}
+
+func TestInconsistentJoinDepth(t *testing.T) {
+	p := classWith(method(
+		ir.Instr{Op: ir.OpConstBool, A: 1}, // 0: depth 0 -> 1
+		ir.Instr{Op: ir.OpJumpIf, A: 3},    // 1: -> depth 0 both ways
+		ir.Instr{Op: ir.OpConstInt, A: 5},  // 2: depth 0 -> 1
+		ir.Instr{Op: ir.OpReturn},          // 3: joined at depth 0 and 1
+	))
+	mustContainError(t, Verify(p), "inconsistent stack depth")
+}
+
+func TestUnresolvedInvoke(t *testing.T) {
+	p := classWith(method(
+		ir.Instr{Op: ir.OpInvokeStatic, Owner: "T", Member: "nope", NArgs: 0},
+		ir.Instr{Op: ir.OpReturn},
+	))
+	mustContainError(t, Verify(p), "unresolved method")
+}
+
+func TestValueReturnInVoidMethod(t *testing.T) {
+	p := classWith(method(
+		ir.Instr{Op: ir.OpConstInt, A: 1},
+		ir.Instr{Op: ir.OpReturnValue},
+	))
+	mustContainError(t, Verify(p), "value return in void method")
+}
+
+func TestNewAbstract(t *testing.T) {
+	p := baseProgram()
+	p.MustAdd(&ir.Class{Name: "Abs", Super: ir.ObjectClass, Abstract: true})
+	p.MustAdd(&ir.Class{
+		Name: "T", Super: ir.ObjectClass,
+		Methods: []*ir.Method{method(
+			ir.Instr{Op: ir.OpNew, Owner: "Abs"},
+			ir.Instr{Op: ir.OpPop},
+			ir.Instr{Op: ir.OpReturn},
+		)},
+	})
+	mustContainError(t, Verify(p), "non-instantiable")
+}
+
+func TestBadHandlerRange(t *testing.T) {
+	m := method(ir.Instr{Op: ir.OpReturn})
+	m.Handlers = []ir.TryHandler{{Start: 5, End: 2, Target: 0}}
+	p := classWith(m)
+	mustContainError(t, Verify(p), "handler range")
+}
+
+// TestTransformedDistributedProgramsVerify runs the verifier over the
+// transformer output for every semantic-equivalence test program shape.
+func TestTransformedDistributedProgramsVerify(t *testing.T) {
+	srcs := []string{
+		`class C { int s; C(int s) { this.s = s; } int bump() { s = s + 1; return s; } }
+		 class Main { static void main() { C c = new C(1); sys.System.println("" + c.bump()); } }`,
+		`class K { static int n = 3; static int get() { return n; } }
+		 class Main { static void main() { sys.System.println("" + K.get()); } }`,
+		`class P { int v; P(int v) { this.v = v; } }
+		 class Q extends P { Q(int v) { super(v); } int twice() { return v * 2; } }
+		 class Main { static void main() { Q q = new Q(4); sys.System.println("" + q.twice()); } }`,
+	}
+	for i, src := range srcs {
+		p := compile(t, src)
+		res, err := transform.Transform(p, transform.Options{})
+		if err != nil {
+			t.Fatalf("case %d transform: %v", i, err)
+		}
+		if errs := Verify(res.Program); len(errs) > 0 {
+			for _, e := range errs {
+				t.Errorf("case %d: %v", i, e)
+			}
+		}
+	}
+}

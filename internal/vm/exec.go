@@ -1,0 +1,664 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"rafda/internal/ir"
+	"rafda/internal/stdlib"
+)
+
+// exec interprets one method activation.  The lock is held on entry and
+// exit; native methods may release it via Env.RunUnlocked.
+func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Value, *Thrown, error) {
+	if m.Abstract {
+		return Value{}, nil, &FaultError{Msg: fmt.Sprintf("abstract method %s.%s invoked", class.Name, m.Name)}
+	}
+	if v.depth++; v.depth > v.maxDepth {
+		v.depth--
+		return Value{}, nil, &FaultError{Msg: "call depth limit exceeded"}
+	}
+	defer func() { v.depth-- }()
+
+	if m.Native {
+		return v.callNative(class, m, recv, args)
+	}
+
+	nlocals := m.MaxLocals
+	min := len(args)
+	if !m.Static {
+		min++
+	}
+	if nlocals < min {
+		nlocals = min
+	}
+	locals := make([]Value, nlocals+4)
+	idx := 0
+	if !m.Static {
+		locals[0] = recv
+		idx = 1
+	}
+	for _, a := range args {
+		locals[idx] = a
+		idx++
+	}
+
+	stack := make([]Value, 0, 16)
+	push := func(val Value) { stack = append(stack, val) }
+	pop := func() Value {
+		val := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return val
+	}
+
+	code := m.Code
+	pc := 0
+	var pendingThrow *Thrown
+
+	fault := func(format string, a ...any) (Value, *Thrown, error) {
+		return Value{}, nil, &FaultError{
+			Msg: fmt.Sprintf("%s.%s pc=%d: %s", class.Name, m.Name, pc, fmt.Sprintf(format, a...)),
+		}
+	}
+
+	for {
+		if pendingThrow != nil {
+			// Search this frame's handler table.
+			handled := false
+			for _, h := range m.Handlers {
+				if pc >= h.Start && pc < h.End && v.catches(h, pendingThrow) {
+					stack = stack[:0]
+					push(RefV(pendingThrow.Obj))
+					pc = h.Target
+					pendingThrow = nil
+					handled = true
+					break
+				}
+			}
+			if !handled {
+				return Value{}, pendingThrow, nil
+			}
+			continue
+		}
+
+		if pc < 0 || pc >= len(code) {
+			return fault("pc out of range (len=%d)", len(code))
+		}
+		if v.steps++; v.steps > v.maxSteps {
+			return fault("step limit exceeded")
+		}
+
+		in := code[pc]
+		switch in.Op {
+		case ir.OpConstInt:
+			push(IntV(in.A))
+		case ir.OpConstBool:
+			push(BoolV(in.A != 0))
+		case ir.OpConstFloat:
+			push(FloatV(in.F))
+		case ir.OpConstString:
+			push(StringV(in.Str))
+		case ir.OpConstNull:
+			if in.TypeRef != nil && in.TypeRef.IsArray() {
+				push(Value{K: ir.KindArray})
+			} else {
+				push(NullV())
+			}
+
+		case ir.OpLoad:
+			n := int(in.A)
+			if n < 0 || n >= len(locals) {
+				return fault("load: bad slot %d", n)
+			}
+			push(locals[n])
+		case ir.OpStore:
+			n := int(in.A)
+			if n < 0 {
+				return fault("store: bad slot %d", n)
+			}
+			for n >= len(locals) {
+				locals = append(locals, Value{})
+			}
+			if len(stack) == 0 {
+				return fault("store: empty stack")
+			}
+			locals[n] = pop()
+
+		case ir.OpDup:
+			if len(stack) == 0 {
+				return fault("dup: empty stack")
+			}
+			push(stack[len(stack)-1])
+		case ir.OpPop:
+			if len(stack) == 0 {
+				return fault("pop: empty stack")
+			}
+			pop()
+		case ir.OpSwap:
+			if len(stack) < 2 {
+				return fault("swap: underflow")
+			}
+			stack[len(stack)-1], stack[len(stack)-2] = stack[len(stack)-2], stack[len(stack)-1]
+
+		case ir.OpNew:
+			if thrown, err := v.ensureInit(in.Owner); err != nil {
+				return Value{}, nil, err
+			} else if thrown != nil {
+				pendingThrow = thrown
+				continue
+			}
+			obj, err := v.alloc(in.Owner)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			push(RefV(obj))
+
+		case ir.OpGetField:
+			if len(stack) < 1 {
+				return fault("getfield: underflow")
+			}
+			ref := pop()
+			if ref.IsNullRef() {
+				pendingThrow = v.throwSys(stdlib.NullPointerClass,
+					fmt.Sprintf("read of field %s on null", in.Member))
+				continue
+			}
+			if ref.K != ir.KindRef {
+				return fault("getfield on non-ref %v", ref.K)
+			}
+			val, ok := ref.O.Fields[in.Member]
+			if !ok {
+				return fault("no field %s on %s", in.Member, ref.O.Class.Name)
+			}
+			push(val)
+
+		case ir.OpPutField:
+			if len(stack) < 2 {
+				return fault("putfield: underflow")
+			}
+			val := pop()
+			ref := pop()
+			if ref.IsNullRef() {
+				pendingThrow = v.throwSys(stdlib.NullPointerClass,
+					fmt.Sprintf("write of field %s on null", in.Member))
+				continue
+			}
+			if ref.K != ir.KindRef {
+				return fault("putfield on non-ref %v", ref.K)
+			}
+			ref.O.Fields[in.Member] = val
+
+		case ir.OpGetStatic:
+			owner, fld, thrown, err := v.staticSlot(in.Owner, in.Member)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			if thrown != nil {
+				pendingThrow = thrown
+				continue
+			}
+			push(v.statics[owner][fld])
+
+		case ir.OpPutStatic:
+			if len(stack) < 1 {
+				return fault("putstatic: underflow")
+			}
+			owner, fld, thrown, err := v.staticSlot(in.Owner, in.Member)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			if thrown != nil {
+				pendingThrow = thrown
+				continue
+			}
+			v.statics[owner][fld] = pop()
+
+		case ir.OpInvokeStatic:
+			if len(stack) < in.NArgs {
+				return fault("invokestatic: underflow")
+			}
+			callArgs := make([]Value, in.NArgs)
+			for i := in.NArgs - 1; i >= 0; i-- {
+				callArgs[i] = pop()
+			}
+			res, thrown, err := v.call(in.Owner, in.Member, Value{}, callArgs)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			if thrown != nil {
+				pendingThrow = thrown
+				continue
+			}
+			if !res.IsVoid() {
+				push(res)
+			}
+
+		case ir.OpInvokeVirtual, ir.OpInvokeInterface, ir.OpInvokeSpecial:
+			if len(stack) < in.NArgs+1 {
+				return fault("%s: underflow", in.Op)
+			}
+			callArgs := make([]Value, in.NArgs)
+			for i := in.NArgs - 1; i >= 0; i-- {
+				callArgs[i] = pop()
+			}
+			ref := pop()
+			if ref.IsNullRef() {
+				pendingThrow = v.throwSys(stdlib.NullPointerClass,
+					fmt.Sprintf("invoke of %s.%s on null", in.Owner, in.Member))
+				continue
+			}
+			var startClass string
+			if in.Op == ir.OpInvokeSpecial {
+				startClass = in.Owner // exact: constructors, super calls
+			} else {
+				if ref.K != ir.KindRef {
+					return fault("%s on non-ref value", in.Op)
+				}
+				startClass = ref.O.Class.Name // dynamic dispatch
+			}
+			res, thrown, err := v.call(startClass, in.Member, ref, callArgs)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			if thrown != nil {
+				pendingThrow = thrown
+				continue
+			}
+			if !res.IsVoid() {
+				push(res)
+			}
+
+		case ir.OpNewArray:
+			if len(stack) < 1 {
+				return fault("newarray: underflow")
+			}
+			if in.TypeRef == nil {
+				return fault("newarray: missing element type")
+			}
+			n := pop()
+			if n.I < 0 {
+				pendingThrow = v.throwSys(stdlib.IndexBoundsClass,
+					fmt.Sprintf("array length %d", n.I))
+				continue
+			}
+			push(ArrayV(NewArray(*in.TypeRef, int(n.I))))
+
+		case ir.OpALoad:
+			if len(stack) < 2 {
+				return fault("aload: underflow")
+			}
+			idx := pop()
+			arr := pop()
+			if arr.IsNullRef() {
+				pendingThrow = v.throwSys(stdlib.NullPointerClass, "index of null array")
+				continue
+			}
+			if idx.I < 0 || int(idx.I) >= len(arr.A.Vals) {
+				pendingThrow = v.throwSys(stdlib.IndexBoundsClass,
+					fmt.Sprintf("index %d out of range %d", idx.I, len(arr.A.Vals)))
+				continue
+			}
+			push(arr.A.Vals[idx.I])
+
+		case ir.OpAStore:
+			if len(stack) < 3 {
+				return fault("astore: underflow")
+			}
+			val := pop()
+			idx := pop()
+			arr := pop()
+			if arr.IsNullRef() {
+				pendingThrow = v.throwSys(stdlib.NullPointerClass, "store to null array")
+				continue
+			}
+			if idx.I < 0 || int(idx.I) >= len(arr.A.Vals) {
+				pendingThrow = v.throwSys(stdlib.IndexBoundsClass,
+					fmt.Sprintf("index %d out of range %d", idx.I, len(arr.A.Vals)))
+				continue
+			}
+			arr.A.Vals[idx.I] = val
+
+		case ir.OpArrayLen:
+			if len(stack) < 1 {
+				return fault("arraylen: underflow")
+			}
+			arr := pop()
+			if arr.IsNullRef() {
+				pendingThrow = v.throwSys(stdlib.NullPointerClass, "length of null array")
+				continue
+			}
+			push(IntV(int64(len(arr.A.Vals))))
+
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem:
+			if len(stack) < 2 {
+				return fault("%s: underflow", in.Op)
+			}
+			b := pop()
+			a := pop()
+			res, thrown := v.arith(in.Op, a, b)
+			if thrown != nil {
+				pendingThrow = thrown
+				continue
+			}
+			push(res)
+
+		case ir.OpNeg:
+			if len(stack) < 1 {
+				return fault("neg: underflow")
+			}
+			a := pop()
+			if a.K == ir.KindFloat {
+				push(FloatV(-a.F))
+			} else {
+				push(IntV(-a.I))
+			}
+
+		case ir.OpNot:
+			if len(stack) < 1 {
+				return fault("not: underflow")
+			}
+			a := pop()
+			push(BoolV(a.I == 0))
+
+		case ir.OpConcat:
+			if len(stack) < 2 {
+				return fault("concat: underflow")
+			}
+			b := pop()
+			a := pop()
+			push(StringV(a.S + b.S))
+
+		case ir.OpCmpEq, ir.OpCmpNe, ir.OpCmpLt, ir.OpCmpLe, ir.OpCmpGt, ir.OpCmpGe:
+			if len(stack) < 2 {
+				return fault("%s: underflow", in.Op)
+			}
+			b := pop()
+			a := pop()
+			res, err := compare(in.Op, a, b)
+			if err != nil {
+				return fault("%v", err)
+			}
+			push(BoolV(res))
+
+		case ir.OpJump:
+			pc = int(in.A)
+			continue
+		case ir.OpJumpIf:
+			if len(stack) < 1 {
+				return fault("jump.if: underflow")
+			}
+			if pop().Bool() {
+				pc = int(in.A)
+				continue
+			}
+		case ir.OpJumpIfNot:
+			if len(stack) < 1 {
+				return fault("jump.ifnot: underflow")
+			}
+			if !pop().Bool() {
+				pc = int(in.A)
+				continue
+			}
+
+		case ir.OpCast:
+			if len(stack) < 1 {
+				return fault("cast: underflow")
+			}
+			if in.TypeRef == nil {
+				return fault("cast: missing target type")
+			}
+			val := pop()
+			res, thrown, err := v.cast(val, *in.TypeRef)
+			if err != nil {
+				return fault("%v", err)
+			}
+			if thrown != nil {
+				pendingThrow = thrown
+				continue
+			}
+			push(res)
+
+		case ir.OpInstanceOf:
+			if len(stack) < 1 {
+				return fault("instanceof: underflow")
+			}
+			if in.TypeRef == nil {
+				return fault("instanceof: missing target type")
+			}
+			val := pop()
+			ok := val.K == ir.KindRef && val.O != nil && in.TypeRef.Kind == ir.KindRef &&
+				v.prog.AssignableTo(val.O.Class.Name, in.TypeRef.Name)
+			push(BoolV(ok))
+
+		case ir.OpReturn:
+			return Value{}, nil, nil
+		case ir.OpReturnValue:
+			if len(stack) < 1 {
+				return fault("return.v: empty stack")
+			}
+			return pop(), nil, nil
+
+		case ir.OpThrow:
+			if len(stack) < 1 {
+				return fault("throw: empty stack")
+			}
+			ref := pop()
+			if ref.IsNullRef() {
+				pendingThrow = v.throwSys(stdlib.NullPointerClass, "throw of null")
+				continue
+			}
+			if ref.K != ir.KindRef || !v.prog.IsSubclassOf(ref.O.Class.Name, ir.ThrowableClass) {
+				return fault("throw of non-throwable %s", ref)
+			}
+			pendingThrow = &Thrown{Obj: ref.O}
+			continue
+
+		default:
+			return fault("unimplemented opcode %s", in.Op)
+		}
+		pc++
+	}
+}
+
+func (v *VM) catches(h ir.TryHandler, t *Thrown) bool {
+	if h.CatchClass == "" {
+		return true
+	}
+	if t.Obj == nil {
+		return false
+	}
+	return v.prog.IsSubclassOf(t.Obj.Class.Name, h.CatchClass)
+}
+
+// staticSlot resolves Owner.Member through the superclass chain (static
+// fields are inherited in Java) and ensures initialisation.
+func (v *VM) staticSlot(owner, member string) (string, string, *Thrown, error) {
+	dc, _, err := v.prog.ResolveField(owner, member)
+	if err != nil {
+		return "", "", nil, &FaultError{Msg: err.Error()}
+	}
+	thrown, ierr := v.ensureInit(dc.Name)
+	if ierr != nil || thrown != nil {
+		return "", "", thrown, ierr
+	}
+	if _, ok := v.statics[dc.Name][member]; !ok {
+		return "", "", nil, &FaultError{Msg: fmt.Sprintf("field %s.%s is not static", dc.Name, member)}
+	}
+	return dc.Name, member, nil, nil
+}
+
+func (v *VM) arith(op ir.Op, a, b Value) (Value, *Thrown) {
+	if a.K == ir.KindFloat || b.K == ir.KindFloat {
+		af, bf := numAsFloat(a), numAsFloat(b)
+		switch op {
+		case ir.OpAdd:
+			return FloatV(af + bf), nil
+		case ir.OpSub:
+			return FloatV(af - bf), nil
+		case ir.OpMul:
+			return FloatV(af * bf), nil
+		case ir.OpDiv:
+			return FloatV(af / bf), nil
+		case ir.OpRem:
+			return FloatV(math.Mod(af, bf)), nil
+		}
+	}
+	switch op {
+	case ir.OpAdd:
+		return IntV(a.I + b.I), nil
+	case ir.OpSub:
+		return IntV(a.I - b.I), nil
+	case ir.OpMul:
+		return IntV(a.I * b.I), nil
+	case ir.OpDiv:
+		if b.I == 0 {
+			return Value{}, v.throwSys(stdlib.ArithmeticClass, "division by zero")
+		}
+		return IntV(a.I / b.I), nil
+	case ir.OpRem:
+		if b.I == 0 {
+			return Value{}, v.throwSys(stdlib.ArithmeticClass, "remainder by zero")
+		}
+		return IntV(a.I % b.I), nil
+	}
+	return Value{}, nil
+}
+
+func numericKind(k ir.Kind) bool { return k == ir.KindInt || k == ir.KindFloat }
+
+func numAsFloat(v Value) float64 {
+	if v.K == ir.KindFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+func compare(op ir.Op, a, b Value) (bool, error) {
+	// Equality on references is identity; on primitives, value equality.
+	if op == ir.OpCmpEq || op == ir.OpCmpNe {
+		eq, err := valuesEqual(a, b)
+		if err != nil {
+			return false, err
+		}
+		if op == ir.OpCmpNe {
+			return !eq, nil
+		}
+		return eq, nil
+	}
+	var c int
+	switch {
+	case a.K == ir.KindString && b.K == ir.KindString:
+		switch {
+		case a.S < b.S:
+			c = -1
+		case a.S > b.S:
+			c = 1
+		}
+	case a.K == ir.KindFloat || b.K == ir.KindFloat:
+		af, bf := numAsFloat(a), numAsFloat(b)
+		switch {
+		case af < bf:
+			c = -1
+		case af > bf:
+			c = 1
+		}
+	case a.K == ir.KindInt && b.K == ir.KindInt:
+		switch {
+		case a.I < b.I:
+			c = -1
+		case a.I > b.I:
+			c = 1
+		}
+	default:
+		return false, fmt.Errorf("cannot order %v and %v", a.K, b.K)
+	}
+	switch op {
+	case ir.OpCmpLt:
+		return c < 0, nil
+	case ir.OpCmpLe:
+		return c <= 0, nil
+	case ir.OpCmpGt:
+		return c > 0, nil
+	case ir.OpCmpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("bad comparison op %s", op)
+}
+
+func refLike(v Value) bool { return v.K == ir.KindRef || v.K == ir.KindArray }
+
+func valuesEqual(a, b Value) (bool, error) {
+	switch {
+	case a.K == ir.KindRef && b.K == ir.KindRef:
+		return a.O == b.O, nil
+	case a.K == ir.KindArray && b.K == ir.KindArray:
+		return a.A == b.A, nil
+	case refLike(a) && refLike(b):
+		// Mixed object/array comparison (e.g. a null literal, which is
+		// typed as an object reference, against an array): equal only
+		// when both are null.
+		return a.IsNullRef() && b.IsNullRef(), nil
+	case a.K == ir.KindString && b.K == ir.KindString:
+		return a.S == b.S, nil
+	case a.K == ir.KindBool && b.K == ir.KindBool:
+		return a.I == b.I, nil
+	case numericKind(a.K) && numericKind(b.K):
+		if a.K == ir.KindFloat || b.K == ir.KindFloat {
+			return numAsFloat(a) == numAsFloat(b), nil
+		}
+		return a.I == b.I, nil
+	default:
+		return false, fmt.Errorf("cannot compare %v and %v", a.K, b.K)
+	}
+}
+
+// cast applies a checked reference cast or a numeric conversion.
+func (v *VM) cast(val Value, target ir.Type) (Value, *Thrown, error) {
+	switch target.Kind {
+	case ir.KindInt:
+		if val.K == ir.KindFloat {
+			return IntV(int64(val.F)), nil, nil
+		}
+		if val.K == ir.KindInt || val.K == ir.KindBool {
+			return IntV(val.I), nil, nil
+		}
+	case ir.KindFloat:
+		if val.K == ir.KindInt {
+			return FloatV(float64(val.I)), nil, nil
+		}
+		if val.K == ir.KindFloat {
+			return val, nil, nil
+		}
+	case ir.KindRef:
+		if val.K == ir.KindArray && val.A == nil {
+			return NullV(), nil, nil
+		}
+		if val.K == ir.KindRef {
+			if val.O == nil || v.prog.AssignableTo(val.O.Class.Name, target.Name) {
+				return val, nil, nil
+			}
+			return Value{}, v.throwSys(stdlib.ClassCastClass,
+				fmt.Sprintf("%s is not a %s", val.O.Class.Name, target.Name)), nil
+		}
+	case ir.KindArray:
+		if val.K == ir.KindRef && val.O == nil {
+			return Value{K: ir.KindArray}, nil, nil
+		}
+		if val.K == ir.KindArray {
+			if val.A == nil || val.A.Elem.Equal(*target.Elem) {
+				return val, nil, nil
+			}
+			return Value{}, v.throwSys(stdlib.ClassCastClass,
+				fmt.Sprintf("%s[] is not a %s[]", val.A.Elem, target.Elem)), nil
+		}
+	case ir.KindString:
+		if val.K == ir.KindString {
+			return val, nil, nil
+		}
+	case ir.KindBool:
+		if val.K == ir.KindBool {
+			return val, nil, nil
+		}
+	}
+	return Value{}, nil, fmt.Errorf("cannot cast %v to %s", val.K, target)
+}

@@ -1,0 +1,451 @@
+// Package vm implements the bytecode interpreter for the IR: heap objects,
+// virtual/interface/static dispatch, static initialisation, exceptions,
+// arrays and native methods.  It is the execution substrate standing in
+// for the JVM in the reproduction.
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rafda/internal/ir"
+	"rafda/internal/stdlib"
+)
+
+// Limits bound runaway programs in tests and experiments.
+const (
+	DefaultMaxSteps = int64(200_000_000)
+	DefaultMaxDepth = 1024
+)
+
+// FaultError reports a VM-level fault: malformed code, unknown classes,
+// step or depth limits.  Distinct from program-level thrown exceptions.
+type FaultError struct {
+	Msg string
+}
+
+func (e *FaultError) Error() string { return "vm fault: " + e.Msg }
+
+// UncaughtError reports a program exception that escaped the entry method.
+type UncaughtError struct {
+	Class   string
+	Message string
+}
+
+func (e *UncaughtError) Error() string {
+	return fmt.Sprintf("uncaught %s: %s", e.Class, e.Message)
+}
+
+// Thrown carries an in-flight program exception between frames.
+type Thrown struct {
+	Obj *Object
+}
+
+// Env is the capability handed to native methods.  Calls made through Env
+// stay within the current VM execution (no re-locking), and RunUnlocked
+// lets natives that block on the network (proxy invocations) release the
+// VM while waiting.
+type Env struct {
+	vm *VM
+}
+
+// VM returns the owning VM.
+func (e *Env) VM() *VM { return e.vm }
+
+// Call invokes a method within the current execution.
+func (e *Env) Call(class, method string, recv Value, args []Value) (Value, *Thrown, error) {
+	return e.vm.call(class, method, recv, args)
+}
+
+// New allocates an uninitialised instance of the named class.
+func (e *Env) New(class string) (*Object, error) { return e.vm.alloc(class) }
+
+// Construct allocates and runs the matching constructor.
+func (e *Env) Construct(class string, args []Value) (Value, *Thrown, error) {
+	return e.vm.construct(class, args)
+}
+
+// Throw builds a Thrown of the given system exception class.
+func (e *Env) Throw(class, msg string) *Thrown { return e.vm.throwSys(class, msg) }
+
+// RunUnlocked releases the VM lock around f.  Native methods that perform
+// blocking I/O (remote proxy calls) must use it so that incoming remote
+// invocations — including re-entrant callbacks — can proceed.
+func (e *Env) RunUnlocked(f func()) {
+	e.vm.mu.Unlock()
+	defer e.vm.mu.Lock()
+	f()
+}
+
+// NativeFunc implements one native method.
+type NativeFunc func(env *Env, recv Value, args []Value) (Value, *Thrown, error)
+
+// ClassNativeFunc implements every native method of one class; the node
+// runtime registers these for generated proxy classes.
+type ClassNativeFunc func(env *Env, method string, recv Value, args []Value) (Value, *Thrown, error)
+
+// VM is one address space's interpreter: a program (class path), static
+// state, and a native-method registry.
+//
+// Locking: all public entry points serialise on an internal mutex, so a
+// VM may be driven from multiple goroutines (the node runtime dispatches
+// each incoming remote invocation on its own goroutine).  Native methods
+// receive an Env and may release the lock across blocking I/O.
+type VM struct {
+	mu sync.Mutex
+
+	prog        *ir.Program
+	statics     map[string]map[string]Value
+	initialized map[string]bool
+	natives     map[string]NativeFunc
+	classNative map[string]ClassNativeFunc
+
+	out      io.Writer
+	steps    int64
+	maxSteps int64
+	depth    int
+	maxDepth int
+
+	// Clock supplies sys.Clock natives; overridable for determinism.
+	clock func() time.Time
+}
+
+// Option configures a VM.
+type Option func(*VM)
+
+// WithOutput directs sys.System print natives to w.
+func WithOutput(w io.Writer) Option { return func(v *VM) { v.out = w } }
+
+// WithMaxSteps overrides the execution step budget.
+func WithMaxSteps(n int64) Option { return func(v *VM) { v.maxSteps = n } }
+
+// WithMaxDepth overrides the call-depth budget.
+func WithMaxDepth(n int) Option { return func(v *VM) { v.maxDepth = n } }
+
+// WithClock overrides the time source used by sys.Clock.
+func WithClock(f func() time.Time) Option { return func(v *VM) { v.clock = f } }
+
+// New builds a VM over prog.  If prog lacks the system library it is
+// merged in automatically.  The system natives are pre-registered.
+func New(prog *ir.Program, opts ...Option) (*VM, error) {
+	if prog == nil {
+		prog = ir.NewProgram()
+	}
+	if !prog.Has(ir.ObjectClass) {
+		merged := stdlib.Program()
+		for _, c := range prog.Classes() {
+			if err := merged.Add(c); err != nil {
+				return nil, fmt.Errorf("merge system library: %w", err)
+			}
+		}
+		prog = merged
+	}
+	v := &VM{
+		prog:        prog,
+		statics:     make(map[string]map[string]Value),
+		initialized: make(map[string]bool),
+		natives:     make(map[string]NativeFunc),
+		classNative: make(map[string]ClassNativeFunc),
+		out:         io.Discard,
+		maxSteps:    DefaultMaxSteps,
+		maxDepth:    DefaultMaxDepth,
+		clock:       time.Now,
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	registerSystemNatives(v)
+	return v, nil
+}
+
+// MustNew is New that panics; for tests and generators.
+func MustNew(prog *ir.Program, opts ...Option) *VM {
+	v, err := New(prog, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Program returns the VM's program.  Callers must not mutate classes that
+// have already executed.
+func (v *VM) Program() *ir.Program { return v.prog }
+
+// AddClass loads an additional class definition (e.g. a proxy class
+// shipped from a peer node).
+func (v *VM) AddClass(c *ir.Class) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.prog.Has(c.Name) {
+		return fmt.Errorf("class %q already loaded", c.Name)
+	}
+	return v.prog.Add(c)
+}
+
+// RegisterNative binds one native method: owner.name with the given arity.
+func (v *VM) RegisterNative(owner, name string, arity int, f NativeFunc) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.natives[nativeKey(owner, name, arity)] = f
+}
+
+// RegisterClassNative binds a fallback handler for every native method of
+// owner that has no exact registration.
+func (v *VM) RegisterClassNative(owner string, f ClassNativeFunc) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.classNative[owner] = f
+}
+
+func nativeKey(owner, name string, arity int) string {
+	return fmt.Sprintf("%s.%s/%d", owner, name, arity)
+}
+
+// Steps returns the cumulative instruction count executed.
+func (v *VM) Steps() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.steps
+}
+
+// ResetSteps zeroes the instruction counter.
+func (v *VM) ResetSteps() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.steps = 0
+}
+
+// Invoke calls class.method with an explicit receiver (use NullV or a
+// previously obtained object reference; pass Value{} for statics too —
+// the method's own staticness decides).  It is the public, locking entry
+// point; errors are *FaultError or *UncaughtError.
+func (v *VM) Invoke(class, method string, recv Value, args []Value) (Value, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	res, thrown, err := v.call(class, method, recv, args)
+	if err != nil {
+		return Value{}, err
+	}
+	if thrown != nil {
+		return Value{}, v.uncaught(thrown)
+	}
+	return res, nil
+}
+
+// InvokeCatching is Invoke but returns program exceptions as a Thrown
+// rather than flattening them to an error; the node runtime uses it so
+// exceptions can propagate across the wire.
+func (v *VM) InvokeCatching(class, method string, recv Value, args []Value) (Value, *Thrown, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.call(class, method, recv, args)
+}
+
+// RunMain locates `static void main()` on the named class and runs it.
+func (v *VM) RunMain(class string) error {
+	_, err := v.Invoke(class, "main", Value{}, nil)
+	return err
+}
+
+// NewObject allocates an uninitialised instance (public, locking).
+func (v *VM) NewObject(class string) (*Object, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.alloc(class)
+}
+
+// Construct allocates an instance and runs its arity-matching constructor.
+func (v *VM) Construct(class string, args []Value) (Value, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	res, thrown, err := v.construct(class, args)
+	if err != nil {
+		return Value{}, err
+	}
+	if thrown != nil {
+		return Value{}, v.uncaught(thrown)
+	}
+	return res, nil
+}
+
+// GetStatic reads a static field (running <clinit> if needed).
+func (v *VM) GetStatic(class, field string) (Value, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if thrown, err := v.ensureInit(class); err != nil {
+		return Value{}, err
+	} else if thrown != nil {
+		return Value{}, v.uncaught(thrown)
+	}
+	m := v.statics[class]
+	val, ok := m[field]
+	if !ok {
+		return Value{}, &FaultError{Msg: fmt.Sprintf("no static field %s.%s", class, field)}
+	}
+	return val, nil
+}
+
+// SetStatic writes a static field (running <clinit> if needed).
+func (v *VM) SetStatic(class, field string, val Value) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if thrown, err := v.ensureInit(class); err != nil {
+		return err
+	} else if thrown != nil {
+		return v.uncaught(thrown)
+	}
+	m := v.statics[class]
+	if _, ok := m[field]; !ok {
+		return &FaultError{Msg: fmt.Sprintf("no static field %s.%s", class, field)}
+	}
+	m[field] = val
+	return nil
+}
+
+// WithLock runs f while holding the VM lock; the node runtime uses it for
+// compound heap operations (marshalling object state, morphing).
+func (v *VM) WithLock(f func(env *Env)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f(&Env{vm: v})
+}
+
+// Morph re-types obj in place: it becomes an instance of newClass with the
+// given fields.  Every existing reference to obj now observes the new
+// class — this implements proxy substitution for live objects.
+func (v *VM) Morph(obj *Object, newClass string, fields map[string]Value) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.prog.Class(newClass)
+	if c == nil {
+		return &FaultError{Msg: "morph: unknown class " + newClass}
+	}
+	obj.Class = c
+	obj.Fields = fields
+	return nil
+}
+
+func (v *VM) uncaught(t *Thrown) error {
+	msg := ""
+	if t.Obj != nil {
+		if mv, ok := t.Obj.Fields["message"]; ok {
+			msg = mv.S
+		}
+		return &UncaughtError{Class: t.Obj.Class.Name, Message: msg}
+	}
+	return &UncaughtError{Class: "<nil>", Message: ""}
+}
+
+// ThrownMessage extracts class and message from a thrown exception.
+func ThrownMessage(t *Thrown) (class, msg string) {
+	if t == nil || t.Obj == nil {
+		return "", ""
+	}
+	return t.Obj.Class.Name, t.Obj.Fields["message"].S
+}
+
+// alloc creates a zeroed instance of the named class (no constructor).
+func (v *VM) alloc(class string) (*Object, error) {
+	c := v.prog.Class(class)
+	if c == nil {
+		return nil, &FaultError{Msg: "new: unknown class " + class}
+	}
+	if c.IsInterface || c.Abstract {
+		return nil, &FaultError{Msg: "new: cannot instantiate " + class}
+	}
+	fields := make(map[string]Value)
+	for cur := c; cur != nil; {
+		for _, f := range cur.Fields {
+			if !f.Static {
+				if _, shadowed := fields[f.Name]; !shadowed {
+					fields[f.Name] = ZeroValue(f.Type)
+				}
+			}
+		}
+		if cur.Super == "" {
+			break
+		}
+		cur = v.prog.Class(cur.Super)
+	}
+	return &Object{Class: c, Fields: fields}, nil
+}
+
+func (v *VM) construct(class string, args []Value) (Value, *Thrown, error) {
+	if thrown, err := v.ensureInit(class); thrown != nil || err != nil {
+		return Value{}, thrown, err
+	}
+	obj, err := v.alloc(class)
+	if err != nil {
+		return Value{}, nil, err
+	}
+	c := v.prog.Class(class)
+	ctor := c.Method(ir.ConstructorName, len(args))
+	if ctor == nil {
+		return Value{}, nil, &FaultError{Msg: fmt.Sprintf("no constructor %s/%d", class, len(args))}
+	}
+	_, thrown, err := v.exec(c, ctor, RefV(obj), args)
+	if thrown != nil || err != nil {
+		return Value{}, thrown, err
+	}
+	return RefV(obj), nil, nil
+}
+
+// call resolves and executes a method; lock must be held.
+func (v *VM) call(class, method string, recv Value, args []Value) (Value, *Thrown, error) {
+	dc, m, err := v.prog.ResolveMethod(class, method, len(args))
+	if err != nil {
+		return Value{}, nil, &FaultError{Msg: err.Error()}
+	}
+	if m.Static {
+		if thrown, err := v.ensureInit(dc.Name); thrown != nil || err != nil {
+			return Value{}, thrown, err
+		}
+	}
+	return v.exec(dc, m, recv, args)
+}
+
+// ensureInit runs the static initialiser of class (and its superclasses)
+// on first use.
+func (v *VM) ensureInit(class string) (*Thrown, error) {
+	c := v.prog.Class(class)
+	if c == nil {
+		return nil, &FaultError{Msg: "init: unknown class " + class}
+	}
+	if v.initialized[class] {
+		return nil, nil
+	}
+	// Mark before running, as the JVM does, so initialisation cycles
+	// terminate (observing partially-initialised state, as in Java).
+	v.initialized[class] = true
+	if c.Super != "" {
+		if thrown, err := v.ensureInit(c.Super); thrown != nil || err != nil {
+			return thrown, err
+		}
+	}
+	sf := make(map[string]Value)
+	for _, f := range c.StaticFields() {
+		sf[f.Name] = ZeroValue(f.Type)
+	}
+	v.statics[class] = sf
+	if clinit := c.StaticInit(); clinit != nil {
+		_, thrown, err := v.exec(c, clinit, Value{}, nil)
+		if thrown != nil || err != nil {
+			return thrown, err
+		}
+	}
+	return nil, nil
+}
+
+// throwSys builds a Thrown of a sys.* exception class.
+func (v *VM) throwSys(class, msg string) *Thrown {
+	obj, err := v.alloc(class)
+	if err != nil {
+		// The system library is always present; this indicates a broken
+		// program set.  Surface as a throwable-less Thrown.
+		return &Thrown{}
+	}
+	obj.Fields["message"] = StringV(msg)
+	return &Thrown{Obj: obj}
+}

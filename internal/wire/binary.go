@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec used by the RRP transport: varint integers,
+// length-prefixed strings, recursive values.  Frames are written with an
+// outer uvarint length by the transport.
+
+// EncodeRequest serialises req.
+func EncodeRequest(w io.Writer, req *Request) error {
+	bw := bufio.NewWriter(w)
+	e := &benc{w: bw}
+	e.u64(req.ID)
+	e.u64(uint64(req.Op))
+	e.str(req.GUID)
+	e.str(req.Class)
+	e.str(req.Method)
+	e.u64(uint64(len(req.Args)))
+	for i := range req.Args {
+		e.value(&req.Args[i])
+	}
+	e.u64(uint64(len(req.Fields)))
+	for i := range req.Fields {
+		e.str(req.Fields[i].Name)
+		e.value(&req.Fields[i].Value)
+	}
+	e.str(req.Endpoint)
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// DecodeRequest reads a request serialised by EncodeRequest.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	d := &bdec{r: asByteReader(r)}
+	req := &Request{}
+	req.ID = d.u64()
+	req.Op = Op(d.u64())
+	req.GUID = d.str()
+	req.Class = d.str()
+	req.Method = d.str()
+	n := d.u64()
+	if n > maxSeq {
+		return nil, fmt.Errorf("args length %d too large", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		req.Args = append(req.Args, d.value())
+	}
+	n = d.u64()
+	if n > maxSeq {
+		return nil, fmt.Errorf("fields length %d too large", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		nv := NamedValue{Name: d.str()}
+		nv.Value = d.value()
+		req.Fields = append(req.Fields, nv)
+	}
+	req.Endpoint = d.str()
+	return req, d.err
+}
+
+// EncodeResponse serialises resp.
+func EncodeResponse(w io.Writer, resp *Response) error {
+	bw := bufio.NewWriter(w)
+	e := &benc{w: bw}
+	e.u64(resp.ID)
+	e.value(&resp.Result)
+	e.str(resp.ExClass)
+	e.str(resp.ExMsg)
+	e.str(resp.Err)
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// DecodeResponse reads a response serialised by EncodeResponse.
+func DecodeResponse(r io.Reader) (*Response, error) {
+	d := &bdec{r: asByteReader(r)}
+	resp := &Response{}
+	resp.ID = d.u64()
+	resp.Result = d.value()
+	resp.ExClass = d.str()
+	resp.ExMsg = d.str()
+	resp.Err = d.str()
+	return resp, d.err
+}
+
+const maxSeq = 1 << 24
+
+type byteReaderReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+func asByteReader(r io.Reader) byteReaderReader {
+	if br, ok := r.(byteReaderReader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}
+
+type benc struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *benc) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *benc) i64(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *benc) str(s string) {
+	e.u64(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *benc) boolean(b bool) {
+	if b {
+		e.u64(1)
+	} else {
+		e.u64(0)
+	}
+}
+
+func (e *benc) value(v *Value) {
+	e.u64(uint64(v.Kind))
+	switch v.Kind {
+	case KBool:
+		e.boolean(v.Bool)
+	case KInt:
+		e.i64(v.Int)
+	case KFloat:
+		e.u64(math.Float64bits(v.Float))
+	case KString:
+		e.str(v.Str)
+	case KRef:
+		e.str(v.Ref.GUID)
+		e.str(v.Ref.Endpoint)
+		e.str(v.Ref.Proto)
+		e.str(v.Ref.Target)
+		e.boolean(v.Ref.ClassSide)
+	case KArray:
+		e.str(v.Elem)
+		e.u64(uint64(len(v.Arr)))
+		for i := range v.Arr {
+			e.value(&v.Arr[i])
+		}
+	}
+}
+
+type bdec struct {
+	r   byteReaderReader
+	err error
+}
+
+func (d *bdec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil && d.err == nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *bdec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil && d.err == nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *bdec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxSeq {
+		d.err = fmt.Errorf("string length %d too large", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil && d.err == nil {
+		d.err = err
+	}
+	return string(b)
+}
+
+func (d *bdec) boolean() bool { return d.u64() != 0 }
+
+func (d *bdec) value() Value {
+	v := Value{Kind: ValueKind(d.u64())}
+	switch v.Kind {
+	case KBool:
+		v.Bool = d.boolean()
+	case KInt:
+		v.Int = d.i64()
+	case KFloat:
+		v.Float = math.Float64frombits(d.u64())
+	case KString:
+		v.Str = d.str()
+	case KRef:
+		v.Ref = &RemoteRef{
+			GUID:     d.str(),
+			Endpoint: d.str(),
+			Proto:    d.str(),
+			Target:   d.str(),
+		}
+		v.Ref.ClassSide = d.boolean()
+	case KArray:
+		v.Elem = d.str()
+		n := d.u64()
+		if n > maxSeq {
+			if d.err == nil {
+				d.err = fmt.Errorf("array length %d too large", n)
+			}
+			return v
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			v.Arr = append(v.Arr, d.value())
+		}
+	case KVoid, KNull, KInvalid:
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("bad value kind %d", v.Kind)
+		}
+	}
+	return v
+}

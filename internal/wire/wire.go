@@ -1,0 +1,155 @@
+// Package wire defines the protocol-independent invocation model
+// exchanged between nodes: requests, responses and marshalled values.
+// Each transport (internal/transport) carries these messages in its own
+// encoding — binary for RRP, XML for SOAP, JSON for JSON-RPC — exactly as
+// the paper's proxy families differ only in transport.
+package wire
+
+import "fmt"
+
+// Op enumerates request kinds.
+type Op uint8
+
+// Request operations.
+const (
+	OpInvalid Op = iota
+	// OpInvoke calls a method on an exported object (GUID).
+	OpInvoke
+	// OpInvokeClass calls a method on a class's statics singleton.
+	OpInvokeClass
+	// OpCreate instantiates Class's local implementation on the callee
+	// and returns a remote reference (the remote half of factory make).
+	OpCreate
+	// OpMigrateIn installs a migrated object: Class plus field state;
+	// returns the new remote reference (the §4 dynamic-redistribution
+	// mechanism).
+	OpMigrateIn
+	// OpPing is a liveness and round-trip probe.
+	OpPing
+	// OpMigrateOut asks the object's home node to migrate GUID to the
+	// node at Endpoint and return the new remote reference; it lets any
+	// holder of a reference re-place the object.
+	OpMigrateOut
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInvoke:
+		return "invoke"
+	case OpInvokeClass:
+		return "invoke-class"
+	case OpCreate:
+		return "create"
+	case OpMigrateIn:
+		return "migrate-in"
+	case OpPing:
+		return "ping"
+	case OpMigrateOut:
+		return "migrate-out"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// ValueKind tags a marshalled value.
+type ValueKind uint8
+
+// Marshalled value kinds.
+const (
+	KInvalid ValueKind = iota
+	KVoid
+	KNull
+	KBool
+	KInt
+	KFloat
+	KString
+	KRef   // remote object reference
+	KArray // array copied by value, like RMI array semantics
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KVoid:
+		return "void"
+	case KNull:
+		return "null"
+	case KBool:
+		return "bool"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KString:
+		return "string"
+	case KRef:
+		return "ref"
+	case KArray:
+		return "array"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// RemoteRef identifies an exported object (or class singleton) on some
+// node.  Proxies are constructed from it; passing a proxy on re-marshals
+// the same reference, so references retarget transparently.
+type RemoteRef struct {
+	GUID     string `json:"guid" xml:"guid,attr"`
+	Endpoint string `json:"endpoint" xml:"endpoint,attr"`
+	Proto    string `json:"proto" xml:"proto,attr"`
+	// Target is the original (pre-transformation) class name.
+	Target string `json:"target" xml:"target,attr"`
+	// ClassSide marks a statics (A_C_*) reference.
+	ClassSide bool `json:"classSide,omitempty" xml:"classSide,attr,omitempty"`
+}
+
+// Value is one marshalled argument or result.
+type Value struct {
+	Kind  ValueKind  `json:"kind" xml:"kind,attr"`
+	Bool  bool       `json:"bool,omitempty" xml:"bool,attr,omitempty"`
+	Int   int64      `json:"int,omitempty" xml:"int,attr,omitempty"`
+	Float float64    `json:"float,omitempty" xml:"float,attr,omitempty"`
+	Str   string     `json:"str,omitempty" xml:"str,omitempty"`
+	Ref   *RemoteRef `json:"ref,omitempty" xml:"ref,omitempty"`
+	// Elem is the IR type descriptor of array elements.
+	Elem string  `json:"elem,omitempty" xml:"elem,attr,omitempty"`
+	Arr  []Value `json:"arr,omitempty" xml:"item,omitempty"`
+}
+
+// Request is one remote operation.
+type Request struct {
+	ID     uint64  `json:"id" xml:"id,attr"`
+	Op     Op      `json:"op" xml:"op,attr"`
+	GUID   string  `json:"guid,omitempty" xml:"guid,attr,omitempty"`
+	Class  string  `json:"class,omitempty" xml:"class,attr,omitempty"`
+	Method string  `json:"method,omitempty" xml:"method,attr,omitempty"`
+	Args   []Value `json:"args,omitempty" xml:"arg,omitempty"`
+	// Fields carries object state for OpMigrateIn.
+	Fields []NamedValue `json:"fields,omitempty" xml:"field,omitempty"`
+	// Endpoint is the migration target for OpMigrateOut.
+	Endpoint string `json:"endpoint,omitempty" xml:"endpoint,attr,omitempty"`
+}
+
+// NamedValue is a field name/value pair (migration payloads).
+type NamedValue struct {
+	Name  string `json:"name" xml:"name,attr"`
+	Value Value  `json:"value" xml:"value"`
+}
+
+// Response answers one Request.
+type Response struct {
+	ID     uint64 `json:"id" xml:"id,attr"`
+	Result Value  `json:"result" xml:"result"`
+	// ExClass/ExMsg report a program-level exception thrown by the
+	// callee; it re-materialises as a thrown exception at the caller.
+	ExClass string `json:"exClass,omitempty" xml:"exClass,attr,omitempty"`
+	ExMsg   string `json:"exMsg,omitempty" xml:"exMsg,omitempty"`
+	// Err reports an infrastructure failure (unknown GUID, bad method);
+	// it surfaces as sys.RemoteException at the caller.
+	Err string `json:"err,omitempty" xml:"err,omitempty"`
+}
+
+// Errorf builds an infrastructure-error response for req.
+func Errorf(req *Request, format string, a ...any) *Response {
+	return &Response{ID: req.ID, Err: fmt.Sprintf(format, a...)}
+}

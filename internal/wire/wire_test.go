@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randomValue(r *rand.Rand, depth int) Value {
+	switch k := r.Intn(8); {
+	case k == 0:
+		return Value{Kind: KVoid}
+	case k == 1:
+		return Value{Kind: KNull}
+	case k == 2:
+		return Value{Kind: KBool, Bool: r.Intn(2) == 1}
+	case k == 3:
+		return Value{Kind: KInt, Int: r.Int63() - r.Int63()}
+	case k == 4:
+		return Value{Kind: KFloat, Float: r.NormFloat64()}
+	case k == 5:
+		return Value{Kind: KString, Str: randString(r)}
+	case k == 6:
+		return Value{Kind: KRef, Ref: &RemoteRef{
+			GUID:      randString(r),
+			Endpoint:  "rrp://127.0.0.1:1",
+			Proto:     "rrp",
+			Target:    "C",
+			ClassSide: r.Intn(2) == 1,
+		}}
+	default:
+		if depth <= 0 {
+			return Value{Kind: KInt, Int: 7}
+		}
+		n := r.Intn(4)
+		v := Value{Kind: KArray, Elem: "I"}
+		for i := 0; i < n; i++ {
+			v.Arr = append(v.Arr, randomValue(r, depth-1))
+		}
+		return v
+	}
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(' ' + r.Intn(90))
+	}
+	return string(b)
+}
+
+func randomRequest(r *rand.Rand) *Request {
+	req := &Request{
+		ID:       r.Uint64(),
+		Op:       Op(1 + r.Intn(6)),
+		GUID:     randString(r),
+		Class:    randString(r),
+		Method:   randString(r),
+		Endpoint: randString(r),
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		req.Args = append(req.Args, randomValue(r, 2))
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		req.Fields = append(req.Fields, NamedValue{Name: randString(r), Value: randomValue(r, 1)})
+	}
+	return req
+}
+
+func TestBinaryRequestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := randomRequest(r)
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, req); err != nil {
+			return false
+		}
+		back, err := DecodeRequest(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(req, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryResponseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		resp := &Response{
+			ID:      r.Uint64(),
+			Result:  randomValue(r, 2),
+			ExClass: randString(r),
+			ExMsg:   randString(r),
+			Err:     randString(r),
+		}
+		var buf bytes.Buffer
+		if err := EncodeResponse(&buf, resp); err != nil {
+			return false
+		}
+		back, err := DecodeResponse(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(resp, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		req := randomRequest(r)
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := &Request{}
+		if err := json.Unmarshal(b, back); err != nil {
+			t.Fatal(err)
+		}
+		if !requestsEquivalent(req, back) {
+			t.Fatalf("json round trip:\n%+v\n%+v", req, back)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		req := randomRequest(r)
+		b, err := xml.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := &Request{}
+		if err := xml.Unmarshal(b, back); err != nil {
+			t.Fatal(err)
+		}
+		if !requestsEquivalent(req, back) {
+			t.Fatalf("xml round trip:\n%+v\n%+v\n%s", req, back, b)
+		}
+	}
+}
+
+// requestsEquivalent compares requests modulo representation quirks the
+// textual codecs have (e.g. empty slices decoding as nil).
+func requestsEquivalent(a, b *Request) bool {
+	if a.ID != b.ID || a.Op != b.Op || a.GUID != b.GUID ||
+		a.Class != b.Class || a.Method != b.Method || a.Endpoint != b.Endpoint {
+		return false
+	}
+	if len(a.Args) != len(b.Args) || len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Args {
+		if !valuesEquivalent(&a.Args[i], &b.Args[i]) {
+			return false
+		}
+	}
+	for i := range a.Fields {
+		if a.Fields[i].Name != b.Fields[i].Name ||
+			!valuesEquivalent(&a.Fields[i].Value, &b.Fields[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func valuesEquivalent(a, b *Value) bool {
+	if a.Kind != b.Kind || a.Bool != b.Bool || a.Int != b.Int ||
+		a.Float != b.Float || a.Str != b.Str || a.Elem != b.Elem {
+		return false
+	}
+	if (a.Ref == nil) != (b.Ref == nil) {
+		return false
+	}
+	if a.Ref != nil && *a.Ref != *b.Ref {
+		return false
+	}
+	if len(a.Arr) != len(b.Arr) {
+		return false
+	}
+	for i := range a.Arr {
+		if !valuesEquivalent(&a.Arr[i], &b.Arr[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	req := &Request{ID: 1, Op: OpInvoke, GUID: "g", Method: "m",
+		Args: []Value{{Kind: KString, Str: "payload-payload"}}}
+	var buf bytes.Buffer
+	if err := EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full)-1; cut += 3 {
+		if _, err := DecodeRequest(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestErrorfHelper(t *testing.T) {
+	req := &Request{ID: 77}
+	resp := Errorf(req, "boom %d", 9)
+	if resp.ID != 77 || resp.Err != "boom 9" {
+		t.Fatalf("%+v", resp)
+	}
+}
+
+func TestOpAndKindStrings(t *testing.T) {
+	for _, o := range []Op{OpInvoke, OpInvokeClass, OpCreate, OpMigrateIn, OpPing, OpMigrateOut, Op(99)} {
+		if o.String() == "" {
+			t.Error("empty op string")
+		}
+	}
+	for _, k := range []ValueKind{KVoid, KNull, KBool, KInt, KFloat, KString, KRef, KArray, ValueKind(77)} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+}

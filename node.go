@@ -1,0 +1,257 @@
+package rafda
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rafda/internal/ir"
+	"rafda/internal/netsim"
+	"rafda/internal/node"
+	"rafda/internal/policy"
+	"rafda/internal/transport"
+	"rafda/internal/vm"
+)
+
+// NetProfile configures simulated network conditions for a node's
+// transports (zero value: the real loopback network untouched).
+type NetProfile struct {
+	Latency         time.Duration
+	Jitter          time.Duration
+	BandwidthBps    int64
+	FailAfterWrites int64
+}
+
+// Predefined profiles mirroring internal/netsim.
+var (
+	NetLAN    = NetProfile{Latency: 100 * time.Microsecond, BandwidthBps: 1e9}
+	NetCampus = NetProfile{Latency: 500 * time.Microsecond, Jitter: 100 * time.Microsecond, BandwidthBps: 1e8}
+	NetWAN    = NetProfile{Latency: 20 * time.Millisecond, Jitter: 2 * time.Millisecond, BandwidthBps: 1e7}
+)
+
+func (np NetProfile) profile() netsim.Profile {
+	return netsim.Profile{
+		Latency:         np.Latency,
+		Jitter:          np.Jitter,
+		BandwidthBps:    np.BandwidthBps,
+		FailAfterWrites: np.FailAfterWrites,
+		Seed:            1,
+	}
+}
+
+// NodeConfig configures a RAFDA address space.
+type NodeConfig struct {
+	Name    string
+	Output  io.Writer
+	Network NetProfile
+}
+
+// Node is one address space hosting the transformed program.
+type Node struct {
+	n *node.Node
+}
+
+// NewNode builds a node for the transformed program.
+func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
+	reg := transport.Default(transport.Options{Profile: cfg.Network.profile()})
+	n, err := node.New(node.Config{
+		Name:       cfg.Name,
+		Result:     t.res,
+		Transports: reg,
+		Output:     cfg.Output,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{n: n}, nil
+}
+
+// Serve starts listening on a protocol ("inproc", "rrp", "soap",
+// "json"); empty addr picks a free port.  Returns the endpoint.
+func (n *Node) Serve(proto, addr string) (string, error) { return n.n.Serve(proto, addr) }
+
+// Endpoint returns this node's endpoint for proto, if serving.
+func (n *Node) Endpoint(proto string) string { return n.n.Endpoint(proto) }
+
+// Close shuts down the node's servers and connections.
+func (n *Node) Close() error { return n.n.Close() }
+
+// PlaceClass places future instances (and the statics singleton) of
+// class at the node serving endpoint; the empty endpoint or "local"
+// restores local placement.  Placement changes take effect immediately
+// for subsequent creations and discoveries — the §4 dynamic
+// reconfiguration lever.
+func (n *Node) PlaceClass(class, endpoint string) error {
+	if endpoint == "" || endpoint == "local" {
+		n.n.Policy().SetClass(class, policy.LocalPlacement)
+		return nil
+	}
+	pl, err := policy.RemoteAt(endpoint)
+	if err != nil {
+		return err
+	}
+	n.n.Policy().SetClass(class, pl)
+	return nil
+}
+
+// PlaceDefault sets the fallback placement for all classes.
+func (n *Node) PlaceDefault(endpoint string) error {
+	if endpoint == "" || endpoint == "local" {
+		n.n.Policy().SetDefault(policy.LocalPlacement)
+		return nil
+	}
+	pl, err := policy.RemoteAt(endpoint)
+	if err != nil {
+		return err
+	}
+	n.n.Policy().SetDefault(pl)
+	return nil
+}
+
+// RunMain executes the program entry point on this node.
+func (n *Node) RunMain(mainClass string) error { return n.n.RunMain(mainClass) }
+
+// Call invokes an original static method, converting Go arguments
+// (int, int64, float64, bool, string, *Ref) and the result likewise.
+func (n *Node) Call(class, method string, args ...any) (any, error) {
+	vargs, err := toVMValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := n.n.InvokeStatic(class, method, vargs...)
+	if err != nil {
+		return nil, err
+	}
+	return fromVMValue(res), nil
+}
+
+// CallOn invokes a method on an object handle.
+func (n *Node) CallOn(ref *Ref, method string, args ...any) (any, error) {
+	if ref == nil {
+		return nil, fmt.Errorf("nil object handle")
+	}
+	vargs, err := toVMValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := n.n.CallOn(ref.v, method, vargs...)
+	if err != nil {
+		return nil, err
+	}
+	return fromVMValue(res), nil
+}
+
+// ReadStatic reads an original static field.
+func (n *Node) ReadStatic(class, field string) (any, error) {
+	res, err := n.n.ReadStatic(class, field)
+	if err != nil {
+		return nil, err
+	}
+	return fromVMValue(res), nil
+}
+
+// WriteStatic writes an original static field.
+func (n *Node) WriteStatic(class, field string, val any) error {
+	v, err := toVMValue(val)
+	if err != nil {
+		return err
+	}
+	return n.n.WriteStatic(class, field, v)
+}
+
+// Migrate moves the object behind ref to the node at endpoint, morphing
+// the local instance into a proxy in place (Figure 1's Cp substitution
+// applied to a live object).
+func (n *Node) Migrate(ref *Ref, endpoint string) error {
+	if ref == nil {
+		return fmt.Errorf("nil object handle")
+	}
+	return n.n.Migrate(ref.v, endpoint)
+}
+
+// NodeStats counts node activity.
+type NodeStats struct {
+	RemoteCallsOut uint64
+	RemoteCallsIn  uint64
+	Creates        uint64
+	MigrationsOut  uint64
+	MigrationsIn   uint64
+	Exports        int
+}
+
+// Stats returns a snapshot of activity counters.
+func (n *Node) Stats() NodeStats {
+	s := n.n.Snapshot()
+	return NodeStats{
+		RemoteCallsOut: s.RemoteCallsOut,
+		RemoteCallsIn:  s.RemoteCallsIn,
+		Creates:        s.Creates,
+		MigrationsOut:  s.MigrationsOut,
+		MigrationsIn:   s.MigrationsIn,
+		Exports:        n.n.Exports(),
+	}
+}
+
+// Ref is an opaque handle to a program object owned by some node.
+type Ref struct {
+	v vm.Value
+}
+
+// ClassName reports the handle's current dynamic class (a proxy class
+// name after migration).
+func (r *Ref) ClassName() string {
+	if r.v.O == nil {
+		return "null"
+	}
+	return r.v.O.Class.Name
+}
+
+func toVMValues(args []any) ([]vm.Value, error) {
+	out := make([]vm.Value, len(args))
+	for i, a := range args {
+		v, err := toVMValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func toVMValue(a any) (vm.Value, error) {
+	switch t := a.(type) {
+	case nil:
+		return vm.NullV(), nil
+	case int:
+		return vm.IntV(int64(t)), nil
+	case int64:
+		return vm.IntV(t), nil
+	case float64:
+		return vm.FloatV(t), nil
+	case bool:
+		return vm.BoolV(t), nil
+	case string:
+		return vm.StringV(t), nil
+	case *Ref:
+		return t.v, nil
+	default:
+		return vm.Value{}, fmt.Errorf("unsupported Go value of type %T", a)
+	}
+}
+
+func fromVMValue(v vm.Value) any {
+	switch v.K {
+	case 0, ir.KindVoid:
+		return nil
+	case ir.KindBool:
+		return v.Bool()
+	case ir.KindInt:
+		return v.I
+	case ir.KindFloat:
+		return v.F
+	case ir.KindString:
+		return v.S
+	default:
+		return &Ref{v: v}
+	}
+}
