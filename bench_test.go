@@ -9,16 +9,23 @@ package rafda
 //	E4  §3            RAFDA transformation vs wrapper baseline overhead
 //	E5  §1/§2         proxy protocol families under LAN conditions
 //	E6  §4            dynamic redistribution: policy flips and migration
+//	E7  scaling       RRP concurrency throughput: multiplexed vs lock-step
 
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rafda/internal/corpus"
 	"rafda/internal/minijava"
+	"rafda/internal/netsim"
 	"rafda/internal/transform"
+	"rafda/internal/transport"
 	"rafda/internal/vm"
+	"rafda/internal/wire"
 	"rafda/internal/wrapper"
 )
 
@@ -528,6 +535,113 @@ class Main { static void main() {} }`
 			}
 		}
 	})
+}
+
+// runConcurrentCalls spreads b.N calls over `parallel` goroutines
+// (work-stealing, so stragglers don't skew the tail) and reports
+// aggregate throughput.
+func runConcurrentCalls(b *testing.B, parallel int, call func() error) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if err := call(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchmarkE7_ConcurrencyThroughput measures node-to-node RRP throughput
+// when N goroutines share one connection, at parallelism 1/8/64, on the
+// raw loopback and under simulated LAN conditions.  "serialized" is the
+// seed transport's behaviour (one call in flight, the connection locked
+// for the round trip); "multiplexed" is the pipelined transport.  The
+// handler is a pure echo, so the numbers isolate transport + codec.
+func BenchmarkE7_ConcurrencyThroughput(b *testing.B) {
+	echo := func(req *wire.Request) *wire.Response {
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KInt, Int: 42}}
+	}
+	networks := []struct {
+		name    string
+		profile netsim.Profile
+	}{
+		{"loopback", netsim.Profile{}},
+		{"lan", netsim.Profile{Latency: 100 * time.Microsecond, BandwidthBps: 1e9, Seed: 1}},
+	}
+	for _, nw := range networks {
+		for _, mode := range []string{"serialized", "multiplexed"} {
+			for _, parallel := range []int{1, 8, 64} {
+				b.Run(fmt.Sprintf("%s/%s/p%d", nw.name, mode, parallel), func(b *testing.B) {
+					tr := transport.NewRRP(transport.Options{Profile: nw.profile})
+					srv, err := tr.Listen("", echo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer srv.Close()
+					client, err := tr.Dial(srv.Endpoint())
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer client.Close()
+					if mode == "serialized" {
+						client = transport.Lockstep(client)
+					}
+					req := &wire.Request{ID: 1, Op: wire.OpInvoke, GUID: "g", Method: "add",
+						Args: []wire.Value{{Kind: wire.KInt, Int: 20}, {Kind: wire.KInt, Int: 22}}}
+					runConcurrentCalls(b, parallel, func() error {
+						resp, err := client.Call(req)
+						if err != nil {
+							return err
+						}
+						if resp.Result.Int != 42 {
+							return fmt.Errorf("bad echo %+v", resp)
+						}
+						return nil
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkE7_NodeConcurrency is the end-to-end version: concurrent
+// proxy invocations between two full nodes (VM, marshalling, dispatch)
+// over the shared multiplexed RRP connection.
+func BenchmarkE7_NodeConcurrency(b *testing.B) {
+	for _, parallel := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("p%d", parallel), func(b *testing.B) {
+			tr := mustTransformed(b, echoSource)
+			client, _, cleanup := remotePair(b, tr, "rrp", "EchoSvc", NetProfile{})
+			defer cleanup()
+			svc, err := client.Call("Setup", "make")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ref := svc.(*Ref)
+			runConcurrentCalls(b, parallel, func() error {
+				got, err := client.CallOn(ref, "add", 20, 22)
+				if err != nil {
+					return err
+				}
+				if got.(int64) != 42 {
+					return fmt.Errorf("bad result %v", got)
+				}
+				return nil
+			})
+		})
+	}
 }
 
 // ---- helpers ----

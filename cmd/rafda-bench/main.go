@@ -8,21 +8,29 @@
 //	rafda-bench -exp e4   §3 wrapper-vs-transformation overhead
 //	rafda-bench -exp e5   proxy protocol comparison
 //	rafda-bench -exp e6   §4 dynamic redistribution
+//	rafda-bench -exp e7   RRP concurrency throughput (writes BENCH_E7.json)
 //	rafda-bench -exp all  everything
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rafda"
 	"rafda/internal/corpus"
 	"rafda/internal/minijava"
+	"rafda/internal/netsim"
 	"rafda/internal/transform"
+	"rafda/internal/transport"
 	"rafda/internal/vm"
+	"rafda/internal/wire"
 	"rafda/internal/wrapper"
 )
 
@@ -53,7 +61,8 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e6 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e7 or all)")
+	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
 	flag.Parse()
 	run := func(id string, f func() error) {
 		if *exp != "all" && *exp != id {
@@ -71,6 +80,7 @@ func main() {
 	run("e4", e4)
 	run("e5", e5)
 	run("e6", e6)
+	run("e7", func() error { return e7(*e7json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,
@@ -494,5 +504,165 @@ class Main { static void main() {} }`
 	fmt.Printf("  %-34s %12v\n", "per-call, after return", restored.Round(time.Microsecond))
 	fmt.Printf("\nmigrations seen: nodeB in=%d, nodeA in=%d; state preserved throughout (sum stayed 6)\n",
 		nodeB.Stats().MigrationsIn, nodeA.Stats().MigrationsIn)
+	return nil
+}
+
+// E7Result is one row of the machine-readable concurrency-throughput
+// record, tracked across PRs in BENCH_E7.json.
+type E7Result struct {
+	Protocol    string  `json:"protocol"`
+	Network     string  `json:"network"`
+	Mode        string  `json:"mode"`
+	Parallelism int     `json:"parallelism"`
+	Calls       int     `json:"calls"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// E7Report is the top-level BENCH_E7.json document.
+type E7Report struct {
+	Experiment  string     `json:"experiment"`
+	Description string     `json:"description"`
+	Timestamp   string     `json:"timestamp"`
+	GoMaxProcs  int        `json:"gomaxprocs"`
+	Results     []E7Result `json:"results"`
+}
+
+// measureThroughput runs `calls` echo calls spread over `parallel`
+// goroutines against client and reports aggregate throughput and
+// allocations per call.
+func measureThroughput(client transport.Client, parallel, calls int) (E7Result, error) {
+	req := &wire.Request{ID: 1, Op: wire.OpInvoke, GUID: "g", Method: "add",
+		Args: []wire.Value{{Kind: wire.KInt, Int: 20}, {Kind: wire.KInt, Int: 22}}}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, parallel)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(calls) {
+				resp, err := client.Call(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Result.Int != 42 {
+					errs <- fmt.Errorf("bad echo %+v", resp)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	select {
+	case err := <-errs:
+		return E7Result{}, err
+	default:
+	}
+	return E7Result{
+		Protocol:    "rrp",
+		Parallelism: parallel,
+		Calls:       calls,
+		CallsPerSec: float64(calls) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(calls),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(calls),
+	}, nil
+}
+
+// e7 measures RRP node-to-node throughput under concurrency: the
+// multiplexed transport vs the lock-step baseline, at parallelism 1, 8
+// and 64, on the raw loopback and under simulated LAN conditions.  It
+// prints the comparison and writes the machine-readable record so the
+// perf trajectory is tracked across PRs.
+func e7(jsonPath string) error {
+	echo := func(req *wire.Request) *wire.Response {
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KInt, Int: 42}}
+	}
+	networks := []struct {
+		name    string
+		profile netsim.Profile
+	}{
+		{"loopback", netsim.Profile{}},
+		{"lan", netsim.Profile{Latency: 100 * time.Microsecond, BandwidthBps: 1e9, Seed: 1}},
+	}
+	report := E7Report{
+		Experiment:  "e7",
+		Description: "RRP concurrency throughput: multiplexed transport vs lock-step baseline, echo workload",
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	fmt.Println("concurrent echo calls over one shared RRP connection")
+	fmt.Printf("  %-9s %-12s %3s %12s %12s %10s\n", "network", "mode", "p", "calls/s", "ns/op", "allocs/op")
+	speedup := map[string]float64{}
+	for _, nw := range networks {
+		tr := transport.NewRRP(transport.Options{Profile: nw.profile})
+		srv, err := tr.Listen("", echo)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []string{"serialized", "multiplexed"} {
+			for _, parallel := range []int{1, 8, 64} {
+				client, err := tr.Dial(srv.Endpoint())
+				if err != nil {
+					srv.Close()
+					return err
+				}
+				bench := client
+				if mode == "serialized" {
+					bench = transport.Lockstep(client)
+				}
+				calls := 4000
+				if nw.name == "lan" && (mode == "serialized" || parallel == 1) {
+					calls = 500 // latency-bound: don't wait all day for the baseline
+				}
+				// Warm up connections and pools outside the measurement.
+				if _, err := measureThroughput(bench, parallel, 50); err != nil {
+					client.Close()
+					srv.Close()
+					return err
+				}
+				res, err := measureThroughput(bench, parallel, calls)
+				client.Close()
+				if err != nil {
+					srv.Close()
+					return err
+				}
+				res.Network = nw.name
+				res.Mode = mode
+				report.Results = append(report.Results, res)
+				speedup[fmt.Sprintf("%s/%s/%d", nw.name, mode, parallel)] = res.CallsPerSec
+				fmt.Printf("  %-9s %-12s %3d %12.0f %12.0f %10.1f\n",
+					nw.name, mode, parallel, res.CallsPerSec, res.NsPerOp, res.AllocsPerOp)
+			}
+		}
+		srv.Close()
+	}
+	for _, nw := range networks {
+		base := speedup[nw.name+"/serialized/64"]
+		mux := speedup[nw.name+"/multiplexed/64"]
+		if base > 0 {
+			fmt.Printf("\n%s speedup at parallelism 64: %.1fx (multiplexed %0.f vs lock-step %0.f calls/s)\n",
+				nw.name, mux/base, mux, base)
+		}
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nmachine-readable results written to %s\n", jsonPath)
 	return nil
 }

@@ -1,0 +1,3 @@
+module rafda
+
+go 1.24

@@ -15,6 +15,15 @@ import (
 
 // Profile describes simulated link conditions.  The zero value is a
 // perfect link.
+//
+// Delay model: bandwidth is serialisation delay — the sender occupies
+// the link while the bits go out, so Write blocks for it.  Latency and
+// jitter are propagation delay — bits already in flight don't stop later
+// sends — so Write returns immediately and the payload is delivered to
+// the peer after the delay by a per-connection delivery goroutine,
+// preserving write order.  A pipelined protocol (the multiplexed RRP
+// transport) can therefore keep many frames in flight across a simulated
+// link, exactly as it could on a real one.
 type Profile struct {
 	// Latency is the one-way propagation delay applied to each write.
 	Latency time.Duration
@@ -91,6 +100,22 @@ type conn struct {
 
 	mu  sync.Mutex
 	rng uint64
+
+	// Delivery queue for propagation delay (latency/jitter): writes are
+	// timestamped and handed to a single goroutine that releases them to
+	// the underlying connection in order once their delay elapses.
+	dmu     sync.Mutex
+	dcond   *sync.Cond
+	queue   []delivery
+	last    time.Time // latest scheduled delivery, keeps FIFO order
+	started bool
+	dclosed bool
+	derr    error // first background delivery error
+}
+
+type delivery struct {
+	data []byte
+	at   time.Time
 }
 
 // FailedError reports an injected connection failure.
@@ -105,6 +130,14 @@ func (c *conn) Write(p []byte) (int, error) {
 	if c.p.FailAfterWrites > 0 && n > c.p.FailAfterWrites {
 		return 0, &FailedError{Writes: n - 1}
 	}
+	// Serialisation delay: the sender occupies the link.
+	if c.p.BandwidthBps > 0 {
+		time.Sleep(time.Duration(int64(len(p)) * 8 * int64(time.Second) / c.p.BandwidthBps))
+	}
+	// Propagation delay: the payload travels while the sender moves on.
+	if c.p.Latency <= 0 && c.p.Jitter <= 0 {
+		return c.Conn.Write(p)
+	}
 	d := c.p.Latency
 	if c.p.Jitter > 0 {
 		c.mu.Lock()
@@ -113,13 +146,70 @@ func (c *conn) Write(p []byte) (int, error) {
 		c.mu.Unlock()
 		d += j
 	}
-	if c.p.BandwidthBps > 0 {
-		d += time.Duration(int64(len(p)) * 8 * int64(time.Second) / c.p.BandwidthBps)
+	c.dmu.Lock()
+	if c.derr != nil {
+		err := c.derr
+		c.dmu.Unlock()
+		return 0, err
 	}
-	if d > 0 {
-		time.Sleep(d)
+	if c.dclosed {
+		c.dmu.Unlock()
+		return 0, net.ErrClosed
 	}
-	return c.Conn.Write(p)
+	if !c.started {
+		c.started = true
+		c.dcond = sync.NewCond(&c.dmu)
+		go c.deliverLoop()
+	}
+	at := time.Now().Add(d)
+	if at.Before(c.last) {
+		at = c.last // jitter must not reorder frames
+	}
+	c.last = at
+	// Copy: callers recycle their buffers as soon as Write returns.
+	c.queue = append(c.queue, delivery{data: append([]byte(nil), p...), at: at})
+	c.dcond.Signal()
+	c.dmu.Unlock()
+	return len(p), nil
+}
+
+func (c *conn) deliverLoop() {
+	for {
+		c.dmu.Lock()
+		for len(c.queue) == 0 && !c.dclosed {
+			c.dcond.Wait()
+		}
+		if c.dclosed {
+			c.dmu.Unlock()
+			return
+		}
+		item := c.queue[0]
+		c.queue = c.queue[1:]
+		c.dmu.Unlock()
+		if wait := time.Until(item.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		if _, err := c.Conn.Write(item.data); err != nil {
+			c.dmu.Lock()
+			if c.derr == nil {
+				c.derr = err
+			}
+			c.dmu.Unlock()
+			return
+		}
+	}
+}
+
+// Close tears the link down immediately: frames still "in flight" in the
+// delivery queue are lost, as on a real abruptly-closed connection.
+func (c *conn) Close() error {
+	c.dmu.Lock()
+	c.dclosed = true
+	if c.started {
+		c.dcond.Signal()
+	}
+	c.dmu.Unlock()
+	return c.Conn.Close()
 }
 
 func splitmix(x uint64) uint64 {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"errors"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -27,16 +28,25 @@ func TestZeroProfilePassThrough(t *testing.T) {
 	}
 }
 
-func TestLatencyDelaysWrites(t *testing.T) {
-	p := Profile{Latency: 5 * time.Millisecond}
+func TestLatencyDelaysDeliveryNotSender(t *testing.T) {
+	// Generous latency so the sender/delivery bounds tolerate CI
+	// scheduling pauses: the assertions only need "well under one
+	// latency" and "well under serialised (3x) delivery".
+	const lat = 50 * time.Millisecond
+	p := Profile{Latency: lat}
 	a, b := pipePair(t, p)
+	arrived := make(chan time.Time, 1)
 	go func() {
 		buf := make([]byte, 16)
-		for {
-			if _, err := b.Read(buf); err != nil {
+		got := 0
+		for got < 3 {
+			n, err := b.Read(buf)
+			if err != nil {
 				return
 			}
+			got += n
 		}
+		arrived <- time.Now()
 	}()
 	start := time.Now()
 	for i := 0; i < 3; i++ {
@@ -44,8 +54,19 @@ func TestLatencyDelaysWrites(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := time.Since(start); got < 15*time.Millisecond {
-		t.Fatalf("3 writes took %v; latency not applied", got)
+	// Propagation delay must not block the sender: three back-to-back
+	// writes return well before even one latency elapses.
+	if got := time.Since(start); got >= lat {
+		t.Fatalf("3 writes blocked the sender for %v; propagation should be async", got)
+	}
+	all := <-arrived
+	if got := all.Sub(start); got < lat {
+		t.Fatalf("payload arrived after %v; latency not applied", got)
+	}
+	// Pipelining: frames travel concurrently, so all three arrive about
+	// one latency after sending, not one latency each.
+	if got := all.Sub(start); got >= 3*lat {
+		t.Fatalf("3 pipelined writes took %v to deliver; latency serialised", got)
 	}
 }
 
@@ -141,7 +162,10 @@ func TestListenerWraps(t *testing.T) {
 		defer c.Close()
 		_, _ = c.Write([]byte("hi"))
 		buf := make([]byte, 2)
-		_, _ = c.Read(buf)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		_, _ = c.Write([]byte("ok")) // ack, unwrapped side: instant
 	}()
 	conn, err := l.Accept()
 	if err != nil {
@@ -149,11 +173,16 @@ func TestListenerWraps(t *testing.T) {
 	}
 	defer conn.Close()
 	buf := make([]byte, 2)
-	if _, err := conn.Read(buf); err != nil {
+	if _, err := io.ReadFull(conn, buf); err != nil {
 		t.Fatal(err)
 	}
+	// The wrapped write is delayed in flight: the peer's ack cannot come
+	// back before one latency has passed.
 	start := time.Now()
 	if _, err := conn.Write([]byte("yo")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, buf); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) < time.Millisecond {
@@ -175,7 +204,10 @@ func TestDialerWraps(t *testing.T) {
 		}
 		defer c.Close()
 		buf := make([]byte, 4)
-		_, _ = c.Read(buf)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		_, _ = c.Write([]byte("pong")) // ack, unwrapped side: instant
 	}()
 	dial := p.Dialer(func(network, addr string) (net.Conn, error) {
 		return net.Dial(network, addr)
@@ -187,6 +219,10 @@ func TestDialerWraps(t *testing.T) {
 	defer c.Close()
 	start := time.Now()
 	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
 		t.Fatal(err)
 	}
 	if time.Since(start) < time.Millisecond {

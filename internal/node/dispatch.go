@@ -10,12 +10,16 @@ import (
 	"rafda/internal/wire"
 )
 
-// dispatch serves one incoming request.  It runs on a transport
-// goroutine; all VM work happens under the VM lock via WithLock, and any
-// nested outgoing proxy calls release the lock while blocked, so
-// re-entrant call chains between nodes cannot deadlock.
+// dispatch serves one incoming request.  Transports invoke it
+// concurrently — the multiplexed RRP server runs one goroutine per
+// in-flight request, and the HTTP transports one per connection — so
+// everything here must be safe under concurrent invocation: VM work
+// happens under the VM lock via WithLock, counters are atomic, and the
+// export/policy/singleton tables have their own synchronisation.  Nested
+// outgoing proxy calls release the VM lock while blocked, so re-entrant
+// call chains between nodes cannot deadlock.
 func (n *Node) dispatch(req *wire.Request) *wire.Response {
-	n.countStat(func(s *Stats) { s.RemoteCallsIn++ })
+	n.stats.remoteCallsIn.Add(1)
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: n.name}}
@@ -44,7 +48,7 @@ func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
 	if !n.result.Substitutable(req.Class) {
 		return wire.Errorf(req, "node %s: class %s is not substitutable", n.name, req.Class)
 	}
-	n.countStat(func(s *Stats) { s.Creates++ })
+	n.stats.creates.Add(1)
 	resp := &wire.Response{ID: req.ID}
 	n.machine.WithLock(func(env *vm.Env) {
 		val, thrown, err := env.Construct(transform.OLocal(req.Class), nil)
@@ -147,7 +151,7 @@ func (n *Node) dispatchMigrateIn(req *wire.Request) *wire.Response {
 	if !n.result.Substitutable(req.Class) {
 		return wire.Errorf(req, "node %s: cannot adopt non-substitutable class %s", n.name, req.Class)
 	}
-	n.countStat(func(s *Stats) { s.MigrationsIn++ })
+	n.stats.migrationsIn.Add(1)
 	resp := &wire.Response{ID: req.ID}
 	n.machine.WithLock(func(env *vm.Env) {
 		obj, err := env.New(transform.OLocal(req.Class))
@@ -183,24 +187,30 @@ func (n *Node) dispatchMigrateOut(req *wire.Request) *wire.Response {
 	}
 	// Already forwarding?  Then the object moved on; report its current
 	// location so the caller can retarget (and retry there if needed).
-	if isProxyObject(obj) {
-		var ref wire.RemoteRef
-		n.machine.WithLock(func(*vm.Env) {
-			base, proto, _, _ := transform.IsProxyClass(obj.Class.Name)
-			ref = wire.RemoteRef{
-				GUID:     obj.Get(transform.ProxyFieldGUID).S,
-				Endpoint: obj.Get(transform.ProxyFieldEndpoint).S,
-				Proto:    proto,
-				Target:   base,
-			}
-		})
+	// The proxy check reads obj.Class, which a concurrent migration may
+	// morph, so it happens under the VM lock along with the field reads.
+	var forwarding bool
+	var ref wire.RemoteRef
+	n.machine.WithLock(func(*vm.Env) {
+		if !isProxyObject(obj) {
+			return
+		}
+		forwarding = true
+		base, proto, _, _ := transform.IsProxyClass(obj.Class.Name)
+		ref = wire.RemoteRef{
+			GUID:     obj.Get(transform.ProxyFieldGUID).S,
+			Endpoint: obj.Get(transform.ProxyFieldEndpoint).S,
+			Proto:    proto,
+			Target:   base,
+		}
+	})
+	if forwarding {
 		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KRef, Ref: &ref}}
 	}
 	if err := n.Migrate(vm.RefV(obj), req.Endpoint); err != nil {
 		return wire.Errorf(req, "%v", err)
 	}
 	// After Migrate the object is a proxy holding the new location.
-	var ref wire.RemoteRef
 	n.machine.WithLock(func(*vm.Env) {
 		base, proto, _, _ := transform.IsProxyClass(obj.Class.Name)
 		ref = wire.RemoteRef{

@@ -26,7 +26,34 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	if err != nil {
 		return err
 	}
-	if isProxyObject(obj) {
+	// obj.Class may be morphed by a concurrent migration of the same
+	// object; check proxy-ness under the VM lock.
+	var viaProxy bool
+	n.machine.WithLock(func(*vm.Env) { viaProxy = isProxyObject(obj) })
+	if viaProxy {
+		return n.migrateViaHome(obj, targetEndpoint)
+	}
+
+	// One migration per object at a time: without this, two concurrent
+	// migrations could both snapshot the pre-proxy state and ship two
+	// live copies, with only one ever reachable afterwards.
+	n.migMu.Lock()
+	if _, busy := n.migrating[obj]; busy {
+		n.migMu.Unlock()
+		return fmt.Errorf("node %s: migration of this object already in progress", n.name)
+	}
+	n.migrating[obj] = struct{}{}
+	n.migMu.Unlock()
+	defer func() {
+		n.migMu.Lock()
+		delete(n.migrating, obj)
+		n.migMu.Unlock()
+	}()
+
+	// Re-check under the guard: a migration that completed between the
+	// first check and acquiring the slot has morphed obj into a proxy.
+	n.machine.WithLock(func(*vm.Env) { viaProxy = isProxyObject(obj) })
+	if viaProxy {
 		return n.migrateViaHome(obj, targetEndpoint)
 	}
 
@@ -86,7 +113,7 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	if err := n.machine.Morph(obj, proxyClass, fields); err != nil {
 		return fmt.Errorf("node %s: morph after migrate: %w", n.name, err)
 	}
-	n.countStat(func(s *Stats) { s.MigrationsOut++ })
+	n.stats.migrationsOut.Add(1)
 	return nil
 }
 

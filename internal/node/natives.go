@@ -146,7 +146,7 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 		req.Args[i] = mv
 	}
 
-	n.countStat(func(s *Stats) { s.RemoteCallsOut++ })
+	n.stats.remoteCallsOut.Add(1)
 	resp, callErr := n.callRemote(env, endpoint, req)
 	if callErr != nil {
 		return vm.Value{}, remoteError(env, "%s.%s at %s: %v", target, method, endpoint, callErr), nil

@@ -12,6 +12,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rafda/internal/policy"
 	"rafda/internal/registry"
@@ -54,10 +55,16 @@ type Node struct {
 	// VM-lock-guarded state (only touched from natives and dispatch,
 	// which hold the VM lock).
 	singletons map[string]singletonEntry
-	reqSeq     uint64
 
-	// stats
-	stats Stats
+	// Lock-free state: transports dispatch requests concurrently, so
+	// request ids and activity counters stay off the node mutex.
+	reqSeq uint64
+	stats  statCounters
+
+	// migMu guards migrating: at most one migration per object may be
+	// snapshotting/shipping/morphing at a time (dispatch is concurrent).
+	migMu     sync.Mutex
+	migrating map[*vm.Object]struct{}
 }
 
 type singletonEntry struct {
@@ -73,6 +80,17 @@ type Stats struct {
 	Creates        uint64
 	MigrationsOut  uint64
 	MigrationsIn   uint64
+}
+
+// statCounters is the live, concurrently-updated form of Stats: every
+// incoming request runs on its own transport goroutine, so the counters
+// are atomics rather than mutex-guarded fields.
+type statCounters struct {
+	remoteCallsOut atomic.Uint64
+	remoteCallsIn  atomic.Uint64
+	creates        atomic.Uint64
+	migrationsOut  atomic.Uint64
+	migrationsIn   atomic.Uint64
 }
 
 // New builds a node over a transformed program and registers the factory
@@ -106,6 +124,7 @@ func New(cfg Config) (*Node, error) {
 		endpoints:  make(map[string]string),
 		clients:    make(map[string]transport.Client),
 		singletons: make(map[string]singletonEntry),
+		migrating:  make(map[*vm.Object]struct{}),
 	}
 	n.registerFactoryNatives()
 	n.registerProxyNatives()
@@ -126,15 +145,13 @@ func (n *Node) Exports() int { return n.exports.Len() }
 
 // Snapshot returns a copy of the activity counters.
 func (n *Node) Snapshot() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
-}
-
-func (n *Node) countStat(f func(*Stats)) {
-	n.mu.Lock()
-	f(&n.stats)
-	n.mu.Unlock()
+	return Stats{
+		RemoteCallsOut: n.stats.remoteCallsOut.Load(),
+		RemoteCallsIn:  n.stats.remoteCallsIn.Load(),
+		Creates:        n.stats.creates.Load(),
+		MigrationsOut:  n.stats.migrationsOut.Load(),
+		MigrationsIn:   n.stats.migrationsIn.Load(),
+	}
 }
 
 // Serve starts listening on the given protocol ("" addr picks a free
@@ -225,12 +242,9 @@ func (n *Node) client(endpoint string) (transport.Client, error) {
 	return c, nil
 }
 
-// nextReqID issues a request id (VM lock NOT required; uses node mutex).
+// nextReqID issues a request id (lock-free; callable from any goroutine).
 func (n *Node) nextReqID() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.reqSeq++
-	return n.reqSeq
+	return atomic.AddUint64(&n.reqSeq, 1)
 }
 
 // RunMain executes the transformed program's entry point.

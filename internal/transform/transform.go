@@ -2,6 +2,7 @@ package transform
 
 import (
 	"fmt"
+	"sync"
 
 	"rafda/internal/ir"
 )
@@ -36,18 +37,22 @@ type Result struct {
 	// order.
 	Transformed []string
 
+	subOnce       sync.Once
 	substitutable map[string]bool
 }
 
 // Substitutable reports whether the named original class was transformed
-// (and may therefore cross address spaces).
+// (and may therefore cross address spaces).  Nodes call this from
+// concurrent dispatch goroutines, so the lazy index is built under a
+// sync.Once.
 func (r *Result) Substitutable(class string) bool {
-	if r.substitutable == nil {
-		r.substitutable = make(map[string]bool, len(r.Transformed))
+	r.subOnce.Do(func() {
+		m := make(map[string]bool, len(r.Transformed))
 		for _, c := range r.Transformed {
-			r.substitutable[c] = true
+			m[c] = true
 		}
-	}
+		r.substitutable = m
+	})
 	return r.substitutable[class]
 }
 

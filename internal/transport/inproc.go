@@ -10,7 +10,10 @@ import (
 
 // inproc delivers requests by direct function call within the process.
 // It is the zero-overhead baseline of the protocol experiments and the
-// transport used by collocated multi-node tests.
+// transport used by collocated multi-node tests.  Like the socket
+// transports, it satisfies the Client concurrency contract: Call invokes
+// the handler directly on the caller's goroutine, so N concurrent
+// callers are N concurrent handler invocations with no serialisation.
 
 var inprocMu sync.RWMutex
 var inprocHandlers = map[string]Handler{}

@@ -2,13 +2,13 @@ package transport
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"rafda/internal/wire"
 )
@@ -16,6 +16,16 @@ import (
 // RRP — the RAFDA Remote Protocol — is the binary TCP transport playing
 // the paper's "RMI-based proxy" role: persistent connections carrying
 // length-prefixed frames in the wire package's binary encoding.
+//
+// The protocol is fully multiplexed.  A client runs one writer and one
+// reader goroutine per connection and correlates responses to in-flight
+// calls by request ID, so any number of goroutines share one connection
+// with their calls pipelined rather than serialised behind a per-call
+// round-trip lock.  The server decodes frames on the connection's read
+// loop and dispatches each request on its own (bounded) goroutine;
+// responses return in completion order, not arrival order.  Both
+// directions coalesce frames queued behind a busy writer into vectored
+// writes.  DESIGN.md documents the framing and correlation rules.
 type RRP struct {
 	opts Options
 }
@@ -32,15 +42,16 @@ func (t *RRP) Listen(addr string, h Handler) (Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rrp listen: %w", err)
 	}
-	s := &rrpServer{l: l}
+	s := &rrpServer{l: l, inflight: t.opts.maxInflight()}
 	go s.acceptLoop(h)
 	return s, nil
 }
 
 type rrpServer struct {
-	l      net.Listener
-	wg     sync.WaitGroup
-	closed sync.Once
+	l        net.Listener
+	inflight int
+	wg       sync.WaitGroup
+	closed   sync.Once
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -98,34 +109,99 @@ func (s *rrpServer) acceptLoop(h Handler) {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
-			serveRRPConn(conn, h)
+			serveRRPConn(conn, h, s.inflight)
 		}()
 	}
 }
 
-func serveRRPConn(conn net.Conn, h Handler) {
-	br := bufio.NewReader(conn)
+// serveRRPConn is one connection's read loop: decode each frame, hand the
+// request to a worker goroutine (at most maxInflight concurrently), and
+// let workers queue their responses — in completion order, not arrival
+// order — to the connection's writer goroutine, which batches them into
+// vectored writes.  A slow call therefore delays only itself; later
+// requests on the same connection overtake it and their responses go
+// out first.
+func serveRRPConn(conn net.Conn, h Handler, maxInflight int) {
+	br := bufio.NewReaderSize(conn, rrpBufSize)
+	outbox := make(chan outFrame, outboxDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		serverWriteLoop(conn, outbox)
+	}()
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()      // all workers have queued their responses
+		close(outbox)  // then the writer drains and exits
+		<-writerDone
+	}()
+	sem := make(chan struct{}, maxInflight)
 	for {
-		frame, err := readFrame(br)
+		bufp, frame, err := readFrame(br)
 		if err != nil {
 			return
 		}
-		req, err := wire.DecodeRequest(bytes.NewReader(frame))
+		req, err := wire.DecodeRequestBytes(frame)
+		putFrameBuf(bufp)
 		if err != nil {
 			return
 		}
-		resp := h(req)
-		var buf bytes.Buffer
-		if err := wire.EncodeResponse(&buf, resp); err != nil {
-			return
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := h(req)
+			respBufp := getFrameBuf()
+			full := wire.AppendResponse((*respBufp)[:frameHeadroom], resp)
+			*respBufp = full // adopt the (possibly grown) backing
+			outbox <- outFrame{bufp: respBufp, frame: appendLengthPrefix(full)}
+		}()
+	}
+}
+
+// serverWriteLoop drains a connection's response queue, batching queued
+// frames into single vectored writes.  After a write error it closes the
+// connection (stopping the read loop) but keeps consuming the queue so
+// workers never block on a dead connection; it exits when the queue is
+// closed.
+func serverWriteLoop(conn net.Conn, outbox chan outFrame) {
+	recycle := make([]*[]byte, 0, maxWriteBatch)
+	backing := make([][]byte, maxWriteBatch) // WriteTo nils entries; refilled each round
+	var werr error
+	for first := range outbox {
+		n := 0
+		backing[n] = first.frame
+		n++
+		recycle = append(recycle[:0], first.bufp)
+	drain:
+		for n < maxWriteBatch {
+			select {
+			case f, ok := <-outbox:
+				if !ok {
+					break drain
+				}
+				backing[n] = f.frame
+				n++
+				recycle = append(recycle, f.bufp)
+			default:
+				break drain
+			}
 		}
-		if err := writeFrame(conn, buf.Bytes()); err != nil {
-			return
+		if werr == nil {
+			batch := net.Buffers(backing[:n])
+			if _, err := batch.WriteTo(conn); err != nil {
+				werr = err
+				_ = conn.Close()
+			}
+		}
+		for _, bufp := range recycle {
+			putFrameBuf(bufp)
 		}
 	}
 }
 
-// Dial opens a persistent connection to the endpoint.
+// Dial opens a persistent multiplexed connection to the endpoint.
 func (t *RRP) Dial(endpoint string) (Client, error) {
 	proto, addr, err := SplitEndpoint(endpoint)
 	if err != nil {
@@ -138,67 +214,275 @@ func (t *RRP) Dial(endpoint string) (Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rrp dial %s: %w", addr, err)
 	}
-	return &rrpClient{conn: conn, br: bufio.NewReader(conn)}, nil
+	c := &rrpClient{
+		conn:    conn,
+		pending: make(map[uint64]chan rrpResult),
+		outbox:  make(chan outFrame, outboxDepth),
+		dead:    make(chan struct{}),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
 }
 
+type rrpResult struct {
+	resp *wire.Response
+	err  error
+}
+
+// outFrame is a ready-to-send frame: frame aliases bufp's backing array
+// (prefix already applied), and bufp is returned to the pool after the
+// frame is written.
+type outFrame struct {
+	bufp  *[]byte
+	frame []byte
+}
+
+// rrpClient multiplexes calls from any number of goroutines over one
+// connection: each call registers a channel in the pending map under a
+// client-assigned wire ID, hands its encoded frame to the writer
+// goroutine, and blocks on its channel until the reader goroutine
+// delivers the matching response.  No lock is held across the round
+// trip, so N callers put N requests in flight; the writer coalesces
+// frames queued while it was busy into a single vectored write,
+// amortising syscalls under load.
 type rrpClient struct {
-	mu   sync.Mutex
 	conn net.Conn
-	br   *bufio.Reader
+	seq  atomic.Uint64
+
+	outbox chan outFrame
+	dead   chan struct{} // closed by fail(); unblocks outbox senders
+
+	mu      sync.Mutex
+	pending map[uint64]chan rrpResult
+	err     error // terminal connection error, set once
 }
 
 func (c *rrpClient) Call(req *wire.Request) (*wire.Response, error) {
+	// The wire ID is assigned by the client, not the caller: uniqueness
+	// among in-flight calls on this connection is what makes correlation
+	// sound, and callers are free to reuse request IDs.
+	wireID := c.seq.Add(1)
+	ch := make(chan rrpResult, 1)
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	var buf bytes.Buffer
-	if err := wire.EncodeRequest(&buf, req); err != nil {
-		return nil, fmt.Errorf("rrp encode: %w", err)
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rrp call: %w", err)
 	}
-	if err := writeFrame(c.conn, buf.Bytes()); err != nil {
+	c.pending[wireID] = ch
+	c.mu.Unlock()
+
+	wreq := *req // shallow copy: only the ID field is rewritten
+	wreq.ID = wireID
+	bufp := getFrameBuf()
+	full := wire.AppendRequest((*bufp)[:frameHeadroom], &wreq)
+	*bufp = full // adopt the (possibly grown) backing so the pool keeps it
+	frame := appendLengthPrefix(full)
+	select {
+	case c.outbox <- outFrame{bufp: bufp, frame: frame}:
+	case <-c.dead:
+		c.unregister(wireID)
+		putFrameBuf(bufp)
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
 		return nil, fmt.Errorf("rrp send: %w", err)
 	}
-	frame, err := readFrame(c.br)
-	if err != nil {
-		return nil, fmt.Errorf("rrp receive: %w", err)
+
+	res := <-ch
+	if res.err != nil {
+		return nil, fmt.Errorf("rrp receive: %w", res.err)
 	}
-	resp, err := wire.DecodeResponse(bytes.NewReader(frame))
-	if err != nil {
-		return nil, fmt.Errorf("rrp decode: %w", err)
-	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("rrp response id %d for request %d", resp.ID, req.ID)
-	}
+	resp := res.resp
+	resp.ID = req.ID // restore the caller's correlation ID
 	return resp, nil
 }
 
-func (c *rrpClient) Close() error { return c.conn.Close() }
-
-const maxFrame = 64 << 20
-
-// writeFrame emits the length prefix and payload in a single Write so a
-// frame is one wire message (one syscall, and one latency charge under
-// netsim).
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	frame := make([]byte, 0, n+len(payload))
-	frame = append(frame, hdr[:n]...)
-	frame = append(frame, payload...)
-	_, err := w.Write(frame)
-	return err
+// writeLoop is the client's single writer: it takes the next queued
+// frame, opportunistically drains whatever else queued up behind it, and
+// sends the batch as one vectored write — under concurrent load many
+// requests ride one syscall.
+func (c *rrpClient) writeLoop() {
+	recycle := make([]*[]byte, 0, maxWriteBatch)
+	backing := make([][]byte, maxWriteBatch) // WriteTo nils entries; refilled each round
+	for {
+		var first outFrame
+		select {
+		case first = <-c.outbox:
+		case <-c.dead:
+			return
+		}
+		n := 0
+		backing[n] = first.frame
+		n++
+		recycle = append(recycle[:0], first.bufp)
+	drain:
+		for n < maxWriteBatch {
+			select {
+			case f := <-c.outbox:
+				backing[n] = f.frame
+				n++
+				recycle = append(recycle, f.bufp)
+			default:
+				break drain
+			}
+		}
+		batch := net.Buffers(backing[:n])
+		_, err := batch.WriteTo(c.conn)
+		for _, bufp := range recycle {
+			putFrameBuf(bufp)
+		}
+		if err != nil {
+			// A failed write poisons the framing; tear the connection
+			// down so every in-flight call learns immediately.
+			c.fail(err)
+			return
+		}
+	}
 }
 
-func readFrame(br *bufio.Reader) ([]byte, error) {
+// readLoop is the client's single reader: it decodes response frames as
+// they arrive — in whatever order the server completed them — and hands
+// each to the waiting call.
+func (c *rrpClient) readLoop() {
+	br := bufio.NewReaderSize(c.conn, rrpBufSize)
+	for {
+		bufp, frame, err := readFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := wire.DecodeResponseBytes(frame)
+		putFrameBuf(bufp)
+		if err != nil {
+			c.fail(fmt.Errorf("rrp decode: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if !ok {
+			// A response nothing is waiting for means the stream is
+			// corrupt; abandon the connection.
+			c.fail(fmt.Errorf("rrp: unexpected response id %d", resp.ID))
+			return
+		}
+		ch <- rrpResult{resp: resp}
+	}
+}
+
+func (c *rrpClient) unregister(wireID uint64) {
+	c.mu.Lock()
+	delete(c.pending, wireID)
+	c.mu.Unlock()
+}
+
+// fail marks the connection dead, stops the writer, and wakes every
+// in-flight call with err.
+func (c *rrpClient) fail(err error) {
+	c.mu.Lock()
+	first := c.err == nil
+	if first {
+		c.err = err
+	}
+	abandoned := c.pending
+	c.pending = make(map[uint64]chan rrpResult)
+	failure := c.err
+	c.mu.Unlock()
+	if first {
+		close(c.dead)
+	}
+	_ = c.conn.Close()
+	for _, ch := range abandoned {
+		ch <- rrpResult{err: failure}
+	}
+}
+
+func (c *rrpClient) Close() error {
+	c.fail(errors.New("client closed"))
+	return nil
+}
+
+const (
+	maxFrame   = 64 << 20
+	rrpBufSize = 64 << 10
+	// outboxDepth bounds frames queued for the writer goroutine; senders
+	// block (backpressure) when the writer falls this far behind.
+	outboxDepth = 512
+	// maxWriteBatch caps how many queued frames one vectored write sends.
+	maxWriteBatch = 64
+	// frameHeadroom reserves room at the front of a pooled buffer for the
+	// uvarint length prefix, so a frame is encoded and written in one
+	// buffer with one Write — no header/payload concatenation copy.
+	frameHeadroom = binary.MaxVarintLen64
+)
+
+// framePool recycles frame buffers across calls.  Buffers are handed out
+// with frameHeadroom bytes of length-prefix space already reserved.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte {
+	bufp := framePool.Get().(*[]byte)
+	if cap(*bufp) < frameHeadroom {
+		b := make([]byte, 0, 4096)
+		*bufp = b
+	}
+	return bufp
+}
+
+func putFrameBuf(bufp *[]byte) {
+	// Drop oversized buffers so one huge payload doesn't pin memory.
+	if cap(*bufp) > 1<<20 {
+		return
+	}
+	*bufp = (*bufp)[:0]
+	framePool.Put(bufp)
+}
+
+// appendLengthPrefix finishes a frame built in a headroom-reserved buffer:
+// buf[:frameHeadroom] is reserved space and buf[frameHeadroom:] is the
+// encoded payload.  The uvarint length is written into the tail of the
+// reserved space and the ready-to-write frame (prefix + payload,
+// contiguous) is returned.
+func appendLengthPrefix(buf []byte) []byte {
+	payloadLen := len(buf) - frameHeadroom
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(payloadLen))
+	start := frameHeadroom - n
+	copy(buf[start:], hdr[:n])
+	return buf[start:]
+}
+
+// readFrame reads one length-prefixed frame into a pooled buffer and
+// returns the pool token together with the payload slice.  The caller
+// must putFrameBuf the token once the payload has been decoded.
+func readFrame(br *bufio.Reader) (*[]byte, []byte, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if n > maxFrame {
-		return nil, errors.New("frame too large")
+		return nil, nil, errors.New("frame too large")
 	}
-	frame := make([]byte, n)
+	bufp := getFrameBuf()
+	var frame []byte
+	if uint64(cap(*bufp)) >= n {
+		frame = (*bufp)[:n]
+	} else {
+		frame = make([]byte, n)
+		*bufp = frame
+	}
 	if _, err := io.ReadFull(br, frame); err != nil {
-		return nil, err
+		putFrameBuf(bufp)
+		return nil, nil, err
 	}
-	return frame, nil
+	return bufp, frame, nil
 }

@@ -1,0 +1,291 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rafda/internal/wire"
+)
+
+// TestRRPConcurrentSharedClient drives one shared client from many
+// goroutines with a mix of fast and slow handlers, forcing responses to
+// complete out of arrival order, and checks every caller gets its own
+// answer.  Run under -race in CI.
+func TestRRPConcurrentSharedClient(t *testing.T) {
+	tr := NewRRP(Options{})
+	srv, err := tr.Listen("", func(req *wire.Request) *wire.Response {
+		if strings.HasPrefix(req.Method, "slow") {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: req.Method}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := tr.Dial(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines = 16
+	const callsEach = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				kind := "fast"
+				if (g+i)%3 == 0 {
+					kind = "slow"
+				}
+				method := fmt.Sprintf("%s-g%d-c%d", kind, g, i)
+				id := uint64(g*callsEach + i)
+				resp, err := c.Call(&wire.Request{ID: id, Op: wire.OpInvoke, Method: method})
+				if err != nil {
+					t.Errorf("call %s: %v", method, err)
+					return
+				}
+				if resp.ID != id || resp.Result.Str != method {
+					t.Errorf("cross-delivered response: sent %s/%d, got %s/%d",
+						method, id, resp.Result.Str, resp.ID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRRPOutOfOrderResponses proves the multiplexing is real: a fast call
+// issued after a deliberately stuck slow call completes first, on the
+// same connection.
+func TestRRPOutOfOrderResponses(t *testing.T) {
+	slowEntered := make(chan struct{})
+	release := make(chan struct{})
+	tr := NewRRP(Options{})
+	srv, err := tr.Listen("", func(req *wire.Request) *wire.Response {
+		if req.Method == "slow" {
+			close(slowEntered)
+			<-release
+		}
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: req.Method}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := tr.Dial(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := c.Call(&wire.Request{ID: 1, Method: "slow"})
+		slowDone <- err
+	}()
+	<-slowEntered // the slow request is parked inside the handler
+
+	// A later call on the same connection must overtake it.
+	resp, err := c.Call(&wire.Request{ID: 2, Method: "fast"})
+	if err != nil {
+		t.Fatalf("fast call blocked behind slow call: %v", err)
+	}
+	if resp.Result.Str != "fast" {
+		t.Fatalf("bad response %+v", resp)
+	}
+	select {
+	case err := <-slowDone:
+		t.Fatalf("slow call finished before release (err=%v); ordering broken", err)
+	default:
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}
+
+// TestRRPPipeliningOverlapsLatency checks that N concurrent calls over
+// one connection overlap their handler time instead of queueing: 32
+// calls against a 5ms handler must take far less than 32×5ms.
+func TestRRPPipeliningOverlapsLatency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	tr := NewRRP(Options{})
+	srv, err := tr.Listen("", func(req *wire.Request) *wire.Response {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Add(-1)
+		return &wire.Response{ID: req.ID}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := tr.Dial(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const calls = 32
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Call(&wire.Request{ID: uint64(i)}); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > calls*5*time.Millisecond/2 {
+		t.Fatalf("%d concurrent calls took %v; transport is serialising", calls, elapsed)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("server never ran handlers concurrently (peak %d)", peak.Load())
+	}
+}
+
+// TestRRPDuplicateCallerIDs verifies correlation is by client-assigned
+// wire ID, not the caller's request ID: concurrent calls reusing the
+// same request ID each get their own response, stamped with their ID.
+func TestRRPDuplicateCallerIDs(t *testing.T) {
+	tr := NewRRP(Options{})
+	srv, err := tr.Listen("", func(req *wire.Request) *wire.Response {
+		if req.Method == "odd" {
+			time.Sleep(time.Millisecond)
+		}
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: req.Method}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := tr.Dial(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			method := "even"
+			if i%2 == 1 {
+				method = "odd"
+			}
+			resp, err := c.Call(&wire.Request{ID: 7, Method: method})
+			if err != nil {
+				t.Errorf("call: %v", err)
+				return
+			}
+			if resp.ID != 7 || resp.Result.Str != method {
+				t.Errorf("want %s/7, got %s/%d", method, resp.Result.Str, resp.ID)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestRRPCloseFailsPendingCalls checks a closed client immediately fails
+// both its in-flight and subsequent calls.
+func TestRRPCloseFailsPendingCalls(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	tr := NewRRP(Options{})
+	srv, err := tr.Listen("", func(req *wire.Request) *wire.Response {
+		if req.Method == "stuck" {
+			close(entered)
+			<-release
+		}
+		return &wire.Response{ID: req.ID}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(release) // let the parked handler finish so Close can drain
+	c, err := tr.Dial(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pending := make(chan error, 1)
+	go func() {
+		_, err := c.Call(&wire.Request{ID: 1, Method: "stuck"})
+		pending <- err
+	}()
+	<-entered
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-pending:
+		if err == nil {
+			t.Fatal("pending call succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not unblocked by Close")
+	}
+	if _, err := c.Call(&wire.Request{ID: 2}); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+// TestRRPLargePayloadRoundTrip exercises frame-buffer growth and reuse
+// beyond the pool's initial size, concurrently.
+func TestRRPLargePayloadRoundTrip(t *testing.T) {
+	tr := NewRRP(Options{})
+	srv, err := tr.Listen("", func(req *wire.Request) *wire.Response {
+		return &wire.Response{ID: req.ID, Result: req.Args[0]}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := tr.Dial(srv.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for _, size := range []int{0, 1, 4 << 10, 256 << 10, 2 << 20} {
+		wg.Add(1)
+		go func(size int) {
+			defer wg.Done()
+			payload := strings.Repeat("x", size)
+			resp, err := c.Call(&wire.Request{
+				ID:   uint64(size),
+				Args: []wire.Value{{Kind: wire.KString, Str: payload}},
+			})
+			if err != nil {
+				t.Errorf("size %d: %v", size, err)
+				return
+			}
+			if resp.Result.Str != payload {
+				t.Errorf("size %d: payload corrupted (got %d bytes)", size, len(resp.Result.Str))
+			}
+		}(size)
+	}
+	wg.Wait()
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 
 	"rafda/internal/netsim"
 	"rafda/internal/wire"
@@ -25,10 +26,35 @@ type Server interface {
 }
 
 // Client is a connection to a remote endpoint.
+//
+// Call is safe for concurrent use by any number of goroutines.  Each
+// implementation either multiplexes concurrent calls over one connection
+// (rrp correlates out-of-order responses by request ID), pools
+// connections (soap/json ride net/http keep-alive pools), or is a direct
+// function call (inproc); none holds a lock across a network round trip.
 type Client interface {
 	Call(*wire.Request) (*wire.Response, error)
 	Close() error
 }
+
+// Lockstep wraps a client so at most one call is in flight at a time —
+// the pre-multiplexing transport behaviour.  The E7 experiment uses it
+// as the "before" baseline; it is also a serialisation tool for callers
+// that need strict one-at-a-time ordering over a shared connection.
+func Lockstep(c Client) Client { return &lockstepClient{c: c} }
+
+type lockstepClient struct {
+	mu sync.Mutex
+	c  Client
+}
+
+func (l *lockstepClient) Call(req *wire.Request) (*wire.Response, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c.Call(req)
+}
+
+func (l *lockstepClient) Close() error { return l.c.Close() }
 
 // Transport is one wire protocol.
 type Transport interface {
@@ -46,6 +72,20 @@ type Options struct {
 	// Profile injects simulated network conditions on both accepted and
 	// dialled connections.
 	Profile netsim.Profile
+	// MaxInflight bounds the number of requests a server dispatches
+	// concurrently per connection (rrp); 0 means DefaultMaxInflight.
+	MaxInflight int
+}
+
+// DefaultMaxInflight is the per-connection concurrent-dispatch bound used
+// when Options.MaxInflight is zero.
+const DefaultMaxInflight = 256
+
+func (o Options) maxInflight() int {
+	if o.MaxInflight > 0 {
+		return o.MaxInflight
+	}
+	return DefaultMaxInflight
 }
 
 func (o Options) listen(addr string) (net.Listener, error) {

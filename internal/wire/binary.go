@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -11,35 +10,53 @@ import (
 // Binary codec used by the RRP transport: varint integers,
 // length-prefixed strings, recursive values.  Frames are written with an
 // outer uvarint length by the transport.
+//
+// The primary entry points are the allocation-free Append/DecodeBytes
+// pairs: AppendRequest/AppendResponse encode directly into a caller-owned
+// byte slice (typically a sync.Pool-recycled frame buffer with headroom
+// reserved for the transport's length prefix), and
+// DecodeRequestBytes/DecodeResponseBytes read straight from a frame
+// without intermediate readers.  Decoded messages never alias the input
+// slice — all strings are copied — so frame buffers can be recycled
+// immediately after decoding.  The io.Reader/io.Writer forms are thin
+// wrappers for stream-oriented callers.
 
-// EncodeRequest serialises req.
-func EncodeRequest(w io.Writer, req *Request) error {
-	bw := bufio.NewWriter(w)
-	e := &benc{w: bw}
-	e.u64(req.ID)
-	e.u64(uint64(req.Op))
-	e.str(req.GUID)
-	e.str(req.Class)
-	e.str(req.Method)
-	e.u64(uint64(len(req.Args)))
+// AppendRequest appends req's encoding to dst and returns the extended
+// slice.
+func AppendRequest(dst []byte, req *Request) []byte {
+	dst = appendUvarint(dst, req.ID)
+	dst = appendUvarint(dst, uint64(req.Op))
+	dst = appendString(dst, req.GUID)
+	dst = appendString(dst, req.Class)
+	dst = appendString(dst, req.Method)
+	dst = appendUvarint(dst, uint64(len(req.Args)))
 	for i := range req.Args {
-		e.value(&req.Args[i])
+		dst = appendValue(dst, &req.Args[i])
 	}
-	e.u64(uint64(len(req.Fields)))
+	dst = appendUvarint(dst, uint64(len(req.Fields)))
 	for i := range req.Fields {
-		e.str(req.Fields[i].Name)
-		e.value(&req.Fields[i].Value)
+		dst = appendString(dst, req.Fields[i].Name)
+		dst = appendValue(dst, &req.Fields[i].Value)
 	}
-	e.str(req.Endpoint)
-	if e.err != nil {
-		return e.err
-	}
-	return bw.Flush()
+	dst = appendString(dst, req.Endpoint)
+	return dst
 }
 
-// DecodeRequest reads a request serialised by EncodeRequest.
-func DecodeRequest(r io.Reader) (*Request, error) {
-	d := &bdec{r: asByteReader(r)}
+// AppendResponse appends resp's encoding to dst and returns the extended
+// slice.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = appendUvarint(dst, resp.ID)
+	dst = appendValue(dst, &resp.Result)
+	dst = appendString(dst, resp.ExClass)
+	dst = appendString(dst, resp.ExMsg)
+	dst = appendString(dst, resp.Err)
+	return dst
+}
+
+// DecodeRequestBytes decodes exactly one request from b.  Trailing bytes
+// are a protocol error: a frame delimits one message.
+func DecodeRequestBytes(b []byte) (*Request, error) {
+	d := &bdec{b: b}
 	req := &Request{}
 	req.ID = d.u64()
 	req.Op = Op(d.u64())
@@ -47,14 +64,14 @@ func DecodeRequest(r io.Reader) (*Request, error) {
 	req.Class = d.str()
 	req.Method = d.str()
 	n := d.u64()
-	if n > maxSeq {
+	if d.err == nil && n > maxSeq {
 		return nil, fmt.Errorf("args length %d too large", n)
 	}
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		req.Args = append(req.Args, d.value())
 	}
 	n = d.u64()
-	if n > maxSeq {
+	if d.err == nil && n > maxSeq {
 		return nil, fmt.Errorf("fields length %d too large", n)
 	}
 	for i := uint64(0); i < n && d.err == nil; i++ {
@@ -63,126 +80,137 @@ func DecodeRequest(r io.Reader) (*Request, error) {
 		req.Fields = append(req.Fields, nv)
 	}
 	req.Endpoint = d.str()
-	return req, d.err
-}
-
-// EncodeResponse serialises resp.
-func EncodeResponse(w io.Writer, resp *Response) error {
-	bw := bufio.NewWriter(w)
-	e := &benc{w: bw}
-	e.u64(resp.ID)
-	e.value(&resp.Result)
-	e.str(resp.ExClass)
-	e.str(resp.ExMsg)
-	e.str(resp.Err)
-	if e.err != nil {
-		return e.err
+	if err := d.finish(); err != nil {
+		return nil, err
 	}
-	return bw.Flush()
+	return req, nil
 }
 
-// DecodeResponse reads a response serialised by EncodeResponse.
-func DecodeResponse(r io.Reader) (*Response, error) {
-	d := &bdec{r: asByteReader(r)}
+// DecodeResponseBytes decodes exactly one response from b.
+func DecodeResponseBytes(b []byte) (*Response, error) {
+	d := &bdec{b: b}
 	resp := &Response{}
 	resp.ID = d.u64()
 	resp.Result = d.value()
 	resp.ExClass = d.str()
 	resp.ExMsg = d.str()
 	resp.Err = d.str()
-	return resp, d.err
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// EncodeRequest serialises req to a stream.
+func EncodeRequest(w io.Writer, req *Request) error {
+	_, err := w.Write(AppendRequest(nil, req))
+	return err
+}
+
+// DecodeRequest reads one request from a stream holding exactly one
+// encoded request.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRequestBytes(b)
+}
+
+// EncodeResponse serialises resp to a stream.
+func EncodeResponse(w io.Writer, resp *Response) error {
+	_, err := w.Write(AppendResponse(nil, resp))
+	return err
+}
+
+// DecodeResponse reads one response from a stream holding exactly one
+// encoded response.
+func DecodeResponse(r io.Reader) (*Response, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponseBytes(b)
 }
 
 const maxSeq = 1 << 24
 
-type byteReaderReader interface {
-	io.Reader
-	io.ByteReader
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
 }
 
-func asByteReader(r io.Reader) byteReaderReader {
-	if br, ok := r.(byteReaderReader); ok {
-		return br
-	}
-	return bufio.NewReader(r)
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
 }
 
-type benc struct {
-	w   *bufio.Writer
-	err error
-	buf [binary.MaxVarintLen64]byte
-}
-
-func (e *benc) u64(v uint64) {
-	if e.err != nil {
-		return
-	}
-	n := binary.PutUvarint(e.buf[:], v)
-	_, e.err = e.w.Write(e.buf[:n])
-}
-
-func (e *benc) i64(v int64) {
-	if e.err != nil {
-		return
-	}
-	n := binary.PutVarint(e.buf[:], v)
-	_, e.err = e.w.Write(e.buf[:n])
-}
-
-func (e *benc) str(s string) {
-	e.u64(uint64(len(s)))
-	if e.err == nil {
-		_, e.err = e.w.WriteString(s)
-	}
-}
-
-func (e *benc) boolean(b bool) {
+func appendBool(dst []byte, b bool) []byte {
 	if b {
-		e.u64(1)
-	} else {
-		e.u64(0)
+		return append(dst, 1)
 	}
+	return append(dst, 0)
 }
 
-func (e *benc) value(v *Value) {
-	e.u64(uint64(v.Kind))
+func appendValue(dst []byte, v *Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(v.Kind))
 	switch v.Kind {
 	case KBool:
-		e.boolean(v.Bool)
+		dst = appendBool(dst, v.Bool)
 	case KInt:
-		e.i64(v.Int)
+		dst = binary.AppendVarint(dst, v.Int)
 	case KFloat:
-		e.u64(math.Float64bits(v.Float))
+		dst = binary.AppendUvarint(dst, math.Float64bits(v.Float))
 	case KString:
-		e.str(v.Str)
+		dst = appendString(dst, v.Str)
 	case KRef:
-		e.str(v.Ref.GUID)
-		e.str(v.Ref.Endpoint)
-		e.str(v.Ref.Proto)
-		e.str(v.Ref.Target)
-		e.boolean(v.Ref.ClassSide)
+		dst = appendString(dst, v.Ref.GUID)
+		dst = appendString(dst, v.Ref.Endpoint)
+		dst = appendString(dst, v.Ref.Proto)
+		dst = appendString(dst, v.Ref.Target)
+		dst = appendBool(dst, v.Ref.ClassSide)
 	case KArray:
-		e.str(v.Elem)
-		e.u64(uint64(len(v.Arr)))
+		dst = appendString(dst, v.Elem)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Arr)))
 		for i := range v.Arr {
-			e.value(&v.Arr[i])
+			dst = appendValue(dst, &v.Arr[i])
 		}
+	}
+	return dst
+}
+
+// bdec decodes from a byte slice with sticky errors.
+type bdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *bdec) fail(format string, a ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, a...)
 	}
 }
 
-type bdec struct {
-	r   byteReaderReader
-	err error
+func (d *bdec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%d trailing bytes after message", len(d.b)-d.off)
+	}
+	return nil
 }
 
 func (d *bdec) u64() uint64 {
 	if d.err != nil {
 		return 0
 	}
-	v, err := binary.ReadUvarint(d.r)
-	if err != nil && d.err == nil {
-		d.err = err
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated or malformed uvarint at offset %d", d.off)
+		return 0
 	}
+	d.off += n
 	return v
 }
 
@@ -190,10 +218,12 @@ func (d *bdec) i64() int64 {
 	if d.err != nil {
 		return 0
 	}
-	v, err := binary.ReadVarint(d.r)
-	if err != nil && d.err == nil {
-		d.err = err
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated or malformed varint at offset %d", d.off)
+		return 0
 	}
+	d.off += n
 	return v
 }
 
@@ -203,14 +233,17 @@ func (d *bdec) str() string {
 		return ""
 	}
 	if n > maxSeq {
-		d.err = fmt.Errorf("string length %d too large", n)
+		d.fail("string length %d too large", n)
 		return ""
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(d.r, b); err != nil && d.err == nil {
-		d.err = err
+	if uint64(len(d.b)-d.off) < n {
+		d.fail("truncated string at offset %d", d.off)
+		return ""
 	}
-	return string(b)
+	// string() copies, so the decoded message never aliases the frame.
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
 }
 
 func (d *bdec) boolean() bool { return d.u64() != 0 }
@@ -238,9 +271,7 @@ func (d *bdec) value() Value {
 		v.Elem = d.str()
 		n := d.u64()
 		if n > maxSeq {
-			if d.err == nil {
-				d.err = fmt.Errorf("array length %d too large", n)
-			}
+			d.fail("array length %d too large", n)
 			return v
 		}
 		for i := uint64(0); i < n && d.err == nil; i++ {
@@ -248,9 +279,7 @@ func (d *bdec) value() Value {
 		}
 	case KVoid, KNull, KInvalid:
 	default:
-		if d.err == nil {
-			d.err = fmt.Errorf("bad value kind %d", v.Kind)
-		}
+		d.fail("bad value kind %d", v.Kind)
 	}
 	return v
 }

@@ -1,11 +1,14 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"encoding/xml"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -198,6 +201,86 @@ func valuesEquivalent(a, b *Value) bool {
 	return true
 }
 
+// TestBytesCodecRoundTripProperty round-trips randomised requests and
+// responses through the pooled-buffer fast path (AppendRequest /
+// DecodeRequestBytes) — the encoding the RRP transport actually uses —
+// over randomised Value trees including KRef, nested KArray and empty
+// strings.
+func TestBytesCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := randomRequest(r)
+		// Encode with headroom, as the transport does, then decode the
+		// payload portion only.
+		buf := AppendRequest(make([]byte, 8), req)
+		back, err := DecodeRequestBytes(buf[8:])
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(req, back) {
+			return false
+		}
+		resp := &Response{ID: r.Uint64(), Result: randomValue(r, 3), Err: randString(r)}
+		rback, err := DecodeResponseBytes(AppendResponse(nil, resp))
+		return err == nil && reflect.DeepEqual(resp, rback)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBytesCodecMatchesStreamCodec pins the two entry points to one wire
+// format: the stream wrappers must produce byte-identical output to the
+// append codec.
+func TestBytesCodecMatchesStreamCodec(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		req := randomRequest(r)
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), AppendRequest(nil, req)) {
+			t.Fatalf("stream and bytes encodings diverge for %+v", req)
+		}
+	}
+}
+
+// TestBytesCodecEdgeValues covers the explicit shapes the transport
+// depends on: empty strings everywhere, refs, deep arrays.
+func TestBytesCodecEdgeValues(t *testing.T) {
+	req := &Request{
+		ID: 0, Op: OpInvoke, GUID: "", Class: "", Method: "",
+		Args: []Value{
+			{Kind: KString, Str: ""},
+			{Kind: KRef, Ref: &RemoteRef{GUID: "", Endpoint: "", Proto: "", Target: "", ClassSide: true}},
+			{Kind: KArray, Elem: "I", Arr: []Value{
+				{Kind: KArray, Elem: "S", Arr: []Value{{Kind: KString, Str: ""}}},
+				{Kind: KNull},
+			}},
+		},
+		Endpoint: "",
+	}
+	back, err := DecodeRequestBytes(AppendRequest(nil, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, back) {
+		t.Fatalf("edge round trip:\n%+v\n%+v", req, back)
+	}
+}
+
+func TestDecodeBytesRejectsTrailingGarbage(t *testing.T) {
+	b := AppendResponse(nil, &Response{ID: 3})
+	if _, err := DecodeResponseBytes(append(b, 0xff)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	breq := AppendRequest(nil, &Request{ID: 4, Op: OpPing})
+	if _, err := DecodeRequestBytes(append(breq, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
 func TestDecodeRejectsTruncation(t *testing.T) {
 	req := &Request{ID: 1, Op: OpInvoke, GUID: "g", Method: "m",
 		Args: []Value{{Kind: KString, Str: "payload-payload"}}}
@@ -210,6 +293,56 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 		if _, err := DecodeRequest(bytes.NewReader(full[:cut])); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+var benchReq = &Request{ID: 1, Op: OpInvoke, GUID: "obj-42", Method: "add",
+	Args: []Value{{Kind: KInt, Int: 20}, {Kind: KInt, Int: 22}}}
+
+// BenchmarkSeedEncodeChain reproduces the pre-pooling per-call
+// allocation stack the RRP transport used to pay: encode through a
+// bufio.Writer into a bytes.Buffer, concatenate header+payload into a
+// fresh frame slice, and decode through bytes.Reader+bufio.Reader
+// wrappers.  Kept as the baseline the pooled path is measured against.
+func BenchmarkSeedEncodeChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := EncodeRequest(bw, benchReq); err != nil {
+			b.Fatal(err)
+		}
+		bw.Flush()
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(buf.Len()))
+		frame := make([]byte, 0, n+buf.Len())
+		frame = append(frame, hdr[:n]...)
+		frame = append(frame, buf.Bytes()...)
+		if _, err := DecodeRequest(bufio.NewReader(bytes.NewReader(frame[n:]))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPooledEncodeChain is the framing the RRP transport uses now:
+// encode into a pooled buffer after reserved length-prefix headroom,
+// write the prefix in place, decode straight from the frame bytes.
+func BenchmarkPooledEncodeChain(b *testing.B) {
+	const headroom = binary.MaxVarintLen64
+	pool := sync.Pool{New: func() any { s := make([]byte, 0, 4096); return &s }}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bufp := pool.Get().(*[]byte)
+		buf := AppendRequest((*bufp)[:headroom], benchReq)
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(buf)-headroom))
+		copy(buf[headroom-n:], hdr[:n])
+		frame := buf[headroom-n:]
+		if _, err := DecodeRequestBytes(frame[n:]); err != nil {
+			b.Fatal(err)
+		}
+		*bufp = buf[:0]
+		pool.Put(bufp)
 	}
 }
 
