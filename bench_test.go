@@ -10,6 +10,8 @@ package rafda
 //	E5  §1/§2         proxy protocol families under LAN conditions
 //	E6  §4            dynamic redistribution: policy flips and migration
 //	E7  scaling       RRP concurrency throughput: multiplexed vs lock-step
+//	E8  scaling       intra-node parallelism: sharded VM locking vs the
+//	                  coarse-lock baseline, distinct vs shared targets
 
 import (
 	"fmt"
@@ -22,6 +24,7 @@ import (
 	"rafda/internal/corpus"
 	"rafda/internal/minijava"
 	"rafda/internal/netsim"
+	"rafda/internal/node"
 	"rafda/internal/transform"
 	"rafda/internal/transport"
 	"rafda/internal/vm"
@@ -162,7 +165,7 @@ func BenchmarkE3_Figure1(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := machine.Invoke(a.O.Class.Name, "use", a, nil); err != nil {
+			if _, err := machine.Invoke(a.O.ClassName(), "use", a, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -641,6 +644,134 @@ func BenchmarkE7_NodeConcurrency(b *testing.B) {
 				return nil
 			})
 		})
+	}
+}
+
+// e8Source is the E8 workload: an object whose deposit() is a pure
+// read-modify-write (CPU-bound bytecode) and whose slowDeposit() blocks
+// for 200µs between heap accesses (sys.Clock.sleepMicros models per-call
+// blocking work — I/O, device time — that cannot release the VM because
+// it sits between field reads and writes).
+const e8Source = `
+class Account {
+    int balance;
+    Account(int b) { this.balance = b; }
+    int deposit(int x) { balance = balance + x; return balance; }
+    int slowDeposit(int x) {
+        sys.Clock.sleepMicros(200);
+        balance = balance + x;
+        return balance;
+    }
+}
+class Mk {
+    static Account make() { return new Account(0); }
+}
+class Main { static void main() {} }`
+
+// runConcurrentCallsIdx is runConcurrentCalls with the goroutine index
+// handed to the call, so each goroutine can address its own target.
+func runConcurrentCallsIdx(b *testing.B, parallel int, call func(g int) error) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if err := call(g); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// BenchmarkE8_IntraNodeParallelism measures what the sharded VM lock
+// buys INSIDE one node: concurrent invocations (the node CallOn path —
+// the same gate discipline inbound dispatch uses) against distinct vs a
+// shared target object, under the sharded design and under the seed's
+// coarse-lock regime (vm.WithCoarseLock).
+//
+//   - distinct/sharded: scales with parallelism — blocking work overlaps
+//     across objects (and CPU work across cores when GOMAXPROCS > 1);
+//   - distinct/coarse: pinned to sequential throughput — one lock
+//     serialises every invocation of the whole VM;
+//   - shared/*: both regimes serialise (per-object monitor semantics);
+//     the stress tests assert no update is lost.
+//
+// The "block" workload (200µs of in-call blocking) is the headline: it
+// is the component a coarse lock cannot overlap no matter the core
+// count.  The "cpu" workload additionally shows GOMAXPROCS-bound
+// scaling on multicore hosts.
+func BenchmarkE8_IntraNodeParallelism(b *testing.B) {
+	workloads := []struct{ name, method string }{
+		{"cpu", "deposit"},
+		{"block", "slowDeposit"},
+	}
+	for _, wl := range workloads {
+		for _, mode := range []string{"coarse", "sharded"} {
+			for _, target := range []string{"distinct", "shared"} {
+				for _, parallel := range []int{1, 8, 64} {
+					name := fmt.Sprintf("%s/%s/%s/p%d", wl.name, mode, target, parallel)
+					b.Run(name, func(b *testing.B) {
+						prog, err := minijava.Compile(e8Source)
+						if err != nil {
+							b.Fatal(err)
+						}
+						res, err := transform.Transform(prog, transform.Options{Protocols: []string{"rrp"}})
+						if err != nil {
+							b.Fatal(err)
+						}
+						var vmOpts []vm.Option
+						if mode == "coarse" {
+							vmOpts = append(vmOpts, vm.WithCoarseLock())
+						}
+						n, err := node.New(node.Config{Name: "e8", Result: res, VMOpts: vmOpts})
+						if err != nil {
+							b.Fatal(err)
+						}
+						defer n.Close()
+						objects := 1
+						if target == "distinct" {
+							objects = parallel
+						}
+						refs := make([]vm.Value, objects)
+						for i := range refs {
+							v, err := n.InvokeStatic("Mk", "make")
+							if err != nil {
+								b.Fatal(err)
+							}
+							refs[i] = v
+						}
+						arg := []vm.Value{vm.IntV(1)}
+						runConcurrentCallsIdx(b, parallel, func(g int) error {
+							_, err := n.CallOn(refs[g%objects], wl.method, arg...)
+							return err
+						})
+						// No call may be lost: the balances must account
+						// for every deposit exactly once.
+						var sum int64
+						for _, ref := range refs {
+							v, err := n.CallOn(ref, "deposit", vm.IntV(0))
+							if err != nil {
+								b.Fatal(err)
+							}
+							sum += v.I
+						}
+						if sum != int64(b.N) {
+							b.Fatalf("lost updates: balances sum to %d, want %d", sum, b.N)
+						}
+					})
+				}
+			}
+		}
 	}
 }
 

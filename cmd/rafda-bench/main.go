@@ -9,6 +9,8 @@
 //	rafda-bench -exp e5   proxy protocol comparison
 //	rafda-bench -exp e6   §4 dynamic redistribution
 //	rafda-bench -exp e7   RRP concurrency throughput (writes BENCH_E7.json)
+//	rafda-bench -exp e8   intra-node parallelism: sharded VM locking vs the
+//	                      coarse-lock baseline (writes BENCH_E8.json)
 //	rafda-bench -exp all  everything
 package main
 
@@ -27,6 +29,7 @@ import (
 	"rafda/internal/corpus"
 	"rafda/internal/minijava"
 	"rafda/internal/netsim"
+	"rafda/internal/node"
 	"rafda/internal/transform"
 	"rafda/internal/transport"
 	"rafda/internal/vm"
@@ -61,8 +64,9 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e7 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e8 or all)")
 	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
+	e8json := flag.String("e8json", "BENCH_E8.json", "path for e8's machine-readable results (empty to skip)")
 	flag.Parse()
 	run := func(id string, f func() error) {
 		if *exp != "all" && *exp != id {
@@ -81,6 +85,7 @@ func main() {
 	run("e5", e5)
 	run("e6", e6)
 	run("e7", func() error { return e7(*e7json) })
+	run("e8", func() error { return e8(*e8json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,
@@ -189,7 +194,7 @@ func e3() error {
 			return err
 		}
 		d, err := timeCalls(iters, func() error {
-			_, err := machine.Invoke(a.O.Class.Name, "use", a, nil)
+			_, err := machine.Invoke(a.O.ClassName(), "use", a, nil)
 			return err
 		})
 		if err != nil {
@@ -651,6 +656,201 @@ func e7(jsonPath string) error {
 		if base > 0 {
 			fmt.Printf("\n%s speedup at parallelism 64: %.1fx (multiplexed %0.f vs lock-step %0.f calls/s)\n",
 				nw.name, mux/base, mux, base)
+		}
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nmachine-readable results written to %s\n", jsonPath)
+	return nil
+}
+
+// e8Source is the E8 workload (kept in sync with bench_test.go):
+// deposit() is pure bytecode, slowDeposit() blocks 200µs between heap
+// accesses via the sys.Clock.sleepMicros native — per-call blocking work
+// that cannot release the VM because it sits between a field read and a
+// field write.
+const e8Source = `
+class Account {
+    int balance;
+    Account(int b) { this.balance = b; }
+    int deposit(int x) { balance = balance + x; return balance; }
+    int slowDeposit(int x) {
+        sys.Clock.sleepMicros(200);
+        balance = balance + x;
+        return balance;
+    }
+}
+class Mk {
+    static Account make() { return new Account(0); }
+}
+class Main { static void main() {} }`
+
+// E8Result is one row of the machine-readable intra-node parallelism
+// record, tracked across PRs in BENCH_E8.json.
+type E8Result struct {
+	Workload    string  `json:"workload"` // cpu | block
+	Mode        string  `json:"mode"`     // coarse | sharded
+	Target      string  `json:"target"`   // distinct | shared
+	Parallelism int     `json:"parallelism"`
+	Calls       int     `json:"calls"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+// E8Report is the top-level BENCH_E8.json document.
+type E8Report struct {
+	Experiment  string     `json:"experiment"`
+	Description string     `json:"description"`
+	Timestamp   string     `json:"timestamp"`
+	GoMaxProcs  int        `json:"gomaxprocs"`
+	Results     []E8Result `json:"results"`
+}
+
+// e8Node builds one single node over the E8 workload, optionally under
+// the seed's coarse VM lock.
+func e8Node(coarse bool) (*node.Node, error) {
+	prog, err := minijava.Compile(e8Source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := transform.Transform(prog, transform.Options{Protocols: []string{"rrp"}})
+	if err != nil {
+		return nil, err
+	}
+	var opts []vm.Option
+	if coarse {
+		opts = append(opts, vm.WithCoarseLock())
+	}
+	return node.New(node.Config{Name: "e8", Result: res, VMOpts: opts})
+}
+
+// e8Measure spreads `calls` CallOn invocations over `parallel`
+// goroutines; goroutine g targets refs[g%len(refs)].
+func e8Measure(n *node.Node, refs []vm.Value, method string, parallel, calls int) (E8Result, error) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, parallel)
+	arg := []vm.Value{vm.IntV(1)}
+	start := time.Now()
+	for g := 0; g < parallel; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ref := refs[g%len(refs)]
+			for next.Add(1) <= int64(calls) {
+				if _, err := n.CallOn(ref, method, arg...); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return E8Result{}, err
+	default:
+	}
+	return E8Result{
+		Parallelism: parallel,
+		Calls:       calls,
+		CallsPerSec: float64(calls) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(calls),
+	}, nil
+}
+
+// e8 measures intra-node invocation throughput under concurrency: the
+// sharded per-object locking vs the seed's coarse VM lock, against
+// distinct vs one shared target object, at parallelism 1, 8 and 64.
+// The "block" workload is the headline (blocking work a coarse lock can
+// never overlap); the "cpu" workload shows GOMAXPROCS-bound scaling on
+// multicore hosts.  It prints the comparison and writes the
+// machine-readable record so the perf trajectory is tracked across PRs.
+func e8(jsonPath string) error {
+	report := E8Report{
+		Experiment: "e8",
+		Description: "intra-node parallelism: sharded per-object VM locking vs coarse-lock baseline, " +
+			"CallOn invocations against distinct vs shared target objects",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("concurrent intra-node invocations (GOMAXPROCS=%d)\n", report.GoMaxProcs)
+	fmt.Printf("  %-6s %-8s %-9s %3s %12s %12s\n", "work", "mode", "target", "p", "calls/s", "ns/op")
+	rate := map[string]float64{}
+	for _, wl := range []struct{ name, method string }{{"cpu", "deposit"}, {"block", "slowDeposit"}} {
+		for _, mode := range []string{"coarse", "sharded"} {
+			n, err := e8Node(mode == "coarse")
+			if err != nil {
+				return err
+			}
+			for _, target := range []string{"distinct", "shared"} {
+				for _, parallel := range []int{1, 8, 64} {
+					objects := 1
+					if target == "distinct" {
+						objects = parallel
+					}
+					refs := make([]vm.Value, objects)
+					for i := range refs {
+						v, err := n.InvokeStatic("Mk", "make")
+						if err != nil {
+							n.Close()
+							return err
+						}
+						refs[i] = v
+					}
+					calls := 4000
+					if wl.name == "block" {
+						// Blocking workload: only sharded+distinct scales,
+						// so budget the serial configurations down.
+						calls = 300
+						if mode == "sharded" && target == "distinct" && parallel > 1 {
+							calls = 300 * parallel
+							if calls > 3000 {
+								calls = 3000
+							}
+						}
+					}
+					// Warm-up outside the measurement.
+					if _, err := e8Measure(n, refs, wl.method, parallel, 2*parallel+16); err != nil {
+						n.Close()
+						return err
+					}
+					res, err := e8Measure(n, refs, wl.method, parallel, calls)
+					if err != nil {
+						n.Close()
+						return err
+					}
+					res.Workload, res.Mode, res.Target = wl.name, mode, target
+					report.Results = append(report.Results, res)
+					rate[fmt.Sprintf("%s/%s/%s/%d", wl.name, mode, target, parallel)] = res.CallsPerSec
+					fmt.Printf("  %-6s %-8s %-9s %3d %12.0f %12.0f\n",
+						wl.name, mode, target, parallel, res.CallsPerSec, res.NsPerOp)
+				}
+			}
+			n.Close()
+		}
+	}
+	for _, wl := range []string{"cpu", "block"} {
+		base := rate[wl+"/coarse/distinct/64"]
+		shard := rate[wl+"/sharded/distinct/64"]
+		if base > 0 {
+			fmt.Printf("\n%s distinct-objects speedup at parallelism 64: %.1fx (sharded %.0f vs coarse %.0f calls/s)\n",
+				wl, shard/base, shard, base)
+		}
+		sb := rate[wl+"/coarse/shared/64"]
+		ss := rate[wl+"/sharded/shared/64"]
+		if sb > 0 {
+			fmt.Printf("%s shared-object ratio at parallelism 64: %.1fx (monitor semantics: sharding must NOT speed this up)\n",
+				wl, ss/sb)
 		}
 	}
 	if jsonPath == "" {

@@ -12,12 +12,22 @@ import (
 
 // dispatch serves one incoming request.  Transports invoke it
 // concurrently — the multiplexed RRP server runs one goroutine per
-// in-flight request, and the HTTP transports one per connection — so
-// everything here must be safe under concurrent invocation: VM work
-// happens under the VM lock via WithLock, counters are atomic, and the
-// export/policy/singleton tables have their own synchronisation.  Nested
-// outgoing proxy calls release the VM lock while blocked, so re-entrant
-// call chains between nodes cannot deadlock.
+// in-flight request, and the HTTP transports one per connection — and
+// requests proceed in parallel all the way through execution: an
+// invocation synchronises only on its *target object's* gate
+// (vm.ExecOn), so calls to different objects interleave freely while
+// calls to the same object serialise with each other and with
+// migrations of it.  Creation and migration adoption build objects not
+// yet shared and run ungated (vm.Exec).  Counters are atomic, and the
+// export/policy/singleton tables have their own synchronisation.
+// Nested outgoing proxy calls release the execution's locks while
+// blocked (Env.RunUnlocked), so re-entrant call chains between nodes —
+// including callbacks targeting the original object — do not deadlock
+// on invocation gates.  The exception is singleton *creation*
+// (localSingleton): an execution that waits for another execution's
+// in-progress creation can deadlock if that creation transitively
+// depends on the waiter — the JVM has the same property for
+// cross-thread class-initialisation cycles (docs/CONCURRENCY.md §7).
 func (n *Node) dispatch(req *wire.Request) *wire.Response {
 	n.stats.remoteCallsIn.Add(1)
 	switch req.Op {
@@ -50,7 +60,9 @@ func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
 	}
 	n.stats.creates.Add(1)
 	resp := &wire.Response{ID: req.ID}
-	n.machine.WithLock(func(env *vm.Env) {
+	// The new instance is not shared until its reference is marshalled
+	// out, so construction needs no gate.
+	n.machine.Exec(func(env *vm.Env) {
 		val, thrown, err := env.Construct(transform.OLocal(req.Class), nil)
 		if err != nil {
 			resp.Err = err.Error()
@@ -72,50 +84,71 @@ func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
 
 func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 	resp := &wire.Response{ID: req.ID}
-	n.machine.WithLock(func(env *vm.Env) {
-		var recv vm.Value
-		if class, ok := guid.IsClassGUID(req.GUID); ok {
-			me, thrown, err := n.localSingleton(env, class)
-			if err != nil {
-				resp.Err = err.Error()
-				return
-			}
-			if thrown != nil {
-				resp.ExClass, resp.ExMsg = vm.ThrownMessage(thrown)
-				return
-			}
-			recv = me
-		} else {
-			obj, ok := n.exports.Get(req.GUID)
-			if !ok {
-				resp.Err = fmt.Sprintf("node %s: unknown object %s", n.name, req.GUID)
-				return
-			}
-			recv = vm.RefV(obj)
+	var target *vm.Object
+	if class, ok := guid.IsClassGUID(req.GUID); ok {
+		me, ok := n.singletonTarget(resp, class)
+		if !ok {
+			return resp
 		}
-		n.invokeOn(env, resp, recv, req)
+		target = me.O
+	} else {
+		obj, ok := n.exports.Get(req.GUID)
+		if !ok {
+			resp.Err = fmt.Sprintf("node %s: unknown object %s", n.name, req.GUID)
+			return resp
+		}
+		target = obj
+	}
+	// The gate is the whole scheduling story: requests for different
+	// objects run here in parallel; requests for this object queue.  If
+	// the object was migrated away while this request waited, the gate
+	// opens onto a proxy and the call transparently forwards.
+	n.machine.ExecOn(target, func(env *vm.Env) {
+		n.invokeOn(env, resp, vm.RefV(target), req)
 	})
 	return resp
 }
 
 func (n *Node) dispatchInvokeClass(req *wire.Request) *wire.Response {
 	resp := &wire.Response{ID: req.ID}
-	n.machine.WithLock(func(env *vm.Env) {
-		me, thrown, err := n.localSingleton(env, req.Class)
-		if err != nil {
-			resp.Err = err.Error()
-			return
-		}
-		if thrown != nil {
-			resp.ExClass, resp.ExMsg = vm.ThrownMessage(thrown)
-			return
-		}
+	me, ok := n.singletonTarget(resp, req.Class)
+	if !ok {
+		return resp
+	}
+	n.machine.ExecOn(me.O, func(env *vm.Env) {
 		n.invokeOn(env, resp, me, req)
 	})
 	return resp
 }
 
-// invokeOn performs the call on a resolved receiver and fills resp.
+// singletonTarget resolves (creating on first use) the local statics
+// singleton for class, before any gate is taken — singleton creation
+// executes program code and must not nest inside another object's gate.
+// On failure it fills resp and returns false.
+func (n *Node) singletonTarget(resp *wire.Response, class string) (vm.Value, bool) {
+	var me vm.Value
+	var thrown *vm.Thrown
+	var err error
+	n.machine.Exec(func(env *vm.Env) {
+		me, thrown, err = n.localSingleton(env, class)
+	})
+	if err != nil {
+		resp.Err = err.Error()
+		return vm.Value{}, false
+	}
+	if thrown != nil {
+		resp.ExClass, resp.ExMsg = vm.ThrownMessage(thrown)
+		return vm.Value{}, false
+	}
+	if me.O == nil {
+		resp.Err = fmt.Sprintf("node %s: nil singleton for %s", n.name, class)
+		return vm.Value{}, false
+	}
+	return me, true
+}
+
+// invokeOn performs the call on a resolved receiver and fills resp.  The
+// caller holds the receiver's invocation gate.
 func (n *Node) invokeOn(env *vm.Env, resp *wire.Response, recv vm.Value, req *wire.Request) {
 	args := make([]vm.Value, len(req.Args))
 	for i, wv := range req.Args {
@@ -130,7 +163,7 @@ func (n *Node) invokeOn(env *vm.Env, resp *wire.Response, recv vm.Value, req *wi
 		resp.Err = "nil receiver"
 		return
 	}
-	res, thrown, err := env.Call(recv.O.Class.Name, req.Method, recv, args)
+	res, thrown, err := env.Call(recv.O.ClassName(), req.Method, recv, args)
 	if err != nil {
 		resp.Err = err.Error()
 		return
@@ -153,7 +186,9 @@ func (n *Node) dispatchMigrateIn(req *wire.Request) *wire.Response {
 	}
 	n.stats.migrationsIn.Add(1)
 	resp := &wire.Response{ID: req.ID}
-	n.machine.WithLock(func(env *vm.Env) {
+	// Like creation: the adopted object is unshared until its reference
+	// is returned, so the rebuild runs ungated.
+	n.machine.Exec(func(env *vm.Env) {
 		obj, err := env.New(transform.OLocal(req.Class))
 		if err != nil {
 			resp.Err = err.Error()
@@ -187,66 +222,103 @@ func (n *Node) dispatchMigrateOut(req *wire.Request) *wire.Response {
 	}
 	// Already forwarding?  Then the object moved on; report its current
 	// location so the caller can retarget (and retry there if needed).
-	// The proxy check reads obj.Class, which a concurrent migration may
-	// morph, so it happens under the VM lock along with the field reads.
-	var forwarding bool
-	var ref wire.RemoteRef
-	n.machine.WithLock(func(*vm.Env) {
-		if !isProxyObject(obj) {
-			return
-		}
-		forwarding = true
-		base, proto, _, _ := transform.IsProxyClass(obj.Class.Name)
-		ref = wire.RemoteRef{
-			GUID:     obj.Get(transform.ProxyFieldGUID).S,
-			Endpoint: obj.Get(transform.ProxyFieldEndpoint).S,
-			Proto:    proto,
-			Target:   base,
-		}
-	})
-	if forwarding {
+	// View gives a consistent class+fields snapshot against concurrent
+	// morphs.
+	if ref, forwarding := proxyRefOf(obj); forwarding {
 		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KRef, Ref: &ref}}
 	}
 	if err := n.Migrate(vm.RefV(obj), req.Endpoint); err != nil {
 		return wire.Errorf(req, "%v", err)
 	}
 	// After Migrate the object is a proxy holding the new location.
-	n.machine.WithLock(func(*vm.Env) {
-		base, proto, _, _ := transform.IsProxyClass(obj.Class.Name)
-		ref = wire.RemoteRef{
-			GUID:     obj.Get(transform.ProxyFieldGUID).S,
-			Endpoint: obj.Get(transform.ProxyFieldEndpoint).S,
-			Proto:    proto,
-			Target:   base,
-		}
-	})
+	ref, _ := proxyRefOf(obj)
 	return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KRef, Ref: &ref}}
+}
+
+// proxyRefOf snapshots obj and, when it is a forwarding proxy, returns
+// the remote reference it holds.
+func proxyRefOf(obj *vm.Object) (wire.RemoteRef, bool) {
+	cls, fields := obj.View()
+	if !isProxyClass(cls) {
+		return wire.RemoteRef{}, false
+	}
+	base, proto, _, _ := transform.IsProxyClass(cls.Name)
+	return wire.RemoteRef{
+		GUID:     fields[transform.ProxyFieldGUID].S,
+		Endpoint: fields[transform.ProxyFieldEndpoint].S,
+		Proto:    proto,
+		Target:   base,
+	}, true
 }
 
 // localSingleton returns (creating and initialising on first use) the
 // local statics singleton for class, regardless of this node's own
 // policy — a remote caller's policy decided the singleton lives here.
-// Caller must hold the VM lock (env).
+//
+// Creation runs program code, so the singleton table tracks it by owner
+// execution: the owner re-enters freely once the instance exists
+// (initialisation cycles terminate before the clinit completes, as in
+// the JVM), other executions block until the creation finishes, and a
+// failed creation is withdrawn so the next toucher retries.
 func (n *Node) localSingleton(env *vm.Env, class string) (vm.Value, *vm.Thrown, error) {
 	if !n.machine.Program().Has(transform.CLocal(class)) {
 		return vm.Value{}, nil, fmt.Errorf("node %s: no statics implementation for %s", n.name, class)
 	}
 	key := "local:" + class
-	if e, ok := n.singletons[key]; ok {
-		return e.val, nil, nil
+	var entry *singletonEntry
+	for {
+		n.singMu.Lock()
+		e, ok := n.singletons[key]
+		if !ok {
+			entry = &singletonEntry{local: true, owner: env, ready: make(chan struct{})}
+			n.singletons[key] = entry
+			n.singMu.Unlock()
+			break
+		}
+		if e.valSet {
+			val := e.val
+			n.singMu.Unlock()
+			return val, nil, nil
+		}
+		if e.owner == env {
+			// Re-entered before the instance exists: the singleton's own
+			// accessor depends on itself.  The seed recursed to the depth
+			// limit here; fail deterministically instead.
+			n.singMu.Unlock()
+			return vm.Value{}, nil, fmt.Errorf("node %s: recursive initialisation of %s statics", n.name, class)
+		}
+		ready := e.ready
+		n.singMu.Unlock()
+		<-ready // another execution is creating it; wait and re-check
+	}
+
+	fail := func() {
+		n.singMu.Lock()
+		delete(n.singletons, key)
+		n.singMu.Unlock()
+		close(entry.ready)
 	}
 	me, thrown, err := env.Call(transform.CLocal(class), transform.SingletonGet, vm.Value{}, nil)
 	if thrown != nil || err != nil {
+		fail()
 		return vm.Value{}, thrown, err
 	}
-	// Register (and export) before clinit so initialisation cycles
-	// terminate, mirroring JVM class-initialisation semantics.
-	n.singletons[key] = singletonEntry{val: me, local: true}
+	// Publish (and export) before clinit so initialisation cycles
+	// terminate, mirroring JVM class-initialisation semantics; only the
+	// owner observes the entry until ready closes.
+	n.singMu.Lock()
+	entry.val = me
+	entry.valSet = true
+	n.singMu.Unlock()
 	n.exports.Put(guid.ClassGUID(class), me.O)
 	if _, thrown, err := env.Call(transform.CFactory(class), transform.ClinitMethod, vm.Value{}, []vm.Value{me}); thrown != nil || err != nil {
-		delete(n.singletons, key)
+		fail()
 		return vm.Value{}, thrown, err
 	}
+	n.singMu.Lock()
+	entry.owner = nil
+	n.singMu.Unlock()
+	close(entry.ready)
 	return me, nil, nil
 }
 

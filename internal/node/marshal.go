@@ -10,7 +10,7 @@ import (
 	"rafda/internal/wire"
 )
 
-// Marshalling rules (VM lock must be held by the caller):
+// Marshalling rules:
 //
 //   - primitives and strings travel by value;
 //   - arrays travel by value (element-wise), like RMI arrays;
@@ -21,6 +21,11 @@ import (
 //
 // Unmarshalling inverts this, short-circuiting references that point at
 // this node back to the live local object.
+//
+// Marshalling needs no global lock: object snapshots are taken per
+// object (Object.View), and the export table synchronises itself.  A
+// caller that must marshal and morph atomically (migration) holds the
+// object's gate around both.
 
 func (n *Node) marshalValue(v vm.Value, viaProto string) (wire.Value, error) {
 	switch v.K {
@@ -59,23 +64,25 @@ func (n *Node) marshalValue(v vm.Value, viaProto string) (wire.Value, error) {
 }
 
 func (n *Node) marshalObject(obj *vm.Object, viaProto string) (wire.Value, error) {
-	if isProxyObject(obj) {
+	cls, fields := obj.View()
+	if isProxyClass(cls) {
 		// Re-export the reference the proxy holds: the receiver will
-		// talk to the object's home directly.
-		base, proto, classSide, _ := transform.IsProxyClass(obj.Class.Name)
+		// talk to the object's home directly.  View keeps the
+		// GUID/endpoint pair consistent against a concurrent retarget.
+		base, proto, classSide, _ := transform.IsProxyClass(cls.Name)
 		return wire.Value{Kind: wire.KRef, Ref: &wire.RemoteRef{
-			GUID:      obj.Get(transform.ProxyFieldGUID).S,
-			Endpoint:  obj.Get(transform.ProxyFieldEndpoint).S,
+			GUID:      fields[transform.ProxyFieldGUID].S,
+			Endpoint:  fields[transform.ProxyFieldEndpoint].S,
 			Proto:     proto,
-			Target:    orString(obj.Get(transform.ProxyFieldTarget).S, base),
+			Target:    orString(fields[transform.ProxyFieldTarget].S, base),
 			ClassSide: classSide,
 		}}, nil
 	}
-	base := baseClassOf(obj.Class.Name)
+	base := baseClassOf(cls.Name)
 	if !n.result.Substitutable(base) {
 		// Throwables travel via the response exception channel; any
 		// other non-substitutable object cannot cross the boundary.
-		return wire.Value{}, fmt.Errorf("object of class %s is not substitutable and cannot cross address spaces", obj.Class.Name)
+		return wire.Value{}, fmt.Errorf("object of class %s is not substitutable and cannot cross address spaces", cls.Name)
 	}
 	ep := n.anyEndpoint(viaProto)
 	if ep == "" {
@@ -164,11 +171,15 @@ func (n *Node) unmarshalRef(env *vm.Env, ref *wire.RemoteRef) (vm.Value, error) 
 	return vm.RefV(obj), nil
 }
 
+// setProxyFields writes the proxy reference quadruple in one atomic
+// update, so a concurrent reader never sees a torn GUID/endpoint pair.
 func setProxyFields(obj *vm.Object, id, endpoint, proto, target string) {
-	obj.Set(transform.ProxyFieldGUID, vm.StringV(id))
-	obj.Set(transform.ProxyFieldEndpoint, vm.StringV(endpoint))
-	obj.Set(transform.ProxyFieldProto, vm.StringV(proto))
-	obj.Set(transform.ProxyFieldTarget, vm.StringV(target))
+	obj.SetFields(map[string]vm.Value{
+		transform.ProxyFieldGUID:     vm.StringV(id),
+		transform.ProxyFieldEndpoint: vm.StringV(endpoint),
+		transform.ProxyFieldProto:    vm.StringV(proto),
+		transform.ProxyFieldTarget:   vm.StringV(target),
+	})
 }
 
 // servesEndpoint reports whether endpoint is one of this node's own.

@@ -17,6 +17,25 @@ import (
 // ref may be a local transformed instance or a proxy: migrating through
 // a proxy forwards the request to the object's home node (OpMigrateOut),
 // and the proxy then retargets to the object's new home.
+//
+// Atomicity: the whole snapshot→ship→morph sequence runs while holding
+// the object's invocation gate.  Acquiring the gate drains in-flight
+// gated invocations and blocks new ones, so no gate-holding method call
+// can mutate state between the snapshot and the morph — the lost-update
+// window the migration stress test demonstrates against weaker designs.
+// Blocked invocations resume once the morph completes and transparently
+// forward through the proxy to the object's new home.  Two concurrent
+// Migrate calls on one object serialise on the same gate; the loser
+// observes the proxy and turns into a retargeting forward instead of
+// shipping a second copy.
+//
+// Residual window (inherited from the seed, see docs/CONCURRENCY.md §8):
+// an invocation parked inside Env.RunUnlocked — blocked on its own
+// nested remote call — has released the gate, so a migration can land
+// mid-method; when the invocation resumes it re-acquires the gate and
+// continues old-class bytecode against the now-proxy object, faulting
+// on the first old-field access.  The seed had the identical hazard
+// whenever a morph happened while a method waited on the network.
 func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	if ref.O == nil {
 		return fmt.Errorf("node %s: migrate of nil reference", n.name)
@@ -26,127 +45,121 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	if err != nil {
 		return err
 	}
-	// obj.Class may be morphed by a concurrent migration of the same
-	// object; check proxy-ness under the VM lock.
+	// Fast path: already a proxy — forward the migration to the home
+	// node.  (A stale answer is harmless: the gated re-check below
+	// catches a migration that completes after this look.)
+	if isProxyObject(obj) {
+		return n.migrateViaHome(obj, targetEndpoint)
+	}
+
 	var viaProxy bool
-	n.machine.WithLock(func(*vm.Env) { viaProxy = isProxyObject(obj) })
-	if viaProxy {
-		return n.migrateViaHome(obj, targetEndpoint)
-	}
-
-	// One migration per object at a time: without this, two concurrent
-	// migrations could both snapshot the pre-proxy state and ship two
-	// live copies, with only one ever reachable afterwards.
-	n.migMu.Lock()
-	if _, busy := n.migrating[obj]; busy {
-		n.migMu.Unlock()
-		return fmt.Errorf("node %s: migration of this object already in progress", n.name)
-	}
-	n.migrating[obj] = struct{}{}
-	n.migMu.Unlock()
-	defer func() {
-		n.migMu.Lock()
-		delete(n.migrating, obj)
-		n.migMu.Unlock()
-	}()
-
-	// Re-check under the guard: a migration that completed between the
-	// first check and acquiring the slot has morphed obj into a proxy.
-	n.machine.WithLock(func(*vm.Env) { viaProxy = isProxyObject(obj) })
-	if viaProxy {
-		return n.migrateViaHome(obj, targetEndpoint)
-	}
-
-	// Snapshot the object's state under the VM lock.  Referenced objects
-	// are exported and travel as references back to this node.
-	var base string
-	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpMigrateIn}
-	var snapErr error
-	n.machine.WithLock(func(env *vm.Env) {
-		baseName, kind := transform.BaseOfGenerated(obj.Class.Name)
-		if kind != transform.SuffixOLocal {
-			snapErr = fmt.Errorf("node %s: cannot migrate %s (only local transformed instances move)", n.name, obj.Class.Name)
+	var migErr error
+	n.machine.ExecOn(obj, func(env *vm.Env) {
+		cls, fields := obj.View()
+		if isProxyClass(cls) {
+			// Lost the race to another migration while waiting for the
+			// gate; retarget through the home instead (outside the gate,
+			// since migrateViaHome re-acquires it).
+			viaProxy = true
 			return
 		}
-		base = baseName
-		req.Class = base
-		for name, val := range obj.Fields {
+		base, kind := transform.BaseOfGenerated(cls.Name)
+		if kind != transform.SuffixOLocal {
+			migErr = fmt.Errorf("node %s: cannot migrate %s (only local transformed instances move)", n.name, cls.Name)
+			return
+		}
+
+		// Snapshot.  Referenced objects are exported and travel as
+		// references back to this node.
+		req := &wire.Request{ID: n.nextReqID(), Op: wire.OpMigrateIn, Class: base}
+		for name, val := range fields {
 			mv, err := n.marshalValue(val, proto)
 			if err != nil {
-				snapErr = fmt.Errorf("node %s: marshal field %s: %w", n.name, name, err)
+				migErr = fmt.Errorf("node %s: marshal field %s: %w", n.name, name, err)
 				return
 			}
 			req.Fields = append(req.Fields, wire.NamedValue{Name: name, Value: mv})
 		}
+
+		// Ship, still holding the gate: invocations arriving now block
+		// until the morph lands and then forward to the new home.
+		client, err := n.client(targetEndpoint)
+		if err != nil {
+			migErr = fmt.Errorf("node %s: migrate dial: %w", n.name, err)
+			return
+		}
+		resp, err := client.Call(req)
+		if err != nil {
+			migErr = fmt.Errorf("node %s: migrate call: %w", n.name, err)
+			return
+		}
+		if resp.Err != "" {
+			migErr = fmt.Errorf("node %s: migrate rejected: %s", n.name, resp.Err)
+			return
+		}
+		if resp.Result.Kind != wire.KRef || resp.Result.Ref == nil {
+			migErr = fmt.Errorf("node %s: migrate returned no reference", n.name)
+			return
+		}
+		newRef := resp.Result.Ref
+
+		// Morph the local object into a proxy to its new home.  All
+		// existing references (including this node's export-table entry,
+		// which now forwards) follow automatically.
+		proxyClass := transform.OProxy(base, newRef.Proto)
+		pf := map[string]vm.Value{
+			transform.ProxyFieldGUID:     vm.StringV(newRef.GUID),
+			transform.ProxyFieldEndpoint: vm.StringV(newRef.Endpoint),
+			transform.ProxyFieldProto:    vm.StringV(newRef.Proto),
+			transform.ProxyFieldTarget:   vm.StringV(base),
+		}
+		if err := n.machine.Morph(obj, proxyClass, pf); err != nil {
+			migErr = fmt.Errorf("node %s: morph after migrate: %w", n.name, err)
+			return
+		}
+		n.stats.migrationsOut.Add(1)
 	})
-	if snapErr != nil {
-		return snapErr
+	if viaProxy {
+		return n.migrateViaHome(obj, targetEndpoint)
 	}
-
-	// Ship the state.
-	client, err := n.client(targetEndpoint)
-	if err != nil {
-		return fmt.Errorf("node %s: migrate dial: %w", n.name, err)
-	}
-	resp, err := client.Call(req)
-	if err != nil {
-		return fmt.Errorf("node %s: migrate call: %w", n.name, err)
-	}
-	if resp.Err != "" {
-		return fmt.Errorf("node %s: migrate rejected: %s", n.name, resp.Err)
-	}
-	if resp.Result.Kind != wire.KRef || resp.Result.Ref == nil {
-		return fmt.Errorf("node %s: migrate returned no reference", n.name)
-	}
-	newRef := resp.Result.Ref
-
-	// Morph the local object into a proxy to its new home.  All existing
-	// references (including this node's export-table entry, which now
-	// forwards) follow automatically.
-	proxyClass := transform.OProxy(base, newRef.Proto)
-	fields := map[string]vm.Value{
-		transform.ProxyFieldGUID:     vm.StringV(newRef.GUID),
-		transform.ProxyFieldEndpoint: vm.StringV(newRef.Endpoint),
-		transform.ProxyFieldProto:    vm.StringV(newRef.Proto),
-		transform.ProxyFieldTarget:   vm.StringV(base),
-	}
-	if err := n.machine.Morph(obj, proxyClass, fields); err != nil {
-		return fmt.Errorf("node %s: morph after migrate: %w", n.name, err)
-	}
-	n.stats.migrationsOut.Add(1)
-	return nil
+	return migErr
 }
 
 // migrateViaHome forwards a migration request through a proxy to the
 // object's current home and retargets the proxy to the new location.
+// It holds the proxy's gate so concurrent retargets of the same proxy
+// serialise and readers never race a half-written reference.
 func (n *Node) migrateViaHome(proxy *vm.Object, targetEndpoint string) error {
-	var home, id string
-	n.machine.WithLock(func(*vm.Env) {
-		home = proxy.Get(transform.ProxyFieldEndpoint).S
-		id = proxy.Get(transform.ProxyFieldGUID).S
-	})
-	if home == targetEndpoint {
-		return nil // already there
-	}
-	client, err := n.client(home)
-	if err != nil {
-		return fmt.Errorf("node %s: migrate-out dial home: %w", n.name, err)
-	}
-	resp, err := client.Call(&wire.Request{
-		ID: n.nextReqID(), Op: wire.OpMigrateOut, GUID: id, Endpoint: targetEndpoint,
-	})
-	if err != nil {
-		return fmt.Errorf("node %s: migrate-out: %w", n.name, err)
-	}
-	if resp.Err != "" {
-		return fmt.Errorf("node %s: migrate-out rejected: %s", n.name, resp.Err)
-	}
-	newRef := resp.Result.Ref
-	if resp.Result.Kind != wire.KRef || newRef == nil {
-		return fmt.Errorf("node %s: migrate-out returned no reference", n.name)
-	}
-	n.machine.WithLock(func(*vm.Env) {
+	var retErr error
+	n.machine.ExecOn(proxy, func(env *vm.Env) {
+		_, fields := proxy.View()
+		home := fields[transform.ProxyFieldEndpoint].S
+		id := fields[transform.ProxyFieldGUID].S
+		if home == targetEndpoint {
+			return // already there
+		}
+		client, err := n.client(home)
+		if err != nil {
+			retErr = fmt.Errorf("node %s: migrate-out dial home: %w", n.name, err)
+			return
+		}
+		resp, err := client.Call(&wire.Request{
+			ID: n.nextReqID(), Op: wire.OpMigrateOut, GUID: id, Endpoint: targetEndpoint,
+		})
+		if err != nil {
+			retErr = fmt.Errorf("node %s: migrate-out: %w", n.name, err)
+			return
+		}
+		if resp.Err != "" {
+			retErr = fmt.Errorf("node %s: migrate-out rejected: %s", n.name, resp.Err)
+			return
+		}
+		newRef := resp.Result.Ref
+		if resp.Result.Kind != wire.KRef || newRef == nil {
+			retErr = fmt.Errorf("node %s: migrate-out returned no reference", n.name)
+			return
+		}
 		setProxyFields(proxy, newRef.GUID, newRef.Endpoint, newRef.Proto, newRef.Target)
 	})
-	return nil
+	return retErr
 }

@@ -58,19 +58,29 @@ func (n *Node) remoteCreate(env *vm.Env, class string, pl policy.Placement) (vm.
 
 // discover implements the class factory's discover(): local singleton or
 // statics proxy per policy, cached until the policy version changes (so
-// run-time re-policy takes effect — §4 dynamic reconfiguration).
+// run-time re-policy takes effect — §4 dynamic reconfiguration).  The
+// cache lives in the singleton table under its own lock; concurrent
+// discoveries of the same class at the same policy version converge on
+// one cached value (for the local kind, localSingleton already
+// guarantees a single instance).
 func (n *Node) discover(env *vm.Env, class string) (vm.Value, *vm.Thrown, error) {
 	pl, ver := n.pol.For(class)
 	key := "discover:" + class
-	if e, ok := n.singletons[key]; ok && e.version == ver {
-		return e.val, nil, nil
+	n.singMu.Lock()
+	if e, ok := n.singletons[key]; ok && e.valSet && e.version == ver {
+		val := e.val
+		n.singMu.Unlock()
+		return val, nil, nil
 	}
+	n.singMu.Unlock()
 	if pl.Kind != policy.Remote {
 		me, thrown, err := n.localSingleton(env, class)
 		if thrown != nil || err != nil {
 			return vm.Value{}, thrown, err
 		}
-		n.singletons[key] = singletonEntry{val: me, version: ver, local: true}
+		n.singMu.Lock()
+		n.singletons[key] = &singletonEntry{val: me, valSet: true, version: ver, local: true}
+		n.singMu.Unlock()
 		return me, nil, nil
 	}
 	proxyClass := transform.CProxy(class, pl.Proto)
@@ -83,7 +93,9 @@ func (n *Node) discover(env *vm.Env, class string) (vm.Value, *vm.Thrown, error)
 	}
 	setProxyFields(obj, guid.ClassGUID(class), pl.Endpoint, pl.Proto, class)
 	me := vm.RefV(obj)
-	n.singletons[key] = singletonEntry{val: me, version: ver}
+	n.singMu.Lock()
+	n.singletons[key] = &singletonEntry{val: me, valSet: true, version: ver}
+	n.singMu.Unlock()
 	return me, nil, nil
 }
 
@@ -108,23 +120,30 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	if recv.O == nil {
 		return vm.Value{}, remoteError(env, "proxy invocation on null"), nil
 	}
-	endpoint := recv.O.Get(transform.ProxyFieldEndpoint).S
-	target := recv.O.Get(transform.ProxyFieldTarget).S
-	id := recv.O.Get(transform.ProxyFieldGUID).S
+	// One consistent snapshot of the proxy's reference triple: a
+	// concurrent retarget (migration) can never hand us the GUID of one
+	// home and the endpoint of another.
+	_, pf := recv.O.View()
+	endpoint := pf[transform.ProxyFieldEndpoint].S
+	target := pf[transform.ProxyFieldTarget].S
+	id := pf[transform.ProxyFieldGUID].S
 	proto, _, _ := splitProto(endpoint)
 
 	// A proxy can end up pointing at this very node (e.g. after an
-	// object is migrated back home): collapse to a direct call.
+	// object is migrated back home): collapse to a direct call.  The
+	// collapsed call still acquires the target's invocation gate
+	// (re-entrantly if this execution already holds it), so it keeps the
+	// same monitor semantics it would have had arriving over the wire.
 	if n.servesEndpoint(endpoint) {
 		if classSide {
 			me, thrown, err := n.localSingleton(env, target)
 			if thrown != nil || err != nil {
 				return vm.Value{}, thrown, err
 			}
-			return env.Call(me.O.Class.Name, method, me, args)
+			return env.CallGated(me.O, method, args)
 		}
 		if obj, ok := n.exports.Get(id); ok {
-			return env.Call(obj.Class.Name, method, vm.RefV(obj), args)
+			return env.CallGated(obj, method, args)
 		}
 		return vm.Value{}, remoteError(env, "%s.%s: stale self-reference %s", target, method, id), nil
 	}

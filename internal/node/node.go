@@ -5,6 +5,20 @@
 // it realises the paper's flexible distribution: the same program runs
 // with any assignment of classes to nodes, decided by policy, and the
 // assignment can change at run time via re-policy plus object migration.
+//
+// # Thread safety
+//
+// A Node is safe for concurrent use from any number of transport
+// goroutines and host goroutines.  Inbound requests are dispatched in
+// parallel and synchronise per target object: an invocation holds its
+// target's invocation gate (vm.ExecOn) for its duration, so calls to
+// different objects execute concurrently while calls to the same object
+// — and migrations of it — serialise.  Migration holds the gate across
+// its whole snapshot→ship→morph sequence, draining in-flight
+// invocations first.  The export table, policy table and singleton
+// table carry their own locks; activity counters are atomics.  The full
+// lock hierarchy (connection → node → object) is documented in
+// docs/CONCURRENCY.md.
 package node
 
 import (
@@ -14,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rafda/internal/ir"
 	"rafda/internal/policy"
 	"rafda/internal/registry"
 	"rafda/internal/transform"
@@ -52,25 +67,28 @@ type Node struct {
 	clients   map[string]transport.Client
 	closed    bool
 
-	// VM-lock-guarded state (only touched from natives and dispatch,
-	// which hold the VM lock).
-	singletons map[string]singletonEntry
+	// singMu guards the singleton table.  Creation of a local singleton
+	// executes program code (SingletonGet + the class clinit), so the
+	// table tracks in-progress creations by owner execution: the owner
+	// proceeds re-entrantly (initialisation cycles terminate, as in the
+	// JVM), other executions wait for the creation to finish, and a
+	// failed creation is withdrawn so a later toucher retries.
+	singMu     sync.Mutex
+	singletons map[string]*singletonEntry
 
 	// Lock-free state: transports dispatch requests concurrently, so
 	// request ids and activity counters stay off the node mutex.
 	reqSeq uint64
 	stats  statCounters
-
-	// migMu guards migrating: at most one migration per object may be
-	// snapshotting/shipping/morphing at a time (dispatch is concurrent).
-	migMu     sync.Mutex
-	migrating map[*vm.Object]struct{}
 }
 
 type singletonEntry struct {
 	val     vm.Value
+	valSet  bool
 	version uint64
 	local   bool
+	owner   *vm.Env       // execution performing the creation; nil once done
+	ready   chan struct{} // closed when creation finished (or failed)
 }
 
 // Stats counts node activity (read with Snapshot).
@@ -123,8 +141,7 @@ func New(cfg Config) (*Node, error) {
 		pol:        policy.NewTable(),
 		endpoints:  make(map[string]string),
 		clients:    make(map[string]transport.Client),
-		singletons: make(map[string]singletonEntry),
-		migrating:  make(map[*vm.Object]struct{}),
+		singletons: make(map[string]*singletonEntry),
 	}
 	n.registerFactoryNatives()
 	n.registerProxyNatives()
@@ -290,12 +307,29 @@ func (n *Node) WriteStatic(class, field string, val vm.Value) error {
 }
 
 // CallOn invokes a method on an object reference previously obtained
-// from this node (e.g. via InvokeStatic).
+// from this node (e.g. via InvokeStatic).  The call holds the target's
+// invocation gate, so host-driven calls obey the same per-object
+// monitor discipline as inbound remote invocations: CallOn on different
+// objects runs in parallel, CallOn on one object serialises, and a
+// migration of the object cannot interleave with the call.
 func (n *Node) CallOn(recv vm.Value, method string, args ...vm.Value) (vm.Value, error) {
 	if recv.K == 0 || recv.O == nil {
 		return vm.Value{}, fmt.Errorf("node %s: CallOn with nil receiver", n.name)
 	}
-	return n.machine.Invoke(recv.O.Class.Name, method, recv, args)
+	var res vm.Value
+	var thrown *vm.Thrown
+	var err error
+	n.machine.ExecOn(recv.O, func(env *vm.Env) {
+		res, thrown, err = env.Call(recv.O.ClassName(), method, recv, args)
+	})
+	if err != nil {
+		return vm.Value{}, err
+	}
+	if thrown != nil {
+		cls, msg := vm.ThrownMessage(thrown)
+		return vm.Value{}, &vm.UncaughtError{Class: cls, Message: msg}
+	}
+	return res, nil
 }
 
 // baseClassOf maps a generated implementation class name back to the
@@ -308,8 +342,15 @@ func baseClassOf(name string) string {
 	return name
 }
 
-// isProxyObject reports whether obj is a generated proxy instance.
+// isProxyClass reports whether c is a generated proxy class.
+func isProxyClass(c *ir.Class) bool {
+	return c != nil && (strings.HasPrefix(c.Meta, "generated:o-proxy:") ||
+		strings.HasPrefix(c.Meta, "generated:c-proxy:"))
+}
+
+// isProxyObject reports whether obj is currently a generated proxy
+// instance (the answer can change under a concurrent migration; callers
+// that need a stable answer hold the object's gate).
 func isProxyObject(obj *vm.Object) bool {
-	return strings.HasPrefix(obj.Class.Meta, "generated:o-proxy:") ||
-		strings.HasPrefix(obj.Class.Meta, "generated:c-proxy:")
+	return isProxyClass(obj.Class())
 }

@@ -370,8 +370,8 @@ class Main { static void main() { } }`
 		t.Error("server served no post-migration calls")
 	}
 	// The client-side object really morphed into a proxy.
-	if !strings.Contains(ref.O.Class.Name, "_O_Proxy_") {
-		t.Errorf("object did not morph: now %s", ref.O.Class.Name)
+	if !strings.Contains(ref.O.ClassName(), "_O_Proxy_") {
+		t.Errorf("object did not morph: now %s", ref.O.ClassName())
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 )
 
 func obj() *vm.Object {
-	return &vm.Object{Class: &ir.Class{Name: "X"}, Fields: map[string]vm.Value{}}
+	return vm.NewRawObject(&ir.Class{Name: "X"}, map[string]vm.Value{})
 }
 
 func TestEnsureIdempotent(t *testing.T) {

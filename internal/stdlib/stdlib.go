@@ -214,6 +214,10 @@ func clockClass() *ir.Class {
 		Methods: []*ir.Method{
 			nativeStatic("nanos", ir.Int),
 			nativeStatic("millis", ir.Int),
+			// sleepMicros blocks the calling execution without releasing
+			// its locks — program-level waiting between heap accesses.
+			// The E8 experiment uses it to model per-call blocking work.
+			nativeStatic("sleepMicros", ir.Void, ir.Int),
 		},
 	}
 }

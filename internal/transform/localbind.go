@@ -2,6 +2,7 @@ package transform
 
 import (
 	"fmt"
+	"sync"
 
 	"rafda/internal/vm"
 )
@@ -14,6 +15,13 @@ import (
 // the distributed runtime (internal/node) registers richer, policy-driven
 // implementations of the same natives instead.
 func BindLocal(machine *vm.VM, r *Result) {
+	// The cache map is shared by every discover native.  The mutex makes
+	// the map operations atomic and the publish below discards a losing
+	// racer's instance, but full once-semantics for concurrent first
+	// discovery needs the node runtime's owner-tracked table — BindLocal
+	// is the single-address-space harness, where discovery arrives
+	// through the VM's serialised Invoke path.
+	var mu sync.Mutex
 	singletons := make(map[string]vm.Value)
 	for _, class := range r.Transformed {
 		class := class
@@ -23,7 +31,10 @@ func BindLocal(machine *vm.VM, r *Result) {
 			})
 		machine.RegisterNative(CFactory(class), DiscoverMethod, 0,
 			func(env *vm.Env, _ vm.Value, _ []vm.Value) (vm.Value, *vm.Thrown, error) {
-				if me, ok := singletons[class]; ok {
+				mu.Lock()
+				me, ok := singletons[class]
+				mu.Unlock()
+				if ok {
 					return me, nil, nil
 				}
 				me, thrown, err := env.Call(CLocal(class), SingletonGet, vm.Value{}, nil)
@@ -32,9 +43,19 @@ func BindLocal(machine *vm.VM, r *Result) {
 				}
 				// Cache before running clinit so initialisation cycles
 				// terminate, mirroring JVM class-initialisation rules.
+				// If another goroutine published meanwhile, adopt its
+				// instance and discard ours — one singleton survives.
+				mu.Lock()
+				if exist, ok := singletons[class]; ok {
+					mu.Unlock()
+					return exist, nil, nil
+				}
 				singletons[class] = me
+				mu.Unlock()
 				if _, thrown, err := env.Call(CFactory(class), ClinitMethod, vm.Value{}, []vm.Value{me}); thrown != nil || err != nil {
+					mu.Lock()
 					delete(singletons, class)
+					mu.Unlock()
 					return vm.Value{}, thrown, err
 				}
 				return me, nil, nil

@@ -131,8 +131,8 @@ func serveRRPConn(conn net.Conn, h Handler, maxInflight int) {
 	}()
 	var wg sync.WaitGroup
 	defer func() {
-		wg.Wait()      // all workers have queued their responses
-		close(outbox)  // then the writer drains and exits
+		wg.Wait()     // all workers have queued their responses
+		close(outbox) // then the writer drains and exits
 		<-writerDone
 	}()
 	sem := make(chan struct{}, maxInflight)

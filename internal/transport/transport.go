@@ -3,6 +3,21 @@
 // calls), rrp (the binary RAFDA Remote Protocol over TCP, playing RMI's
 // role), soap (XML over HTTP) and json (JSON over HTTP).  Proxies differ
 // only in which transport their invocations traverse.
+//
+// # Thread safety
+//
+// Every type in this package is safe for concurrent use.  A Client's
+// Call may be issued from any number of goroutines: rrp multiplexes
+// them over one connection (client-assigned wire IDs correlate
+// out-of-order responses; a writer and a reader goroutine own the
+// socket), soap/json ride net/http's pooled connections, and inproc
+// invokes the handler directly.  No implementation holds a lock across
+// a network round trip.  Servers dispatch each inbound request on its
+// own goroutine (rrp bounds in-flight requests per connection by
+// Options.MaxInflight), so the Handler — the node runtime — must be
+// concurrency-safe; the contract it follows is docs/CONCURRENCY.md.
+// Connection failures poison only their connection: every in-flight
+// call on it fails immediately and later calls redial.
 package transport
 
 import (

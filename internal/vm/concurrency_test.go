@@ -1,0 +1,275 @@
+package vm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"rafda/internal/ir"
+	"rafda/internal/stdlib"
+)
+
+// cellProgram builds a class with an int field and a read-modify-write
+// bump method — the canonical lost-update probe.
+func cellProgram() *ir.Program {
+	p := stdlib.Program()
+	p.MustAdd(&ir.Class{
+		Name: "Cell", Super: ir.ObjectClass,
+		Fields: []ir.Field{{Name: "n", Type: ir.Int}},
+		Methods: []*ir.Method{
+			{Name: ir.ConstructorName, Return: ir.Void, Access: ir.AccessPublic, MaxLocals: 1,
+				Code: []ir.Instr{{Op: ir.OpReturn}}},
+			{Name: "bump", Return: ir.Int, Access: ir.AccessPublic, MaxLocals: 1,
+				Code: []ir.Instr{
+					{Op: ir.OpLoad, A: 0},
+					{Op: ir.OpLoad, A: 0},
+					{Op: ir.OpGetField, Owner: "Cell", Member: "n"},
+					{Op: ir.OpConstInt, A: 1},
+					{Op: ir.OpAdd},
+					{Op: ir.OpPutField, Owner: "Cell", Member: "n"},
+					{Op: ir.OpLoad, A: 0},
+					{Op: ir.OpGetField, Owner: "Cell", Member: "n"},
+					{Op: ir.OpReturnValue},
+				}},
+		},
+	})
+	return p
+}
+
+// TestExecOnSerialisesPerObject: gated executions of ONE object are a
+// monitor — concurrent bumps must not lose updates.
+func TestExecOnSerialisesPerObject(t *testing.T) {
+	v := MustNew(cellProgram())
+	obj, err := v.NewObject("Cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const per = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v.ExecOn(obj, func(env *Env) {
+					if _, thrown, err := env.Call("Cell", "bump", RefV(obj), nil); thrown != nil || err != nil {
+						t.Errorf("bump: %v %v", thrown, err)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := obj.Get("n"); got.I != workers*per {
+		t.Fatalf("lost updates: %d want %d", got.I, workers*per)
+	}
+}
+
+// TestExecOnDistinctObjectsRunConcurrently: the gate of one object must
+// not block executions entered through another.  A gated execution on
+// obj1 blocks until a gated execution on obj2 has run — if the gates
+// were one global lock this would deadlock.
+func TestExecOnDistinctObjectsRunConcurrently(t *testing.T) {
+	v := MustNew(cellProgram())
+	obj1, _ := v.NewObject("Cell")
+	obj2, _ := v.NewObject("Cell")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		v.ExecOn(obj1, func(env *Env) {
+			close(started)
+			<-release // hold obj1's gate until obj2's execution finishes
+		})
+		close(done)
+	}()
+	<-started
+	// Must complete while obj1's gate is held.
+	v.ExecOn(obj2, func(env *Env) {
+		if _, thrown, err := env.Call("Cell", "bump", RefV(obj2), nil); thrown != nil || err != nil {
+			t.Errorf("bump: %v %v", thrown, err)
+		}
+	})
+	close(release)
+	<-done
+	if got := obj2.Get("n"); got.I != 1 {
+		t.Fatalf("obj2 bump lost: %d", got.I)
+	}
+}
+
+// TestCallGatedReentrant: an execution that already holds an object's
+// gate may CallGated the same object again without deadlocking.
+func TestCallGatedReentrant(t *testing.T) {
+	v := MustNew(cellProgram())
+	obj, _ := v.NewObject("Cell")
+	v.ExecOn(obj, func(env *Env) {
+		if _, thrown, err := env.CallGated(obj, "bump", nil); thrown != nil || err != nil {
+			t.Fatalf("re-entrant gated call: %v %v", thrown, err)
+		}
+	})
+	if got := obj.Get("n"); got.I != 1 {
+		t.Fatalf("bump lost: %d", got.I)
+	}
+}
+
+// TestRunUnlockedReleasesGate: a native blocking via RunUnlocked lets
+// another goroutine's gated invocation of the SAME object proceed — the
+// mechanism that keeps re-entrant remote callbacks deadlock-free.
+func TestRunUnlockedReleasesGate(t *testing.T) {
+	p := cellProgram()
+	p.MustAdd(&ir.Class{
+		Name: "Blocker", Super: ir.ObjectClass,
+		Methods: []*ir.Method{
+			{Name: ir.ConstructorName, Return: ir.Void, Access: ir.AccessPublic, MaxLocals: 1,
+				Code: []ir.Instr{{Op: ir.OpReturn}}},
+			{Name: "wait", Return: ir.Void, Access: ir.AccessPublic, Native: true},
+		},
+	})
+	v := MustNew(p)
+	obj, _ := v.NewObject("Blocker")
+	blocking := make(chan struct{})
+	unblock := make(chan struct{})
+	v.RegisterNative("Blocker", "wait", 0, func(env *Env, _ Value, _ []Value) (Value, *Thrown, error) {
+		env.RunUnlocked(func() {
+			close(blocking)
+			<-unblock
+		})
+		return Value{}, nil, nil
+	})
+
+	done := make(chan struct{})
+	go func() {
+		v.ExecOn(obj, func(env *Env) {
+			_, _, _ = env.Call("Blocker", "wait", RefV(obj), nil)
+		})
+		close(done)
+	}()
+	<-blocking
+	// The first execution is parked inside RunUnlocked; its gate must be
+	// free for us.
+	entered := make(chan struct{})
+	go func() {
+		v.ExecOn(obj, func(env *Env) { close(entered) })
+	}()
+	<-entered
+	close(unblock)
+	<-done
+}
+
+// TestCoarseLockOptionStillCorrect: the E8 baseline regime must keep the
+// same observable behaviour, just without parallelism.
+func TestCoarseLockOptionStillCorrect(t *testing.T) {
+	v := MustNew(cellProgram(), WithCoarseLock())
+	obj, err := v.NewObject("Cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const per = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v.ExecOn(obj, func(env *Env) {
+					if _, thrown, err := env.Call("Cell", "bump", RefV(obj), nil); thrown != nil || err != nil {
+						t.Errorf("bump: %v %v", thrown, err)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := obj.Get("n"); got.I != workers*per {
+		t.Fatalf("coarse mode lost updates: %d want %d", got.I, workers*per)
+	}
+}
+
+// TestStepLimitCumulative: the step budget binds ACROSS executions,
+// not just within one long activation — many short invocations must
+// eventually fault, as they did under the seed's per-instruction check.
+func TestStepLimitCumulative(t *testing.T) {
+	v := MustNew(cellProgram(), WithMaxSteps(500))
+	obj, err := v.NewObject("Cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bump() is ~9 instructions; well under stepQuantum per call.
+	for i := 0; i < 10_000; i++ {
+		if _, err := v.Invoke("Cell", "bump", RefV(obj), nil); err != nil {
+			if !strings.Contains(err.Error(), "step limit") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("cumulative step budget never enforced across short executions")
+}
+
+// TestFailedSuperInitLeavesNoPhantomStatics: when a superclass clinit
+// throws, later static reads of the subclass must keep faulting rather
+// than silently returning zero values (seed behaviour).
+func TestFailedSuperInitLeavesNoPhantomStatics(t *testing.T) {
+	p := stdlib.Program()
+	p.MustAdd(&ir.Class{
+		Name: "Boom", Super: ir.ObjectClass,
+		Methods: []*ir.Method{
+			{Name: ir.StaticInitName, Return: ir.Void, Static: true, MaxLocals: 1,
+				Code: []ir.Instr{
+					{Op: ir.OpNew, Owner: stdlib.RuntimeExceptionClass},
+					{Op: ir.OpDup},
+					{Op: ir.OpConstString, Str: "boom"},
+					{Op: ir.OpInvokeSpecial, Owner: stdlib.RuntimeExceptionClass, Member: ir.ConstructorName, NArgs: 1},
+					{Op: ir.OpThrow},
+				}},
+		},
+	})
+	p.MustAdd(&ir.Class{
+		Name: "Child", Super: "Boom",
+		Fields: []ir.Field{{Name: "n", Type: ir.Int, Static: true}},
+	})
+	v := MustNew(p)
+	if _, err := v.GetStatic("Child", "n"); err == nil {
+		t.Fatal("first read after failed super init succeeded")
+	}
+	// The failure must stay observable: no phantom zero-valued slot.
+	if _, err := v.GetStatic("Child", "n"); err == nil {
+		t.Fatal("later read after failed super init returned a phantom value")
+	}
+}
+
+// TestRegistrationAfterBootVisible: copy-on-write registries publish new
+// natives and classes to already-running readers.
+func TestRegistrationAfterBootVisible(t *testing.T) {
+	p := stdlib.Program()
+	p.MustAdd(&ir.Class{
+		Name: "N", Super: ir.ObjectClass,
+		Methods: []*ir.Method{
+			{Name: "f", Return: ir.Int, Static: true, Native: true, Access: ir.AccessPublic},
+		},
+	})
+	v := MustNew(p)
+	if _, err := v.Invoke("N", "f", Value{}, nil); err == nil {
+		t.Fatal("unbound native accepted")
+	}
+	v.RegisterNative("N", "f", 0, func(env *Env, _ Value, _ []Value) (Value, *Thrown, error) {
+		return IntV(7), nil, nil
+	})
+	if got, err := v.Invoke("N", "f", Value{}, nil); err != nil || got.I != 7 {
+		t.Fatalf("late-registered native: %v %v", got, err)
+	}
+	if err := v.AddClass(&ir.Class{Name: "Late", Super: ir.ObjectClass,
+		Methods: []*ir.Method{{Name: ir.ConstructorName, Return: ir.Void, Access: ir.AccessPublic, MaxLocals: 1,
+			Code: []ir.Instr{{Op: ir.OpReturn}}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.NewObject("Late"); err != nil {
+		t.Fatalf("late-added class not visible: %v", err)
+	}
+	if err := v.AddClass(&ir.Class{Name: "Late"}); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+}

@@ -8,20 +8,44 @@ import (
 	"rafda/internal/stdlib"
 )
 
-// exec interprets one method activation.  The lock is held on entry and
-// exit; native methods may release it via Env.RunUnlocked.
-func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Value, *Thrown, error) {
+// bumpStep counts one interpreted instruction against the step budget.
+// Every instruction is checked against the execution's snapshot of the
+// cumulative count (env.stepBase, taken at entry and refreshed on each
+// flush), so the budget binds short executions too; the shared atomic
+// is only touched every stepQuantum instructions.  Concurrent
+// executions each enforce against their own snapshot, so under
+// parallelism the cumulative limit has quantum-sized slack per
+// in-flight execution.  Returns false when the budget is exhausted.
+func (v *VM) bumpStep(env *Env) bool {
+	env.steps++
+	if env.stepBase+env.steps > v.maxSteps {
+		return false
+	}
+	if env.steps >= stepQuantum {
+		env.stepBase = v.steps.Add(env.steps)
+		env.steps = 0
+		if env.stepBase > v.maxSteps {
+			return false
+		}
+	}
+	return true
+}
+
+// exec interprets one method activation within env's execution.  Field
+// and static accesses synchronise per object / per slot table; native
+// methods may release the execution's locks via Env.RunUnlocked.
+func (v *VM) exec(env *Env, class *ir.Class, m *ir.Method, recv Value, args []Value) (Value, *Thrown, error) {
 	if m.Abstract {
 		return Value{}, nil, &FaultError{Msg: fmt.Sprintf("abstract method %s.%s invoked", class.Name, m.Name)}
 	}
-	if v.depth++; v.depth > v.maxDepth {
-		v.depth--
+	if env.depth++; env.depth > v.maxDepth {
+		env.depth--
 		return Value{}, nil, &FaultError{Msg: "call depth limit exceeded"}
 	}
-	defer func() { v.depth-- }()
+	defer func() { env.depth-- }()
 
 	if m.Native {
-		return v.callNative(class, m, recv, args)
+		return v.callNative(env, class, m, recv, args)
 	}
 
 	nlocals := m.MaxLocals
@@ -84,7 +108,7 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 		if pc < 0 || pc >= len(code) {
 			return fault("pc out of range (len=%d)", len(code))
 		}
-		if v.steps++; v.steps > v.maxSteps {
+		if !v.bumpStep(env) {
 			return fault("step limit exceeded")
 		}
 
@@ -141,7 +165,7 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 			stack[len(stack)-1], stack[len(stack)-2] = stack[len(stack)-2], stack[len(stack)-1]
 
 		case ir.OpNew:
-			if thrown, err := v.ensureInit(in.Owner); err != nil {
+			if thrown, err := v.ensureInit(env, in.Owner); err != nil {
 				return Value{}, nil, err
 			} else if thrown != nil {
 				pendingThrow = thrown
@@ -166,9 +190,9 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 			if ref.K != ir.KindRef {
 				return fault("getfield on non-ref %v", ref.K)
 			}
-			val, ok := ref.O.Fields[in.Member]
+			val, ok := ref.O.Field(in.Member)
 			if !ok {
-				return fault("no field %s on %s", in.Member, ref.O.Class.Name)
+				return fault("no field %s on %s", in.Member, ref.O.ClassName())
 			}
 			push(val)
 
@@ -186,10 +210,10 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 			if ref.K != ir.KindRef {
 				return fault("putfield on non-ref %v", ref.K)
 			}
-			ref.O.Fields[in.Member] = val
+			ref.O.Set(in.Member, val)
 
 		case ir.OpGetStatic:
-			owner, fld, thrown, err := v.staticSlot(in.Owner, in.Member)
+			slots, fld, thrown, err := v.staticSlot(env, in.Owner, in.Member)
 			if err != nil {
 				return Value{}, nil, err
 			}
@@ -197,13 +221,14 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 				pendingThrow = thrown
 				continue
 			}
-			push(v.statics[owner][fld])
+			val, _ := slots.get(fld)
+			push(val)
 
 		case ir.OpPutStatic:
 			if len(stack) < 1 {
 				return fault("putstatic: underflow")
 			}
-			owner, fld, thrown, err := v.staticSlot(in.Owner, in.Member)
+			slots, fld, thrown, err := v.staticSlot(env, in.Owner, in.Member)
 			if err != nil {
 				return Value{}, nil, err
 			}
@@ -211,7 +236,7 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 				pendingThrow = thrown
 				continue
 			}
-			v.statics[owner][fld] = pop()
+			slots.set(fld, pop())
 
 		case ir.OpInvokeStatic:
 			if len(stack) < in.NArgs {
@@ -221,7 +246,7 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 			for i := in.NArgs - 1; i >= 0; i-- {
 				callArgs[i] = pop()
 			}
-			res, thrown, err := v.call(in.Owner, in.Member, Value{}, callArgs)
+			res, thrown, err := v.call(env, in.Owner, in.Member, Value{}, callArgs)
 			if err != nil {
 				return Value{}, nil, err
 			}
@@ -254,9 +279,9 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 				if ref.K != ir.KindRef {
 					return fault("%s on non-ref value", in.Op)
 				}
-				startClass = ref.O.Class.Name // dynamic dispatch
+				startClass = ref.O.ClassName() // dynamic dispatch
 			}
-			res, thrown, err := v.call(startClass, in.Member, ref, callArgs)
+			res, thrown, err := v.call(env, startClass, in.Member, ref, callArgs)
 			if err != nil {
 				return Value{}, nil, err
 			}
@@ -427,7 +452,7 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 			}
 			val := pop()
 			ok := val.K == ir.KindRef && val.O != nil && in.TypeRef.Kind == ir.KindRef &&
-				v.prog.AssignableTo(val.O.Class.Name, in.TypeRef.Name)
+				v.prog.Load().AssignableTo(val.O.ClassName(), in.TypeRef.Name)
 			push(BoolV(ok))
 
 		case ir.OpReturn:
@@ -447,7 +472,7 @@ func (v *VM) exec(class *ir.Class, m *ir.Method, recv Value, args []Value) (Valu
 				pendingThrow = v.throwSys(stdlib.NullPointerClass, "throw of null")
 				continue
 			}
-			if ref.K != ir.KindRef || !v.prog.IsSubclassOf(ref.O.Class.Name, ir.ThrowableClass) {
+			if ref.K != ir.KindRef || !v.prog.Load().IsSubclassOf(ref.O.ClassName(), ir.ThrowableClass) {
 				return fault("throw of non-throwable %s", ref)
 			}
 			pendingThrow = &Thrown{Obj: ref.O}
@@ -467,24 +492,28 @@ func (v *VM) catches(h ir.TryHandler, t *Thrown) bool {
 	if t.Obj == nil {
 		return false
 	}
-	return v.prog.IsSubclassOf(t.Obj.Class.Name, h.CatchClass)
+	return v.prog.Load().IsSubclassOf(t.Obj.ClassName(), h.CatchClass)
 }
 
 // staticSlot resolves Owner.Member through the superclass chain (static
 // fields are inherited in Java) and ensures initialisation.
-func (v *VM) staticSlot(owner, member string) (string, string, *Thrown, error) {
-	dc, _, err := v.prog.ResolveField(owner, member)
+func (v *VM) staticSlot(env *Env, owner, member string) (*staticSlots, string, *Thrown, error) {
+	dc, _, err := v.prog.Load().ResolveField(owner, member)
 	if err != nil {
-		return "", "", nil, &FaultError{Msg: err.Error()}
+		return nil, "", nil, &FaultError{Msg: err.Error()}
 	}
-	thrown, ierr := v.ensureInit(dc.Name)
+	thrown, ierr := v.ensureInit(env, dc.Name)
 	if ierr != nil || thrown != nil {
-		return "", "", thrown, ierr
+		return nil, "", thrown, ierr
 	}
-	if _, ok := v.statics[dc.Name][member]; !ok {
-		return "", "", nil, &FaultError{Msg: fmt.Sprintf("field %s.%s is not static", dc.Name, member)}
+	slots := v.slotsOf(dc.Name)
+	if slots == nil {
+		return nil, "", nil, &FaultError{Msg: fmt.Sprintf("field %s.%s is not static", dc.Name, member)}
 	}
-	return dc.Name, member, nil, nil
+	if _, ok := slots.get(member); !ok {
+		return nil, "", nil, &FaultError{Msg: fmt.Sprintf("field %s.%s is not static", dc.Name, member)}
+	}
+	return slots, member, nil, nil
 }
 
 func (v *VM) arith(op ir.Op, a, b Value) (Value, *Thrown) {
@@ -634,11 +663,11 @@ func (v *VM) cast(val Value, target ir.Type) (Value, *Thrown, error) {
 			return NullV(), nil, nil
 		}
 		if val.K == ir.KindRef {
-			if val.O == nil || v.prog.AssignableTo(val.O.Class.Name, target.Name) {
+			if val.O == nil || v.prog.Load().AssignableTo(val.O.ClassName(), target.Name) {
 				return val, nil, nil
 			}
 			return Value{}, v.throwSys(stdlib.ClassCastClass,
-				fmt.Sprintf("%s is not a %s", val.O.Class.Name, target.Name)), nil
+				fmt.Sprintf("%s is not a %s", val.O.ClassName(), target.Name)), nil
 		}
 	case ir.KindArray:
 		if val.K == ir.KindRef && val.O == nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"rafda/internal/ir"
 	"rafda/internal/stdlib"
@@ -12,12 +13,14 @@ import (
 
 // callNative dispatches a native method: exact registration first, then
 // the owning class's fallback handler (used by generated proxy classes).
-func (v *VM) callNative(class *ir.Class, m *ir.Method, recv Value, args []Value) (Value, *Thrown, error) {
-	env := &Env{vm: v}
-	if f, ok := v.natives[nativeKey(class.Name, m.Name, len(m.Params))]; ok {
+// The caller's env is passed through so the native runs inside the same
+// execution (same depth budget, same held locks).
+func (v *VM) callNative(env *Env, class *ir.Class, m *ir.Method, recv Value, args []Value) (Value, *Thrown, error) {
+	reg := v.natives.Load()
+	if f, ok := reg.exact[nativeKey(class.Name, m.Name, len(m.Params))]; ok {
 		return f(env, recv, args)
 	}
-	if f, ok := v.classNative[class.Name]; ok {
+	if f, ok := reg.class[class.Name]; ok {
 		return f(env, m.Name, recv, args)
 	}
 	return Value{}, nil, &FaultError{
@@ -25,10 +28,12 @@ func (v *VM) callNative(class *ir.Class, m *ir.Method, recv Value, args []Value)
 	}
 }
 
-// registerSystemNatives binds the sys.* library implementations.
+// registerSystemNatives binds the sys.* library implementations.  It runs
+// during New, before the VM is visible to any other goroutine, so it may
+// write the registry snapshot in place.
 func registerSystemNatives(v *VM) {
 	reg := func(owner, name string, arity int, f NativeFunc) {
-		v.natives[nativeKey(owner, name, arity)] = f
+		v.natives.Load().exact[nativeKey(owner, name, arity)] = f
 	}
 
 	// sys.Object
@@ -36,7 +41,7 @@ func registerSystemNatives(v *VM) {
 		if recv.O == nil {
 			return StringV("null"), nil, nil
 		}
-		return StringV("<" + recv.O.Class.Name + ">"), nil, nil
+		return StringV("<" + recv.O.ClassName() + ">"), nil, nil
 	})
 	reg(ir.ObjectClass, "hashCode", 0, func(env *Env, recv Value, _ []Value) (Value, *Thrown, error) {
 		if recv.O == nil {
@@ -45,7 +50,7 @@ func registerSystemNatives(v *VM) {
 		// Stable content-free hash: identity is not portable, so hash the
 		// class name; adequate for programs under test.
 		var h int64
-		for _, c := range recv.O.Class.Name {
+		for _, c := range recv.O.ClassName() {
 			h = h*31 + int64(c)
 		}
 		return IntV(h), nil, nil
@@ -54,7 +59,7 @@ func registerSystemNatives(v *VM) {
 		if recv.O == nil {
 			return StringV("null"), nil, nil
 		}
-		return StringV(recv.O.Class.Name), nil, nil
+		return StringV(recv.O.ClassName()), nil, nil
 	})
 
 	// sys.System
@@ -172,6 +177,19 @@ func registerSystemNatives(v *VM) {
 	})
 	reg(stdlib.ClockClass, "millis", 0, func(env *Env, _ Value, _ []Value) (Value, *Thrown, error) {
 		return IntV(env.vm.clock().UnixNano() / 1e6), nil, nil
+	})
+	// sleepMicros blocks the calling execution WITHOUT releasing its
+	// locks — it models program-level waiting (I/O, pacing, device time)
+	// that happens between heap accesses and therefore cannot use
+	// RunUnlocked.  Under sharded locking only the target object's gate
+	// is held, so other objects keep executing; under the coarse-lock
+	// regime the whole VM stalls.  Experiment E8 measures exactly this
+	// difference.
+	reg(stdlib.ClockClass, "sleepMicros", 1, func(env *Env, _ Value, args []Value) (Value, *Thrown, error) {
+		if n := args[0].I; n > 0 {
+			time.Sleep(time.Duration(n) * time.Microsecond)
+		}
+		return Value{}, nil, nil
 	})
 }
 

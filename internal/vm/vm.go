@@ -2,12 +2,42 @@
 // virtual/interface/static dispatch, static initialisation, exceptions,
 // arrays and native methods.  It is the execution substrate standing in
 // for the JVM in the reproduction.
+//
+// # Thread safety
+//
+// A VM may be driven from any number of goroutines; there is no global
+// interpreter lock.  The concurrency contract (docs/CONCURRENCY.md spells
+// it out in full) is:
+//
+//   - The class/native registries are immutable-after-boot snapshots
+//     published through atomic pointers: method resolution, class lookup
+//     and native dispatch read them without locks.  AddClass /
+//     RegisterNative / RegisterClassNative install a new snapshot
+//     (copy-on-write) and are expected at boot, before traffic.
+//   - Every heap Object carries its own state lock (field reads/writes
+//     and morphs are individually atomic) and an invocation gate that
+//     callers acquire via ExecOn to serialise whole invocations — and
+//     migrations — per object.  Executions entered through different
+//     objects run in parallel.
+//   - Static fields live in per-class slot tables with their own locks;
+//     <clinit> runs once, triggered by the first toucher (concurrent
+//     touchers may observe partially-initialised statics, exactly as
+//     they could in the seed across I/O points and as the JVM permits
+//     within initialisation cycles).
+//   - The legacy public entry points (Invoke, Construct, RunMain,
+//     GetStatic, SetStatic) serialise on one host lock, preserving the
+//     seed's sequential semantics for host-driven programs.  The
+//     parallel paths are Exec (ungated scope) and ExecOn (per-object
+//     gate); the node runtime dispatches through those.
+//   - WithCoarseLock restores the seed's single global lock on every
+//     entry point — kept as the measurable baseline for experiment E8.
 package vm
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rafda/internal/ir"
@@ -19,6 +49,12 @@ const (
 	DefaultMaxSteps = int64(200_000_000)
 	DefaultMaxDepth = 1024
 )
+
+// stepQuantum is how many interpreted instructions an execution runs
+// between flushes of its private step counter into the VM's shared one.
+// Batching keeps the hot loop off a contended atomic; the step budget is
+// therefore enforced with quantum granularity.
+const stepQuantum = 256
 
 // FaultError reports a VM-level fault: malformed code, unknown classes,
 // step or depth limits.  Distinct from program-level thrown exceptions.
@@ -43,12 +79,22 @@ type Thrown struct {
 	Obj *Object
 }
 
-// Env is the capability handed to native methods.  Calls made through Env
-// stay within the current VM execution (no re-locking), and RunUnlocked
-// lets natives that block on the network (proxy invocations) release the
-// VM while waiting.
+// Env is one execution of the VM: the context threaded through every
+// frame of one entry-point activation, and the capability handed to
+// native methods.  It carries the per-execution interpreter state (call
+// depth, batched step count) and records which locks the execution holds
+// so that RunUnlocked can release them around blocking I/O.
+//
+// An Env is confined to its execution: never retain one beyond the call
+// that delivered it, and never share one between goroutines.
 type Env struct {
-	vm *VM
+	vm       *VM
+	depth    int
+	steps    int64 // instructions not yet flushed to vm.steps
+	stepBase int64 // cumulative vm.steps snapshot as of the last flush
+
+	holdsHost bool      // execution entered through the host-compat lock
+	gates     []*Object // invocation gates held, in acquisition order
 }
 
 // VM returns the owning VM.
@@ -56,7 +102,41 @@ func (e *Env) VM() *VM { return e.vm }
 
 // Call invokes a method within the current execution.
 func (e *Env) Call(class, method string, recv Value, args []Value) (Value, *Thrown, error) {
-	return e.vm.call(class, method, recv, args)
+	return e.vm.call(e, class, method, recv, args)
+}
+
+// CallGated invokes method on obj while holding obj's invocation gate,
+// serialising against other gated invocations of — and migrations of —
+// the same object.  If this execution already holds the gate (or the VM
+// runs under the coarse lock) the call proceeds re-entrantly.  The node
+// runtime uses it when a proxy collapses to a direct local call, so the
+// call keeps monitor semantics no matter which side of the wire it
+// entered from.  Gate acquisition follows monitor rules: programs that
+// nest gated calls in conflicting orders can deadlock, as Java monitors
+// can.
+func (e *Env) CallGated(obj *Object, method string, args []Value) (Value, *Thrown, error) {
+	if obj == nil {
+		return Value{}, nil, &FaultError{Msg: "gated call on nil object"}
+	}
+	if e.vm.coarse || e.holdsGate(obj) {
+		return e.vm.call(e, obj.ClassName(), method, RefV(obj), args)
+	}
+	obj.gate.Lock()
+	e.gates = append(e.gates, obj)
+	defer func() {
+		e.gates = e.gates[:len(e.gates)-1]
+		obj.gate.Unlock()
+	}()
+	return e.vm.call(e, obj.ClassName(), method, RefV(obj), args)
+}
+
+func (e *Env) holdsGate(obj *Object) bool {
+	for _, g := range e.gates {
+		if g == obj {
+			return true
+		}
+	}
+	return false
 }
 
 // New allocates an uninitialised instance of the named class.
@@ -64,18 +144,33 @@ func (e *Env) New(class string) (*Object, error) { return e.vm.alloc(class) }
 
 // Construct allocates and runs the matching constructor.
 func (e *Env) Construct(class string, args []Value) (Value, *Thrown, error) {
-	return e.vm.construct(class, args)
+	return e.vm.construct(e, class, args)
 }
 
 // Throw builds a Thrown of the given system exception class.
 func (e *Env) Throw(class, msg string) *Thrown { return e.vm.throwSys(class, msg) }
 
-// RunUnlocked releases the VM lock around f.  Native methods that perform
-// blocking I/O (remote proxy calls) must use it so that incoming remote
-// invocations — including re-entrant callbacks — can proceed.
+// RunUnlocked releases every execution-scoped lock this execution holds
+// (its invocation gates and, for host-entered executions, the host lock)
+// around f, then re-acquires them in hierarchy order.  Native methods
+// that perform blocking I/O (remote proxy calls) must use it so that
+// incoming remote invocations — including re-entrant callbacks targeting
+// the same object — can proceed meanwhile.
 func (e *Env) RunUnlocked(f func()) {
-	e.vm.mu.Unlock()
-	defer e.vm.mu.Lock()
+	for i := len(e.gates) - 1; i >= 0; i-- {
+		e.gates[i].gate.Unlock()
+	}
+	if e.holdsHost {
+		e.vm.hostMu.Unlock()
+	}
+	defer func() {
+		if e.holdsHost {
+			e.vm.hostMu.Lock()
+		}
+		for _, g := range e.gates {
+			g.gate.Lock()
+		}
+	}()
 	f()
 }
 
@@ -86,29 +181,80 @@ type NativeFunc func(env *Env, recv Value, args []Value) (Value, *Thrown, error)
 // runtime registers these for generated proxy classes.
 type ClassNativeFunc func(env *Env, method string, recv Value, args []Value) (Value, *Thrown, error)
 
-// VM is one address space's interpreter: a program (class path), static
-// state, and a native-method registry.
-//
-// Locking: all public entry points serialise on an internal mutex, so a
-// VM may be driven from multiple goroutines (the node runtime dispatches
-// each incoming remote invocation on its own goroutine).  Native methods
-// receive an Env and may release the lock across blocking I/O.
-type VM struct {
+// nativeRegistry is one immutable snapshot of the native-method tables.
+type nativeRegistry struct {
+	exact map[string]NativeFunc
+	class map[string]ClassNativeFunc
+}
+
+// staticSlots is one class's static-field table.
+type staticSlots struct {
+	mu sync.RWMutex
+	m  map[string]Value
+}
+
+func (s *staticSlots) get(name string) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[name]
+	return v, ok
+}
+
+func (s *staticSlots) set(name string, v Value) {
+	s.mu.Lock()
+	s.m[name] = v
+	s.mu.Unlock()
+}
+
+// classState tracks one class's initialisation; guarded by VM.classMu.
+type classState struct {
+	started bool
+	slots   *staticSlots
+}
+
+// syncWriter serialises program output from concurrent executions.
+type syncWriter struct {
 	mu sync.Mutex
+	w  io.Writer
+}
 
-	prog        *ir.Program
-	statics     map[string]map[string]Value
-	initialized map[string]bool
-	natives     map[string]NativeFunc
-	classNative map[string]ClassNativeFunc
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
 
-	out      io.Writer
-	steps    int64
+// VM is one address space's interpreter: a program (class path), static
+// state, and a native-method registry.  See the package comment for the
+// locking model.
+type VM struct {
+	// Copy-on-write registries: lock-free reads, boot-time writes
+	// serialised by regMu.
+	prog    atomic.Pointer[ir.Program]
+	natives atomic.Pointer[nativeRegistry]
+	regMu   sync.Mutex
+
+	// Class initialisation and static storage.
+	classMu sync.Mutex
+	classes map[string]*classState
+
+	// hostMu preserves the seed's sequential semantics for the legacy
+	// public entry points (Invoke and friends).  Gated executions
+	// (ExecOn) never take it, so the two never deadlock: the hierarchy
+	// is hostMu before gates, and nothing acquires hostMu while holding
+	// a gate.
+	hostMu sync.Mutex
+
+	// coarse restores the seed's one-big-lock regime: every entry point
+	// serialises on hostMu and the per-object gates go unused.  It is
+	// the baseline experiment E8 measures the sharded design against.
+	coarse bool
+
+	steps    atomic.Int64
 	maxSteps int64
-	depth    int
 	maxDepth int
 
-	// Clock supplies sys.Clock natives; overridable for determinism.
+	out   *syncWriter
 	clock func() time.Time
 }
 
@@ -116,7 +262,7 @@ type VM struct {
 type Option func(*VM)
 
 // WithOutput directs sys.System print natives to w.
-func WithOutput(w io.Writer) Option { return func(v *VM) { v.out = w } }
+func WithOutput(w io.Writer) Option { return func(v *VM) { v.out.w = w } }
 
 // WithMaxSteps overrides the execution step budget.
 func WithMaxSteps(n int64) Option { return func(v *VM) { v.maxSteps = n } }
@@ -126,6 +272,12 @@ func WithMaxDepth(n int) Option { return func(v *VM) { v.maxDepth = n } }
 
 // WithClock overrides the time source used by sys.Clock.
 func WithClock(f func() time.Time) Option { return func(v *VM) { v.clock = f } }
+
+// WithCoarseLock reverts the VM to the seed's coarse locking: one global
+// mutex serialises every entry point and ExecOn ignores per-object
+// gates.  It exists so experiment E8 can measure the sharded design
+// against the regime it replaced; production nodes never set it.
+func WithCoarseLock() Option { return func(v *VM) { v.coarse = true } }
 
 // New builds a VM over prog.  If prog lacks the system library it is
 // merged in automatically.  The system natives are pre-registered.
@@ -143,16 +295,17 @@ func New(prog *ir.Program, opts ...Option) (*VM, error) {
 		prog = merged
 	}
 	v := &VM{
-		prog:        prog,
-		statics:     make(map[string]map[string]Value),
-		initialized: make(map[string]bool),
-		natives:     make(map[string]NativeFunc),
-		classNative: make(map[string]ClassNativeFunc),
-		out:         io.Discard,
-		maxSteps:    DefaultMaxSteps,
-		maxDepth:    DefaultMaxDepth,
-		clock:       time.Now,
+		classes:  make(map[string]*classState),
+		out:      &syncWriter{w: io.Discard},
+		maxSteps: DefaultMaxSteps,
+		maxDepth: DefaultMaxDepth,
+		clock:    time.Now,
 	}
+	v.prog.Store(prog)
+	v.natives.Store(&nativeRegistry{
+		exact: make(map[string]NativeFunc),
+		class: make(map[string]ClassNativeFunc),
+	})
 	for _, o := range opts {
 		o(v)
 	}
@@ -169,62 +322,142 @@ func MustNew(prog *ir.Program, opts ...Option) *VM {
 	return v
 }
 
-// Program returns the VM's program.  Callers must not mutate classes that
-// have already executed.
-func (v *VM) Program() *ir.Program { return v.prog }
+// Program returns the VM's current program snapshot.  Callers must not
+// mutate classes that have already executed.
+func (v *VM) Program() *ir.Program { return v.prog.Load() }
 
 // AddClass loads an additional class definition (e.g. a proxy class
-// shipped from a peer node).
+// shipped from a peer node) by publishing a new program snapshot.
 func (v *VM) AddClass(c *ir.Class) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.prog.Has(c.Name) {
+	v.regMu.Lock()
+	defer v.regMu.Unlock()
+	cur := v.prog.Load()
+	if cur.Has(c.Name) {
 		return fmt.Errorf("class %q already loaded", c.Name)
 	}
-	return v.prog.Add(c)
+	next := cur.ShallowClone()
+	if err := next.Add(c); err != nil {
+		return err
+	}
+	v.prog.Store(next)
+	return nil
 }
 
 // RegisterNative binds one native method: owner.name with the given arity.
+// Registration is a boot-time operation (copy-on-write snapshot publish).
 func (v *VM) RegisterNative(owner, name string, arity int, f NativeFunc) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.natives[nativeKey(owner, name, arity)] = f
+	v.regMu.Lock()
+	defer v.regMu.Unlock()
+	cur := v.natives.Load()
+	next := &nativeRegistry{
+		exact: make(map[string]NativeFunc, len(cur.exact)+1),
+		class: cur.class,
+	}
+	for k, fn := range cur.exact {
+		next.exact[k] = fn
+	}
+	next.exact[nativeKey(owner, name, arity)] = f
+	v.natives.Store(next)
 }
 
 // RegisterClassNative binds a fallback handler for every native method of
-// owner that has no exact registration.
+// owner that has no exact registration.  Boot-time, like RegisterNative.
 func (v *VM) RegisterClassNative(owner string, f ClassNativeFunc) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.classNative[owner] = f
+	v.regMu.Lock()
+	defer v.regMu.Unlock()
+	cur := v.natives.Load()
+	next := &nativeRegistry{
+		exact: cur.exact,
+		class: make(map[string]ClassNativeFunc, len(cur.class)+1),
+	}
+	for k, fn := range cur.class {
+		next.class[k] = fn
+	}
+	next.class[owner] = f
+	v.natives.Store(next)
 }
 
 func nativeKey(owner, name string, arity int) string {
 	return fmt.Sprintf("%s.%s/%d", owner, name, arity)
 }
 
-// Steps returns the cumulative instruction count executed.
-func (v *VM) Steps() int64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.steps
-}
+// Steps returns the cumulative instruction count executed (flushed with
+// stepQuantum granularity by in-flight executions).
+func (v *VM) Steps() int64 { return v.steps.Load() }
 
 // ResetSteps zeroes the instruction counter.
-func (v *VM) ResetSteps() {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.steps = 0
+func (v *VM) ResetSteps() { v.steps.Store(0) }
+
+// newEnv starts an execution context, snapshotting the cumulative step
+// count so the budget binds across many short executions.
+func (v *VM) newEnv() *Env { return &Env{vm: v, stepBase: v.steps.Load()} }
+
+// finish flushes an execution's unflushed step count.
+func (v *VM) finish(env *Env) {
+	if env.steps > 0 {
+		v.steps.Add(env.steps)
+		env.steps = 0
+	}
+}
+
+// beginHost enters a legacy (host-compat) execution: serialised on
+// hostMu, as every entry point was in the seed.
+func (v *VM) beginHost() (*Env, func()) {
+	v.hostMu.Lock()
+	env := v.newEnv()
+	env.holdsHost = true
+	return env, func() {
+		v.finish(env)
+		v.hostMu.Unlock()
+	}
+}
+
+// Exec runs f in a fresh execution scope with no gate held: executions
+// entered this way run in parallel with everything else, synchronising
+// only through the per-object and per-slot locks they touch.  The node
+// runtime uses it for work on objects not yet shared (creation,
+// migration adoption).
+func (v *VM) Exec(f func(env *Env)) {
+	if v.coarse {
+		env, done := v.beginHost()
+		defer done()
+		f(env)
+		return
+	}
+	env := v.newEnv()
+	defer v.finish(env)
+	f(env)
+}
+
+// ExecOn runs f while holding obj's invocation gate: the execution
+// serialises against other gated executions — and migrations — of the
+// same object, while gated executions of different objects proceed in
+// parallel.  This is the scheduler primitive behind concurrent inbound
+// dispatch.
+func (v *VM) ExecOn(obj *Object, f func(env *Env)) {
+	if v.coarse {
+		env, done := v.beginHost()
+		defer done()
+		f(env)
+		return
+	}
+	obj.gate.Lock()
+	defer obj.gate.Unlock()
+	env := v.newEnv()
+	env.gates = append(env.gates, obj)
+	defer v.finish(env)
+	f(env)
 }
 
 // Invoke calls class.method with an explicit receiver (use NullV or a
 // previously obtained object reference; pass Value{} for statics too —
-// the method's own staticness decides).  It is the public, locking entry
-// point; errors are *FaultError or *UncaughtError.
+// the method's own staticness decides).  It is the legacy public entry
+// point: host-driven executions serialise on one lock, as in the seed.
+// Errors are *FaultError or *UncaughtError.
 func (v *VM) Invoke(class, method string, recv Value, args []Value) (Value, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	res, thrown, err := v.call(class, method, recv, args)
+	env, done := v.beginHost()
+	defer done()
+	res, thrown, err := v.call(env, class, method, recv, args)
 	if err != nil {
 		return Value{}, err
 	}
@@ -238,9 +471,9 @@ func (v *VM) Invoke(class, method string, recv Value, args []Value) (Value, erro
 // rather than flattening them to an error; the node runtime uses it so
 // exceptions can propagate across the wire.
 func (v *VM) InvokeCatching(class, method string, recv Value, args []Value) (Value, *Thrown, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.call(class, method, recv, args)
+	env, done := v.beginHost()
+	defer done()
+	return v.call(env, class, method, recv, args)
 }
 
 // RunMain locates `static void main()` on the named class and runs it.
@@ -249,18 +482,17 @@ func (v *VM) RunMain(class string) error {
 	return err
 }
 
-// NewObject allocates an uninitialised instance (public, locking).
+// NewObject allocates an uninitialised instance (no constructor runs, so
+// no lock beyond the registry snapshot read is needed).
 func (v *VM) NewObject(class string) (*Object, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	return v.alloc(class)
 }
 
 // Construct allocates an instance and runs its arity-matching constructor.
 func (v *VM) Construct(class string, args []Value) (Value, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	res, thrown, err := v.construct(class, args)
+	env, done := v.beginHost()
+	defer done()
+	res, thrown, err := v.construct(env, class, args)
 	if err != nil {
 		return Value{}, err
 	}
@@ -272,15 +504,18 @@ func (v *VM) Construct(class string, args []Value) (Value, error) {
 
 // GetStatic reads a static field (running <clinit> if needed).
 func (v *VM) GetStatic(class, field string) (Value, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if thrown, err := v.ensureInit(class); err != nil {
+	env, done := v.beginHost()
+	defer done()
+	if thrown, err := v.ensureInit(env, class); err != nil {
 		return Value{}, err
 	} else if thrown != nil {
 		return Value{}, v.uncaught(thrown)
 	}
-	m := v.statics[class]
-	val, ok := m[field]
+	slots := v.slotsOf(class)
+	if slots == nil {
+		return Value{}, &FaultError{Msg: fmt.Sprintf("no static field %s.%s", class, field)}
+	}
+	val, ok := slots.get(field)
 	if !ok {
 		return Value{}, &FaultError{Msg: fmt.Sprintf("no static field %s.%s", class, field)}
 	}
@@ -289,51 +524,42 @@ func (v *VM) GetStatic(class, field string) (Value, error) {
 
 // SetStatic writes a static field (running <clinit> if needed).
 func (v *VM) SetStatic(class, field string, val Value) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if thrown, err := v.ensureInit(class); err != nil {
+	env, done := v.beginHost()
+	defer done()
+	if thrown, err := v.ensureInit(env, class); err != nil {
 		return err
 	} else if thrown != nil {
 		return v.uncaught(thrown)
 	}
-	m := v.statics[class]
-	if _, ok := m[field]; !ok {
+	slots := v.slotsOf(class)
+	if slots == nil {
 		return &FaultError{Msg: fmt.Sprintf("no static field %s.%s", class, field)}
 	}
-	m[field] = val
+	if _, ok := slots.get(field); !ok {
+		return &FaultError{Msg: fmt.Sprintf("no static field %s.%s", class, field)}
+	}
+	slots.set(field, val)
 	return nil
-}
-
-// WithLock runs f while holding the VM lock; the node runtime uses it for
-// compound heap operations (marshalling object state, morphing).
-func (v *VM) WithLock(f func(env *Env)) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	f(&Env{vm: v})
 }
 
 // Morph re-types obj in place: it becomes an instance of newClass with the
 // given fields.  Every existing reference to obj now observes the new
-// class — this implements proxy substitution for live objects.
+// class — this implements proxy substitution for live objects.  The swap
+// itself is atomic under the object's state lock; callers that must also
+// exclude in-flight invocations (migration) hold the object's gate via
+// ExecOn around the whole snapshot→ship→morph sequence.
 func (v *VM) Morph(obj *Object, newClass string, fields map[string]Value) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	c := v.prog.Class(newClass)
+	c := v.prog.Load().Class(newClass)
 	if c == nil {
 		return &FaultError{Msg: "morph: unknown class " + newClass}
 	}
-	obj.Class = c
-	obj.Fields = fields
+	obj.morph(c, fields)
 	return nil
 }
 
 func (v *VM) uncaught(t *Thrown) error {
-	msg := ""
 	if t.Obj != nil {
-		if mv, ok := t.Obj.Fields["message"]; ok {
-			msg = mv.S
-		}
-		return &UncaughtError{Class: t.Obj.Class.Name, Message: msg}
+		return &UncaughtError{Class: t.Obj.ClassName(), Message: t.Obj.Get("message").S}
 	}
 	return &UncaughtError{Class: "<nil>", Message: ""}
 }
@@ -343,12 +569,13 @@ func ThrownMessage(t *Thrown) (class, msg string) {
 	if t == nil || t.Obj == nil {
 		return "", ""
 	}
-	return t.Obj.Class.Name, t.Obj.Fields["message"].S
+	return t.Obj.ClassName(), t.Obj.Get("message").S
 }
 
 // alloc creates a zeroed instance of the named class (no constructor).
 func (v *VM) alloc(class string) (*Object, error) {
-	c := v.prog.Class(class)
+	prog := v.prog.Load()
+	c := prog.Class(class)
 	if c == nil {
 		return nil, &FaultError{Msg: "new: unknown class " + class}
 	}
@@ -367,70 +594,109 @@ func (v *VM) alloc(class string) (*Object, error) {
 		if cur.Super == "" {
 			break
 		}
-		cur = v.prog.Class(cur.Super)
+		cur = prog.Class(cur.Super)
 	}
-	return &Object{Class: c, Fields: fields}, nil
+	return NewRawObject(c, fields), nil
 }
 
-func (v *VM) construct(class string, args []Value) (Value, *Thrown, error) {
-	if thrown, err := v.ensureInit(class); thrown != nil || err != nil {
+func (v *VM) construct(env *Env, class string, args []Value) (Value, *Thrown, error) {
+	if thrown, err := v.ensureInit(env, class); thrown != nil || err != nil {
 		return Value{}, thrown, err
 	}
 	obj, err := v.alloc(class)
 	if err != nil {
 		return Value{}, nil, err
 	}
-	c := v.prog.Class(class)
+	c := v.prog.Load().Class(class)
 	ctor := c.Method(ir.ConstructorName, len(args))
 	if ctor == nil {
 		return Value{}, nil, &FaultError{Msg: fmt.Sprintf("no constructor %s/%d", class, len(args))}
 	}
-	_, thrown, err := v.exec(c, ctor, RefV(obj), args)
+	_, thrown, err := v.exec(env, c, ctor, RefV(obj), args)
 	if thrown != nil || err != nil {
 		return Value{}, thrown, err
 	}
 	return RefV(obj), nil, nil
 }
 
-// call resolves and executes a method; lock must be held.
-func (v *VM) call(class, method string, recv Value, args []Value) (Value, *Thrown, error) {
-	dc, m, err := v.prog.ResolveMethod(class, method, len(args))
+// call resolves and executes a method within env's execution.
+func (v *VM) call(env *Env, class, method string, recv Value, args []Value) (Value, *Thrown, error) {
+	dc, m, err := v.prog.Load().ResolveMethod(class, method, len(args))
 	if err != nil {
 		return Value{}, nil, &FaultError{Msg: err.Error()}
 	}
 	if m.Static {
-		if thrown, err := v.ensureInit(dc.Name); thrown != nil || err != nil {
+		if thrown, err := v.ensureInit(env, dc.Name); thrown != nil || err != nil {
 			return Value{}, thrown, err
 		}
 	}
-	return v.exec(dc, m, recv, args)
+	return v.exec(env, dc, m, recv, args)
+}
+
+// classStateOf returns (creating if needed) the named class's state.
+func (v *VM) classStateOf(class string) *classState {
+	v.classMu.Lock()
+	defer v.classMu.Unlock()
+	cs, ok := v.classes[class]
+	if !ok {
+		cs = &classState{}
+		v.classes[class] = cs
+	}
+	return cs
+}
+
+// slotsOf returns the static slot table of an initialised class (nil if
+// the class has not reached initialisation).
+func (v *VM) slotsOf(class string) *staticSlots {
+	v.classMu.Lock()
+	defer v.classMu.Unlock()
+	if cs, ok := v.classes[class]; ok {
+		return cs.slots
+	}
+	return nil
 }
 
 // ensureInit runs the static initialiser of class (and its superclasses)
-// on first use.
-func (v *VM) ensureInit(class string) (*Thrown, error) {
-	c := v.prog.Class(class)
+// on first use.  The first toucher claims the class (mark-then-run, as
+// the JVM does) so initialisation cycles terminate — re-entrant and
+// concurrent touchers proceed immediately and may observe
+// partially-initialised statics, mirroring the seed's behaviour across
+// lock-release points and Java's within init cycles.
+func (v *VM) ensureInit(env *Env, class string) (*Thrown, error) {
+	c := v.prog.Load().Class(class)
 	if c == nil {
 		return nil, &FaultError{Msg: "init: unknown class " + class}
 	}
-	if v.initialized[class] {
+	cs := v.classStateOf(class)
+	v.classMu.Lock()
+	if cs.started {
+		v.classMu.Unlock()
 		return nil, nil
 	}
-	// Mark before running, as the JVM does, so initialisation cycles
-	// terminate (observing partially-initialised state, as in Java).
-	v.initialized[class] = true
+	cs.started = true
+	v.classMu.Unlock()
+
 	if c.Super != "" {
-		if thrown, err := v.ensureInit(c.Super); thrown != nil || err != nil {
+		if thrown, err := v.ensureInit(env, c.Super); thrown != nil || err != nil {
+			// As in the seed, a failed superclass initialisation leaves
+			// this class marked started but slot-less: later static
+			// accesses fault rather than reading phantom zero values.
 			return thrown, err
 		}
 	}
+	// Slots appear only now — after the super chain initialised, before
+	// the clinit runs (which populates them) — mirroring the seed's
+	// observable windows exactly.
 	sf := make(map[string]Value)
 	for _, f := range c.StaticFields() {
 		sf[f.Name] = ZeroValue(f.Type)
 	}
-	v.statics[class] = sf
+	v.classMu.Lock()
+	cs.slots = &staticSlots{m: sf}
+	v.classMu.Unlock()
+
 	if clinit := c.StaticInit(); clinit != nil {
-		_, thrown, err := v.exec(c, clinit, Value{}, nil)
+		_, thrown, err := v.exec(env, c, clinit, Value{}, nil)
 		if thrown != nil || err != nil {
 			return thrown, err
 		}
@@ -446,6 +712,6 @@ func (v *VM) throwSys(class, msg string) *Thrown {
 		// program set.  Surface as a throwable-less Thrown.
 		return &Thrown{}
 	}
-	obj.Fields["message"] = StringV(msg)
+	obj.Set("message", StringV(msg))
 	return &Thrown{Obj: obj}
 }

@@ -338,7 +338,7 @@ func TestMorphRedirectsReferences(t *testing.T) {
 	}
 	// Both references observe the new class (dynamic dispatch).
 	for _, r := range []Value{ref1, ref2} {
-		got, err := v.Invoke(r.O.Class.Name, "tag", r, nil)
+		got, err := v.Invoke(r.O.ClassName(), "tag", r, nil)
 		if err != nil || got.I != 2 {
 			t.Fatalf("post-morph: %v %v", got, err)
 		}

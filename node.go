@@ -203,7 +203,7 @@ func (r *Ref) ClassName() string {
 	if r.v.O == nil {
 		return "null"
 	}
-	return r.v.O.Class.Name
+	return r.v.O.ClassName()
 }
 
 func toVMValues(args []any) ([]vm.Value, error) {
