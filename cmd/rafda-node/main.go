@@ -5,9 +5,12 @@
 //	rafda-node -archive prog.transformed.rar \
 //	    -serve rrp://127.0.0.1:7001 -serve soap://127.0.0.1:7002 \
 //	    -place C=rrp://10.0.0.2:7001 -place Audit=soap://10.0.0.3:7002 \
-//	    [-main Main] [-name node1]
+//	    [-main Main] [-name node1] [-adapt] [-adapt-window 250ms]
 //
-// Without -main the node serves until interrupted.
+// Without -main the node serves until interrupted.  -adapt switches on
+// the adaptive placement engine (docs/ADAPTIVE.md): the node watches
+// its own call-affinity telemetry and redraws placements — migrating
+// hot objects toward their dominant callers — printing each decision.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"rafda"
 )
@@ -44,6 +48,8 @@ func run() error {
 	mainClass := flag.String("main", "", "entry class to run after start (empty: serve only)")
 	flag.Var(&serves, "serve", "endpoint to serve, proto://host:port (repeatable)")
 	flag.Var(&places, "place", "placement rule Class=endpoint or Class=local (repeatable)")
+	adaptOn := flag.Bool("adapt", false, "run the adaptive placement engine (docs/ADAPTIVE.md)")
+	adaptWindow := flag.Duration("adapt-window", 250*time.Millisecond, "adaptive engine evaluation window")
 	flag.Parse()
 
 	if *archive == "" {
@@ -95,6 +101,24 @@ func run() error {
 			return err
 		}
 		fmt.Printf("placed %s -> %s\n", class, endpoint)
+	}
+
+	if *adaptOn {
+		node.StartAdapter(rafda.AdaptConfig{
+			Window: *adaptWindow,
+			OnDecision: func(d rafda.AdaptDecision) {
+				status := "held"
+				if d.Executed {
+					status = "executed"
+				}
+				target := d.GUID
+				if target == "" {
+					target = "class " + d.Class
+				}
+				fmt.Printf("adapt: %s %s -> %q (%s): %s\n", d.Action, target, d.Endpoint, status, d.Reason)
+			},
+		})
+		fmt.Println("adaptive placement engine running")
 	}
 
 	if *mainClass != "" {

@@ -18,6 +18,13 @@
 //	                                  migrate live objects, and re-draw
 //	                                  distribution boundaries at run time
 //
+// Nodes can also redraw those boundaries themselves: StartAdapter
+// switches on a per-node telemetry plane and a rule-driven placement
+// engine that migrates hot objects toward their dominant callers and
+// re-points class placements automatically, with hysteresis and a
+// migration budget so placement never thrashes (docs/ADAPTIVE.md,
+// experiment E9).
+//
 // A minimal end-to-end use:
 //
 //	prog, _ := rafda.CompileString(src)

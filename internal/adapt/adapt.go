@@ -1,0 +1,577 @@
+// Package adapt is the adaptive placement engine: the closed loop the
+// paper's §4 leaves as future work ("the distributed program can adapt
+// to its environment by dynamically altering its distribution
+// boundaries").  It periodically reads the telemetry plane
+// (internal/telemetry), evaluates pluggable placement rules over the
+// last window's activity, and executes the surviving decisions through
+// the node's existing migration and re-policy mechanisms — so the
+// boundaries redraw themselves, with no manual Migrate or PlaceClass
+// call.
+//
+// The engine is deliberately conservative.  A decision executes only
+// after it survives three thrash guards:
+//
+//   - hysteresis: a rule must propose the same action for Confirm
+//     consecutive windows before it runs;
+//   - a per-target migration budget: at most Budget executed migrations
+//     per object (and flips per class) within the last BudgetWindows
+//     windows — the loop can move an object, but never ping-pong it;
+//   - versioned re-policy: class flips apply through
+//     policy.Table.SetClassIf against the version read at window start,
+//     so the engine never overwrites a concurrent operator re-policy.
+//
+// The engine runs above the node's lock hierarchy: it holds no lock
+// while reading counters (snapshots are atomic loads) and executes
+// decisions through the same public paths a human operator would use,
+// which acquire the object gate / policy lock themselves
+// (docs/ADAPTIVE.md, docs/CONCURRENCY.md).
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rafda/internal/telemetry"
+	"rafda/internal/vm"
+)
+
+// DecisionKind enumerates the actions the engine can take.
+type DecisionKind uint8
+
+// Decision kinds.
+const (
+	// KindMigrate moves one live object to the endpoint it has affinity
+	// with.
+	KindMigrate DecisionKind = iota + 1
+	// KindPlaceClass re-points the policy table entry for a class, so
+	// future creations and discoveries land at the new placement.
+	KindPlaceClass
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case KindMigrate:
+		return "migrate"
+	case KindPlaceClass:
+		return "place-class"
+	default:
+		return fmt.Sprintf("DecisionKind(%d)", uint8(k))
+	}
+}
+
+// Proposal is one action a rule wants taken this window.
+type Proposal struct {
+	Kind     DecisionKind
+	Obj      *vm.Object // migration target handle (KindMigrate)
+	GUID     string     // object identity (KindMigrate)
+	Class    string
+	Endpoint string // destination; "" means local (KindPlaceClass only)
+	Reason   string
+	// Rule is filled in by the engine with the proposing rule's name.
+	Rule string
+}
+
+// key identifies a proposal for hysteresis and budget accounting.
+func (p Proposal) key() string {
+	if p.Kind == KindMigrate {
+		return "obj:" + p.GUID
+	}
+	return "class:" + p.Class
+}
+
+// Decision is one engine outcome: a proposal that survived hysteresis,
+// recorded whether or not it executed.
+type Decision struct {
+	Seq      int
+	At       time.Time
+	Window   int // evaluation tick the decision was made in
+	Rule     string
+	Kind     DecisionKind
+	GUID     string
+	Class    string
+	Endpoint string
+	Reason   string
+	// Executed reports the action ran (and, for migrations, succeeded).
+	// A false value with empty Err means a thrash guard suppressed it.
+	Executed bool
+	Err      string
+}
+
+// ObjWindow is one object's activity during the evaluated window
+// (deltas, not cumulative counts).
+type ObjWindow struct {
+	GUID    string
+	Class   string
+	Obj     *vm.Object
+	Local   uint64
+	Remote  uint64
+	Anon    uint64
+	Callers map[string]uint64
+	// EWMALatencyNs is the smoothed inbound service latency (cumulative
+	// EWMA, not a delta).
+	EWMALatencyNs float64
+	// Migratable reports whether the object is currently a live local
+	// transformed instance (statics singletons and already-morphed
+	// proxies are not).  Rules must not propose migrating
+	// non-migratable objects — the engine could only suppress the
+	// decision, forever, as log noise.
+	Migratable bool
+}
+
+// Calls returns the window's total inbound invocations.
+func (w ObjWindow) Calls() uint64 { return w.Local + w.Remote + w.Anon }
+
+// ClassWindow is one class's activity during the evaluated window.
+type ClassWindow struct {
+	Class         string
+	LocalCreates  uint64
+	RemoteCreates map[string]uint64
+	ServedCreates map[string]uint64
+	ServedAnon    uint64
+	OutCalls      map[string]uint64
+	// PlacedAt is the class's current policy placement endpoint (""
+	// when placed locally), read at window start.
+	PlacedAt string
+}
+
+// View is everything a rule sees for one evaluation.
+type View struct {
+	Objects []ObjWindow
+	Classes []ClassWindow
+	// Self reports the endpoints this node serves (rules must not
+	// propose moving anything to ourselves-as-remote).
+	Self map[string]bool
+}
+
+// Rule proposes placement actions from one window of telemetry.  Rules
+// are pure: hysteresis, budget and execution belong to the engine.
+type Rule interface {
+	Name() string
+	Evaluate(v *View) []Proposal
+}
+
+// Actions are the node capabilities the engine drives.  They execute
+// through the same paths an operator uses: MigrateObject acquires the
+// object's gate for the snapshot→ship→morph sequence, PlaceClass goes
+// through the versioned policy table.
+type Actions struct {
+	// MigrateObject moves obj to endpoint.
+	MigrateObject func(obj *vm.Object, endpoint string) error
+	// PlaceClass re-points class ("" endpoint = local) iff the policy
+	// table version still equals ifVersion.
+	PlaceClass func(class, endpoint string, ifVersion uint64) error
+	// PolicyVersion returns the policy table version.
+	PolicyVersion func() uint64
+	// ClassPlacement returns the endpoint class is currently placed at
+	// ("" for local).
+	ClassPlacement func(class string) string
+	// IsLocalObject reports whether obj is currently a live local
+	// transformed instance (not a proxy, not a statics singleton) — the
+	// only things migration can move.
+	IsLocalObject func(obj *vm.Object) bool
+	// SelfEndpoints returns the endpoints this node serves.
+	SelfEndpoints func() []string
+}
+
+// Config tunes the engine.  Zero fields take the defaults.
+type Config struct {
+	// Window is the sampling and evaluation period.
+	Window time.Duration
+	// Threshold is the dominant-endpoint share (over a window's calls)
+	// a rule needs before proposing, in (0,1].
+	Threshold float64
+	// MinCalls is the minimum window activity (calls, or creates for
+	// class rules) below which no proposal is made.
+	MinCalls uint64
+	// Confirm is how many consecutive windows a proposal must recur
+	// before it executes.
+	Confirm int
+	// Budget caps executed migrations per object (and flips per class)
+	// within the trailing BudgetWindows windows.
+	Budget int
+	// BudgetWindows is the budget horizon, in windows.
+	BudgetWindows int
+	// Rules overrides the rule set (nil = DefaultRules()).
+	Rules []Rule
+	// OnDecision, when set, observes every decision as it is logged.
+	OnDecision func(Decision)
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Defaults.
+const (
+	DefaultWindow        = 250 * time.Millisecond
+	DefaultThreshold     = 0.6
+	DefaultMinCalls      = 16
+	DefaultConfirm       = 2
+	DefaultBudget        = 2
+	DefaultBudgetWindows = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.MinCalls == 0 {
+		c.MinCalls = DefaultMinCalls
+	}
+	if c.Confirm <= 0 {
+		c.Confirm = DefaultConfirm
+	}
+	if c.Budget <= 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.BudgetWindows <= 0 {
+		c.BudgetWindows = DefaultBudgetWindows
+	}
+	if c.Rules == nil {
+		c.Rules = DefaultRules(c)
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// objCum / classCum are the cumulative counters at the previous tick,
+// kept so each tick evaluates deltas.
+type objCum struct {
+	local, remote, anon uint64
+	callers             map[string]uint64
+}
+
+type classCum struct {
+	localCreates uint64
+	servedAnon   uint64
+	remote       map[string]uint64
+	served       map[string]uint64
+	out          map[string]uint64
+}
+
+type confirmState struct {
+	endpoint string // proposed destination being confirmed
+	streak   int
+	lastTick int
+}
+
+// Engine evaluates rules over telemetry windows and executes surviving
+// decisions.  Safe for concurrent use; evaluation is serialised.
+type Engine struct {
+	cfg Config
+	rec *telemetry.Recorder
+	act Actions
+
+	mu        sync.Mutex
+	tick      int
+	seq       int // decisions ever made (Seq is monotonic across log trims)
+	log       []Decision
+	pending   []Decision // this tick's decisions, for post-unlock callbacks
+	prevObj   map[string]objCum
+	prevClass map[string]classCum
+	confirm   map[string]confirmState
+	spent     map[string][]int // proposal key -> ticks of executed actions
+
+	// running/stop/done carry the periodic loop's lifecycle (guarded by
+	// mu); Start and Stop form a restartable pair.
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New builds an engine over a node's recorder and action set.
+func New(rec *telemetry.Recorder, act Actions, cfg Config) *Engine {
+	return &Engine{
+		cfg:       cfg.withDefaults(),
+		rec:       rec,
+		act:       act,
+		prevObj:   make(map[string]objCum),
+		prevClass: make(map[string]classCum),
+		confirm:   make(map[string]confirmState),
+		spent:     make(map[string][]int),
+	}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Start launches the periodic decision loop (no-op while one is
+// running).  Start after Stop resumes the loop — the engine's window
+// state, budgets and log carry over.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	e.stop, e.done = stop, done
+	e.running = true
+	e.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(e.cfg.Window)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				e.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for any in-flight tick (no-op when not
+// running).  The engine can be Started again afterwards.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.running {
+		e.mu.Unlock()
+		return
+	}
+	stop, done := e.stop, e.done
+	e.running = false
+	e.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Decisions returns a copy of the decision log (the most recent
+// maxDecisionLog entries; Seq is monotonic, so trimmed history is
+// detectable).
+func (e *Engine) Decisions() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Decision(nil), e.log...)
+}
+
+// Tick runs one evaluation: snapshot → window deltas → rules →
+// hysteresis → budget → execute.  Exported so tests and harnesses can
+// step the loop deterministically.  OnDecision callbacks fire after the
+// engine lock is released, so a callback may freely use the engine's
+// own API (Decisions, even Tick).
+func (e *Engine) Tick() {
+	fired := e.tickLocked()
+	if e.cfg.OnDecision != nil {
+		for _, d := range fired {
+			e.cfg.OnDecision(d)
+		}
+	}
+}
+
+// tickLocked is one evaluation under the engine lock; it returns the
+// decisions made this tick for post-unlock callback delivery.
+func (e *Engine) tickLocked() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tick++
+	polVersion := e.act.PolicyVersion()
+	view := e.buildView()
+
+	var proposals []Proposal
+	for _, r := range e.cfg.Rules {
+		for _, p := range r.Evaluate(view) {
+			p := p
+			p.Rule = r.Name()
+			proposals = append(proposals, p)
+		}
+	}
+
+	// Hysteresis: a proposal (same target, same destination) must recur
+	// for Confirm consecutive ticks.  A changed destination or a missed
+	// tick restarts the streak.
+	live := make(map[string]bool, len(proposals))
+	for _, p := range proposals {
+		k := p.key()
+		live[k] = true
+		st := e.confirm[k]
+		if st.endpoint == p.Endpoint && st.lastTick == e.tick-1 {
+			st.streak++
+		} else {
+			st = confirmState{endpoint: p.Endpoint, streak: 1}
+		}
+		st.lastTick = e.tick
+		e.confirm[k] = st
+		if st.streak < e.cfg.Confirm {
+			continue
+		}
+		e.decide(p, &polVersion)
+	}
+	for k, st := range e.confirm {
+		if !live[k] && st.lastTick < e.tick {
+			delete(e.confirm, k)
+		}
+	}
+	fired := e.pending
+	e.pending = nil
+	return fired
+}
+
+// decide applies the budget guard and executes one confirmed proposal,
+// logging the outcome.  Whatever the outcome, the target's confirmation
+// streak restarts, so a recurring proposal is logged at most once per
+// Confirm windows rather than every tick.  polVersion is the engine's
+// view of the policy-table version: an executed flip advances it, so a
+// second flip confirming in the same tick is not vetoed by the first
+// (only a genuinely concurrent operator re-policy is).  Caller holds
+// e.mu.
+func (e *Engine) decide(p Proposal, polVersion *uint64) {
+	defer delete(e.confirm, p.key())
+	e.seq++
+	d := Decision{
+		Seq:      e.seq,
+		At:       e.cfg.Now(),
+		Window:   e.tick,
+		Rule:     p.Rule,
+		Kind:     p.Kind,
+		GUID:     p.GUID,
+		Class:    p.Class,
+		Endpoint: p.Endpoint,
+		Reason:   p.Reason,
+	}
+
+	k := p.key()
+	horizon := e.tick - e.cfg.BudgetWindows
+	spent := e.spent[k][:0]
+	for _, t := range e.spent[k] {
+		if t > horizon {
+			spent = append(spent, t)
+		}
+	}
+	e.spent[k] = spent
+	if len(spent) >= e.cfg.Budget {
+		d.Err = fmt.Sprintf("suppressed: budget %d/%d spent in the last %d windows",
+			len(spent), e.cfg.Budget, e.cfg.BudgetWindows)
+		e.logDecision(d)
+		return
+	}
+
+	switch p.Kind {
+	case KindMigrate:
+		if e.act.IsLocalObject != nil && !e.act.IsLocalObject(p.Obj) {
+			d.Err = "suppressed: object is no longer a live local instance"
+			e.logDecision(d)
+			return
+		}
+		if err := e.act.MigrateObject(p.Obj, p.Endpoint); err != nil {
+			d.Err = err.Error()
+			e.logDecision(d)
+			return
+		}
+	case KindPlaceClass:
+		if err := e.act.PlaceClass(p.Class, p.Endpoint, *polVersion); err != nil {
+			d.Err = err.Error()
+			e.logDecision(d)
+			return
+		}
+		*polVersion = e.act.PolicyVersion()
+	default:
+		d.Err = fmt.Sprintf("unknown decision kind %v", p.Kind)
+		e.logDecision(d)
+		return
+	}
+	d.Executed = true
+	e.spent[k] = append(e.spent[k], e.tick)
+	e.logDecision(d)
+}
+
+// maxDecisionLog bounds the retained decision log: a daemon node with a
+// persistently recurring (budget-suppressed) proposal logs one entry
+// per Confirm windows forever, so the log is a sliding window of the
+// most recent decisions.  Seq stays monotonic across trims, so a
+// consumer can detect that older entries were dropped; OnDecision sees
+// every decision regardless.
+const maxDecisionLog = 1024
+
+func (e *Engine) logDecision(d Decision) {
+	if len(e.log) >= maxDecisionLog {
+		n := copy(e.log, e.log[len(e.log)-maxDecisionLog/2:])
+		e.log = e.log[:n]
+	}
+	e.log = append(e.log, d)
+	e.pending = append(e.pending, d)
+}
+
+// buildView snapshots the recorder and converts cumulative counters into
+// window deltas.  Caller holds e.mu.
+func (e *Engine) buildView() *View {
+	v := &View{Self: map[string]bool{}}
+	if e.act.SelfEndpoints != nil {
+		for _, ep := range e.act.SelfEndpoints() {
+			v.Self[ep] = true
+		}
+	}
+	seen := make(map[string]bool)
+	for _, s := range e.rec.SnapshotObjects() {
+		seen[s.GUID] = true
+		prev := e.prevObj[s.GUID]
+		w := ObjWindow{
+			GUID:          s.GUID,
+			Class:         s.Class,
+			Obj:           s.Obj,
+			Local:         s.Local - prev.local,
+			Remote:        s.Remote - prev.remote,
+			Anon:          s.Anon - prev.anon,
+			Callers:       deltaMap(s.Callers, prev.callers),
+			EWMALatencyNs: s.EWMALatencyNs,
+		}
+		if e.act.IsLocalObject != nil {
+			w.Migratable = e.act.IsLocalObject(s.Obj)
+		}
+		e.prevObj[s.GUID] = objCum{local: s.Local, remote: s.Remote, anon: s.Anon, callers: s.Callers}
+		if w.Calls() > 0 {
+			v.Objects = append(v.Objects, w)
+		}
+	}
+	// The recorder evicts collected objects from its snapshot; drop the
+	// mirrored delta baselines too, so the engine's state stays bounded
+	// by the live working set.
+	for g := range e.prevObj {
+		if !seen[g] {
+			delete(e.prevObj, g)
+		}
+	}
+	for _, s := range e.rec.SnapshotClasses() {
+		prev := e.prevClass[s.Class]
+		w := ClassWindow{
+			Class:         s.Class,
+			LocalCreates:  s.LocalCreates - prev.localCreates,
+			RemoteCreates: deltaMap(s.RemoteCreates, prev.remote),
+			ServedCreates: deltaMap(s.ServedCreates, prev.served),
+			ServedAnon:    s.ServedAnon - prev.servedAnon,
+			OutCalls:      deltaMap(s.OutCalls, prev.out),
+		}
+		if e.act.ClassPlacement != nil {
+			w.PlacedAt = e.act.ClassPlacement(s.Class)
+		}
+		e.prevClass[s.Class] = classCum{
+			localCreates: s.LocalCreates,
+			servedAnon:   s.ServedAnon,
+			remote:       s.RemoteCreates,
+			served:       s.ServedCreates,
+			out:          s.OutCalls,
+		}
+		v.Classes = append(v.Classes, w)
+	}
+	return v
+}
+
+func deltaMap(cur, prev map[string]uint64) map[string]uint64 {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(cur))
+	for k, n := range cur {
+		if d := n - prev[k]; d > 0 {
+			out[k] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package adapt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultRules returns the built-in rule set: per-object call-affinity
+// migration plus the two class-placement flips (pull-local and
+// push-remote).
+func DefaultRules(cfg Config) []Rule {
+	return []Rule{
+		&AffinityRule{Threshold: cfg.Threshold, MinCalls: cfg.MinCalls},
+		&ClassPullRule{Threshold: cfg.Threshold, MinCalls: cfg.MinCalls},
+		&ClassPushRule{Threshold: cfg.Threshold, MinCalls: cfg.MinCalls},
+	}
+}
+
+// dominant returns the endpoint with the highest count and that count,
+// with a deterministic (lexicographic) tie-break.
+func dominant(m map[string]uint64) (string, uint64) {
+	var eps []string
+	for ep := range m {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	var bestEp string
+	var best uint64
+	for _, ep := range eps {
+		if m[ep] > best {
+			bestEp, best = ep, m[ep]
+		}
+	}
+	return bestEp, best
+}
+
+// AffinityRule implements the paper-style object rule: an object that
+// receives more than Threshold of its window's calls from one remote
+// endpoint migrates to that endpoint, turning its hot remote
+// invocations into local ones.
+type AffinityRule struct {
+	Threshold float64
+	MinCalls  uint64
+}
+
+// Name implements Rule.
+func (r *AffinityRule) Name() string { return "affinity" }
+
+// Evaluate implements Rule.
+func (r *AffinityRule) Evaluate(v *View) []Proposal {
+	var out []Proposal
+	for _, w := range v.Objects {
+		if !w.Migratable {
+			continue // proxies and statics singletons cannot move
+		}
+		total := w.Calls()
+		if total < r.MinCalls {
+			continue
+		}
+		ep, n := dominant(w.Callers)
+		if ep == "" || v.Self[ep] {
+			continue
+		}
+		share := float64(n) / float64(total)
+		if share < r.Threshold {
+			continue
+		}
+		out = append(out, Proposal{
+			Kind:     KindMigrate,
+			Obj:      w.Obj,
+			GUID:     w.GUID,
+			Class:    w.Class,
+			Endpoint: ep,
+			Reason: fmt.Sprintf("object received %d/%d calls (%.0f%%) from %s this window",
+				n, total, 100*share, ep),
+		})
+	}
+	return out
+}
+
+// ClassPullRule flips a remotely-placed class back to local when this
+// node is the class's dominant user: it creates the instances at the
+// remote placement and then pays a remote round trip for nearly every
+// call it makes on them.  After the flip, future creations and
+// discoveries are local (existing instances are the AffinityRule's
+// job — on their home node).
+type ClassPullRule struct {
+	Threshold float64
+	MinCalls  uint64
+}
+
+// Name implements Rule.
+func (r *ClassPullRule) Name() string { return "class-pull" }
+
+// Evaluate implements Rule.
+func (r *ClassPullRule) Evaluate(v *View) []Proposal {
+	var out []Proposal
+	for _, w := range v.Classes {
+		if w.PlacedAt == "" {
+			continue // already local
+		}
+		var total uint64
+		for _, n := range w.OutCalls {
+			total += n
+		}
+		if total < r.MinCalls {
+			continue
+		}
+		ep, n := dominant(w.OutCalls)
+		if ep != w.PlacedAt {
+			continue // the traffic is not going where the policy points
+		}
+		share := float64(n) / float64(total)
+		if share < r.Threshold {
+			continue
+		}
+		out = append(out, Proposal{
+			Kind:  KindPlaceClass,
+			Class: w.Class,
+			// Endpoint "" = local placement.
+			Reason: fmt.Sprintf("this node made %d/%d (%.0f%%) of the class's proxy calls to its placement %s",
+				n, total, 100*share, ep),
+		})
+	}
+	return out
+}
+
+// ClassPushRule flips a locally-placed class toward the remote endpoint
+// that dominates its use: when one peer performs more than Threshold of
+// the class's creations-plus-invocations served here, future creations
+// should happen at that peer directly — the §4 "constructed mostly under
+// remote callers" boundary redraw.
+type ClassPushRule struct {
+	Threshold float64
+	MinCalls  uint64
+}
+
+// Name implements Rule.
+func (r *ClassPushRule) Name() string { return "class-push" }
+
+// Evaluate implements Rule.
+func (r *ClassPushRule) Evaluate(v *View) []Proposal {
+	// Aggregate inbound invocations per class across this node's
+	// objects (the telemetry plane attributes them per object).
+	inCalls := map[string]map[string]uint64{}
+	inTotal := map[string]uint64{}
+	for _, w := range v.Objects {
+		m := inCalls[w.Class]
+		if m == nil {
+			m = map[string]uint64{}
+			inCalls[w.Class] = m
+		}
+		for ep, n := range w.Callers {
+			m[ep] += n
+		}
+		inTotal[w.Class] += w.Calls()
+	}
+
+	var out []Proposal
+	for _, w := range v.Classes {
+		if w.PlacedAt != "" {
+			continue // only locally-placed classes push away
+		}
+		byEp := map[string]uint64{}
+		var total uint64
+		for ep, n := range w.ServedCreates {
+			byEp[ep] += n
+			total += n
+		}
+		total += w.LocalCreates + w.ServedAnon
+		for ep, n := range inCalls[w.Class] {
+			byEp[ep] += n
+		}
+		total += inTotal[w.Class]
+		if total < r.MinCalls {
+			continue
+		}
+		ep, n := dominant(byEp)
+		if ep == "" || v.Self[ep] {
+			continue
+		}
+		share := float64(n) / float64(total)
+		if share < r.Threshold {
+			continue
+		}
+		out = append(out, Proposal{
+			Kind:     KindPlaceClass,
+			Class:    w.Class,
+			Endpoint: ep,
+			Reason: fmt.Sprintf("%s drove %d/%d (%.0f%%) of the class's creations and calls served here",
+				ep, n, total, 100*share),
+		})
+	}
+	return out
+}

@@ -2,9 +2,11 @@ package node
 
 import (
 	"fmt"
+	"time"
 
 	"rafda/internal/guid"
 	"rafda/internal/stdlib"
+	"rafda/internal/telemetry"
 	"rafda/internal/transform"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
@@ -59,6 +61,9 @@ func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
 		return wire.Errorf(req, "node %s: class %s is not substitutable", n.name, req.Class)
 	}
 	n.stats.creates.Add(1)
+	if rec := n.telem.Load(); rec != nil {
+		rec.RecordCreateServed(req.Class, req.Caller)
+	}
 	resp := &wire.Response{ID: req.ID}
 	// The new instance is not shared until its reference is marshalled
 	// out, so construction needs no gate.
@@ -85,12 +90,14 @@ func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
 func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 	resp := &wire.Response{ID: req.ID}
 	var target *vm.Object
+	classGUID := false
 	if class, ok := guid.IsClassGUID(req.GUID); ok {
 		me, ok := n.singletonTarget(resp, class)
 		if !ok {
 			return resp
 		}
 		target = me.O
+		classGUID = true
 	} else {
 		obj, ok := n.exports.Get(req.GUID)
 		if !ok {
@@ -103,9 +110,21 @@ func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 	// objects run here in parallel; requests for this object queue.  If
 	// the object was migrated away while this request waited, the gate
 	// opens onto a proxy and the call transparently forwards.
-	n.machine.ExecOn(target, func(env *vm.Env) {
+	n.servedInvoke(resp, target, req.GUID, req, func(env *vm.Env) {
 		n.invokeOn(env, resp, vm.RefV(target), req)
 	})
+	// When the export is (now) a forwarding proxy, tell the caller where
+	// the object went, so its proxy retargets and subsequent calls skip
+	// the forwarding hop.  Without this, an adaptively migrated object
+	// would be reached through its old home forever and the placement
+	// loop could not converge (docs/ADAPTIVE.md).  The class check is
+	// the allocation-free common case; only actual proxies pay for the
+	// field snapshot.
+	if !classGUID && resp.Err == "" && isProxyObject(target) {
+		if ref, forwarding := proxyRefOf(target); forwarding {
+			resp.Redirect = &ref
+		}
+	}
 	return resp
 }
 
@@ -115,10 +134,48 @@ func (n *Node) dispatchInvokeClass(req *wire.Request) *wire.Response {
 	if !ok {
 		return resp
 	}
-	n.machine.ExecOn(me.O, func(env *vm.Env) {
+	n.servedInvoke(resp, me.O, guid.ClassGUID(req.Class), req, func(env *vm.Env) {
 		n.invokeOn(env, resp, me, req)
 	})
 	return resp
+}
+
+// servedInvoke runs one inbound invocation under target's gate
+// (retrying when the target is migrated away mid-call: the parked
+// invocation unwinds with a MigrationInterrupt via ExecOnCatching and
+// the retry forwards through the morphed proxy) and records the served
+// call in the telemetry plane.  The latency clock runs inside the gate
+// — service time, not queueing — and the recording happens after the
+// gate is released; with the plane disabled the whole cost is one nil
+// check.
+func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID string, req *wire.Request, call func(env *vm.Env)) {
+	rec := n.telem.Load()
+	var st *telemetry.ObjStats
+	if rec != nil {
+		st = rec.ForObject(target, targetGUID, baseClassOf(target.ClassName()))
+	}
+	var svc time.Duration
+	for attempt := 0; ; attempt++ {
+		*resp = wire.Response{ID: req.ID}
+		interrupted := n.machine.ExecOnCatching(target, func(env *vm.Env) {
+			if st != nil {
+				t0 := time.Now()
+				defer func() { svc = time.Since(t0) }()
+			}
+			call(env)
+		})
+		if !interrupted {
+			break
+		}
+		if attempt >= vm.MaxMigrationRetries {
+			resp.Err = fmt.Sprintf("node %s: %s abandoned: target migrated %d times mid-call",
+				n.name, req.Method, attempt+1)
+			break
+		}
+	}
+	if st != nil {
+		st.RecordInbound(req.Caller, telemetry.RequestSize(req), telemetry.ResponseSize(resp), svc)
+	}
 }
 
 // singletonTarget resolves (creating on first use) the local statics

@@ -182,11 +182,15 @@ func setProxyFields(obj *vm.Object, id, endpoint, proto, target string) {
 	})
 }
 
-// servesEndpoint reports whether endpoint is one of this node's own.
+// servesEndpoint reports whether endpoint is one of this node's own
+// (lock-free: reads the published endpoint snapshot — this runs on
+// every proxy invocation to detect self-collapse).
 func (n *Node) servesEndpoint(endpoint string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, ep := range n.endpoints {
+	eps := n.epSnap.Load()
+	if eps == nil {
+		return false
+	}
+	for _, ep := range *eps {
 		if ep == endpoint {
 			return true
 		}

@@ -29,13 +29,14 @@ import (
 // observes the proxy and turns into a retargeting forward instead of
 // shipping a second copy.
 //
-// Residual window (inherited from the seed, see docs/CONCURRENCY.md §8):
-// an invocation parked inside Env.RunUnlocked — blocked on its own
+// An invocation parked inside Env.RunUnlocked — blocked on its own
 // nested remote call — has released the gate, so a migration can land
-// mid-method; when the invocation resumes it re-acquires the gate and
-// continues old-class bytecode against the now-proxy object, faulting
-// on the first old-field access.  The seed had the identical hazard
-// whenever a morph happened while a method waited on the network.
+// mid-method.  The object's morph epoch catches this on gate
+// re-acquisition: the parked invocation unwinds with a
+// vm.MigrationInterrupt and is retried whole through the morphed proxy,
+// executing under the object's gate at its new home (the seed silently
+// resumed old-class bytecode instead; docs/CONCURRENCY.md §8 — note
+// the retried method re-runs its pre-park prefix, at-least-once).
 func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	if ref.O == nil {
 		return fmt.Errorf("node %s: migrate of nil reference", n.name)

@@ -2,9 +2,11 @@ package node
 
 import (
 	"strings"
+	"time"
 
 	"rafda/internal/guid"
 	"rafda/internal/policy"
+	"rafda/internal/telemetry"
 	"rafda/internal/transform"
 	"rafda/internal/transport"
 	"rafda/internal/vm"
@@ -22,7 +24,13 @@ func (n *Node) registerFactoryNatives() {
 			func(env *vm.Env, _ vm.Value, _ []vm.Value) (vm.Value, *vm.Thrown, error) {
 				pl, _ := n.pol.For(class)
 				if pl.Kind != policy.Remote {
+					if rec := n.telem.Load(); rec != nil {
+						rec.RecordCreateLocal(class)
+					}
 					return env.Construct(transform.OLocal(class), nil)
+				}
+				if rec := n.telem.Load(); rec != nil {
+					rec.RecordCreateRemote(class, pl.Endpoint)
 				}
 				return n.remoteCreate(env, class, pl)
 			})
@@ -38,7 +46,7 @@ func (n *Node) registerFactoryNatives() {
 // reference in a proxy.  The subsequent factory init call runs locally
 // and initialises the remote object through the proxy's properties.
 func (n *Node) remoteCreate(env *vm.Env, class string, pl policy.Placement) (vm.Value, *vm.Thrown, error) {
-	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpCreate, Class: class}
+	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpCreate, Class: class, Caller: n.anyEndpoint(pl.Proto)}
 	resp, callErr := n.callRemote(env, pl.Endpoint, req)
 	if callErr != nil {
 		return vm.Value{}, remoteError(env, "create %s at %s: %v", class, pl.Endpoint, callErr), nil
@@ -114,6 +122,14 @@ func (n *Node) registerProxyNatives() {
 	}
 }
 
+// proxyTripleFields is the proxy reference triple proxyInvoke reads on
+// every call, in ReadFields order.
+var proxyTripleFields = [3]string{
+	transform.ProxyFieldEndpoint,
+	transform.ProxyFieldTarget,
+	transform.ProxyFieldGUID,
+}
+
 // proxyInvoke performs one remote method invocation on behalf of a proxy
 // object.
 func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.Value, args []vm.Value) (vm.Value, *vm.Thrown, error) {
@@ -122,11 +138,13 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	}
 	// One consistent snapshot of the proxy's reference triple: a
 	// concurrent retarget (migration) can never hand us the GUID of one
-	// home and the endpoint of another.
-	_, pf := recv.O.View()
-	endpoint := pf[transform.ProxyFieldEndpoint].S
-	target := pf[transform.ProxyFieldTarget].S
-	id := pf[transform.ProxyFieldGUID].S
+	// home and the endpoint of another.  ReadFields is the
+	// allocation-free form of View — this runs on every proxy call.
+	var triple [3]vm.Value
+	recv.O.ReadFields(proxyTripleFields[:], triple[:])
+	endpoint := triple[0].S
+	target := triple[1].S
+	id := triple[2].S
 	proto, _, _ := splitProto(endpoint)
 
 	// A proxy can end up pointing at this very node (e.g. after an
@@ -134,21 +152,30 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	// collapsed call still acquires the target's invocation gate
 	// (re-entrantly if this execution already holds it), so it keeps the
 	// same monitor semantics it would have had arriving over the wire.
+	// Telemetry counts it as a local call — this is the steady-state
+	// path after an adaptive migration lands the object next to its
+	// caller, so it stays clock-free.
 	if n.servesEndpoint(endpoint) {
 		if classSide {
 			me, thrown, err := n.localSingleton(env, target)
 			if thrown != nil || err != nil {
 				return vm.Value{}, thrown, err
 			}
+			if rec := n.telem.Load(); rec != nil {
+				rec.ForObject(me.O, guid.ClassGUID(target), target).RecordLocal()
+			}
 			return env.CallGated(me.O, method, args)
 		}
 		if obj, ok := n.exports.Get(id); ok {
+			if rec := n.telem.Load(); rec != nil {
+				rec.ForObject(obj, id, target).RecordLocal()
+			}
 			return env.CallGated(obj, method, args)
 		}
 		return vm.Value{}, remoteError(env, "%s.%s: stale self-reference %s", target, method, id), nil
 	}
 
-	req := &wire.Request{ID: n.nextReqID(), Method: method}
+	req := &wire.Request{ID: n.nextReqID(), Method: method, Caller: n.anyEndpoint(proto)}
 	if classSide {
 		req.Op = wire.OpInvokeClass
 		req.Class = target
@@ -166,9 +193,26 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	}
 
 	n.stats.remoteCallsOut.Add(1)
+	rec := n.telem.Load()
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
 	resp, callErr := n.callRemote(env, endpoint, req)
 	if callErr != nil {
 		return vm.Value{}, remoteError(env, "%s.%s at %s: %v", target, method, endpoint, callErr), nil
+	}
+	if rec != nil {
+		rec.RecordOutbound(target, endpoint,
+			telemetry.RequestSize(req)+telemetry.ResponseSize(resp), time.Since(start))
+	}
+	// The callee served through a forwarding proxy and told us where the
+	// object now lives: retarget our proxy so the next call goes to the
+	// new home directly (and, when the new home is this node, collapses
+	// to a local call).  SetFields writes the reference quadruple
+	// atomically; racing retargets both carry valid homes, last wins.
+	if r := resp.Redirect; r != nil && !classSide && r.GUID != "" && r.Endpoint != "" {
+		setProxyFields(recv.O, r.GUID, r.Endpoint, r.Proto, orString(r.Target, target))
 	}
 	if resp.Err != "" {
 		return vm.Value{}, remoteError(env, "%s.%s: %s", target, method, resp.Err), nil

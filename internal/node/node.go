@@ -31,6 +31,7 @@ import (
 	"rafda/internal/ir"
 	"rafda/internal/policy"
 	"rafda/internal/registry"
+	"rafda/internal/telemetry"
 	"rafda/internal/transform"
 	"rafda/internal/transport"
 	"rafda/internal/vm"
@@ -67,6 +68,11 @@ type Node struct {
 	clients   map[string]transport.Client
 	closed    bool
 
+	// epSnap is a lock-free copy of endpoints, republished by Serve:
+	// the proxy fast paths (self-collapse detection, caller stamping)
+	// read it on every call and must not touch the node mutex.
+	epSnap atomic.Pointer[map[string]string]
+
 	// singMu guards the singleton table.  Creation of a local singleton
 	// executes program code (SingletonGet + the class clinit), so the
 	// table tracks in-progress creations by owner execution: the owner
@@ -80,6 +86,11 @@ type Node struct {
 	// request ids and activity counters stay off the node mutex.
 	reqSeq uint64
 	stats  statCounters
+
+	// telem is the optional metrics plane (nil = disabled, the zero-cost
+	// default).  Loaded with one atomic read on the dispatch and
+	// proxy-call hot paths; see docs/ADAPTIVE.md.
+	telem atomic.Pointer[telemetry.Recorder]
 }
 
 type singletonEntry struct {
@@ -157,6 +168,45 @@ func (n *Node) VM() *vm.VM { return n.machine }
 // Policy returns the node's mutable policy table.
 func (n *Node) Policy() *policy.Table { return n.pol }
 
+// EnableTelemetry switches on the node's metrics plane (idempotent) and
+// returns the recorder.  Dispatch and proxy-call sites start recording
+// per-object caller affinity, byte volumes and latency; until then the
+// only per-call cost is one nil atomic load.
+func (n *Node) EnableTelemetry() *telemetry.Recorder {
+	if r := n.telem.Load(); r != nil {
+		return r
+	}
+	n.telem.CompareAndSwap(nil, telemetry.NewRecorder())
+	return n.telem.Load()
+}
+
+// Telemetry returns the node's recorder, or nil when telemetry is
+// disabled.
+func (n *Node) Telemetry() *telemetry.Recorder { return n.telem.Load() }
+
+// Endpoints returns every endpoint this node is serving.
+func (n *Node) Endpoints() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		out = append(out, ep)
+	}
+	return out
+}
+
+// IsMigratable reports whether obj is currently a live local transformed
+// instance — the only thing Migrate can move.  The answer can go stale
+// under a concurrent migration; Migrate re-checks under the gate, so a
+// stale true degrades to a forwarding no-op, never a double ship.
+func (n *Node) IsMigratable(obj *vm.Object) bool {
+	if obj == nil {
+		return false
+	}
+	_, kind := transform.BaseOfGenerated(obj.ClassName())
+	return kind == transform.SuffixOLocal
+}
+
 // Exports returns the number of exported objects.
 func (n *Node) Exports() int { return n.exports.Len() }
 
@@ -186,6 +236,11 @@ func (n *Node) Serve(proto, addr string) (string, error) {
 	defer n.mu.Unlock()
 	n.servers = append(n.servers, srv)
 	n.endpoints[proto] = srv.Endpoint()
+	snap := make(map[string]string, len(n.endpoints))
+	for k, v := range n.endpoints {
+		snap[k] = v
+	}
+	n.epSnap.Store(&snap)
 	return srv.Endpoint(), nil
 }
 
@@ -196,14 +251,17 @@ func (n *Node) Endpoint(proto string) string {
 	return n.endpoints[proto]
 }
 
-// anyEndpoint returns a serving endpoint, preferring proto.
+// anyEndpoint returns a serving endpoint, preferring proto (lock-free:
+// reads the published endpoint snapshot).
 func (n *Node) anyEndpoint(proto string) string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if ep, ok := n.endpoints[proto]; ok {
+	eps := n.epSnap.Load()
+	if eps == nil {
+		return ""
+	}
+	if ep, ok := (*eps)[proto]; ok {
 		return ep
 	}
-	for _, ep := range n.endpoints {
+	for _, ep := range *eps {
 		return ep
 	}
 	return ""
@@ -316,12 +374,32 @@ func (n *Node) CallOn(recv vm.Value, method string, args ...vm.Value) (vm.Value,
 	if recv.K == 0 || recv.O == nil {
 		return vm.Value{}, fmt.Errorf("node %s: CallOn with nil receiver", n.name)
 	}
+	// Host-driven calls count as local affinity evidence — but only for
+	// objects that already carry a stats record (i.e. have seen remote
+	// traffic): an object no peer knows cannot be migrated, so there is
+	// nothing to weigh its host usage against.  One atomic slot load;
+	// no GUID lookup, no clock read.
+	if s, ok := recv.O.Telemetry().(*telemetry.ObjStats); ok && s != nil {
+		s.RecordLocal()
+	}
 	var res vm.Value
 	var thrown *vm.Thrown
 	var err error
-	n.machine.ExecOn(recv.O, func(env *vm.Env) {
-		res, thrown, err = env.Call(recv.O.ClassName(), method, recv, args)
-	})
+	// A MigrationInterrupt means the target was migrated away while this
+	// call was parked in a nested remote call: the object is a proxy
+	// now, so the retried call transparently forwards to its new home.
+	for attempt := 0; ; attempt++ {
+		interrupted := n.machine.ExecOnCatching(recv.O, func(env *vm.Env) {
+			res, thrown, err = env.Call(recv.O.ClassName(), method, recv, args)
+		})
+		if !interrupted {
+			break
+		}
+		if attempt >= vm.MaxMigrationRetries {
+			return vm.Value{}, fmt.Errorf("node %s: CallOn %s abandoned: target migrated %d times mid-call",
+				n.name, method, attempt+1)
+		}
+	}
 	if err != nil {
 		return vm.Value{}, err
 	}

@@ -4,7 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"rafda/internal/policy"
 	"rafda/internal/vm"
 )
 
@@ -103,6 +105,230 @@ class Main { static void main() {} }`
 		t.Error("object never reached node B — the race was not exercised")
 	}
 	t.Logf("bumps=%d migrationsIn A=%d B=%d", bumps.Load(), inA, inB)
+}
+
+// TestMigrateWhileInvocationParked is the ROADMAP's parked-invocation
+// regression: an invocation that releases its target's gate while
+// blocked in a nested remote call (Env.RunUnlocked) used to resume
+// old-class bytecode after a migration morphed its target mid-method —
+// the method tail then ran field-by-field through the proxy, ungated at
+// the new home (no monitor semantics, one round trip per access).  The
+// epoch check on gate re-acquisition instead unwinds the invocation and
+// retries it whole through the morphed proxy, so the complete method
+// re-executes under the object's gate at its new home.
+//
+// The discriminator: the retry re-runs the method from the top
+// (documented at-least-once semantics for the pre-park prefix), so the
+// helper's counter must read 2 — the old continuation path leaves it
+// at 1.
+func TestMigrateWhileInvocationParked(t *testing.T) {
+	src := `
+class Helper {
+    int count;
+    Helper() { this.count = 0; }
+    int slow(int us) { count = count + 1; sys.Clock.sleepMicros(us); return count; }
+}
+class Holder {
+    int val;
+    Helper h;
+    Holder(int v, Helper h) { this.val = v; this.h = h; }
+    int work(int us) {
+        h.slow(us);
+        return val;
+    }
+    int hits() { return h.count; }
+}
+class Setup {
+    static Holder make() { return new Holder(7, new Helper()); }
+}
+class Main { static void main() {} }`
+	res := transformSource(t, src)
+	nodeA, nodeB, epB := twoNodes(t, res, "rrp")
+
+	// Helper lives on B, so Holder.work parks on the wire mid-method;
+	// Holder itself starts on A.
+	pl, err := policy.RemoteAt(epB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeA.Policy().SetClass("Helper", pl)
+	ref, err := nodeA.InvokeStatic("Setup", "make")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	var got vm.Value
+	go func() {
+		v, err := nodeA.CallOn(ref, "work", vm.IntV(250_000)) // parks ~250ms on B
+		got = v
+		done <- err
+	}()
+
+	// Let the invocation enter its nested remote call and park, then
+	// migrate the Holder out from under it.  (The hits==2 assertion
+	// below also proves the migration landed mid-call: a call that
+	// finished first would leave the counter at 1.)
+	time.Sleep(40 * time.Millisecond)
+	if err := nodeA.Migrate(ref, epB); err != nil {
+		t.Fatalf("migrate while parked: %v", err)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("parked invocation faulted after migration: %v", err)
+	}
+	if got.I != 7 {
+		t.Fatalf("work() = %d, want 7 (retry must land on the migrated state)", got.I)
+	}
+	if in := nodeB.Snapshot().MigrationsIn; in != 1 {
+		t.Fatalf("migrations into B = %d, want 1", in)
+	}
+	// The interrupted attempt completed its nested call once, and the
+	// retry ran the whole method again at the new home: exactly two
+	// slow() executions.  The old continuation path (resume old-class
+	// bytecode through the proxy) leaves the counter at 1.
+	hits, err := nodeA.CallOn(ref, "hits")
+	if err != nil {
+		t.Fatalf("hits: %v", err)
+	}
+	if hits.I != 2 {
+		t.Fatalf("helper saw %d slow() calls, want 2 (whole-method retry at the new home)", hits.I)
+	}
+	// The handle (now a proxy) keeps working against the new home.
+	v, err := nodeA.CallOn(ref, "work", vm.IntV(1))
+	if err != nil || v.I != 7 {
+		t.Fatalf("post-migration call: %v %v", v, err)
+	}
+}
+
+// TestCreationsRacingPlacementFlip races factory creations against
+// policy re-placement flips of the same class: every creation must land
+// wholly under the old or the new placement — a fully-local instance or
+// a fully-wired proxy, each immediately usable — and never a
+// half-proxied hybrid (ISSUE: concurrent re-policy).
+func TestCreationsRacingPlacementFlip(t *testing.T) {
+	src := `
+class Cell {
+    int n;
+    Cell(int n) { this.n = n; }
+    int bump() { n = n + 1; return n; }
+}
+class Mk {
+    static Cell make() { return new Cell(41); }
+}
+class Main { static void main() {} }`
+	res := transformSource(t, src)
+	nodeA, _, epB := twoNodes(t, res, "rrp")
+	remote, err := policy.RemoteAt(epB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const flips = 40
+	const makers = 4
+	const each = 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < flips; i++ {
+			if i%2 == 0 {
+				nodeA.Policy().SetClass("Cell", remote)
+			} else {
+				nodeA.Policy().SetClass("Cell", policy.LocalPlacement)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	errs := make(chan error, makers)
+	for w := 0; w < makers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				ref, err := nodeA.InvokeStatic("Mk", "make")
+				if err != nil {
+					errs <- err
+					return
+				}
+				cls := ref.O.ClassName()
+				local := cls == "Cell_O_Local"
+				proxy := !local && isProxyObject(ref.O)
+				if !local && !proxy {
+					errs <- &vm.FaultError{Msg: "creation landed on neither placement: " + cls}
+					return
+				}
+				// Whichever side it landed on, the instance must be
+				// fully initialised and callable.
+				v, err := nodeA.CallOn(ref, "bump")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.I != 42 {
+					errs <- &vm.FaultError{Msg: "half-initialised instance"}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestHostCallsCountAsLocalAffinity pins the telemetry wiring for
+// host-driven calls: once an object carries a stats record (it has
+// been seen by a peer), Node.CallOn counts as local affinity evidence
+// — without this, a remote peer's trickle could out-vote the hosting
+// node's own heavy usage and migrate the object away from it.
+func TestHostCallsCountAsLocalAffinity(t *testing.T) {
+	src := `
+class Cell {
+    int n;
+    Cell(int n) { this.n = n; }
+    int bump() { n = n + 1; return n; }
+}
+class Mk {
+    static Cell make() { return new Cell(0); }
+}
+class Main { static void main() {} }`
+	res := transformSource(t, src)
+	n, err := New(Config{Name: "solo", Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	rec := n.EnableTelemetry()
+	ref, err := n.InvokeStatic("Mk", "make")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any peer knows the object there is no stats record, so
+	// host calls are not tracked (nothing to weigh them against).
+	if _, err := n.CallOn(ref, "bump"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.SnapshotObjects(); len(got) != 0 {
+		t.Fatalf("untracked object gained samples: %+v", got)
+	}
+	// A peer observed it (simulated inbound): now host calls count.
+	rec.ForObject(ref.O, "g1", "Cell").RecordInbound("rrp://peer:1", 1, 1, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := n.CallOn(ref, "bump"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples := rec.SnapshotObjects()
+	if len(samples) != 1 || samples[0].Local != 3 || samples[0].Remote != 1 {
+		t.Fatalf("host calls not counted as local affinity: %+v", samples)
+	}
 }
 
 // TestParallelInvocationsDistinctObjects checks the dispatch scheduler's

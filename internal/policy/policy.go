@@ -69,20 +69,40 @@ func NewTable() *Table {
 	return &Table{rules: make(map[string]Placement), def: LocalPlacement}
 }
 
-// SetDefault replaces the fallback placement.
-func (t *Table) SetDefault(p Placement) {
+// SetDefault replaces the fallback placement and returns the new table
+// version.
+func (t *Table) SetDefault(p Placement) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.def = p
 	t.version++
+	return t.version
 }
 
-// SetClass pins a class's placement.
-func (t *Table) SetClass(class string, p Placement) {
+// SetClass pins a class's placement and returns the new table version.
+func (t *Table) SetClass(class string, p Placement) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.rules[class] = p
 	t.version++
+	return t.version
+}
+
+// SetClassIf pins a class's placement only if the table version still
+// equals ifVersion, reporting whether the update applied.  The adaptive
+// placement engine (internal/adapt) reads the version when it starts
+// evaluating a window and applies its decisions through this gate, so a
+// rule-driven flip never overwrites a re-policy an operator (or another
+// decision) made while the window was being evaluated.
+func (t *Table) SetClassIf(class string, p Placement, ifVersion uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.version != ifVersion {
+		return false
+	}
+	t.rules[class] = p
+	t.version++
+	return true
 }
 
 // Clear removes a class rule, reverting it to the default.

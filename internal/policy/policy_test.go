@@ -83,6 +83,92 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 }
 
+func TestSetClassIfVersionGate(t *testing.T) {
+	tab := NewTable()
+	remote, _ := RemoteAt("rrp://h:1")
+	v := tab.Version()
+	if !tab.SetClassIf("C", remote, v) {
+		t.Fatal("matching version rejected")
+	}
+	if pl, _ := tab.For("C"); pl.Kind != Remote {
+		t.Fatal("gated set not applied")
+	}
+	// Stale version: the table moved on (the gated set itself bumped it).
+	if tab.SetClassIf("C", LocalPlacement, v) {
+		t.Fatal("stale version accepted")
+	}
+	if pl, _ := tab.For("C"); pl.Kind != Remote {
+		t.Fatal("stale set mutated the table")
+	}
+	if tab.Version() != v+1 {
+		t.Fatalf("version = %d, want %d (failed set must not bump)", tab.Version(), v+1)
+	}
+}
+
+// TestSetReturnsAuthoritativeVersion pins the contract the node relies
+// on for re-policy atomicity: every successful mutation returns the
+// version that uniquely identifies the new configuration, and a reader's
+// (placement, version) pair is always consistent — a creation that reads
+// at version v sees exactly the placement written by the mutation that
+// produced v, never a half-applied mix.
+func TestSetReturnsAuthoritativeVersion(t *testing.T) {
+	tab := NewTable()
+	remote, _ := RemoteAt("rrp://h:1")
+
+	// Record the placement each version corresponds to, from the
+	// writers' side.
+	var mu sync.Mutex
+	wrote := map[uint64]Kind{0: Local}
+	flip := func(i int) {
+		var v uint64
+		var k Kind
+		if i%2 == 0 {
+			v, k = tab.SetClass("C", remote), Remote
+		} else {
+			v, k = tab.SetClass("C", LocalPlacement), Local
+		}
+		mu.Lock()
+		if prev, dup := wrote[v]; dup && prev != k {
+			mu.Unlock()
+			t.Errorf("version %d issued twice with different placements", v)
+			return
+		}
+		wrote[v] = k
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				flip(g*200 + i)
+			}
+		}(g)
+	}
+	// Readers: every (placement, version) pair observed must match what
+	// the writer of that version wrote — whole old or whole new, never
+	// torn.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				pl, v := tab.For("C")
+				mu.Lock()
+				want, ok := wrote[v]
+				mu.Unlock()
+				if ok && pl.Kind != want {
+					t.Errorf("read version %d with placement %v, writer wrote %v", v, pl.Kind, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 func TestKindString(t *testing.T) {
 	if Local.String() != "local" || Remote.String() != "remote" {
 		t.Fatal("kind strings")

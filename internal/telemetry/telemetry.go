@@ -1,0 +1,370 @@
+// Package telemetry is a node's call-affinity metrics plane: per-object
+// and per-class counters recorded at the proxy-call and dispatch sites,
+// read periodically by the adaptive placement engine (internal/adapt)
+// that redraws the program's distribution boundaries.
+//
+// # Thread safety and lock hierarchy
+//
+// Recording happens on the hottest paths in the system — inside inbound
+// dispatch and outgoing proxy invocations, sometimes below an object's
+// invocation gate — so every update is a handful of atomic operations
+// and no recording path ever blocks on a lock (docs/CONCURRENCY.md):
+//
+//   - Per-object counters live in an ObjStats reached through the
+//     object's telemetry slot (vm.Object.Telemetry, one atomic load).
+//   - Per-endpoint counters are copy-on-write endpoint→counter lists
+//     published through atomic pointers; bumping an existing endpoint is
+//     one atomic add, adding a new endpoint is a CAS loop.
+//   - The EWMA latency is float64 bits in a uint64 CAS loop.
+//   - The recorder's object and class indexes are sync.Maps, touched on
+//     the first record for an object/class only.
+//
+// Snapshots return cumulative counters; window deltas are the reader's
+// job (the adapt engine diffs consecutive snapshots).
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+	"weak"
+
+	"rafda/internal/vm"
+	"rafda/internal/wire"
+)
+
+// ewmaAlpha is the smoothing factor of the latency EWMA: ~the last 10
+// observations dominate.
+const ewmaAlpha = 0.2
+
+// epSet is an immutable endpoint→counter list published through an
+// atomic pointer.  Nodes talk to a handful of peers, so linear scans
+// beat a map and stay allocation-free on the hit path.
+type epSet struct {
+	entries []epEntry
+}
+
+type epEntry struct {
+	ep string
+	n  *atomic.Uint64
+}
+
+// bump increments the counter for ep, installing it on first use.
+func bump(p *atomic.Pointer[epSet], ep string) {
+	counterIn(p, ep).Add(1)
+}
+
+func counterIn(p *atomic.Pointer[epSet], ep string) *atomic.Uint64 {
+	for {
+		s := p.Load()
+		if s != nil {
+			for i := range s.entries {
+				if s.entries[i].ep == ep {
+					return s.entries[i].n
+				}
+			}
+		}
+		next := &epSet{}
+		if s != nil {
+			next.entries = append(next.entries, s.entries...)
+		}
+		ctr := &atomic.Uint64{}
+		next.entries = append(next.entries, epEntry{ep: ep, n: ctr})
+		if p.CompareAndSwap(s, next) {
+			return ctr
+		}
+	}
+}
+
+func snapshotSet(p *atomic.Pointer[epSet]) map[string]uint64 {
+	s := p.Load()
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(s.entries))
+	for i := range s.entries {
+		out[s.entries[i].ep] = s.entries[i].n.Load()
+	}
+	return out
+}
+
+// ewma is a lock-free exponentially weighted moving average.
+type ewma struct {
+	bits atomic.Uint64 // float64 bits; 0 = no observation yet
+}
+
+func (e *ewma) observe(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	for {
+		old := e.bits.Load()
+		var next float64
+		if old == 0 {
+			next = ns
+		} else {
+			next = (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*ns
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (e *ewma) load() float64 {
+	b := e.bits.Load()
+	if b == 0 {
+		return 0
+	}
+	return math.Float64frombits(b)
+}
+
+// ObjStats is one object's activity record.  It is installed in the
+// object's telemetry slot, so it survives migration morphs (the slot
+// rides the object identity, and a forwarded call on the morphed proxy
+// keeps recording here until callers retarget).
+type ObjStats struct {
+	guid  string
+	class string
+	// obj is weak: the object itself holds this record strongly through
+	// its telemetry slot, and a strong back-reference here would pin
+	// every object ever observed for the recorder's lifetime.  Once the
+	// object is collected, SnapshotObjects evicts the index entry, so
+	// the recorder tracks the live working set, not history.
+	obj weak.Pointer[vm.Object]
+
+	localCalls  atomic.Uint64 // host-driven and collapsed same-node calls
+	remoteCalls atomic.Uint64 // inbound invocations from identified peers
+	anonCalls   atomic.Uint64 // inbound from peers serving no endpoint
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+	callers     atomic.Pointer[epSet] // inbound calls by caller endpoint
+	lat         ewma                  // in-gate service latency of inbound calls
+}
+
+// RecordInbound counts one served invocation: caller is the requesting
+// node's serving endpoint ("" when unidentified), sizes are the
+// estimated wire payloads, lat the service time measured under the
+// object's gate (queueing for the gate is excluded, so a contended but
+// fast object does not read as a slow one).
+func (s *ObjStats) RecordInbound(caller string, reqBytes, respBytes int, lat time.Duration) {
+	if caller == "" {
+		s.anonCalls.Add(1)
+	} else {
+		s.remoteCalls.Add(1)
+		bump(&s.callers, caller)
+	}
+	s.bytesIn.Add(uint64(reqBytes))
+	s.bytesOut.Add(uint64(respBytes))
+	s.lat.observe(lat)
+}
+
+// RecordLocal counts one same-address-space invocation (host CallOn or a
+// proxy call collapsed onto the live local object).  Deliberately
+// minimal — one atomic add, no clock read — because this is the
+// post-convergence steady-state path.
+func (s *ObjStats) RecordLocal() { s.localCalls.Add(1) }
+
+// ClassStats is one class's activity record: where instances are
+// created, and where this node's outgoing proxy calls for the class go.
+type ClassStats struct {
+	localCreates  atomic.Uint64         // factory make under local placement
+	remoteCreates atomic.Pointer[epSet] // factory make under remote placement, by target
+	servedCreates atomic.Pointer[epSet] // OpCreate served for peers, by caller
+	servedAnon    atomic.Uint64
+	outCalls      atomic.Pointer[epSet] // outgoing proxy calls, by callee endpoint
+	outBytes      atomic.Uint64
+	outLat        ewma // round-trip latency of outgoing proxy calls
+}
+
+// Recorder is one node's metrics plane.  The zero value is not usable;
+// construct with NewRecorder.  A nil *Recorder is the disabled plane:
+// the node runtime checks for nil before the (cheap) record calls.
+type Recorder struct {
+	objs    sync.Map // guid -> *ObjStats
+	classes sync.Map // class -> *ClassStats
+}
+
+// NewRecorder returns an empty metrics plane.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// ForObject returns obj's stats record, installing one (and indexing it
+// under guid) on first use.  The fast path is a single atomic load from
+// the object's slot.
+func (r *Recorder) ForObject(obj *vm.Object, guid, class string) *ObjStats {
+	if s, _ := obj.Telemetry().(*ObjStats); s != nil {
+		return s
+	}
+	rec, installed := obj.TelemetryOrInit(func() any {
+		return &ObjStats{guid: guid, class: class, obj: weak.Make(obj)}
+	})
+	s := rec.(*ObjStats)
+	if installed {
+		r.objs.Store(guid, s)
+	}
+	return s
+}
+
+// forClass returns class's stats record, creating it on first use.
+func (r *Recorder) forClass(class string) *ClassStats {
+	if s, ok := r.classes.Load(class); ok {
+		return s.(*ClassStats)
+	}
+	s, _ := r.classes.LoadOrStore(class, &ClassStats{})
+	return s.(*ClassStats)
+}
+
+// RecordCreateLocal counts one local factory construction of class.
+func (r *Recorder) RecordCreateLocal(class string) {
+	r.forClass(class).localCreates.Add(1)
+}
+
+// RecordCreateRemote counts one remote factory construction of class at
+// target (this node asked target to instantiate).
+func (r *Recorder) RecordCreateRemote(class, target string) {
+	bump(&r.forClass(class).remoteCreates, target)
+}
+
+// RecordCreateServed counts one construction of class served for the
+// peer at caller ("" when unidentified).
+func (r *Recorder) RecordCreateServed(class, caller string) {
+	cs := r.forClass(class)
+	if caller == "" {
+		cs.servedAnon.Add(1)
+		return
+	}
+	bump(&cs.servedCreates, caller)
+}
+
+// RecordOutbound counts one outgoing proxy invocation on an instance (or
+// the statics singleton) of class at endpoint.
+func (r *Recorder) RecordOutbound(class, endpoint string, bytes int, lat time.Duration) {
+	cs := r.forClass(class)
+	bump(&cs.outCalls, endpoint)
+	cs.outBytes.Add(uint64(bytes))
+	cs.outLat.observe(lat)
+}
+
+// ObjSample is one object's cumulative counters at snapshot time.
+type ObjSample struct {
+	GUID  string
+	Class string
+	Obj   *vm.Object
+	// Local counts host-driven and same-node collapsed calls, Remote
+	// calls from identified peers (itemised in Callers), Anon calls
+	// from peers serving no endpoint.
+	Local, Remote, Anon uint64
+	Callers             map[string]uint64
+	BytesIn, BytesOut   uint64
+	EWMALatencyNs       float64
+}
+
+// Calls returns the total inbound invocation count.
+func (s ObjSample) Calls() uint64 { return s.Local + s.Remote + s.Anon }
+
+// SnapshotObjects returns cumulative per-object samples for every
+// still-live object that has recorded at least one event.  Entries
+// whose object has been collected are evicted as a side effect, so the
+// index is bounded by the live working set.
+func (r *Recorder) SnapshotObjects() []ObjSample {
+	var out []ObjSample
+	r.objs.Range(func(k, v any) bool {
+		s := v.(*ObjStats)
+		obj := s.obj.Value()
+		if obj == nil {
+			r.objs.Delete(k)
+			return true
+		}
+		out = append(out, ObjSample{
+			GUID:          s.guid,
+			Class:         s.class,
+			Obj:           obj,
+			Local:         s.localCalls.Load(),
+			Remote:        s.remoteCalls.Load(),
+			Anon:          s.anonCalls.Load(),
+			Callers:       snapshotSet(&s.callers),
+			BytesIn:       s.bytesIn.Load(),
+			BytesOut:      s.bytesOut.Load(),
+			EWMALatencyNs: s.lat.load(),
+		})
+		return true
+	})
+	return out
+}
+
+// ClassSample is one class's cumulative counters at snapshot time.
+type ClassSample struct {
+	Class         string
+	LocalCreates  uint64
+	RemoteCreates map[string]uint64 // by construction target endpoint
+	ServedCreates map[string]uint64 // by requesting peer endpoint
+	ServedAnon    uint64
+	OutCalls      map[string]uint64 // by callee endpoint
+	OutBytes      uint64
+	OutEWMANs     float64
+}
+
+// SnapshotClasses returns cumulative per-class samples.
+func (r *Recorder) SnapshotClasses() []ClassSample {
+	var out []ClassSample
+	r.classes.Range(func(k, v any) bool {
+		s := v.(*ClassStats)
+		out = append(out, ClassSample{
+			Class:         k.(string),
+			LocalCreates:  s.localCreates.Load(),
+			RemoteCreates: snapshotSet(&s.remoteCreates),
+			ServedCreates: snapshotSet(&s.servedCreates),
+			ServedAnon:    s.servedAnon.Load(),
+			OutCalls:      snapshotSet(&s.outCalls),
+			OutBytes:      s.outBytes.Load(),
+			OutEWMANs:     s.outLat.load(),
+		})
+		return true
+	})
+	return out
+}
+
+// RequestSize estimates req's wire payload in bytes (codec-independent:
+// the adaptive rules need relative magnitudes, not exact frame lengths).
+func RequestSize(req *wire.Request) int {
+	n := 16 + len(req.GUID) + len(req.Class) + len(req.Method) + len(req.Endpoint) + len(req.Caller)
+	for i := range req.Args {
+		n += valueSize(&req.Args[i])
+	}
+	for i := range req.Fields {
+		n += len(req.Fields[i].Name) + valueSize(&req.Fields[i].Value)
+	}
+	return n
+}
+
+// ResponseSize estimates resp's wire payload in bytes.
+func ResponseSize(resp *wire.Response) int {
+	n := 8 + len(resp.ExClass) + len(resp.ExMsg) + len(resp.Err) + valueSize(&resp.Result)
+	if resp.Redirect != nil {
+		n += refSize(resp.Redirect)
+	}
+	return n
+}
+
+func valueSize(v *wire.Value) int {
+	switch v.Kind {
+	case wire.KString:
+		return 1 + len(v.Str)
+	case wire.KRef:
+		if v.Ref == nil {
+			return 1
+		}
+		return 1 + refSize(v.Ref)
+	case wire.KArray:
+		n := 1 + len(v.Elem)
+		for i := range v.Arr {
+			n += valueSize(&v.Arr[i])
+		}
+		return n
+	default:
+		return 9 // kind byte + an 8-byte payload upper bound
+	}
+}
+
+func refSize(r *wire.RemoteRef) int {
+	return len(r.GUID) + len(r.Endpoint) + len(r.Proto) + len(r.Target) + 1
+}

@@ -94,8 +94,44 @@ type Env struct {
 	stepBase int64 // cumulative vm.steps snapshot as of the last flush
 
 	holdsHost bool      // execution entered through the host-compat lock
-	gates     []*Object // invocation gates held, in acquisition order
+	gates     []gateRef // invocation gates held, in acquisition order
 }
+
+// gateRef is one held invocation gate plus the object's epoch at
+// acquisition, so RunUnlocked can detect a morph that landed while the
+// execution was parked with the gate released.
+type gateRef struct {
+	obj   *Object
+	epoch uint64
+}
+
+// MigrationInterrupt aborts an invocation whose gated target was
+// migrated away while the invocation was parked in RunUnlocked (blocked
+// on its own nested remote call, gate released).  The interpreted frames
+// above the park point hold a view of an object that no longer exists —
+// resuming them would fault on morphed fields, as the seed did — so the
+// execution unwinds by panic to the frame that acquired the gate
+// (Env.CallGated, or the node runtime's dispatch/CallOn entry), which
+// retries the whole invocation against the object's new class: the
+// morphed proxy forwards it to the object's new home.
+//
+// Retry semantics are at-least-once for the interrupted method's
+// pre-park prefix: writes it applied before parking were shipped with
+// the object, and the retried invocation re-executes the method from the
+// top at the new home (docs/CONCURRENCY.md §8).
+type MigrationInterrupt struct {
+	Obj *Object
+}
+
+func (m *MigrationInterrupt) Error() string {
+	return "invocation target migrated while the call was parked"
+}
+
+// MaxMigrationRetries bounds how many consecutive mid-call migrations of
+// one target an invocation chases before giving up.  Shared by every
+// interrupt-retry site (CallGated here, dispatch and CallOn in the node
+// runtime).
+const MaxMigrationRetries = 8
 
 // VM returns the owning VM.
 func (e *Env) VM() *VM { return e.vm }
@@ -121,18 +157,46 @@ func (e *Env) CallGated(obj *Object, method string, args []Value) (Value, *Throw
 	if e.vm.coarse || e.holdsGate(obj) {
 		return e.vm.call(e, obj.ClassName(), method, RefV(obj), args)
 	}
+	for attempt := 0; ; attempt++ {
+		res, thrown, err, interrupted := e.callGatedOnce(obj, method, args)
+		if !interrupted {
+			return res, thrown, err
+		}
+		if attempt >= MaxMigrationRetries {
+			return Value{}, nil, &FaultError{Msg: fmt.Sprintf(
+				"invocation of %s abandoned: target migrated %d times mid-call", method, attempt+1)}
+		}
+		// The target morphed into a proxy while this call was parked in
+		// a nested remote call; re-dispatch through its new class.
+	}
+}
+
+// callGatedOnce performs one gated invocation attempt, converting a
+// MigrationInterrupt for obj into the interrupted flag (interrupts for
+// other objects keep unwinding to the frame that holds their gate).
+func (e *Env) callGatedOnce(obj *Object, method string, args []Value) (res Value, thrown *Thrown, err error, interrupted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if mi, ok := r.(*MigrationInterrupt); ok && mi.Obj == obj {
+				interrupted = true
+				return
+			}
+			panic(r)
+		}
+	}()
 	obj.gate.Lock()
-	e.gates = append(e.gates, obj)
+	e.gates = append(e.gates, gateRef{obj: obj, epoch: obj.Epoch()})
 	defer func() {
 		e.gates = e.gates[:len(e.gates)-1]
 		obj.gate.Unlock()
 	}()
-	return e.vm.call(e, obj.ClassName(), method, RefV(obj), args)
+	res, thrown, err = e.vm.call(e, obj.ClassName(), method, RefV(obj), args)
+	return res, thrown, err, false
 }
 
 func (e *Env) holdsGate(obj *Object) bool {
 	for _, g := range e.gates {
-		if g == obj {
+		if g.obj == obj {
 			return true
 		}
 	}
@@ -156,22 +220,39 @@ func (e *Env) Throw(class, msg string) *Thrown { return e.vm.throwSys(class, msg
 // that perform blocking I/O (remote proxy calls) must use it so that
 // incoming remote invocations — including re-entrant callbacks targeting
 // the same object — can proceed meanwhile.
+//
+// On re-acquisition every held gate's object epoch is compared with the
+// epoch recorded at acquisition: a mismatch means the object was
+// migrated (morphed) while this execution was parked, and the execution
+// unwinds with a MigrationInterrupt for the outermost moved object
+// rather than resuming bytecode against a class that no longer matches
+// the frames' view.
 func (e *Env) RunUnlocked(f func()) {
 	for i := len(e.gates) - 1; i >= 0; i-- {
-		e.gates[i].gate.Unlock()
+		e.gates[i].obj.gate.Unlock()
 	}
 	if e.holdsHost {
 		e.vm.hostMu.Unlock()
 	}
+	completed := false
 	defer func() {
 		if e.holdsHost {
 			e.vm.hostMu.Lock()
 		}
 		for _, g := range e.gates {
-			g.gate.Lock()
+			g.obj.gate.Lock()
+		}
+		if !completed {
+			return // f panicked; don't replace its panic
+		}
+		for _, g := range e.gates {
+			if g.obj.Epoch() != g.epoch {
+				panic(&MigrationInterrupt{Obj: g.obj})
+			}
 		}
 	}()
 	f()
+	completed = true
 }
 
 // NativeFunc implements one native method.
@@ -444,9 +525,28 @@ func (v *VM) ExecOn(obj *Object, f func(env *Env)) {
 	obj.gate.Lock()
 	defer obj.gate.Unlock()
 	env := v.newEnv()
-	env.gates = append(env.gates, obj)
+	env.gates = append(env.gates, gateRef{obj: obj, epoch: obj.Epoch()})
 	defer v.finish(env)
 	f(env)
+}
+
+// ExecOnCatching is ExecOn, converting a MigrationInterrupt raised for
+// obj into the interrupted result (interrupts for other objects — inner
+// gated targets with their own handling frame — propagate).  Callers
+// that receive interrupted=true re-issue the invocation: obj is now a
+// proxy, so the retry forwards to the object's new home.
+func (v *VM) ExecOnCatching(obj *Object, f func(env *Env)) (interrupted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if mi, ok := r.(*MigrationInterrupt); ok && mi.Obj == obj {
+				interrupted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	v.ExecOn(obj, f)
+	return false
 }
 
 // Invoke calls class.method with an explicit receiver (use NullV or a

@@ -39,6 +39,7 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		dst = appendValue(dst, &req.Fields[i].Value)
 	}
 	dst = appendString(dst, req.Endpoint)
+	dst = appendString(dst, req.Caller)
 	return dst
 }
 
@@ -50,7 +51,22 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = appendString(dst, resp.ExClass)
 	dst = appendString(dst, resp.ExMsg)
 	dst = appendString(dst, resp.Err)
+	dst = appendRef(dst, resp.Redirect)
 	return dst
+}
+
+// appendRef encodes an optional RemoteRef as a presence byte plus the
+// reference fields.
+func appendRef(dst []byte, ref *RemoteRef) []byte {
+	if ref == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = appendString(dst, ref.GUID)
+	dst = appendString(dst, ref.Endpoint)
+	dst = appendString(dst, ref.Proto)
+	dst = appendString(dst, ref.Target)
+	return appendBool(dst, ref.ClassSide)
 }
 
 // DecodeRequestBytes decodes exactly one request from b.  Trailing bytes
@@ -80,6 +96,7 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 		req.Fields = append(req.Fields, nv)
 	}
 	req.Endpoint = d.str()
+	req.Caller = d.str()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -95,6 +112,7 @@ func DecodeResponseBytes(b []byte) (*Response, error) {
 	resp.ExClass = d.str()
 	resp.ExMsg = d.str()
 	resp.Err = d.str()
+	resp.Redirect = d.ref()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -247,6 +265,24 @@ func (d *bdec) str() string {
 }
 
 func (d *bdec) boolean() bool { return d.u64() != 0 }
+
+// ref decodes an optional RemoteRef written by appendRef.
+func (d *bdec) ref() *RemoteRef {
+	if !d.boolean() {
+		return nil
+	}
+	r := &RemoteRef{
+		GUID:     d.str(),
+		Endpoint: d.str(),
+		Proto:    d.str(),
+		Target:   d.str(),
+	}
+	r.ClassSide = d.boolean()
+	if d.err != nil {
+		return nil
+	}
+	return r
+}
 
 func (d *bdec) value() Value {
 	v := Value{Kind: ValueKind(d.u64())}

@@ -128,6 +128,11 @@ type Request struct {
 	Fields []NamedValue `json:"fields,omitempty" xml:"field,omitempty"`
 	// Endpoint is the migration target for OpMigrateOut.
 	Endpoint string `json:"endpoint,omitempty" xml:"endpoint,attr,omitempty"`
+	// Caller identifies the calling node's serving endpoint ("" when the
+	// caller serves no transport).  The callee's telemetry plane uses it
+	// to attribute per-object call affinity — the signal the adaptive
+	// placement engine migrates objects toward (docs/ADAPTIVE.md).
+	Caller string `json:"caller,omitempty" xml:"caller,attr,omitempty"`
 }
 
 // NamedValue is a field name/value pair (migration payloads).
@@ -147,6 +152,13 @@ type Response struct {
 	// Err reports an infrastructure failure (unknown GUID, bad method);
 	// it surfaces as sys.RemoteException at the caller.
 	Err string `json:"err,omitempty" xml:"err,omitempty"`
+	// Redirect reports that the target object has moved: the callee
+	// served the request (forwarding through its morphed copy) but the
+	// object now lives at Redirect.  Callers retarget their proxy so
+	// subsequent calls go to the new home directly — without it, an
+	// adaptively migrated object would be reached through a permanent
+	// forwarding hop and placement decisions could never converge.
+	Redirect *RemoteRef `json:"redirect,omitempty" xml:"redirect,omitempty"`
 }
 
 // Errorf builds an infrastructure-error response for req.

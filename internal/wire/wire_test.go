@@ -65,6 +65,7 @@ func randomRequest(r *rand.Rand) *Request {
 		Class:    randString(r),
 		Method:   randString(r),
 		Endpoint: randString(r),
+		Caller:   randString(r),
 	}
 	for i := 0; i < r.Intn(4); i++ {
 		req.Args = append(req.Args, randomValue(r, 2))
@@ -103,6 +104,14 @@ func TestBinaryResponseRoundTripProperty(t *testing.T) {
 			ExClass: randString(r),
 			ExMsg:   randString(r),
 			Err:     randString(r),
+		}
+		if r.Intn(2) == 1 {
+			resp.Redirect = &RemoteRef{
+				GUID:     randString(r),
+				Endpoint: "rrp://127.0.0.1:2",
+				Proto:    "rrp",
+				Target:   randString(r),
+			}
 		}
 		var buf bytes.Buffer
 		if err := EncodeResponse(&buf, resp); err != nil {

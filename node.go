@@ -3,6 +3,7 @@ package rafda
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"rafda/internal/ir"
@@ -44,21 +45,42 @@ type NodeConfig struct {
 	Name    string
 	Output  io.Writer
 	Network NetProfile
+	// MaxSteps overrides the VM's instruction budget (0 keeps the
+	// default).  Long-running benchmark and server deployments raise it;
+	// the default exists to stop runaway programs in tests.
+	MaxSteps int64
 }
 
 // Node is one address space hosting the transformed program.
 type Node struct {
 	n *node.Node
+
+	// adaptMu guards adapters (engines attached via StartAdapter /
+	// NewAdapter, stopped on Close).
+	adaptMu  sync.Mutex
+	adapters []*Adapter
+}
+
+// attachAdapter registers an adapter for shutdown on Close.
+func (n *Node) attachAdapter(a *Adapter) {
+	n.adaptMu.Lock()
+	n.adapters = append(n.adapters, a)
+	n.adaptMu.Unlock()
 }
 
 // NewNode builds a node for the transformed program.
 func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
 	reg := transport.Default(transport.Options{Profile: cfg.Network.profile()})
+	var vmOpts []vm.Option
+	if cfg.MaxSteps > 0 {
+		vmOpts = append(vmOpts, vm.WithMaxSteps(cfg.MaxSteps))
+	}
 	n, err := node.New(node.Config{
 		Name:       cfg.Name,
 		Result:     t.res,
 		Transports: reg,
 		Output:     cfg.Output,
+		VMOpts:     vmOpts,
 	})
 	if err != nil {
 		return nil, err
@@ -73,8 +95,17 @@ func (n *Node) Serve(proto, addr string) (string, error) { return n.n.Serve(prot
 // Endpoint returns this node's endpoint for proto, if serving.
 func (n *Node) Endpoint(proto string) string { return n.n.Endpoint(proto) }
 
-// Close shuts down the node's servers and connections.
-func (n *Node) Close() error { return n.n.Close() }
+// Close shuts down the node's adapters, servers and connections.
+func (n *Node) Close() error {
+	n.adaptMu.Lock()
+	adapters := n.adapters
+	n.adapters = nil
+	n.adaptMu.Unlock()
+	for _, a := range adapters {
+		a.Stop()
+	}
+	return n.n.Close()
+}
 
 // PlaceClass places future instances (and the statics singleton) of
 // class at the node serving endpoint; the empty endpoint or "local"
