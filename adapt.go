@@ -7,6 +7,7 @@ import (
 	"rafda/internal/adapt"
 	"rafda/internal/policy"
 	"rafda/internal/vm"
+	"rafda/internal/wire"
 )
 
 // AdaptConfig tunes a node's adaptive placement engine (zero fields take
@@ -29,6 +30,13 @@ type AdaptConfig struct {
 	Budget int
 	// BudgetWindows is the budget horizon, in windows.
 	BudgetWindows int
+	// CostBased swaps the count-based object rule for the cost-based
+	// one: migrate only when the traffic saved (remote calls × peer RTT
+	// EWMA) outweighs shipping the object's state.
+	CostBased bool
+	// NsPerByte prices shipped state for the cost comparison (0 takes
+	// the engine default, ~100 MB/s).
+	NsPerByte float64
 	// OnDecision, when set, observes every decision as it is made.
 	OnDecision func(AdaptDecision)
 }
@@ -44,7 +52,11 @@ type AdaptDecision struct {
 	Endpoint string // destination; "" means local placement
 	Reason   string
 	Executed bool
-	Err      string
+	// Delegated reports the decision became a placement intent for the
+	// cluster to reconcile and execute (docs/CLUSTER.md) instead of
+	// running here.
+	Delegated bool
+	Err       string
 }
 
 // Adapter is a running adaptive placement engine attached to a node.
@@ -90,6 +102,10 @@ func (n *Node) NewAdapter(cfg AdaptConfig) *Adapter {
 			if !in.Policy().SetClassIf(class, pl, ifVersion) {
 				return fmt.Errorf("policy re-configured concurrently; decision dropped")
 			}
+			// An executed flip is a new policy epoch: share it through
+			// the cluster directory so every member converges (no-op
+			// outside a cluster).
+			in.AnnounceClassPlacement(class, endpoint)
 			return nil
 		},
 		PolicyVersion: func() uint64 { return in.Policy().Version() },
@@ -102,6 +118,33 @@ func (n *Node) NewAdapter(cfg AdaptConfig) *Adapter {
 		},
 		IsLocalObject: in.IsMigratable,
 		SelfEndpoints: in.Endpoints,
+		StateBytes:    in.StateBytes,
+		PeerRTTs: func() map[string]float64 {
+			if rec := in.Telemetry(); rec != nil {
+				return rec.PeerRTTs()
+			}
+			return nil
+		},
+		// Cluster delegation: a confirmed migration becomes a placement
+		// intent the cluster reconciles (tie-break by priority, then
+		// node id) and the object's home executes.  Checked per call, so
+		// an adapter built before JoinCluster delegates from the moment
+		// the node joins; with no cluster attached the engine acts alone.
+		SubmitIntent: func(p adapt.Proposal) (bool, string) {
+			co := in.Cluster()
+			if co == nil {
+				return false, ""
+			}
+			return co.Submit(wire.Intent{
+				GUID:     p.GUID,
+				Class:    p.Class,
+				From:     co.Self(),
+				To:       p.Endpoint,
+				Proposer: co.ID(),
+				Priority: p.Priority,
+				Reason:   p.Rule + ": " + p.Reason,
+			})
+		},
 	}
 	ecfg := adapt.Config{
 		Window:        cfg.Window,
@@ -110,6 +153,8 @@ func (n *Node) NewAdapter(cfg AdaptConfig) *Adapter {
 		Confirm:       cfg.Confirm,
 		Budget:        cfg.Budget,
 		BudgetWindows: cfg.BudgetWindows,
+		CostBased:     cfg.CostBased,
+		NsPerByte:     cfg.NsPerByte,
 	}
 	if cfg.OnDecision != nil {
 		ecfg.OnDecision = func(d adapt.Decision) { cfg.OnDecision(fromEngineDecision(d)) }
@@ -146,15 +191,16 @@ func (a *Adapter) Decisions() []AdaptDecision {
 // public one.
 func fromEngineDecision(d adapt.Decision) AdaptDecision {
 	return AdaptDecision{
-		At:       d.At,
-		Window:   d.Window,
-		Rule:     d.Rule,
-		Action:   d.Kind.String(),
-		GUID:     d.GUID,
-		Class:    d.Class,
-		Endpoint: d.Endpoint,
-		Reason:   d.Reason,
-		Executed: d.Executed,
-		Err:      d.Err,
+		At:        d.At,
+		Window:    d.Window,
+		Rule:      d.Rule,
+		Action:    d.Kind.String(),
+		GUID:      d.GUID,
+		Class:     d.Class,
+		Endpoint:  d.Endpoint,
+		Reason:    d.Reason,
+		Executed:  d.Executed,
+		Delegated: d.Delegated,
+		Err:       d.Err,
 	}
 }

@@ -1,0 +1,171 @@
+package rafda
+
+import (
+	"time"
+
+	"rafda/internal/cluster"
+	"rafda/internal/wire"
+)
+
+// ClusterConfig tunes a node's membership in the cluster coordination
+// plane (docs/CLUSTER.md).  Zero fields take the plane's defaults.
+type ClusterConfig struct {
+	// Seeds are existing members' endpoints to join through (empty for
+	// the first node).
+	Seeds []string
+	// Heartbeat is the gossip period of the timed loop.
+	Heartbeat time.Duration
+	// Fanout is how many peers each round gossips to.
+	Fanout int
+	// SuspectAfter / DeadAfter are the liveness ladder, in heartbeats
+	// without an observed advance.
+	SuspectAfter int
+	DeadAfter    int
+	// SettleWindows is how many heartbeats a winning placement intent
+	// must stay the winner before the object's home executes it.
+	SettleWindows int
+	// CooldownWindows refuses new intents for an object after it
+	// migrated — the cluster-wide ping-pong guard.
+	CooldownWindows int
+	// Propose enables the multi-hop rule on this member: evaluate
+	// gossiped affinity rollups and propose migrations anywhere in the
+	// cluster (B→C proposed by A).
+	Propose bool
+	// Threshold is the dominant-caller share a multi-hop proposal needs;
+	// MinCalls the minimum rollup activity.
+	Threshold float64
+	MinCalls  int
+	// NoFollowPlacements stops this member from applying gossiped class
+	// placement epochs to its local policy table.
+	NoFollowPlacements bool
+	// OnEvent observes every membership/directory/intent event.
+	OnEvent func(ClusterEvent)
+	// Seed fixes gossip-target shuffling for deterministic harnesses.
+	Seed int64
+}
+
+// ClusterEvent is one observable coordination occurrence.
+type ClusterEvent struct {
+	Tick uint64
+	// Kind: peer-join, peer-suspect, peer-dead, peer-leave, intent,
+	// propose, migrate, migrate-fail, dir, class-apply, gossip-fail.
+	Kind   string
+	Peer   string
+	GUID   string
+	Class  string
+	From   string
+	To     string
+	Detail string
+}
+
+// ClusterPeer is one row of the membership table.
+type ClusterPeer struct {
+	ID        string
+	Endpoint  string
+	Heartbeat uint64
+	Health    string // alive | suspect | dead
+}
+
+// Cluster is a node's handle on the coordination plane.
+type Cluster struct {
+	co *cluster.Coordinator
+}
+
+// JoinCluster joins this node to the cluster reachable through
+// cfg.Seeds (or founds a new one when none are given).  The node must
+// be serving at least one transport — its endpoint is how peers gossip
+// to it.  Joining enables telemetry, OpGossip dispatch and
+// directory-first proxy resolution; placement decisions made by this
+// node's adapter are from now on delegated to the cluster as intents
+// (propose/reconcile/act) instead of executed unilaterally.
+//
+// The returned handle is not yet gossiping: call Start for the timed
+// loop, or Tick from a deterministic harness.  Close stops it.
+func (n *Node) JoinCluster(cfg ClusterConfig) (*Cluster, error) {
+	ccfg := cluster.Config{
+		Heartbeat:             cfg.Heartbeat,
+		Fanout:                cfg.Fanout,
+		SuspectAfter:          cfg.SuspectAfter,
+		DeadAfter:             cfg.DeadAfter,
+		SettleTicks:           cfg.SettleWindows,
+		CooldownTicks:         cfg.CooldownWindows,
+		Propose:               cfg.Propose,
+		Threshold:             cfg.Threshold,
+		MinCalls:              uint64(max(cfg.MinCalls, 0)),
+		FollowClassPlacements: !cfg.NoFollowPlacements,
+		Seed:                  cfg.Seed,
+	}
+	if cfg.OnEvent != nil {
+		ccfg.OnEvent = func(e cluster.Event) { cfg.OnEvent(fromClusterEvent(e)) }
+	}
+	co, err := n.n.StartCluster(ccfg, cfg.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{co: co}
+	n.attachCluster(c)
+	return c, nil
+}
+
+// Start launches the timed gossip loop (no-op while running).
+func (c *Cluster) Start() { c.co.Start() }
+
+// Stop halts the timed loop, waiting out an in-flight round; the node
+// stays a member (gossip from peers is still served) and Start resumes.
+func (c *Cluster) Stop() { c.co.Stop() }
+
+// Tick runs one coordination round immediately — the deterministic
+// alternative to the timed loop, used by tests and the E10 harness.
+func (c *Cluster) Tick() { c.co.Tick() }
+
+// Leave announces a graceful departure and stops the loop.
+func (c *Cluster) Leave() { c.co.Leave() }
+
+// Peers returns the membership table, sorted by id.
+func (c *Cluster) Peers() []ClusterPeer {
+	ps := c.co.Peers()
+	out := make([]ClusterPeer, len(ps))
+	for i, p := range ps {
+		out[i] = ClusterPeer{ID: p.ID, Endpoint: p.Endpoint, Heartbeat: p.Heartbeat, Health: p.Health}
+	}
+	return out
+}
+
+// Events returns the retained coordination event log.
+func (c *Cluster) Events() []ClusterEvent {
+	es := c.co.Events()
+	out := make([]ClusterEvent, len(es))
+	for i, e := range es {
+		out[i] = fromClusterEvent(e)
+	}
+	return out
+}
+
+// ProposeMigration submits a placement intent to the cluster: move the
+// object exported under guid to the node serving endpoint.  The intent
+// reconciles against every other member's intents (highest priority
+// wins, ties break on proposer id) and, if it stays the winner through
+// the settle window, the object's home executes it.  The returned
+// reason explains a refusal ("" when accepted).  This is the
+// operator-facing form of what the adaptive engines do automatically.
+func (c *Cluster) ProposeMigration(guid, endpoint string, priority int64, reason string) (accepted bool, why string) {
+	return c.co.Submit(wire.Intent{GUID: guid, To: endpoint, Priority: priority, Reason: reason})
+}
+
+// ResolveObject returns the placement directory's (chain-collapsed)
+// view of where the object behind guid lives: its current GUID and home
+// endpoint.
+func (c *Cluster) ResolveObject(guid string) (currentGUID, endpoint string, ok bool) {
+	ref, ok := c.co.Resolve(guid)
+	if !ok {
+		return "", "", false
+	}
+	return ref.GUID, ref.Endpoint, true
+}
+
+func fromClusterEvent(e cluster.Event) ClusterEvent {
+	return ClusterEvent{
+		Tick: e.Tick, Kind: e.Kind, Peer: e.Peer, GUID: e.GUID,
+		Class: e.Class, From: e.From, To: e.To, Detail: e.Detail,
+	}
+}

@@ -14,10 +14,15 @@
 //	rafda-bench -exp e9   adaptive placement: a mis-placed hot object is
 //	                      migrated home by the telemetry-driven engine with
 //	                      zero manual calls (writes BENCH_E9.json)
+//	rafda-bench -exp e10  cluster coordination: a 3-node cluster converges a
+//	                      mis-placed hot object via a multi-hop migration —
+//	                      proposed by a node that neither hosts nor calls it
+//	                      — with zero manual calls (writes BENCH_E10.json)
 //	rafda-bench -exp all  everything
 //
 // The -adapt-* flags tune e9's engine (window, threshold, min calls,
-// confirm windows, migration budget).
+// confirm windows, migration budget); the -e10-* flags tune e10's
+// cluster (heartbeat, phase length, parallelism, acceptance ratio).
 package main
 
 import (
@@ -70,10 +75,11 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e9 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e10 or all)")
 	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
 	e8json := flag.String("e8json", "BENCH_E8.json", "path for e8's machine-readable results (empty to skip)")
 	e9json := flag.String("e9json", "BENCH_E9.json", "path for e9's machine-readable results (empty to skip)")
+	e10json := flag.String("e10json", "BENCH_E10.json", "path for e10's machine-readable results (empty to skip)")
 	e9cfg := e9Config{}
 	flag.DurationVar(&e9cfg.window, "adapt-window", 75*time.Millisecond, "e9: adapter evaluation window")
 	flag.Float64Var(&e9cfg.threshold, "adapt-threshold", 0.6, "e9: dominant-caller share needed to act")
@@ -83,6 +89,11 @@ func main() {
 	flag.DurationVar(&e9cfg.phase, "e9-seconds", 3*time.Second, "e9: duration of each measured phase")
 	flag.IntVar(&e9cfg.parallel, "e9-parallel", 8, "e9: concurrent caller goroutines")
 	flag.Float64Var(&e9cfg.minRatio, "e9-min-ratio", 0.8, "e9: required converged/optimal throughput ratio")
+	e10cfg := e10Config{}
+	flag.DurationVar(&e10cfg.heartbeat, "e10-heartbeat", 50*time.Millisecond, "e10: cluster gossip period")
+	flag.DurationVar(&e10cfg.phase, "e10-seconds", 3*time.Second, "e10: duration of each measured phase")
+	flag.IntVar(&e10cfg.parallel, "e10-parallel", 8, "e10: concurrent caller goroutines")
+	flag.Float64Var(&e10cfg.minRatio, "e10-min-ratio", 0.8, "e10: required converged/optimal throughput ratio")
 	flag.Parse()
 	run := func(id string, f func() error) {
 		if *exp != "all" && *exp != id {
@@ -103,6 +114,7 @@ func main() {
 	run("e7", func() error { return e7(*e7json) })
 	run("e8", func() error { return e8(*e8json) })
 	run("e9", func() error { return e9(e9cfg, *e9json) })
+	run("e10", func() error { return e10(e10cfg, *e10json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,
@@ -1219,6 +1231,272 @@ func e9(cfg e9Config, jsonPath string) error {
 	}
 	fmt.Printf("\nclosed loop converged: %.0f%% of manual-optimal with %d automatic migration(s), zero manual calls\n",
 		100*report.ConvergedRatio, correct)
+
+	if jsonPath == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("machine-readable results written to %s\n", jsonPath)
+	return nil
+}
+
+// ----- E10: cluster coordination (multi-hop adaptive migration) -----
+
+// e10Config carries the -e10-* flag values.
+type e10Config struct {
+	heartbeat time.Duration
+	phase     time.Duration
+	parallel  int
+	minRatio  float64
+}
+
+// E10Event is one cluster coordination event, node-attributed.
+type E10Event struct {
+	Node   string `json:"node"`
+	AtMs   int64  `json:"at_ms"`
+	Tick   uint64 `json:"tick"`
+	Kind   string `json:"kind"`
+	Peer   string `json:"peer,omitempty"`
+	GUID   string `json:"guid,omitempty"`
+	Class  string `json:"class,omitempty"`
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// E10Report is the top-level BENCH_E10.json document.
+type E10Report struct {
+	Experiment  string `json:"experiment"`
+	Description string `json:"description"`
+	Timestamp   string `json:"timestamp"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Parallel    int    `json:"parallelism"`
+	Heartbeat   string `json:"cluster_heartbeat"`
+
+	OptimalCallsPerSec   float64 `json:"optimal_calls_per_sec"`
+	MisplacedCallsPerSec float64 `json:"misplaced_calls_per_sec"`
+	ConvergedCallsPerSec float64 `json:"converged_calls_per_sec"`
+	ConvergedRatio       float64 `json:"converged_ratio"`
+
+	MultiHop struct {
+		Proposer string `json:"proposer"`
+		Source   string `json:"source"`
+		Target   string `json:"target"`
+	} `json:"multi_hop"`
+
+	Buckets []E9Bucket `json:"buckets"`
+	Events  []E10Event `json:"events"`
+}
+
+// e10Node builds one cluster-member node over the simulated LAN.
+func e10Node(tr *rafda.Transformed, name string) (*rafda.Node, string, error) {
+	const steps = int64(1) << 40
+	n, err := tr.NewNode(rafda.NodeConfig{Name: name, Network: rafda.NetLAN, MaxSteps: steps})
+	if err != nil {
+		return nil, "", err
+	}
+	ep, err := n.Serve("rrp", "")
+	if err != nil {
+		n.Close()
+		return nil, "", err
+	}
+	return n, ep, nil
+}
+
+// e10 demonstrates the cluster coordination plane end to end: three
+// nodes — "host" (initially owns the hot object), "caller" (drives all
+// the traffic) and "scheduler" (idle, but the only member allowed to
+// propose) — gossip membership, affinity rollups and placement intents.
+// The scheduler must observe, via gossip alone, that the object on the
+// host belongs at the caller, propose the host→caller migration (a
+// multi-hop decision: proposer ≠ source ≠ target), and the host must
+// execute it after reconciliation — zero manual Migrate/PlaceClass
+// calls, no adapt engine anywhere.  The caller's stale proxy resolves
+// the new home through the shared directory, and throughput converges
+// to the manual-optimal deployment.
+func e10(cfg e10Config, jsonPath string) error {
+	report := E10Report{
+		Experiment: "e10",
+		Description: "cluster coordination: 3-node gossip cluster converges a mis-placed hot object " +
+			"via a multi-hop migration (proposer != source != target), zero manual calls",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Parallel:   cfg.parallel,
+		Heartbeat:  cfg.heartbeat.String(),
+	}
+	prog, err := rafda.CompileString(e9Source)
+	if err != nil {
+		return err
+	}
+	tr, err := prog.Transform(rafda.WithProtocols("rrp"))
+	if err != nil {
+		return err
+	}
+	drive := e9Config{phase: cfg.phase, parallel: cfg.parallel}
+
+	// Phase 1 — manual-optimal baseline: the object is local to the
+	// caller; same tail-mean statistic as phase 2.
+	{
+		caller, _, err := e10Node(tr, "caller")
+		if err != nil {
+			return err
+		}
+		made, err := caller.Call("Setup", "make")
+		if err != nil {
+			caller.Close()
+			return err
+		}
+		buckets, _, err := e9Drive(caller, made.(*rafda.Ref), drive)
+		caller.Close()
+		if err != nil {
+			return err
+		}
+		if len(buckets) < 6 {
+			return fmt.Errorf("phase too short: %d buckets (raise -e10-seconds)", len(buckets))
+		}
+		report.OptimalCallsPerSec = tailMean(buckets)
+	}
+
+	// Phase 2 — the cluster.
+	scheduler, epA, err := e10Node(tr, "scheduler")
+	if err != nil {
+		return err
+	}
+	defer scheduler.Close()
+	host, epB, err := e10Node(tr, "host")
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	caller, _, err := e10Node(tr, "caller")
+	if err != nil {
+		return err
+	}
+	defer caller.Close()
+
+	phaseStart := time.Now()
+	var evMu sync.Mutex
+	onEvent := func(nodeName string) func(rafda.ClusterEvent) {
+		return func(e rafda.ClusterEvent) {
+			evMu.Lock()
+			report.Events = append(report.Events, E10Event{
+				Node: nodeName, AtMs: time.Since(phaseStart).Milliseconds(),
+				Tick: e.Tick, Kind: e.Kind, Peer: e.Peer, GUID: e.GUID,
+				Class: e.Class, From: e.From, To: e.To, Detail: e.Detail,
+			})
+			evMu.Unlock()
+		}
+	}
+	ccfg := func(name string, propose bool, seeds ...string) rafda.ClusterConfig {
+		return rafda.ClusterConfig{
+			Seeds:     seeds,
+			Heartbeat: cfg.heartbeat,
+			Fanout:    3,
+			Propose:   propose,
+			OnEvent:   onEvent(name),
+		}
+	}
+	clA, err := scheduler.JoinCluster(ccfg("scheduler", true))
+	if err != nil {
+		return err
+	}
+	clB, err := host.JoinCluster(ccfg("host", false, epA))
+	if err != nil {
+		return err
+	}
+	clC, err := caller.JoinCluster(ccfg("caller", false, epA, epB))
+	if err != nil {
+		return err
+	}
+	clA.Start()
+	clB.Start()
+	clC.Start()
+
+	// Mis-place the hot object on the host, then hammer it from the
+	// caller.  Only the scheduler may propose; only the host may
+	// execute; the caller only talks.
+	if err := caller.PlaceClass("Counter", epB); err != nil {
+		return err
+	}
+	made, err := caller.Call("Setup", "make")
+	if err != nil {
+		return err
+	}
+	buckets, _, err := e9Drive(caller, made.(*rafda.Ref), drive)
+	// Freeze the plane before reading the logs.
+	clA.Stop()
+	clB.Stop()
+	clC.Stop()
+	if err != nil {
+		return err
+	}
+	report.Buckets = buckets
+	if len(buckets) < 6 {
+		return fmt.Errorf("phase too short: %d buckets (raise -e10-seconds)", len(buckets))
+	}
+	report.MisplacedCallsPerSec = buckets[0].CallsPerSec
+	report.ConvergedCallsPerSec = tailMean(buckets)
+	report.ConvergedRatio = report.ConvergedCallsPerSec / report.OptimalCallsPerSec
+
+	fmt.Printf("cluster coordination, %d callers over simulated LAN (heartbeat %v, fanout 3)\n\n",
+		cfg.parallel, cfg.heartbeat)
+	fmt.Printf("  %-34s %12.0f calls/s\n", "manual-optimal (object at caller)", report.OptimalCallsPerSec)
+	fmt.Printf("  %-34s %12.0f calls/s\n", "mis-placed, first 100ms", report.MisplacedCallsPerSec)
+	fmt.Printf("  %-34s %12.0f calls/s  (%.0f%% of optimal)\n", "converged steady state",
+		report.ConvergedCallsPerSec, 100*report.ConvergedRatio)
+	fmt.Println("\nthroughput trajectory:")
+	for _, b := range buckets {
+		fmt.Printf("  t+%5dms %10.0f calls/s\n", b.OffsetMs, b.CallsPerSec)
+	}
+	fmt.Println("\ncoordination log (propose/intent/migrate/dir):")
+	evMu.Lock()
+	events := append([]E10Event(nil), report.Events...)
+	evMu.Unlock()
+	for _, e := range events {
+		switch e.Kind {
+		case "propose", "intent", "migrate", "migrate-fail", "dir", "class-apply":
+			tgt := e.GUID
+			if tgt == "" {
+				tgt = "class " + e.Class
+			}
+			fmt.Printf("  t+%5dms %-10s %-12s %-14s %s -> %s  [%s]\n",
+				e.AtMs, e.Node, e.Kind, tgt, e.From, e.To, e.Detail)
+		}
+	}
+
+	// Acceptance: exactly one executed migration; it must be multi-hop
+	// (proposed by the scheduler, executed by the host, targeting the
+	// caller); throughput must converge.
+	var migrations []E10Event
+	for _, e := range events {
+		if e.Kind == "migrate" {
+			migrations = append(migrations, e)
+		}
+	}
+	if len(migrations) != 1 {
+		return fmt.Errorf("want exactly 1 executed migration, got %d: %+v", len(migrations), migrations)
+	}
+	m := migrations[0]
+	epC := caller.Endpoint("rrp")
+	if m.Node != "host" || m.Peer != "scheduler" || m.To != epC {
+		return fmt.Errorf("not the multi-hop migration wanted (proposer=scheduler source=host target=caller): %+v", m)
+	}
+	report.MultiHop.Proposer = m.Peer
+	report.MultiHop.Source = m.Node
+	report.MultiHop.Target = "caller"
+	if report.ConvergedRatio < cfg.minRatio {
+		return fmt.Errorf("converged throughput %.0f calls/s is %.0f%% of optimal %.0f — below the %.0f%% bar",
+			report.ConvergedCallsPerSec, 100*report.ConvergedRatio,
+			report.OptimalCallsPerSec, 100*cfg.minRatio)
+	}
+	fmt.Printf("\nmulti-hop converged: scheduler proposed, host executed, caller received — "+
+		"%.0f%% of manual-optimal, zero manual calls\n", 100*report.ConvergedRatio)
 
 	if jsonPath == "" {
 		return nil

@@ -5,12 +5,23 @@
 //	rafda-node -archive prog.transformed.rar \
 //	    -serve rrp://127.0.0.1:7001 -serve soap://127.0.0.1:7002 \
 //	    -place C=rrp://10.0.0.2:7001 -place Audit=soap://10.0.0.3:7002 \
-//	    [-main Main] [-name node1] [-adapt] [-adapt-window 250ms]
+//	    [-main Main] [-name node1] [-adapt] [-adapt-window 250ms] \
+//	    [-cluster] [-join rrp://10.0.0.2:7001] [-cluster-heartbeat 100ms] \
+//	    [-cluster-propose] [-cluster-fanout 2]
 //
 // Without -main the node serves until interrupted.  -adapt switches on
 // the adaptive placement engine (docs/ADAPTIVE.md): the node watches
 // its own call-affinity telemetry and redraws placements — migrating
 // hot objects toward their dominant callers — printing each decision.
+//
+// -cluster (implied by -join) attaches the node to the cluster
+// coordination plane (docs/CLUSTER.md): gossip membership with
+// liveness, the shared placement directory (stale references resolve
+// migrated objects in one hop), and intent reconciliation — adapter
+// decisions are proposed to the cluster instead of executed
+// unilaterally.  -cluster-propose additionally lets this node propose
+// multi-hop migrations (move an object between two *other* nodes) from
+// the gossiped affinity evidence.
 package main
 
 import (
@@ -42,7 +53,7 @@ func main() {
 }
 
 func run() error {
-	var serves, places multiFlag
+	var serves, places, joins multiFlag
 	archive := flag.String("archive", "", "transformed program archive (.rar)")
 	name := flag.String("name", "node", "node name (appears in GUIDs)")
 	mainClass := flag.String("main", "", "entry class to run after start (empty: serve only)")
@@ -50,6 +61,11 @@ func run() error {
 	flag.Var(&places, "place", "placement rule Class=endpoint or Class=local (repeatable)")
 	adaptOn := flag.Bool("adapt", false, "run the adaptive placement engine (docs/ADAPTIVE.md)")
 	adaptWindow := flag.Duration("adapt-window", 250*time.Millisecond, "adaptive engine evaluation window")
+	clusterOn := flag.Bool("cluster", false, "join the cluster coordination plane (docs/CLUSTER.md); implied by -join")
+	flag.Var(&joins, "join", "seed endpoint of an existing cluster member (repeatable)")
+	clusterHB := flag.Duration("cluster-heartbeat", 100*time.Millisecond, "cluster gossip period")
+	clusterFanout := flag.Int("cluster-fanout", 2, "peers gossiped to per round")
+	clusterPropose := flag.Bool("cluster-propose", false, "propose multi-hop migrations from gossiped affinity evidence")
 	flag.Parse()
 
 	if *archive == "" {
@@ -101,6 +117,30 @@ func run() error {
 			return err
 		}
 		fmt.Printf("placed %s -> %s\n", class, endpoint)
+	}
+
+	if *clusterOn || len(joins) > 0 {
+		cl, err := node.JoinCluster(rafda.ClusterConfig{
+			Seeds:     joins,
+			Heartbeat: *clusterHB,
+			Fanout:    *clusterFanout,
+			Propose:   *clusterPropose,
+			OnEvent: func(e rafda.ClusterEvent) {
+				switch e.Kind {
+				case "peer-join", "peer-suspect", "peer-dead", "peer-leave":
+					fmt.Printf("cluster: %s %s (%s)\n", e.Kind, e.Peer, e.From)
+				case "migrate", "migrate-fail":
+					fmt.Printf("cluster: %s %s %s -> %s (%s)\n", e.Kind, e.GUID, e.From, e.To, e.Detail)
+				case "propose", "intent":
+					fmt.Printf("cluster: %s %s -> %s by %s (%s)\n", e.Kind, e.GUID, e.To, e.Peer, e.Detail)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		cl.Start()
+		fmt.Printf("cluster membership active (%d seeds)\n", len(joins))
 	}
 
 	if *adaptOn {

@@ -25,6 +25,15 @@
 // migration budget so placement never thrashes (docs/ADAPTIVE.md,
 // experiment E9).
 //
+// JoinCluster lifts placement from node-local to cluster-wide: members
+// gossip membership (with liveness), a shared placement directory
+// (stale references resolve migrated objects in one hop, class
+// placements converge as policy epochs), and placement intents — the
+// adapters' decisions reconcile deterministically across the cluster
+// instead of executing unilaterally, including multi-hop migrations
+// proposed by a node that neither hosts nor calls the object
+// (docs/CLUSTER.md, experiment E10).
+//
 // A minimal end-to-end use:
 //
 //	prog, _ := rafda.CompileString(src)

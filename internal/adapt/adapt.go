@@ -68,6 +68,11 @@ type Proposal struct {
 	Class    string
 	Endpoint string // destination; "" means local (KindPlaceClass only)
 	Reason   string
+	// Priority is the proposal's evidence strength (typically the
+	// dominant caller's window call count).  When the node is in a
+	// cluster, confirmed migrations are delegated as placement intents
+	// and Priority is what conflicting intents reconcile by.
+	Priority int64
 	// Rule is filled in by the engine with the proposing rule's name.
 	Rule string
 }
@@ -95,7 +100,12 @@ type Decision struct {
 	// Executed reports the action ran (and, for migrations, succeeded).
 	// A false value with empty Err means a thrash guard suppressed it.
 	Executed bool
-	Err      string
+	// Delegated reports the decision was handed to the cluster
+	// coordination plane as a placement intent instead of executed
+	// directly: the cluster reconciles conflicting intents and the
+	// object's home executes the winner (docs/CLUSTER.md).
+	Delegated bool
+	Err       string
 }
 
 // ObjWindow is one object's activity during the evaluated window
@@ -111,6 +121,10 @@ type ObjWindow struct {
 	// EWMALatencyNs is the smoothed inbound service latency (cumulative
 	// EWMA, not a delta).
 	EWMALatencyNs float64
+	// StateBytes estimates the object's shipped-state size — the cost
+	// side of a cost-based migration decision (0 when the node supplies
+	// no estimator).
+	StateBytes int64
 	// Migratable reports whether the object is currently a live local
 	// transformed instance (statics singletons and already-morphed
 	// proxies are not).  Rules must not propose migrating
@@ -142,6 +156,10 @@ type View struct {
 	// Self reports the endpoints this node serves (rules must not
 	// propose moving anything to ourselves-as-remote).
 	Self map[string]bool
+	// PeerRTTNs is the smoothed round-trip time to each known peer
+	// endpoint, in nanoseconds (cumulative EWMA fed by proxy calls and
+	// gossip pings) — the latency input of cost-based rules.
+	PeerRTTNs map[string]float64
 }
 
 // Rule proposes placement actions from one window of telemetry.  Rules
@@ -172,6 +190,19 @@ type Actions struct {
 	IsLocalObject func(obj *vm.Object) bool
 	// SelfEndpoints returns the endpoints this node serves.
 	SelfEndpoints func() []string
+	// StateBytes estimates obj's shipped-state size (optional; enables
+	// cost-based rules).
+	StateBytes func(obj *vm.Object) int64
+	// PeerRTTs returns the RTT EWMA per peer endpoint in nanoseconds
+	// (optional; enables cost-based rules).
+	PeerRTTs func() map[string]float64
+	// SubmitIntent, when set, delegates a confirmed migration to the
+	// cluster coordination plane instead of executing it here: the
+	// cluster reconciles conflicting intents cluster-wide and the
+	// object's home executes the winner.  It returns whether the intent
+	// was accepted (false when no cluster is attached — the engine then
+	// executes directly — or with a reason when the cluster refused it).
+	SubmitIntent func(p Proposal) (accepted bool, reason string)
 }
 
 // Config tunes the engine.  Zero fields take the defaults.
@@ -192,6 +223,14 @@ type Config struct {
 	Budget int
 	// BudgetWindows is the budget horizon, in windows.
 	BudgetWindows int
+	// CostBased swaps the count-based object affinity rule for the
+	// cost-based one: migrate only when the traffic saved (remote calls
+	// × peer RTT EWMA) outweighs the shipping cost (estimated state
+	// bytes × NsPerByte plus a fixed per-migration overhead).
+	CostBased bool
+	// NsPerByte converts shipped-state bytes into time for the
+	// cost-based comparison (0 = DefaultNsPerByte, i.e. ~100 MB/s).
+	NsPerByte float64
 	// Rules overrides the rule set (nil = DefaultRules()).
 	Rules []Rule
 	// OnDecision, when set, observes every decision as it is logged.
@@ -208,6 +247,9 @@ const (
 	DefaultConfirm       = 2
 	DefaultBudget        = 2
 	DefaultBudgetWindows = 64
+	// DefaultNsPerByte prices shipped state at ~100 MB/s — deliberately
+	// pessimistic, so borderline bulky objects stay put.
+	DefaultNsPerByte = 10.0
 )
 
 func (c Config) withDefaults() Config {
@@ -228,6 +270,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BudgetWindows <= 0 {
 		c.BudgetWindows = DefaultBudgetWindows
+	}
+	if c.NsPerByte <= 0 {
+		c.NsPerByte = DefaultNsPerByte
 	}
 	if c.Rules == nil {
 		c.Rules = DefaultRules(c)
@@ -460,6 +505,26 @@ func (e *Engine) decide(p Proposal, polVersion *uint64) {
 			e.logDecision(d)
 			return
 		}
+		// Cluster mode: don't act, propose.  The decision becomes a
+		// placement intent the cluster reconciles against every other
+		// member's intents; the winner is executed by the object's home
+		// (possibly us) through the coordination plane, which carries its
+		// own ping-pong guard — so a delegated decision spends no local
+		// budget.  A refusal (cooldown, outweighed, already satisfied) is
+		// logged and nothing runs; with no cluster attached SubmitIntent
+		// reports false with an empty reason and the engine acts alone as
+		// before.
+		if e.act.SubmitIntent != nil {
+			if ok, why := e.act.SubmitIntent(p); ok {
+				d.Delegated = true
+				e.logDecision(d)
+				return
+			} else if why != "" {
+				d.Err = "intent refused: " + why
+				e.logDecision(d)
+				return
+			}
+		}
 		if err := e.act.MigrateObject(p.Obj, p.Endpoint); err != nil {
 			d.Err = err.Error()
 			e.logDecision(d)
@@ -508,6 +573,9 @@ func (e *Engine) buildView() *View {
 			v.Self[ep] = true
 		}
 	}
+	if e.act.PeerRTTs != nil {
+		v.PeerRTTNs = e.act.PeerRTTs()
+	}
 	seen := make(map[string]bool)
 	for _, s := range e.rec.SnapshotObjects() {
 		seen[s.GUID] = true
@@ -524,6 +592,9 @@ func (e *Engine) buildView() *View {
 		}
 		if e.act.IsLocalObject != nil {
 			w.Migratable = e.act.IsLocalObject(s.Obj)
+		}
+		if w.Migratable && e.act.StateBytes != nil {
+			w.StateBytes = e.act.StateBytes(s.Obj)
 		}
 		e.prevObj[s.GUID] = objCum{local: s.Local, remote: s.Remote, anon: s.Anon, callers: s.Callers}
 		if w.Calls() > 0 {

@@ -330,3 +330,100 @@ func TestStartStopLoop(t *testing.T) {
 		t.Fatal("ticker loop never decided")
 	}
 }
+
+// TestCostRuleWeighsStateAgainstTraffic: the cost-based object rule
+// must move a chatty small object and hold a bulky rarely-called one —
+// the trade-off the count-based rule ignores.
+func TestCostRuleWeighsStateAgainstTraffic(t *testing.T) {
+	r := &CostAffinityRule{Threshold: 0.6, MinCalls: 10, NsPerByte: 10}
+	obj := vm.NewRawObject(&ir.Class{Name: "C_O_Local"}, map[string]vm.Value{})
+	mkView := func(calls uint64, stateBytes int64, rttNs float64) *View {
+		return &View{
+			Self: map[string]bool{epB: true},
+			PeerRTTNs: map[string]float64{epA: rttNs},
+			Objects: []ObjWindow{{
+				GUID: "g", Class: "C", Obj: obj, Migratable: true,
+				Remote: calls, Callers: map[string]uint64{epA: calls},
+				StateBytes: stateBytes,
+			}},
+		}
+	}
+
+	// Chatty and small over a slow link: 100 calls × 1ms ≫ 1KiB shipped.
+	if got := r.Evaluate(mkView(100, 1024, 1e6)); len(got) != 1 {
+		t.Fatalf("chatty small object not proposed: %+v", got)
+	} else if got[0].Endpoint != epA || got[0].Priority != 100 {
+		t.Fatalf("bad proposal: %+v", got[0])
+	}
+	// Bulky and quiet: 12 calls × 10µs ≪ 100MB shipped.
+	if got := r.Evaluate(mkView(12, 100<<20, 1e4)); len(got) != 0 {
+		t.Fatalf("bulky object proposed anyway: %+v", got)
+	}
+	// Unpriced link: abstain rather than migrate blind.
+	if got := r.Evaluate(mkView(100, 1024, 0)); len(got) != 0 {
+		t.Fatalf("proposed without an RTT sample: %+v", got)
+	}
+}
+
+// TestCostRuleFedByEngineView checks the engine threads StateBytes and
+// peer RTTs from the Actions into the rule's view.
+func TestCostRuleFedByEngineView(t *testing.T) {
+	h := newHarness(t, Config{
+		Threshold: 0.6, MinCalls: 10, Confirm: 1, CostBased: true, NsPerByte: 10,
+	})
+	h.eng.act.StateBytes = func(*vm.Object) int64 { return 256 }
+	h.eng.act.PeerRTTs = func() map[string]float64 { return map[string]float64{epA: 5e5} }
+	h.hotObject("g1", 50, epA)
+	h.eng.Tick()
+	if len(h.migrated) != 1 {
+		t.Fatalf("cost-based engine did not migrate: %v (log %+v)", h.migrated, h.eng.Decisions())
+	}
+}
+
+// TestMigrationDelegatesToCluster: with a SubmitIntent hook the engine
+// must propose instead of act, spend no budget, and fall back to direct
+// execution when the hook reports no cluster.
+func TestMigrationDelegatesToCluster(t *testing.T) {
+	h := newHarness(t, Config{Threshold: 0.6, MinCalls: 10, Confirm: 1, Budget: 1})
+	var intents []Proposal
+	clustered := true
+	h.eng.act.SubmitIntent = func(p Proposal) (bool, string) {
+		if !clustered {
+			return false, ""
+		}
+		intents = append(intents, p)
+		return true, ""
+	}
+	s := h.rec.ForObject(h.hotObject("g1", 50, epA), "g1", "C")
+	h.eng.Tick()
+	if len(h.migrated) != 0 {
+		t.Fatalf("delegated decision also executed: %v", h.migrated)
+	}
+	if len(intents) != 1 || intents[0].Endpoint != epA || intents[0].Priority != 50 {
+		t.Fatalf("intent not submitted: %+v", intents)
+	}
+	ds := h.eng.Decisions()
+	if len(ds) != 1 || !ds[0].Delegated || ds[0].Executed {
+		t.Fatalf("decision not marked delegated: %+v", ds)
+	}
+
+	// Delegation spends no budget: the same proposal can re-delegate
+	// past Budget=1, and direct execution still has its budget intact.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 50; j++ {
+			s.RecordInbound(epA, 8, 8, time.Microsecond)
+		}
+		h.eng.Tick()
+	}
+	if len(intents) < 2 {
+		t.Fatalf("re-delegation blocked: %d intents", len(intents))
+	}
+	clustered = false
+	for j := 0; j < 50; j++ {
+		s.RecordInbound(epA, 8, 8, time.Microsecond)
+	}
+	h.eng.Tick()
+	if len(h.migrated) != 1 {
+		t.Fatalf("fallback to direct execution failed: %v (log %+v)", h.migrated, h.eng.Decisions())
+	}
+}

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rafda/internal/wire"
+)
+
+// fakeNet is an in-memory cluster: endpoint -> coordinator, with
+// per-node fake runtimes that execute migrations by bookkeeping.
+type fakeNet struct {
+	mu    sync.Mutex
+	nodes map[string]*Coordinator // by endpoint
+	// owners maps guid -> endpoint currently hosting it live.
+	owners map[string]string
+	// guidSeq numbers re-exported GUIDs after migrations.
+	guidSeq int
+	// migrations records executed moves in order.
+	migrations []string
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{nodes: map[string]*Coordinator{}, owners: map[string]string{}}
+}
+
+type fakeRuntime struct {
+	net     *fakeNet
+	self    string
+	samples []wire.ObjAffinity // returned once per AffinitySamples call
+	applied map[string]string  // class placements applied locally
+}
+
+func (r *fakeRuntime) Call(endpoint string, req *wire.Request) (*wire.Response, error) {
+	r.net.mu.Lock()
+	c := r.net.nodes[endpoint]
+	r.net.mu.Unlock()
+	if c == nil {
+		return nil, fmt.Errorf("no node at %s", endpoint)
+	}
+	if req.Op != wire.OpGossip {
+		return nil, fmt.Errorf("unexpected op %v", req.Op)
+	}
+	return &wire.Response{ID: req.ID, Cluster: c.HandleGossip(req.Cluster)}, nil
+}
+
+func (r *fakeRuntime) MigrateGUID(guid, endpoint string) (wire.RemoteRef, error) {
+	r.net.mu.Lock()
+	if r.net.owners[guid] != r.self {
+		r.net.mu.Unlock()
+		return wire.RemoteRef{}, fmt.Errorf("%s does not own %s", r.self, guid)
+	}
+	r.net.guidSeq++
+	newGUID := fmt.Sprintf("%s'm%d", guid, r.net.guidSeq)
+	delete(r.net.owners, guid)
+	r.net.owners[newGUID] = endpoint
+	r.net.migrations = append(r.net.migrations, fmt.Sprintf("%s:%s->%s", guid, r.self, endpoint))
+	self := r.net.nodes[r.self]
+	r.net.mu.Unlock()
+	ref := wire.RemoteRef{GUID: newGUID, Endpoint: endpoint, Proto: "rrp", Target: "C"}
+	// Mirror the real node runtime: a successful migration is published
+	// into the home's directory.
+	self.RecordMove(guid, "C", ref)
+	return ref, nil
+}
+
+func (r *fakeRuntime) OwnsGUID(guid string) bool {
+	r.net.mu.Lock()
+	defer r.net.mu.Unlock()
+	return r.net.owners[guid] == r.self
+}
+
+func (r *fakeRuntime) AffinitySamples(max int) []wire.ObjAffinity {
+	s := r.samples
+	r.samples = nil
+	if len(s) > max {
+		s = s[:max]
+	}
+	return s
+}
+
+func (r *fakeRuntime) ObservePeerRTT(string, time.Duration) {}
+
+func (r *fakeRuntime) ApplyClassPlacement(class, endpoint string) error {
+	if r.applied == nil {
+		r.applied = map[string]string{}
+	}
+	r.applied[class] = endpoint
+	return nil
+}
+
+// addNode builds a coordinator + fake runtime pair on net.
+func (net *fakeNet) addNode(t *testing.T, id string, cfg Config) (*Coordinator, *fakeRuntime) {
+	t.Helper()
+	rt := &fakeRuntime{net: net, self: "rrp://" + id}
+	cfg.ID = id
+	cfg.Self = rt.self
+	cfg.Runtime = rt
+	cfg.Seed = int64(len(id)) + 7
+	if cfg.Fanout == 0 {
+		cfg.Fanout = 8 // gossip to everyone: deterministic full propagation
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.mu.Lock()
+	net.nodes[rt.self] = c
+	net.mu.Unlock()
+	return c, rt
+}
+
+// joinAll joins every node through the first one's endpoint.
+func joinAll(t *testing.T, cs ...*Coordinator) {
+	t.Helper()
+	for _, c := range cs[1:] {
+		if err := c.Join([]string{cs[0].Self()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// tickAll steps every coordinator n rounds.
+func tickAll(n int, cs ...*Coordinator) {
+	for i := 0; i < n; i++ {
+		for _, c := range cs {
+			c.Tick()
+		}
+	}
+}
+
+func TestMembershipConvergesAndSuspects(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{SuspectAfter: 3, DeadAfter: 6})
+	b, _ := net.addNode(t, "b", Config{SuspectAfter: 3, DeadAfter: 6})
+	c, _ := net.addNode(t, "c", Config{SuspectAfter: 3, DeadAfter: 6})
+	joinAll(t, a, b, c)
+	tickAll(2, a, b, c)
+
+	for _, co := range []*Coordinator{a, b, c} {
+		peers := co.Peers()
+		if len(peers) != 2 {
+			t.Fatalf("%s sees %d peers, want 2: %+v", co.ID(), len(peers), peers)
+		}
+		for _, p := range peers {
+			if p.Health != "alive" {
+				t.Fatalf("%s sees %s as %s", co.ID(), p.ID, p.Health)
+			}
+		}
+	}
+
+	// c stops ticking: its heartbeat freezes and a/b walk it down the
+	// suspicion ladder.
+	tickAll(4, a, b)
+	if h := healthOf(a, "c"); h != "suspect" {
+		t.Fatalf("c should be suspect on a, is %s", h)
+	}
+	tickAll(4, a, b)
+	if h := healthOf(a, "c"); h != "dead" {
+		t.Fatalf("c should be dead on a, is %s", h)
+	}
+
+	// c comes back: one gossip from it resurrects the membership.
+	c.Tick()
+	tickAll(1, a, b, c)
+	if h := healthOf(a, "c"); h != "alive" {
+		t.Fatalf("c should have recovered on a, is %s", h)
+	}
+}
+
+func healthOf(c *Coordinator, id string) string {
+	for _, p := range c.Peers() {
+		if p.ID == id {
+			return p.Health
+		}
+	}
+	return "absent"
+}
+
+func TestLeaveSkipsSuspicion(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{})
+	b, _ := net.addNode(t, "b", Config{})
+	joinAll(t, a, b)
+	tickAll(1, a, b)
+	b.Leave()
+	if h := healthOf(a, "b"); h != "dead" {
+		t.Fatalf("left peer should be dead immediately, is %s", h)
+	}
+}
+
+func TestDirectoryMergeAndChainCollapse(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{})
+	b, _ := net.addNode(t, "b", Config{})
+	c, _ := net.addNode(t, "c", Config{})
+	joinAll(t, a, b, c)
+
+	// Object moves a->b then (under its new GUID) b->c; entries chain.
+	a.RecordMove("g1", "C", wire.RemoteRef{GUID: "g2", Endpoint: b.Self(), Proto: "rrp", Target: "C"})
+	b.RecordMove("g2", "C", wire.RemoteRef{GUID: "g3", Endpoint: c.Self(), Proto: "rrp", Target: "C"})
+	tickAll(3, a, b, c)
+
+	for _, co := range []*Coordinator{a, b, c} {
+		ref, ok := co.Resolve("g1")
+		if !ok || ref.Endpoint != c.Self() || ref.GUID != "g3" {
+			t.Fatalf("%s resolves g1 to %+v (ok=%v), want g3@%s", co.ID(), ref, ok, c.Self())
+		}
+	}
+}
+
+func TestDirectoryVersionWins(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{})
+	b, _ := net.addNode(t, "b", Config{})
+	joinAll(t, a, b)
+
+	// Two successive moves recorded at a; b must converge on the later
+	// version even if gossip replays the older entry afterwards.
+	a.RecordMove("g", "C", wire.RemoteRef{GUID: "gx", Endpoint: "rrp://x", Proto: "rrp"})
+	old := a.Directory()[0]
+	a.RecordMove("g", "C", wire.RemoteRef{GUID: "gy", Endpoint: "rrp://y", Proto: "rrp"})
+	tickAll(2, a, b)
+	b.HandleGossip(&wire.ClusterPayload{
+		From: wire.PeerDigest{ID: "a", Endpoint: a.Self(), Heartbeat: 1},
+		Dir:  []wire.DirEntry{old},
+	})
+	ref, ok := b.Resolve("g")
+	if !ok || ref.GUID != "gy" {
+		t.Fatalf("stale replay won: %+v ok=%v", ref, ok)
+	}
+}
+
+func TestConflictingIntentsReconcileToOneWinner(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{SettleTicks: 2, CooldownTicks: 30})
+	b, _ := net.addNode(t, "b", Config{SettleTicks: 2, CooldownTicks: 30})
+	c, _ := net.addNode(t, "c", Config{SettleTicks: 2, CooldownTicks: 30})
+	joinAll(t, a, b, c)
+	net.owners["g"] = b.Self() // b hosts the contested object
+
+	// a and c both want the object, with different evidence strength.
+	if ok, why := a.Submit(wire.Intent{GUID: "g", Class: "C", From: b.Self(), To: a.Self(), Priority: 60}); !ok {
+		t.Fatalf("a's intent refused: %s", why)
+	}
+	if ok, why := c.Submit(wire.Intent{GUID: "g", Class: "C", From: b.Self(), To: c.Self(), Priority: 55}); !ok {
+		t.Fatalf("c's intent refused: %s", why)
+	}
+	tickAll(6, a, b, c)
+
+	net.mu.Lock()
+	migs := append([]string(nil), net.migrations...)
+	net.mu.Unlock()
+	if len(migs) != 1 {
+		t.Fatalf("want exactly 1 migration, got %v", migs)
+	}
+	if migs[0] != "g:"+b.Self()+"->"+a.Self() {
+		t.Fatalf("wrong winner executed: %v", migs[0])
+	}
+
+	// More rounds and a re-assertion of the losing intent must not move
+	// it again (cooldown + directory-satisfied checks).
+	c.Submit(wire.Intent{GUID: "g", Class: "C", From: b.Self(), To: c.Self(), Priority: 99})
+	tickAll(6, a, b, c)
+	net.mu.Lock()
+	n := len(net.migrations)
+	net.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("object ping-ponged: %v", net.migrations)
+	}
+
+	// The canonical ping-pong: the NEW home (a) is asked — on its own
+	// coordinator, where it alone would execute — to send the object
+	// straight back.  The cooldown must be cluster-wide (learned from
+	// the gossiped directory entry), not just local to the node that
+	// executed the move.
+	net.mu.Lock()
+	var newGUID string
+	for g, owner := range net.owners {
+		if owner == a.Self() {
+			newGUID = g
+		}
+	}
+	net.mu.Unlock()
+	if newGUID == "" {
+		t.Fatal("migrated object has no new owner")
+	}
+	if ok, why := a.Submit(wire.Intent{GUID: newGUID, Class: "C", From: a.Self(), To: c.Self(), Priority: 999}); ok {
+		t.Fatal("reverse intent accepted inside the cooldown window")
+	} else if why == "" {
+		t.Fatal("reverse intent refused without a reason")
+	}
+	tickAll(4, a, b, c)
+	net.mu.Lock()
+	n = len(net.migrations)
+	net.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("reverse migration executed inside cooldown: %v", net.migrations)
+	}
+}
+
+func TestEqualPriorityTieBreaksOnProposer(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{SettleTicks: 1})
+	b, _ := net.addNode(t, "b", Config{SettleTicks: 1})
+	joinAll(t, a, b)
+	in1 := wire.Intent{GUID: "g", From: "rrp://x", To: "rrp://t1", Proposer: "zeta", Priority: 10}
+	in2 := wire.Intent{GUID: "g", From: "rrp://x", To: "rrp://t2", Proposer: "alpha", Priority: 10}
+	a.Submit(in1)
+	a.Submit(in2)
+	for _, in := range a.Intents() {
+		if in.Proposer != "alpha" {
+			t.Fatalf("tie-break picked %+v", in)
+		}
+	}
+	// Order independence: b sees them reversed.
+	b.Submit(in2)
+	b.Submit(in1)
+	for _, in := range b.Intents() {
+		if in.Proposer != "alpha" {
+			t.Fatalf("tie-break order-dependent: %+v", in)
+		}
+	}
+}
+
+func TestMultiHopProposalFlowsFromRollup(t *testing.T) {
+	net := newFakeNet()
+	// Only a proposes; b hosts; c is the dominant caller.
+	a, _ := net.addNode(t, "a", Config{Propose: true, MinCalls: 10, SettleTicks: 2})
+	b, rtb := net.addNode(t, "b", Config{SettleTicks: 2})
+	c, _ := net.addNode(t, "c", Config{SettleTicks: 2})
+	joinAll(t, a, b, c)
+	net.owners["g"] = b.Self()
+
+	// b's telemetry rollup: 90% of g's calls come from c.
+	feed := func() {
+		rtb.samples = []wire.ObjAffinity{{
+			GUID: "g", Class: "C", Calls: 100,
+			Callers: []wire.EndpointCount{
+				{Endpoint: c.Self(), Calls: 90},
+				{Endpoint: a.Self(), Calls: 10},
+			},
+		}}
+	}
+	for i := 0; i < 8; i++ {
+		feed()
+		tickAll(1, b, a, c)
+	}
+
+	net.mu.Lock()
+	migs := append([]string(nil), net.migrations...)
+	net.mu.Unlock()
+	if len(migs) != 1 || migs[0] != "g:"+b.Self()+"->"+c.Self() {
+		t.Fatalf("multi-hop migration not executed exactly once: %v", migs)
+	}
+	// The proposer must be a (multi-hop: proposer != source != target).
+	var proposed bool
+	for _, e := range b.Events() {
+		if e.Kind == "migrate" && e.GUID == "g" {
+			if e.Peer != "a" {
+				t.Fatalf("winning intent proposed by %q, want a", e.Peer)
+			}
+			proposed = true
+		}
+	}
+	if !proposed {
+		t.Fatal("no migrate event on b")
+	}
+}
+
+func TestClassPlacementFollows(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{FollowClassPlacements: true})
+	b, rtb := net.addNode(t, "b", Config{FollowClassPlacements: true})
+	joinAll(t, a, b)
+	a.RecordClassPlacement("C", "rrp://somewhere")
+	tickAll(2, a, b)
+	if rtb.applied["C"] != "rrp://somewhere" {
+		t.Fatalf("b did not follow the class placement: %+v", rtb.applied)
+	}
+	// The epoch is applied once, not on every gossip round.
+	rtb.applied = nil
+	tickAll(2, a, b)
+	if len(rtb.applied) != 0 {
+		t.Fatalf("placement re-applied: %+v", rtb.applied)
+	}
+}
+
+func TestSubmitRefusalsExplain(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{})
+	if ok, why := a.Submit(wire.Intent{GUID: "", To: "rrp://x"}); ok || why == "" {
+		t.Fatal("malformed intent accepted")
+	}
+	if ok, why := a.Submit(wire.Intent{GUID: "g", From: a.Self(), To: a.Self()}); ok || why == "" {
+		t.Fatal("no-op intent accepted")
+	}
+}
+
+// TestIntentsExpireWhenOriginStops: intents and rollups are
+// origin-gossiped, so once the proposer stops re-asserting (evidence
+// gone, or the proposer died) every member's copy ages out by TTL —
+// peers must not keep each other's copies alive by echoing them.
+func TestIntentsExpireWhenOriginStops(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{IntentTTL: 4, SettleTicks: 50})
+	b, _ := net.addNode(t, "b", Config{IntentTTL: 4, SettleTicks: 50})
+	c, _ := net.addNode(t, "c", Config{IntentTTL: 4, SettleTicks: 50})
+	joinAll(t, a, b, c)
+	tickAll(1, a, b, c)
+
+	if ok, why := a.Submit(wire.Intent{GUID: "g", From: "rrp://x", To: "rrp://y", Priority: 5}); !ok {
+		t.Fatalf("refused: %s", why)
+	}
+	tickAll(1, a, b, c)
+	if len(b.Intents()) != 1 || len(c.Intents()) != 1 {
+		t.Fatalf("intent did not disseminate: b=%d c=%d", len(b.Intents()), len(c.Intents()))
+	}
+	// The proposer never re-asserts; everyone keeps gossiping.
+	tickAll(8, a, b, c)
+	for _, co := range []*Coordinator{a, b, c} {
+		if n := len(co.Intents()); n != 0 {
+			t.Fatalf("%s still holds %d intents after the origin went quiet (echo keeps TTL alive)", co.ID(), n)
+		}
+	}
+}

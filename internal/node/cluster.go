@@ -1,0 +1,258 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rafda/internal/cluster"
+	"rafda/internal/policy"
+	"rafda/internal/vm"
+	"rafda/internal/wire"
+)
+
+// StartCluster joins this node to the cluster coordination plane: it
+// builds a coordinator over the node's runtime (sharing the client
+// cache, so gossip rides the connections invocations already hold),
+// attaches it — enabling OpGossip dispatch and directory-first proxy
+// resolution — and performs the join exchange with the seeds.  The
+// caller drives the coordinator (Start for the timed loop, Tick for
+// deterministic harnesses) and Stops it before Close.
+//
+// cfg.ID defaults to the node name and cfg.Self to the node's serving
+// endpoint (preferring rrp); Runtime is always the node's own.
+func (n *Node) StartCluster(cfg cluster.Config, seeds []string) (*cluster.Coordinator, error) {
+	if cfg.ID == "" {
+		cfg.ID = n.name
+	}
+	if cfg.Self == "" {
+		cfg.Self = n.anyEndpoint("rrp")
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("node %s: cluster needs a serving endpoint (Serve first)", n.name)
+	}
+	cfg.Runtime = &clusterRuntime{n: n}
+	co, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !n.coord.CompareAndSwap(nil, co) {
+		return nil, fmt.Errorf("node %s: already in a cluster", n.name)
+	}
+	n.EnableTelemetry() // rollups and RTT need the metrics plane
+	if err := co.Join(seeds); err != nil {
+		n.coord.Store(nil)
+		return nil, err
+	}
+	return co, nil
+}
+
+// Cluster returns the attached coordinator, or nil.
+func (n *Node) Cluster() *cluster.Coordinator { return n.coord.Load() }
+
+// clusterRuntime adapts the node to the coordinator's Runtime interface.
+type clusterRuntime struct {
+	n *Node
+
+	// affinity window state: AffinitySamples reports deltas between
+	// consecutive calls, so rollups describe recent traffic, not
+	// history (mirrors the adapt engine's windowing).
+	affMu   sync.Mutex
+	affPrev map[string]affCum
+}
+
+type affCum struct {
+	total   uint64
+	callers map[string]uint64
+}
+
+// Call implements cluster.Runtime over the node's shared client cache.
+func (r *clusterRuntime) Call(endpoint string, req *wire.Request) (*wire.Response, error) {
+	req.ID = r.n.nextReqID()
+	return r.n.cache.Call(endpoint, req)
+}
+
+// MigrateGUID implements cluster.Runtime: execute a cluster-won intent
+// through the node's ordinary migration path (object gate held across
+// snapshot→ship→morph; RecordMove fires from Migrate on success).
+func (r *clusterRuntime) MigrateGUID(guid, endpoint string) (wire.RemoteRef, error) {
+	obj, ok := r.n.exports.Get(guid)
+	if !ok {
+		return wire.RemoteRef{}, fmt.Errorf("node %s: unknown object %s", r.n.name, guid)
+	}
+	if !r.n.IsMigratable(obj) {
+		return wire.RemoteRef{}, fmt.Errorf("node %s: %s is no longer a live local instance", r.n.name, guid)
+	}
+	if err := r.n.Migrate(vm.RefV(obj), endpoint); err != nil {
+		return wire.RemoteRef{}, err
+	}
+	ref, forwarding := proxyRefOf(obj)
+	if !forwarding {
+		return wire.RemoteRef{}, fmt.Errorf("node %s: %s did not morph after migration", r.n.name, guid)
+	}
+	return ref, nil
+}
+
+// OwnsGUID implements cluster.Runtime.
+func (r *clusterRuntime) OwnsGUID(guid string) bool {
+	obj, ok := r.n.exports.Get(guid)
+	return ok && r.n.IsMigratable(obj)
+}
+
+// AffinitySamples implements cluster.Runtime: window-delta rollups of
+// the hottest locally hosted migratable objects, the evidence gossip
+// disseminates for multi-hop placement.
+func (r *clusterRuntime) AffinitySamples(max int) []wire.ObjAffinity {
+	rec := r.n.telem.Load()
+	if rec == nil || max <= 0 {
+		return nil
+	}
+	r.affMu.Lock()
+	defer r.affMu.Unlock()
+	if r.affPrev == nil {
+		r.affPrev = make(map[string]affCum)
+	}
+	seen := make(map[string]bool)
+	var out []wire.ObjAffinity
+	for _, s := range rec.SnapshotObjects() {
+		seen[s.GUID] = true
+		prev := r.affPrev[s.GUID]
+		total := s.Calls()
+		cur := affCum{total: total, callers: s.Callers}
+		r.affPrev[s.GUID] = cur
+		delta := total - prev.total
+		if delta == 0 || !r.n.IsMigratable(s.Obj) {
+			continue
+		}
+		a := wire.ObjAffinity{
+			GUID:       s.GUID,
+			Class:      s.Class,
+			Calls:      delta,
+			StateBytes: r.n.StateBytes(s.Obj),
+		}
+		for ep, c := range s.Callers {
+			if d := c - prev.callers[ep]; d > 0 {
+				a.Callers = append(a.Callers, wire.EndpointCount{Endpoint: ep, Calls: d})
+			}
+		}
+		sort.Slice(a.Callers, func(i, j int) bool { return a.Callers[i].Endpoint < a.Callers[j].Endpoint })
+		out = append(out, a)
+	}
+	for g := range r.affPrev {
+		if !seen[g] {
+			delete(r.affPrev, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		return out[i].GUID < out[j].GUID
+	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// ObservePeerRTT implements cluster.Runtime.
+func (r *clusterRuntime) ObservePeerRTT(endpoint string, d time.Duration) {
+	if rec := r.n.telem.Load(); rec != nil {
+		rec.RecordPeerRTT(endpoint, d)
+	}
+}
+
+// ApplyClassPlacement implements cluster.Runtime: follow a gossiped
+// class placement epoch in the local policy table.
+func (r *clusterRuntime) ApplyClassPlacement(class, endpoint string) error {
+	if endpoint == "" || r.n.servesEndpoint(endpoint) {
+		r.n.pol.SetClass(class, policy.LocalPlacement)
+		return nil
+	}
+	pl, err := policy.RemoteAt(endpoint)
+	if err != nil {
+		return err
+	}
+	r.n.pol.SetClass(class, pl)
+	return nil
+}
+
+// dispatchGossip serves one inbound gossip exchange.
+func (n *Node) dispatchGossip(req *wire.Request) *wire.Response {
+	co := n.coord.Load()
+	if co == nil {
+		return wire.Errorf(req, "node %s: not in a cluster", n.name)
+	}
+	return &wire.Response{ID: req.ID, Cluster: co.HandleGossip(req.Cluster)}
+}
+
+// StateBytes estimates the wire size of obj's field state — what a
+// migration would ship.  It prices vm values the way the telemetry
+// plane prices wire values (relative magnitudes, not exact frames).
+func (n *Node) StateBytes(obj *vm.Object) int64 {
+	_, fields := obj.View()
+	var sz int64
+	for name, v := range fields {
+		sz += int64(len(name)) + vmValueSize(v)
+	}
+	return sz
+}
+
+func vmValueSize(v vm.Value) int64 {
+	switch {
+	case v.S != "":
+		return 1 + int64(len(v.S))
+	case v.A != nil:
+		var sz int64 = 9
+		for _, el := range v.A.Vals {
+			sz += vmValueSize(el)
+		}
+		return sz
+	case v.O != nil:
+		// Referenced objects travel as remote references, not copies.
+		return 48
+	default:
+		return 9
+	}
+}
+
+// recordMove publishes a completed outbound migration of the export
+// under oldGUID into the cluster directory (no-op outside a cluster).
+func (n *Node) recordMove(obj *vm.Object, base string, ref wire.RemoteRef) {
+	co := n.coord.Load()
+	if co == nil {
+		return
+	}
+	if guid, ok := n.exports.GUIDOf(obj); ok {
+		co.RecordMove(guid, base, ref)
+	}
+}
+
+// resolveViaDirectory consults the cluster's placement directory for a
+// fresher home of the object behind guid, returning the chain-collapsed
+// reference.  One atomic load when no cluster is attached.
+func (n *Node) resolveViaDirectory(guid, endpoint string) (wire.RemoteRef, bool) {
+	co := n.coord.Load()
+	if co == nil {
+		return wire.RemoteRef{}, false
+	}
+	ref, ok := co.Resolve(guid)
+	if !ok || ref.GUID == "" || ref.Endpoint == "" {
+		return wire.RemoteRef{}, false
+	}
+	if ref.GUID == guid && ref.Endpoint == endpoint {
+		return wire.RemoteRef{}, false // directory agrees with the proxy
+	}
+	return ref, true
+}
+
+// AnnounceClassPlacement publishes a class placement into the cluster
+// directory (no-op outside a cluster).
+func (n *Node) AnnounceClassPlacement(class, endpoint string) {
+	if co := n.coord.Load(); co != nil {
+		co.RecordClassPlacement(class, endpoint)
+	}
+}
+
+var _ cluster.Runtime = (*clusterRuntime)(nil)

@@ -51,6 +51,9 @@ func (n *Node) dispatch(req *wire.Request) *wire.Response {
 	case wire.OpMigrateOut:
 		return n.dispatchMigrateOut(req)
 
+	case wire.OpGossip:
+		return n.dispatchGossip(req)
+
 	default:
 		return wire.Errorf(req, "node %s: unsupported op %v", n.name, req.Op)
 	}

@@ -119,6 +119,11 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 			return
 		}
 		n.stats.migrationsOut.Add(1)
+		// Publish the move into the cluster's placement directory (if
+		// this node is in one): peers learn the object's new home via
+		// gossip and resolve it directly instead of walking our
+		// forwarding proxy.
+		n.recordMove(obj, base, *newRef)
 	})
 	if viaProxy {
 		return n.migrateViaHome(obj, targetEndpoint)

@@ -46,7 +46,7 @@ func (n *Node) registerFactoryNatives() {
 // reference in a proxy.  The subsequent factory init call runs locally
 // and initialises the remote object through the proxy's properties.
 func (n *Node) remoteCreate(env *vm.Env, class string, pl policy.Placement) (vm.Value, *vm.Thrown, error) {
-	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpCreate, Class: class, Caller: n.anyEndpoint(pl.Proto)}
+	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpCreate, Class: class, Caller: n.callerEndpoint(pl.Proto)}
 	resp, callErr := n.callRemote(env, pl.Endpoint, req)
 	if callErr != nil {
 		return vm.Value{}, remoteError(env, "create %s at %s: %v", class, pl.Endpoint, callErr), nil
@@ -145,6 +145,22 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	endpoint := triple[0].S
 	target := triple[1].S
 	id := triple[2].S
+
+	// Directory-first resolution: when this node is in a cluster and the
+	// placement directory knows a fresher home for the object, retarget
+	// the proxy *before* dialling.  The directory is chain-collapsed, so
+	// a reference N migrations stale jumps straight to the final home —
+	// without this, each call would walk the whole Response.Redirect
+	// forwarding chain one hop at a time (and pay every intermediate
+	// node once more).  Costs one atomic load when not clustered.
+	if !classSide {
+		if ref, ok := n.resolveViaDirectory(id, endpoint); ok {
+			if p, _, err := splitProto(ref.Endpoint); err == nil {
+				setProxyFields(recv.O, ref.GUID, ref.Endpoint, p, orString(ref.Target, target))
+				id, endpoint = ref.GUID, ref.Endpoint
+			}
+		}
+	}
 	proto, _, _ := splitProto(endpoint)
 
 	// A proxy can end up pointing at this very node (e.g. after an
@@ -175,7 +191,7 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 		return vm.Value{}, remoteError(env, "%s.%s: stale self-reference %s", target, method, id), nil
 	}
 
-	req := &wire.Request{ID: n.nextReqID(), Method: method, Caller: n.anyEndpoint(proto)}
+	req := &wire.Request{ID: n.nextReqID(), Method: method, Caller: n.callerEndpoint(proto)}
 	if classSide {
 		req.Op = wire.OpInvokeClass
 		req.Class = target

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rafda/internal/cluster"
 	"rafda/internal/ir"
 	"rafda/internal/policy"
 	"rafda/internal/registry"
@@ -50,6 +51,10 @@ type Config struct {
 	Output io.Writer
 	// VMOpts are extra VM options (step limits, clock).
 	VMOpts []vm.Option
+	// VolunteerCallback lets a node serving no transport start serving
+	// lazily when it first dials out, so peers can attribute (and
+	// migrate toward) its call affinity.
+	VolunteerCallback bool
 }
 
 // Node is one address space.
@@ -61,12 +66,16 @@ type Node struct {
 	exports *registry.Table
 	pol     *policy.Table
 
-	// mu guards servers, endpoints and clients (not VM state).
+	// mu guards servers and endpoints (not VM state).
 	mu        sync.Mutex
 	servers   []transport.Server
 	endpoints map[string]string // proto -> this node's endpoint
-	clients   map[string]transport.Client
 	closed    bool
+
+	// cache holds one client per dialled endpoint.  It is shared with
+	// the cluster coordination plane (StartCluster), so gossip rides the
+	// same multiplexed connections as invocations.
+	cache *transport.ClientCache
 
 	// epSnap is a lock-free copy of endpoints, republished by Serve:
 	// the proxy fast paths (self-collapse detection, caller stamping)
@@ -91,6 +100,21 @@ type Node struct {
 	// default).  Loaded with one atomic read on the dispatch and
 	// proxy-call hot paths; see docs/ADAPTIVE.md.
 	telem atomic.Pointer[telemetry.Recorder]
+
+	// coord is the optional cluster coordination plane (nil = not in a
+	// cluster).  Loaded with one atomic read on the proxy hot path
+	// (directory-first resolution) and in dispatch; see docs/CLUSTER.md.
+	coord atomic.Pointer[cluster.Coordinator]
+
+	// volunteer enables callback-endpoint volunteering: a node serving
+	// no transport starts serving lazily at first dial, so its calls
+	// carry a real Caller endpoint and its affinity is actionable
+	// (ObjStats.anonCalls otherwise records traffic no engine can ever
+	// migrate toward).  volunteerState makes the attempt one-shot and
+	// keeps the proxy hot path off the node mutex: 0 = untried,
+	// 1 = in progress, 2 = settled (one atomic load thereafter).
+	volunteer      bool
+	volunteerState atomic.Int32
 }
 
 type singletonEntry struct {
@@ -151,8 +175,9 @@ func New(cfg Config) (*Node, error) {
 		exports:    registry.New(cfg.Name),
 		pol:        policy.NewTable(),
 		endpoints:  make(map[string]string),
-		clients:    make(map[string]transport.Client),
+		cache:      transport.NewClientCache(reg),
 		singletons: make(map[string]*singletonEntry),
+		volunteer:  cfg.VolunteerCallback,
 	}
 	n.registerFactoryNatives()
 	n.registerProxyNatives()
@@ -234,6 +259,12 @@ func (n *Node) Serve(proto, addr string) (string, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// A Serve racing Close (e.g. a volunteered callback on an in-flight
+	// proxy call) must not leak a live listener on a closed node.
+	if n.closed {
+		_ = srv.Close()
+		return "", fmt.Errorf("node %s serve %s: node closed", n.name, proto)
+	}
 	n.servers = append(n.servers, srv)
 	n.endpoints[proto] = srv.Endpoint()
 	snap := make(map[string]string, len(n.endpoints))
@@ -267,6 +298,29 @@ func (n *Node) anyEndpoint(proto string) string {
 	return ""
 }
 
+// callerEndpoint returns the endpoint peers should attribute this
+// node's calls to (and can call back on), preferring proto.  A node
+// serving no transport normally returns "" — its calls are anonymous
+// and its affinity can never attract a migration — so, when volunteering
+// is enabled, the first outbound call lazily starts a server for the
+// dialled protocol on an ephemeral address.  The attempt is one-shot
+// (whichever protocol dials first wins; a node that cannot listen
+// stays a pure anonymous client), and its outcome is a single atomic
+// load afterwards — like the endpoint snapshot, this path must not
+// touch the node mutex (it runs on every proxy invocation).
+func (n *Node) callerEndpoint(proto string) string {
+	if ep := n.anyEndpoint(proto); ep != "" {
+		return ep
+	}
+	if !n.volunteer || proto == "" || n.volunteerState.Load() != 0 ||
+		!n.volunteerState.CompareAndSwap(0, 1) {
+		return ""
+	}
+	_, _ = n.Serve(proto, "") // refused (no leak) if the node is closed
+	n.volunteerState.Store(2)
+	return n.anyEndpoint(proto)
+}
+
 // Close shuts the servers and cached clients.
 func (n *Node) Close() error {
 	n.mu.Lock()
@@ -276,9 +330,7 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	servers := n.servers
-	clients := n.clients
 	n.servers = nil
-	n.clients = make(map[string]transport.Client)
 	n.mu.Unlock()
 
 	var firstErr error
@@ -287,34 +339,15 @@ func (n *Node) Close() error {
 			firstErr = err
 		}
 	}
-	for _, c := range clients {
-		if err := c.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+	if err := n.cache.Close(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
 
 // client returns a cached client for endpoint, dialling on first use.
 func (n *Node) client(endpoint string) (transport.Client, error) {
-	n.mu.Lock()
-	if c, ok := n.clients[endpoint]; ok {
-		n.mu.Unlock()
-		return c, nil
-	}
-	n.mu.Unlock()
-	c, err := n.reg.Dial(endpoint)
-	if err != nil {
-		return nil, err
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if prev, ok := n.clients[endpoint]; ok {
-		_ = c.Close()
-		return prev, nil
-	}
-	n.clients[endpoint] = c
-	return c, nil
+	return n.cache.Get(endpoint)
 }
 
 // nextReqID issues a request id (lock-free; callable from any goroutine).

@@ -176,12 +176,25 @@ type ClassStats struct {
 	outLat        ewma // round-trip latency of outgoing proxy calls
 }
 
+// PeerStats is one remote endpoint's rollup: how often this node talks
+// to it, how many bytes cross, and the smoothed round-trip time.  The
+// RTT EWMA is the latency input of cost-based placement rules (benefit
+// of migrating = remote calls × RTT) and of multi-hop evidence in the
+// cluster plane; it is fed by outgoing proxy calls and by gossip pings,
+// so a peer's RTT is known even before any invocation targets it.
+type PeerStats struct {
+	calls atomic.Uint64
+	bytes atomic.Uint64
+	rtt   ewma
+}
+
 // Recorder is one node's metrics plane.  The zero value is not usable;
 // construct with NewRecorder.  A nil *Recorder is the disabled plane:
 // the node runtime checks for nil before the (cheap) record calls.
 type Recorder struct {
 	objs    sync.Map // guid -> *ObjStats
 	classes sync.Map // class -> *ClassStats
+	peers   sync.Map // endpoint -> *PeerStats
 }
 
 // NewRecorder returns an empty metrics plane.
@@ -236,12 +249,33 @@ func (r *Recorder) RecordCreateServed(class, caller string) {
 }
 
 // RecordOutbound counts one outgoing proxy invocation on an instance (or
-// the statics singleton) of class at endpoint.
+// the statics singleton) of class at endpoint.  The call also rolls into
+// the per-peer stats, so every invocation refreshes the peer's RTT EWMA.
 func (r *Recorder) RecordOutbound(class, endpoint string, bytes int, lat time.Duration) {
 	cs := r.forClass(class)
 	bump(&cs.outCalls, endpoint)
 	cs.outBytes.Add(uint64(bytes))
 	cs.outLat.observe(lat)
+	ps := r.forPeer(endpoint)
+	ps.calls.Add(1)
+	ps.bytes.Add(uint64(bytes))
+	ps.rtt.observe(lat)
+}
+
+// forPeer returns endpoint's rollup, creating it on first use.
+func (r *Recorder) forPeer(endpoint string) *PeerStats {
+	if s, ok := r.peers.Load(endpoint); ok {
+		return s.(*PeerStats)
+	}
+	s, _ := r.peers.LoadOrStore(endpoint, &PeerStats{})
+	return s.(*PeerStats)
+}
+
+// RecordPeerRTT folds one observed round trip to endpoint into its RTT
+// EWMA without counting an invocation — the gossip plane's heartbeat
+// exchanges feed this, keeping RTT estimates fresh for idle peers.
+func (r *Recorder) RecordPeerRTT(endpoint string, lat time.Duration) {
+	r.forPeer(endpoint).rtt.observe(lat)
 }
 
 // ObjSample is one object's cumulative counters at snapshot time.
@@ -318,6 +352,43 @@ func (r *Recorder) SnapshotClasses() []ClassSample {
 			OutBytes:      s.outBytes.Load(),
 			OutEWMANs:     s.outLat.load(),
 		})
+		return true
+	})
+	return out
+}
+
+// PeerSample is one endpoint's cumulative rollup at snapshot time.
+type PeerSample struct {
+	Endpoint  string
+	Calls     uint64
+	Bytes     uint64
+	RTTEWMANs float64
+}
+
+// SnapshotPeers returns cumulative per-peer samples.
+func (r *Recorder) SnapshotPeers() []PeerSample {
+	var out []PeerSample
+	r.peers.Range(func(k, v any) bool {
+		s := v.(*PeerStats)
+		out = append(out, PeerSample{
+			Endpoint:  k.(string),
+			Calls:     s.calls.Load(),
+			Bytes:     s.bytes.Load(),
+			RTTEWMANs: s.rtt.load(),
+		})
+		return true
+	})
+	return out
+}
+
+// PeerRTTs returns the current RTT EWMA per endpoint, in nanoseconds —
+// the form the adapt engine's cost rules consume.
+func (r *Recorder) PeerRTTs() map[string]float64 {
+	out := map[string]float64{}
+	r.peers.Range(func(k, v any) bool {
+		if ns := v.(*PeerStats).rtt.load(); ns > 0 {
+			out[k.(string)] = ns
+		}
 		return true
 	})
 	return out

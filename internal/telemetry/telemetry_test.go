@@ -181,3 +181,31 @@ func TestSizeEstimates(t *testing.T) {
 		t.Fatal("array elements must be counted")
 	}
 }
+
+func TestPeerRollups(t *testing.T) {
+	r := NewRecorder()
+	r.RecordOutbound("C", "rrp://b:1", 100, 2*time.Millisecond)
+	r.RecordOutbound("D", "rrp://b:1", 50, 4*time.Millisecond)
+	r.RecordPeerRTT("rrp://c:1", time.Millisecond)
+
+	byEp := map[string]PeerSample{}
+	for _, s := range r.SnapshotPeers() {
+		byEp[s.Endpoint] = s
+	}
+	b := byEp["rrp://b:1"]
+	if b.Calls != 2 || b.Bytes != 150 {
+		t.Fatalf("peer b rollup: %+v", b)
+	}
+	if b.RTTEWMANs < float64(time.Millisecond) || b.RTTEWMANs > float64(4*time.Millisecond) {
+		t.Fatalf("peer b RTT EWMA out of range: %v", b.RTTEWMANs)
+	}
+	// A ping-only peer has an RTT but no invocation counts.
+	c := byEp["rrp://c:1"]
+	if c.Calls != 0 || c.RTTEWMANs != float64(time.Millisecond) {
+		t.Fatalf("ping-only peer rollup: %+v", c)
+	}
+	rtts := r.PeerRTTs()
+	if len(rtts) != 2 || rtts["rrp://c:1"] != float64(time.Millisecond) {
+		t.Fatalf("PeerRTTs: %+v", rtts)
+	}
+}

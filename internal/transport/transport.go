@@ -187,3 +187,85 @@ func (r *Registry) Dial(endpoint string) (Client, error) {
 	}
 	return t.Dial(endpoint)
 }
+
+// ClientCache caches one Client per endpoint, dialling on first use.  It
+// is the connection-sharing point of a node: the invocation runtime and
+// the cluster coordination plane hold the same cache, so gossip traffic
+// piggybacks on the multiplexed connections invocations already keep
+// open instead of dialling a second socket per peer.  Safe for
+// concurrent use; Get never holds the cache lock across a dial.
+type ClientCache struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	clients map[string]Client
+	closed  bool
+}
+
+// NewClientCache returns an empty cache dialling through reg.
+func NewClientCache(reg *Registry) *ClientCache {
+	return &ClientCache{reg: reg, clients: make(map[string]Client)}
+}
+
+// Get returns the cached client for endpoint, dialling on first use.
+// Two racing first uses both dial; the loser's connection is closed and
+// every caller converges on one client per endpoint.
+func (cc *ClientCache) Get(endpoint string) (Client, error) {
+	cc.mu.Lock()
+	if c, ok := cc.clients[endpoint]; ok {
+		cc.mu.Unlock()
+		return c, nil
+	}
+	closed := cc.closed
+	cc.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("client cache closed")
+	}
+	c, err := cc.reg.Dial(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		_ = c.Close()
+		return nil, fmt.Errorf("client cache closed")
+	}
+	if prev, ok := cc.clients[endpoint]; ok {
+		cc.mu.Unlock()
+		_ = c.Close()
+		return prev, nil
+	}
+	cc.clients[endpoint] = c
+	cc.mu.Unlock()
+	return c, nil
+}
+
+// Call dials (or reuses) endpoint and performs one request.
+func (cc *ClientCache) Call(endpoint string, req *wire.Request) (*wire.Response, error) {
+	c, err := cc.Get(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return c.Call(req)
+}
+
+// Close closes every cached client and rejects further Gets.
+func (cc *ClientCache) Close() error {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil
+	}
+	cc.closed = true
+	clients := cc.clients
+	cc.clients = make(map[string]Client)
+	cc.mu.Unlock()
+	var firstErr error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

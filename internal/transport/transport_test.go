@@ -233,3 +233,45 @@ func TestNetsimFailureInjection(t *testing.T) {
 		t.Fatal("injected failure never surfaced")
 	}
 }
+
+func TestClientCacheSharesConnections(t *testing.T) {
+	reg := NewRegistry(NewInproc(), NewRRP(Options{}))
+	srv, err := NewRRP(Options{}).Listen("", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cc := NewClientCache(reg)
+	defer cc.Close()
+	var wg sync.WaitGroup
+	clients := make([]Client, 8)
+	for g := range clients {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := cc.Get(srv.Endpoint())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			clients[g] = c
+		}(g)
+	}
+	wg.Wait()
+	for _, c := range clients[1:] {
+		if c != clients[0] {
+			t.Fatal("cache handed out distinct clients for one endpoint")
+		}
+	}
+	resp, err := cc.Call(srv.Endpoint(), &wire.Request{ID: 9})
+	if err != nil || resp.ID != 9 {
+		t.Fatalf("call through cache: %v %+v", err, resp)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Get(srv.Endpoint()); err == nil {
+		t.Fatal("Get after Close succeeded")
+	}
+}

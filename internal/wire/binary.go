@@ -40,7 +40,7 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	}
 	dst = appendString(dst, req.Endpoint)
 	dst = appendString(dst, req.Caller)
-	return dst
+	return appendCluster(dst, req.Cluster)
 }
 
 // AppendResponse appends resp's encoding to dst and returns the extended
@@ -52,7 +52,7 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = appendString(dst, resp.ExMsg)
 	dst = appendString(dst, resp.Err)
 	dst = appendRef(dst, resp.Redirect)
-	return dst
+	return appendCluster(dst, resp.Cluster)
 }
 
 // appendRef encodes an optional RemoteRef as a presence byte plus the
@@ -97,6 +97,7 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 	}
 	req.Endpoint = d.str()
 	req.Caller = d.str()
+	req.Cluster = d.cluster()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -113,6 +114,7 @@ func DecodeResponseBytes(b []byte) (*Response, error) {
 	resp.ExMsg = d.str()
 	resp.Err = d.str()
 	resp.Redirect = d.ref()
+	resp.Cluster = d.cluster()
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -194,6 +196,61 @@ func appendValue(dst []byte, v *Value) []byte {
 		}
 	}
 	return dst
+}
+
+// appendCluster encodes an optional gossip payload as a presence byte
+// plus its sections.
+func appendCluster(dst []byte, c *ClusterPayload) []byte {
+	if c == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = appendDigest(dst, &c.From)
+	dst = appendUvarint(dst, uint64(len(c.Peers)))
+	for i := range c.Peers {
+		dst = appendDigest(dst, &c.Peers[i])
+	}
+	dst = appendUvarint(dst, uint64(len(c.Dir)))
+	for i := range c.Dir {
+		e := &c.Dir[i]
+		dst = appendString(dst, e.Key)
+		dst = appendRef(dst, &e.Ref)
+		dst = appendUvarint(dst, e.Version)
+		dst = appendString(dst, e.Origin)
+	}
+	dst = appendUvarint(dst, uint64(len(c.Intents)))
+	for i := range c.Intents {
+		in := &c.Intents[i]
+		dst = appendString(dst, in.GUID)
+		dst = appendString(dst, in.Class)
+		dst = appendString(dst, in.From)
+		dst = appendString(dst, in.To)
+		dst = appendString(dst, in.Proposer)
+		dst = binary.AppendVarint(dst, in.Priority)
+		dst = appendString(dst, in.Reason)
+	}
+	dst = appendUvarint(dst, uint64(len(c.Stats)))
+	for i := range c.Stats {
+		s := &c.Stats[i]
+		dst = appendString(dst, s.GUID)
+		dst = appendString(dst, s.Class)
+		dst = appendString(dst, s.Home)
+		dst = appendUvarint(dst, s.Calls)
+		dst = binary.AppendVarint(dst, s.StateBytes)
+		dst = appendUvarint(dst, uint64(len(s.Callers)))
+		for j := range s.Callers {
+			dst = appendString(dst, s.Callers[j].Endpoint)
+			dst = appendUvarint(dst, s.Callers[j].Calls)
+		}
+	}
+	return dst
+}
+
+func appendDigest(dst []byte, p *PeerDigest) []byte {
+	dst = appendString(dst, p.ID)
+	dst = appendString(dst, p.Endpoint)
+	dst = appendUvarint(dst, p.Heartbeat)
+	return appendBool(dst, p.Leaving)
 }
 
 // bdec decodes from a byte slice with sticky errors.
@@ -282,6 +339,75 @@ func (d *bdec) ref() *RemoteRef {
 		return nil
 	}
 	return r
+}
+
+// cluster decodes an optional gossip payload written by appendCluster.
+func (d *bdec) cluster() *ClusterPayload {
+	if !d.boolean() {
+		return nil
+	}
+	c := &ClusterPayload{From: d.digest()}
+	n := d.u64()
+	if d.err == nil && n > maxSeq {
+		d.fail("peer list length %d too large", n)
+		return nil
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		c.Peers = append(c.Peers, d.digest())
+	}
+	n = d.u64()
+	if d.err == nil && n > maxSeq {
+		d.fail("directory length %d too large", n)
+		return nil
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		e := DirEntry{Key: d.str()}
+		if r := d.ref(); r != nil {
+			e.Ref = *r
+		}
+		e.Version = d.u64()
+		e.Origin = d.str()
+		c.Dir = append(c.Dir, e)
+	}
+	n = d.u64()
+	if d.err == nil && n > maxSeq {
+		d.fail("intent list length %d too large", n)
+		return nil
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		c.Intents = append(c.Intents, Intent{
+			GUID: d.str(), Class: d.str(), From: d.str(), To: d.str(),
+			Proposer: d.str(), Priority: d.i64(), Reason: d.str(),
+		})
+	}
+	n = d.u64()
+	if d.err == nil && n > maxSeq {
+		d.fail("stats list length %d too large", n)
+		return nil
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		s := ObjAffinity{GUID: d.str(), Class: d.str(), Home: d.str(),
+			Calls: d.u64(), StateBytes: d.i64()}
+		m := d.u64()
+		if d.err == nil && m > maxSeq {
+			d.fail("caller list length %d too large", m)
+			return nil
+		}
+		for j := uint64(0); j < m && d.err == nil; j++ {
+			s.Callers = append(s.Callers, EndpointCount{Endpoint: d.str(), Calls: d.u64()})
+		}
+		c.Stats = append(c.Stats, s)
+	}
+	if d.err != nil {
+		return nil
+	}
+	return c
+}
+
+func (d *bdec) digest() PeerDigest {
+	p := PeerDigest{ID: d.str(), Endpoint: d.str(), Heartbeat: d.u64()}
+	p.Leaving = d.boolean()
+	return p
 }
 
 func (d *bdec) value() Value {

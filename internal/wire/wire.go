@@ -30,6 +30,12 @@ const (
 	// node at Endpoint and return the new remote reference; it lets any
 	// holder of a reference re-place the object.
 	OpMigrateOut
+	// OpGossip carries one push-pull cluster gossip exchange: the
+	// request's Cluster payload is the sender's membership digest,
+	// placement-directory delta, live placement intents and affinity
+	// rollups; the response's Cluster payload is the receiver's, so one
+	// round trip synchronises both peers (internal/cluster).
+	OpGossip
 )
 
 func (o Op) String() string {
@@ -46,6 +52,8 @@ func (o Op) String() string {
 		return "ping"
 	case OpMigrateOut:
 		return "migrate-out"
+	case OpGossip:
+		return "gossip"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -133,6 +141,9 @@ type Request struct {
 	// to attribute per-object call affinity — the signal the adaptive
 	// placement engine migrates objects toward (docs/ADAPTIVE.md).
 	Caller string `json:"caller,omitempty" xml:"caller,attr,omitempty"`
+	// Cluster carries the sender's gossip payload on OpGossip requests
+	// (nil on every other op; docs/CLUSTER.md).
+	Cluster *ClusterPayload `json:"cluster,omitempty" xml:"cluster,omitempty"`
 }
 
 // NamedValue is a field name/value pair (migration payloads).
@@ -159,6 +170,110 @@ type Response struct {
 	// adaptively migrated object would be reached through a permanent
 	// forwarding hop and placement decisions could never converge.
 	Redirect *RemoteRef `json:"redirect,omitempty" xml:"redirect,omitempty"`
+	// Cluster is the receiver's gossip payload answering an OpGossip
+	// request (push-pull: one round trip synchronises both peers).
+	Cluster *ClusterPayload `json:"cluster,omitempty" xml:"cluster,omitempty"`
+}
+
+// ClusterPayload is one node's contribution to a gossip exchange: who it
+// is and who it has heard from (membership), what it knows about where
+// objects and classes live (the placement directory), which placement
+// changes it wants (intents), and the per-object call-affinity evidence
+// those intents are judged by.  The payload rides inside ordinary
+// requests/responses, so gossip traverses the same multiplexed
+// connections as invocations — no second socket, no second protocol.
+type ClusterPayload struct {
+	// From is the sender's own membership digest.
+	From PeerDigest `json:"from" xml:"from"`
+	// Peers is the sender's membership view (rumor mill).
+	Peers []PeerDigest `json:"peers,omitempty" xml:"peer,omitempty"`
+	// Dir is the sender's placement-directory view.
+	Dir []DirEntry `json:"dir,omitempty" xml:"dir,omitempty"`
+	// Intents are the live placement intents the sender knows of.
+	Intents []Intent `json:"intents,omitempty" xml:"intent,omitempty"`
+	// Stats are per-object affinity rollups — the cross-node evidence
+	// behind multi-hop placement decisions.
+	Stats []ObjAffinity `json:"stats,omitempty" xml:"stat,omitempty"`
+}
+
+// PeerDigest is one node's liveness summary as carried by gossip.
+type PeerDigest struct {
+	// ID is the node's unique cluster identity (its name).
+	ID string `json:"id" xml:"id,attr"`
+	// Endpoint is the node's cluster endpoint (gossip target).
+	Endpoint string `json:"endpoint" xml:"endpoint,attr"`
+	// Heartbeat is the node's monotonically increasing liveness counter;
+	// a peer whose heartbeat stops advancing becomes suspect, then dead.
+	Heartbeat uint64 `json:"heartbeat" xml:"heartbeat,attr"`
+	// Leaving marks a deliberate departure (graceful leave), so peers
+	// skip the suspicion ladder and drop the node immediately.
+	Leaving bool `json:"leaving,omitempty" xml:"leaving,attr,omitempty"`
+}
+
+// DirEntry is one versioned placement-directory fact.  For objects, Key
+// is the GUID a stale reference may still hold and Ref is where the
+// object actually lives now (GUID at its current home); entries chain
+// (g1→g2@B, g2→g3@C) and resolution follows the chain, so a caller N
+// migrations behind still reaches the final home in one hop.  For
+// classes, Key is "class:Name" and Ref.Endpoint is the placement every
+// member converges on (Version plays the policy-epoch role).
+type DirEntry struct {
+	Key string `json:"key" xml:"key,attr"`
+	// Ref is the entry's current target (object: live GUID + home;
+	// class: placement endpoint, "" GUID).
+	Ref RemoteRef `json:"ref" xml:"ref"`
+	// Version orders conflicting entries for one Key: higher wins;
+	// equal versions tie-break on Origin.
+	Version uint64 `json:"version" xml:"version,attr"`
+	// Origin is the node id that produced this version.
+	Origin string `json:"origin" xml:"origin,attr"`
+}
+
+// Intent is one proposed migration: move the object exported under GUID
+// from its current home to To.  Any member may propose — including a
+// third party A proposing B→C (multi-hop) — and conflicting intents for
+// one object reconcile deterministically: highest Priority wins, ties
+// break on lexicographically smaller Proposer id, then smaller To.  The
+// object's home executes the winner once it has been stable for the
+// settle period.
+type Intent struct {
+	GUID  string `json:"guid" xml:"guid,attr"`
+	Class string `json:"class,omitempty" xml:"class,attr,omitempty"`
+	// From is the object's home endpoint as the proposer believed it.
+	From string `json:"from" xml:"from,attr"`
+	// To is the proposed destination endpoint.
+	To string `json:"to" xml:"to,attr"`
+	// Proposer is the proposing node's id.
+	Proposer string `json:"proposer" xml:"proposer,attr"`
+	// Priority is the evidence strength (typically the dominant caller's
+	// window call count); higher wins reconciliation.
+	Priority int64 `json:"priority" xml:"priority,attr"`
+	// Reason is a human-readable justification for logs.
+	Reason string `json:"reason,omitempty" xml:"reason,omitempty"`
+}
+
+// ObjAffinity is one hosted object's caller-affinity rollup as gossiped
+// by its home node: which endpoints its calls come from and what moving
+// it would cost.  It is the evidence a third node needs to propose a
+// multi-hop migration.
+type ObjAffinity struct {
+	GUID  string `json:"guid" xml:"guid,attr"`
+	Class string `json:"class,omitempty" xml:"class,attr,omitempty"`
+	// Home is the endpoint hosting the object.
+	Home string `json:"home" xml:"home,attr"`
+	// Calls is the rollup window's total inbound invocation count.
+	Calls uint64 `json:"calls" xml:"calls,attr"`
+	// Callers itemises the window's calls by caller endpoint.
+	Callers []EndpointCount `json:"callers,omitempty" xml:"caller,omitempty"`
+	// StateBytes estimates the object's shipped-state size (the cost
+	// side of a cost-based migration decision).
+	StateBytes int64 `json:"stateBytes,omitempty" xml:"stateBytes,attr,omitempty"`
+}
+
+// EndpointCount is one (endpoint, count) pair in an affinity rollup.
+type EndpointCount struct {
+	Endpoint string `json:"endpoint" xml:"endpoint,attr"`
+	Calls    uint64 `json:"calls" xml:"calls,attr"`
 }
 
 // Errorf builds an infrastructure-error response for req.

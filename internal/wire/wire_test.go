@@ -76,6 +76,94 @@ func randomRequest(r *rand.Rand) *Request {
 	return req
 }
 
+func randomCluster(r *rand.Rand) *ClusterPayload {
+	digest := func() PeerDigest {
+		return PeerDigest{ID: randString(r), Endpoint: randString(r),
+			Heartbeat: r.Uint64(), Leaving: r.Intn(4) == 0}
+	}
+	c := &ClusterPayload{From: digest()}
+	for i := 0; i < r.Intn(4); i++ {
+		c.Peers = append(c.Peers, digest())
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		c.Dir = append(c.Dir, DirEntry{
+			Key: randString(r),
+			Ref: RemoteRef{GUID: randString(r), Endpoint: randString(r),
+				Proto: "rrp", Target: randString(r)},
+			Version: r.Uint64(),
+			Origin:  randString(r),
+		})
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		c.Intents = append(c.Intents, Intent{
+			GUID: randString(r), Class: randString(r), From: randString(r),
+			To: randString(r), Proposer: randString(r),
+			Priority: r.Int63() - r.Int63(), Reason: randString(r),
+		})
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		s := ObjAffinity{GUID: randString(r), Class: randString(r),
+			Home: randString(r), Calls: r.Uint64(), StateBytes: r.Int63()}
+		for j := 0; j < r.Intn(3); j++ {
+			s.Callers = append(s.Callers, EndpointCount{Endpoint: randString(r), Calls: r.Uint64()})
+		}
+		c.Stats = append(c.Stats, s)
+	}
+	return c
+}
+
+// TestBinaryClusterRoundTripProperty covers the gossip payload section of
+// the codec on both message directions: OpGossip requests carry the
+// sender's payload, their responses the receiver's.
+func TestBinaryClusterRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := &Request{ID: r.Uint64(), Op: OpGossip, Cluster: randomCluster(r)}
+		back, err := DecodeRequestBytes(AppendRequest(nil, req))
+		if err != nil || !reflect.DeepEqual(req, back) {
+			return false
+		}
+		resp := &Response{ID: req.ID, Cluster: randomCluster(r)}
+		bresp, err := DecodeResponseBytes(AppendResponse(nil, resp))
+		return err == nil && reflect.DeepEqual(resp, bresp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterPayloadHTTPCodecs checks the gossip payload survives the
+// textual transports too (soap carries XML, json carries JSON): gossip
+// must work over whichever protocol a peer serves.
+func TestClusterPayloadHTTPCodecs(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		req := &Request{ID: r.Uint64(), Op: OpGossip, Cluster: randomCluster(r)}
+		jb, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jback := &Request{}
+		if err := json.Unmarshal(jb, jback); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(req.Cluster, jback.Cluster) {
+			t.Fatalf("json cluster round trip:\n%+v\n%+v", req.Cluster, jback.Cluster)
+		}
+		xb, err := xml.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xback := &Request{}
+		if err := xml.Unmarshal(xb, xback); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(req.Cluster, xback.Cluster) {
+			t.Fatalf("xml cluster round trip:\n%+v\n%+v\n%s", req.Cluster, xback.Cluster, xb)
+		}
+	}
+}
+
 func TestBinaryRequestRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))

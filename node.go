@@ -49,22 +49,36 @@ type NodeConfig struct {
 	// default).  Long-running benchmark and server deployments raise it;
 	// the default exists to stop runaway programs in tests.
 	MaxSteps int64
+	// NoCallback keeps a node serving no transport fully anonymous: by
+	// default such a node volunteers a callback endpoint the first time
+	// it dials out, so peers can attribute its call affinity (and
+	// migrate hot objects toward it) instead of binning its traffic as
+	// anonymous.
+	NoCallback bool
 }
 
 // Node is one address space hosting the transformed program.
 type Node struct {
 	n *node.Node
 
-	// adaptMu guards adapters (engines attached via StartAdapter /
-	// NewAdapter, stopped on Close).
+	// adaptMu guards adapters and clusters (attached via StartAdapter /
+	// NewAdapter / JoinCluster, stopped on Close).
 	adaptMu  sync.Mutex
 	adapters []*Adapter
+	clusters []*Cluster
 }
 
 // attachAdapter registers an adapter for shutdown on Close.
 func (n *Node) attachAdapter(a *Adapter) {
 	n.adaptMu.Lock()
 	n.adapters = append(n.adapters, a)
+	n.adaptMu.Unlock()
+}
+
+// attachCluster registers a cluster handle for shutdown on Close.
+func (n *Node) attachCluster(c *Cluster) {
+	n.adaptMu.Lock()
+	n.clusters = append(n.clusters, c)
 	n.adaptMu.Unlock()
 }
 
@@ -76,11 +90,12 @@ func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
 		vmOpts = append(vmOpts, vm.WithMaxSteps(cfg.MaxSteps))
 	}
 	n, err := node.New(node.Config{
-		Name:       cfg.Name,
-		Result:     t.res,
-		Transports: reg,
-		Output:     cfg.Output,
-		VMOpts:     vmOpts,
+		Name:              cfg.Name,
+		Result:            t.res,
+		Transports:        reg,
+		Output:            cfg.Output,
+		VMOpts:            vmOpts,
+		VolunteerCallback: !cfg.NoCallback,
 	})
 	if err != nil {
 		return nil, err
@@ -95,14 +110,20 @@ func (n *Node) Serve(proto, addr string) (string, error) { return n.n.Serve(prot
 // Endpoint returns this node's endpoint for proto, if serving.
 func (n *Node) Endpoint(proto string) string { return n.n.Endpoint(proto) }
 
-// Close shuts down the node's adapters, servers and connections.
+// Close shuts down the node's adapters, cluster membership, servers and
+// connections.
 func (n *Node) Close() error {
 	n.adaptMu.Lock()
 	adapters := n.adapters
+	clusters := n.clusters
 	n.adapters = nil
+	n.clusters = nil
 	n.adaptMu.Unlock()
 	for _, a := range adapters {
 		a.Stop()
+	}
+	for _, c := range clusters {
+		c.Stop()
 	}
 	return n.n.Close()
 }
@@ -115,6 +136,7 @@ func (n *Node) Close() error {
 func (n *Node) PlaceClass(class, endpoint string) error {
 	if endpoint == "" || endpoint == "local" {
 		n.n.Policy().SetClass(class, policy.LocalPlacement)
+		n.n.AnnounceClassPlacement(class, "")
 		return nil
 	}
 	pl, err := policy.RemoteAt(endpoint)
@@ -122,6 +144,9 @@ func (n *Node) PlaceClass(class, endpoint string) error {
 		return err
 	}
 	n.n.Policy().SetClass(class, pl)
+	// In a cluster the placement is a new policy epoch every member
+	// converges on via the shared directory (no-op otherwise).
+	n.n.AnnounceClassPlacement(class, endpoint)
 	return nil
 }
 
