@@ -12,6 +12,9 @@ package rafda
 //	E7  scaling       RRP concurrency throughput: multiplexed vs lock-step
 //	E8  scaling       intra-node parallelism: sharded VM locking vs the
 //	                  coarse-lock baseline, distinct vs shared targets
+//	E9  adaptive      telemetry-driven placement convergence
+//	E11 scaling       pooled-transport saturation: sharded per-endpoint
+//	                  connection pools vs the single-socket ceiling
 
 import (
 	"fmt"
@@ -941,4 +944,44 @@ func BenchmarkE9_AdaptivePlacement(b *testing.B) {
 		}
 		drive(b, nodeA, ref)
 	})
+}
+
+// BenchmarkE11_PooledTransport measures the pooled-transport saturation
+// experiment's core comparison: echo throughput at parallelism 64 over
+// a per-endpoint connection pool of width 1 (the E7 single-socket
+// configuration), 2, 4 and 8, under simulated LAN conditions.  On a
+// multicore host widening the pool lifts the calls/s ceiling — every
+// frame no longer funnels through one writer/reader goroutine pair; on
+// one core the rows stay flat (the pair already saturates the CPU).
+// `rafda-bench -exp e11` is the report form and writes BENCH_E11.json.
+func BenchmarkE11_PooledTransport(b *testing.B) {
+	echo := func(req *wire.Request) *wire.Response {
+		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KInt, Int: 42}}
+	}
+	lan := netsim.Profile{Latency: 100 * time.Microsecond, BandwidthBps: 1e9, Seed: 1}
+	for _, pool := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lan/pool%d/p64", pool), func(b *testing.B) {
+			tr := transport.NewRRP(transport.Options{Profile: lan})
+			srv, err := tr.Listen("", echo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			cc := transport.NewClientCachePool(transport.NewRegistry(tr), pool)
+			defer cc.Close()
+			ep := srv.Endpoint()
+			req := &wire.Request{ID: 1, Op: wire.OpInvoke, GUID: "g", Method: "add",
+				Args: []wire.Value{{Kind: wire.KInt, Int: 20}, {Kind: wire.KInt, Int: 22}}}
+			runConcurrentCalls(b, 64, func() error {
+				resp, err := cc.CallKey(ep, "", req)
+				if err != nil {
+					return err
+				}
+				if resp.Result.Int != 42 {
+					return fmt.Errorf("bad echo %+v", resp)
+				}
+				return nil
+			})
+		})
+	}
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The perf-regression gate: compare freshly generated BENCH_*.json
+// records against the committed ones and fail when a key row regresses
+// beyond the tolerance.  One key row per experiment — the row each
+// experiment's write-up treats as its headline:
+//
+//	e7   sim-LAN multiplexed p=64 calls/s    (wire concurrency ceiling)
+//	e9   converged_ratio                     (adaptive convergence)
+//	e10  converged_ratio                     (cluster convergence)
+//	e11  best pooled sim-LAN p=64 calls/s    (pooled-transport ceiling)
+//
+// Ratios (e9/e10) are machine-independent.  The calls/s rows (e7/e11)
+// are only as sharp as the committed side: today's committed records
+// come from the 1-core dev container, so against a faster CI runner
+// they catch only catastrophic transport regressions — the ROADMAP
+// names committing a runner-class record (and tightening the
+// tolerance) as the follow-up that makes these rows bite.  The fresh
+// side is always the bench-gate job's own runner class, so the
+// comparison tightens automatically once the committed side matches.
+
+// readReport decodes one BENCH record into v.
+func readReport(dir, exp string, v any) error {
+	path := filepath.Join(dir, "BENCH_"+strings.ToUpper(exp)+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// gateKeyMetric extracts the enforced key row from one experiment's
+// record in dir.
+func gateKeyMetric(exp, dir string) (name string, val float64, err error) {
+	switch exp {
+	case "e7":
+		var r E7Report
+		if err := readReport(dir, exp, &r); err != nil {
+			return "", 0, err
+		}
+		for _, row := range r.Results {
+			if row.Network == "lan" && row.Mode == "multiplexed" && row.Parallelism == 64 {
+				return "lan/multiplexed/p64 calls/s", row.CallsPerSec, nil
+			}
+		}
+		return "", 0, fmt.Errorf("e7: no lan/multiplexed/p64 row in %s", dir)
+	case "e9":
+		var r E9Report
+		if err := readReport(dir, exp, &r); err != nil {
+			return "", 0, err
+		}
+		return "converged_ratio", r.ConvergedRatio, nil
+	case "e10":
+		var r E10Report
+		if err := readReport(dir, exp, &r); err != nil {
+			return "", 0, err
+		}
+		return "converged_ratio", r.ConvergedRatio, nil
+	case "e11":
+		var r E11Report
+		if err := readReport(dir, exp, &r); err != nil {
+			return "", 0, err
+		}
+		var best float64
+		for _, row := range r.Results {
+			// Pool > 1 only: the key row must measure the *pooled*
+			// ceiling — counting the pool=1 baseline would let a total
+			// pooling collapse pass on the baseline's own throughput.
+			if row.Network == "lan" && row.Parallelism == 64 && row.Pool > 1 && row.CallsPerSec > best {
+				best = row.CallsPerSec
+			}
+		}
+		if best == 0 {
+			return "", 0, fmt.Errorf("e11: no pooled lan/p64 rows in %s", dir)
+		}
+		return "best pooled lan/p64 calls/s", best, nil
+	default:
+		return "", 0, fmt.Errorf("gate: no key metric defined for experiment %q", exp)
+	}
+}
+
+// runGate compares the fresh records in freshDir against the committed
+// ones in committedDir, one key row per experiment, and returns an
+// error naming every row that regressed more than tolerance.
+func runGate(exps []string, committedDir, freshDir string, tolerance float64) error {
+	fmt.Printf("perf-regression gate: fresh %s vs committed %s, tolerance %.0f%%\n\n",
+		freshDir, committedDir, 100*tolerance)
+	fmt.Printf("  %-4s %-32s %12s %12s %8s  %s\n", "exp", "key row", "committed", "fresh", "ratio", "verdict")
+	var failures []string
+	for _, exp := range exps {
+		exp = strings.TrimSpace(exp)
+		if exp == "" {
+			continue
+		}
+		name, committed, err := gateKeyMetric(exp, committedDir)
+		if err != nil {
+			return fmt.Errorf("committed record: %w", err)
+		}
+		_, fresh, err := gateKeyMetric(exp, freshDir)
+		if err != nil {
+			return fmt.Errorf("fresh record: %w", err)
+		}
+		ratio := 0.0
+		if committed > 0 {
+			ratio = fresh / committed
+		}
+		verdict := "ok"
+		if fresh < committed*(1-tolerance) {
+			verdict = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("%s %s: fresh %.3g vs committed %.3g (%.0f%%)", exp, name, fresh, committed, 100*ratio))
+		}
+		fmt.Printf("  %-4s %-32s %12.3f %12.3f %7.0f%%  %s\n", exp, name, committed, fresh, 100*ratio, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d key row(s) regressed >%.0f%%:\n  %s",
+			len(failures), 100*tolerance, strings.Join(failures, "\n  "))
+	}
+	fmt.Println("\ngate passed: no key row regressed beyond tolerance")
+	return nil
+}

@@ -18,11 +18,23 @@
 //	                      mis-placed hot object via a multi-hop migration —
 //	                      proposed by a node that neither hosts nor calls it
 //	                      — with zero manual calls (writes BENCH_E10.json)
+//	rafda-bench -exp e11  pooled-transport saturation: per-endpoint pool
+//	                      width 1→8 at parallelism 64 vs the single-socket
+//	                      ceiling (writes BENCH_E11.json)
 //	rafda-bench -exp all  everything
 //
 // The -adapt-* flags tune e9's engine (window, threshold, min calls,
 // confirm windows, migration budget); the -e10-* flags tune e10's
-// cluster (heartbeat, phase length, parallelism, acceptance ratio).
+// cluster (heartbeat, phase length, parallelism, acceptance ratio);
+// -pool overrides the connection pool width of e9/e10's nodes.
+//
+// -gate switches to the CI perf-regression comparator instead of
+// running experiments: it compares freshly generated records (in
+// -gate-fresh) against the committed BENCH_*.json (in -gate-committed)
+// and exits non-zero when an experiment's key row regressed more than
+// -gate-tolerance:
+//
+//	rafda-bench -gate e7,e9,e10,e11 -gate-fresh .gate
 package main
 
 import (
@@ -75,11 +87,17 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e10 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e11 or all)")
 	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
 	e8json := flag.String("e8json", "BENCH_E8.json", "path for e8's machine-readable results (empty to skip)")
 	e9json := flag.String("e9json", "BENCH_E9.json", "path for e9's machine-readable results (empty to skip)")
 	e10json := flag.String("e10json", "BENCH_E10.json", "path for e10's machine-readable results (empty to skip)")
+	e11json := flag.String("e11json", "BENCH_E11.json", "path for e11's machine-readable results (empty to skip)")
+	pool := flag.Int("pool", 0, "connection pool width of e9/e10's nodes (0: GOMAXPROCS, capped at 8)")
+	gate := flag.String("gate", "", "run the perf-regression gate over these experiments (e.g. \"e7,e9,e10,e11\") instead of benchmarks")
+	gateCommitted := flag.String("gate-committed", ".", "directory holding the committed BENCH_*.json records")
+	gateFresh := flag.String("gate-fresh", ".gate", "directory holding the freshly generated BENCH_*.json records")
+	gateTol := flag.Float64("gate-tolerance", 0.30, "fractional regression of a key row the gate tolerates")
 	e9cfg := e9Config{}
 	flag.DurationVar(&e9cfg.window, "adapt-window", 75*time.Millisecond, "e9: adapter evaluation window")
 	flag.Float64Var(&e9cfg.threshold, "adapt-threshold", 0.6, "e9: dominant-caller share needed to act")
@@ -94,7 +112,19 @@ func main() {
 	flag.DurationVar(&e10cfg.phase, "e10-seconds", 3*time.Second, "e10: duration of each measured phase")
 	flag.IntVar(&e10cfg.parallel, "e10-parallel", 8, "e10: concurrent caller goroutines")
 	flag.Float64Var(&e10cfg.minRatio, "e10-min-ratio", 0.8, "e10: required converged/optimal throughput ratio")
+	e11cfg := e11Config{}
+	flag.IntVar(&e11cfg.parallel, "e11-parallel", 64, "e11: concurrent caller goroutines")
+	flag.Float64Var(&e11cfg.minLift, "e11-min-lift", 0, "e11: required pooled/single-socket calls/s lift (0: report only; needs real cores)")
 	flag.Parse()
+	if *gate != "" {
+		if err := runGate(strings.Split(*gate, ","), *gateCommitted, *gateFresh, *gateTol); err != nil {
+			fmt.Fprintf(os.Stderr, "gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e9cfg.pool = *pool
+	e10cfg.pool = *pool
 	run := func(id string, f func() error) {
 		if *exp != "all" && *exp != id {
 			return
@@ -115,6 +145,7 @@ func main() {
 	run("e8", func() error { return e8(*e8json) })
 	run("e9", func() error { return e9(e9cfg, *e9json) })
 	run("e10", func() error { return e10(e10cfg, *e10json) })
+	run("e11", func() error { return e11(e11cfg, *e11json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,
@@ -560,6 +591,7 @@ type E7Report struct {
 	Description string     `json:"description"`
 	Timestamp   string     `json:"timestamp"`
 	GoMaxProcs  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
 	Results     []E7Result `json:"results"`
 }
 
@@ -632,6 +664,7 @@ func e7(jsonPath string) error {
 		Description: "RRP concurrency throughput: multiplexed transport vs lock-step baseline, echo workload",
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 	fmt.Println("concurrent echo calls over one shared RRP connection")
 	fmt.Printf("  %-9s %-12s %3s %12s %12s %10s\n", "network", "mode", "p", "calls/s", "ns/op", "allocs/op")
@@ -740,6 +773,7 @@ type E8Report struct {
 	Description string     `json:"description"`
 	Timestamp   string     `json:"timestamp"`
 	GoMaxProcs  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
 	Results     []E8Result `json:"results"`
 }
 
@@ -811,6 +845,7 @@ func e8(jsonPath string) error {
 			"CallOn invocations against distinct vs shared target objects",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 	fmt.Printf("concurrent intra-node invocations (GOMAXPROCS=%d)\n", report.GoMaxProcs)
 	fmt.Printf("  %-6s %-8s %-9s %3s %12s %12s\n", "work", "mode", "target", "p", "calls/s", "ns/op")
@@ -908,6 +943,7 @@ type e9Config struct {
 	phase     time.Duration
 	parallel  int
 	minRatio  float64
+	pool      int
 }
 
 // e9Source is the E9 workload: one hot shared object whose every call
@@ -957,6 +993,7 @@ type E9Report struct {
 	Description string  `json:"description"`
 	Timestamp   string  `json:"timestamp"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
 	Parallel    int     `json:"parallelism"`
 	AdaptWindow string  `json:"adapt_window"`
 	Threshold   float64 `json:"adapt_threshold"`
@@ -975,7 +1012,7 @@ type E9Report struct {
 
 // e9Nodes builds the two-node deployment over a simulated LAN and
 // returns (driver, server, driver endpoint, server endpoint).
-func e9Nodes() (*rafda.Node, *rafda.Node, string, string, error) {
+func e9Nodes(pool int) (*rafda.Node, *rafda.Node, string, string, error) {
 	prog, err := rafda.CompileString(e9Source)
 	if err != nil {
 		return nil, nil, "", "", err
@@ -987,11 +1024,11 @@ func e9Nodes() (*rafda.Node, *rafda.Node, string, string, error) {
 	// The measured phases interpret hundreds of millions of instructions;
 	// lift the anti-runaway budget well clear of them.
 	const steps = int64(1) << 40
-	nodeA, err := tr.NewNode(rafda.NodeConfig{Name: "driver", Network: rafda.NetLAN, MaxSteps: steps})
+	nodeA, err := tr.NewNode(rafda.NodeConfig{Name: "driver", Network: rafda.NetLAN, MaxSteps: steps, PoolSize: pool})
 	if err != nil {
 		return nil, nil, "", "", err
 	}
-	nodeB, err := tr.NewNode(rafda.NodeConfig{Name: "server", Network: rafda.NetLAN, MaxSteps: steps})
+	nodeB, err := tr.NewNode(rafda.NodeConfig{Name: "server", Network: rafda.NetLAN, MaxSteps: steps, PoolSize: pool})
 	if err != nil {
 		nodeA.Close()
 		return nil, nil, "", "", err
@@ -1085,6 +1122,7 @@ func e9(cfg e9Config, jsonPath string) error {
 			"vs manual-optimal placement, two nodes over simulated LAN",
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Parallel:    cfg.parallel,
 		AdaptWindow: cfg.window.String(),
 		Threshold:   cfg.threshold,
@@ -1098,7 +1136,7 @@ func e9(cfg e9Config, jsonPath string) error {
 	// last third of their 100ms buckets — so warm-up transients cancel
 	// out of the ratio.
 	{
-		nodeA, nodeB, _, _, err := e9Nodes()
+		nodeA, nodeB, _, _, err := e9Nodes(cfg.pool)
 		if err != nil {
 			return err
 		}
@@ -1123,7 +1161,7 @@ func e9(cfg e9Config, jsonPath string) error {
 	// Phase 2 — mis-placed with the adapter on: the object starts on
 	// the server; every call crosses the simulated LAN until the engine
 	// moves it.
-	nodeA, nodeB, _, epB, err := e9Nodes()
+	nodeA, nodeB, _, epB, err := e9Nodes(cfg.pool)
 	if err != nil {
 		return err
 	}
@@ -1254,6 +1292,7 @@ type e10Config struct {
 	phase     time.Duration
 	parallel  int
 	minRatio  float64
+	pool      int
 }
 
 // E10Event is one cluster coordination event, node-attributed.
@@ -1276,6 +1315,7 @@ type E10Report struct {
 	Description string `json:"description"`
 	Timestamp   string `json:"timestamp"`
 	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
 	Parallel    int    `json:"parallelism"`
 	Heartbeat   string `json:"cluster_heartbeat"`
 
@@ -1295,9 +1335,9 @@ type E10Report struct {
 }
 
 // e10Node builds one cluster-member node over the simulated LAN.
-func e10Node(tr *rafda.Transformed, name string) (*rafda.Node, string, error) {
+func e10Node(tr *rafda.Transformed, name string, pool int) (*rafda.Node, string, error) {
 	const steps = int64(1) << 40
-	n, err := tr.NewNode(rafda.NodeConfig{Name: name, Network: rafda.NetLAN, MaxSteps: steps})
+	n, err := tr.NewNode(rafda.NodeConfig{Name: name, Network: rafda.NetLAN, MaxSteps: steps, PoolSize: pool})
 	if err != nil {
 		return nil, "", err
 	}
@@ -1327,6 +1367,7 @@ func e10(cfg e10Config, jsonPath string) error {
 			"via a multi-hop migration (proposer != source != target), zero manual calls",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Parallel:   cfg.parallel,
 		Heartbeat:  cfg.heartbeat.String(),
 	}
@@ -1343,7 +1384,7 @@ func e10(cfg e10Config, jsonPath string) error {
 	// Phase 1 — manual-optimal baseline: the object is local to the
 	// caller; same tail-mean statistic as phase 2.
 	{
-		caller, _, err := e10Node(tr, "caller")
+		caller, _, err := e10Node(tr, "caller", cfg.pool)
 		if err != nil {
 			return err
 		}
@@ -1364,17 +1405,17 @@ func e10(cfg e10Config, jsonPath string) error {
 	}
 
 	// Phase 2 — the cluster.
-	scheduler, epA, err := e10Node(tr, "scheduler")
+	scheduler, epA, err := e10Node(tr, "scheduler", cfg.pool)
 	if err != nil {
 		return err
 	}
 	defer scheduler.Close()
-	host, epB, err := e10Node(tr, "host")
+	host, epB, err := e10Node(tr, "host", cfg.pool)
 	if err != nil {
 		return err
 	}
 	defer host.Close()
-	caller, _, err := e10Node(tr, "caller")
+	caller, _, err := e10Node(tr, "caller", cfg.pool)
 	if err != nil {
 		return err
 	}

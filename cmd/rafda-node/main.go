@@ -5,7 +5,7 @@
 //	rafda-node -archive prog.transformed.rar \
 //	    -serve rrp://127.0.0.1:7001 -serve soap://127.0.0.1:7002 \
 //	    -place C=rrp://10.0.0.2:7001 -place Audit=soap://10.0.0.3:7002 \
-//	    [-main Main] [-name node1] [-adapt] [-adapt-window 250ms] \
+//	    [-main Main] [-name node1] [-pool 4] [-adapt] [-adapt-window 250ms] \
 //	    [-cluster] [-join rrp://10.0.0.2:7001] [-cluster-heartbeat 100ms] \
 //	    [-cluster-propose] [-cluster-fanout 2]
 //
@@ -59,6 +59,7 @@ func run() error {
 	mainClass := flag.String("main", "", "entry class to run after start (empty: serve only)")
 	flag.Var(&serves, "serve", "endpoint to serve, proto://host:port (repeatable)")
 	flag.Var(&places, "place", "placement rule Class=endpoint or Class=local (repeatable)")
+	poolSize := flag.Int("pool", 0, "connections pooled per peer endpoint (0: GOMAXPROCS, capped at 8; 1: single socket)")
 	adaptOn := flag.Bool("adapt", false, "run the adaptive placement engine (docs/ADAPTIVE.md)")
 	adaptWindow := flag.Duration("adapt-window", 250*time.Millisecond, "adaptive engine evaluation window")
 	clusterOn := flag.Bool("cluster", false, "join the cluster coordination plane (docs/CLUSTER.md); implied by -join")
@@ -91,7 +92,7 @@ func run() error {
 		return err
 	}
 
-	node, err := tr.NewNode(rafda.NodeConfig{Name: *name, Output: os.Stdout})
+	node, err := tr.NewNode(rafda.NodeConfig{Name: *name, Output: os.Stdout, PoolSize: *poolSize})
 	if err != nil {
 		return err
 	}

@@ -339,7 +339,7 @@ func TestCostRuleWeighsStateAgainstTraffic(t *testing.T) {
 	obj := vm.NewRawObject(&ir.Class{Name: "C_O_Local"}, map[string]vm.Value{})
 	mkView := func(calls uint64, stateBytes int64, rttNs float64) *View {
 		return &View{
-			Self: map[string]bool{epB: true},
+			Self:      map[string]bool{epB: true},
 			PeerRTTNs: map[string]float64{epA: rttNs},
 			Objects: []ObjWindow{{
 				GUID: "g", Class: "C", Obj: obj, Migratable: true,

@@ -68,6 +68,9 @@ type affCum struct {
 }
 
 // Call implements cluster.Runtime over the node's shared client cache.
+// Gossip is pinned to each pool's shard-0 connection (cache.Call), so
+// the RTT the coordinator observes — and feeds into suspicion timing —
+// always measures the same socket instead of smearing across shards.
 func (r *clusterRuntime) Call(endpoint string, req *wire.Request) (*wire.Response, error) {
 	req.ID = r.n.nextReqID()
 	return r.n.cache.Call(endpoint, req)

@@ -83,13 +83,15 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 		}
 
 		// Ship, still holding the gate: invocations arriving now block
-		// until the morph lands and then forward to the new home.
-		client, err := n.client(targetEndpoint)
-		if err != nil {
-			migErr = fmt.Errorf("node %s: migrate dial: %w", n.name, err)
-			return
-		}
-		resp, err := client.Call(req)
+		// until the morph lands and then forward to the new home.  The
+		// shipment goes over the pool's shard-0 connection WITHOUT the
+		// failover retry (cache.Call, not CallKey): OpMigrateIn is not
+		// idempotent — a retry after the target already adopted the
+		// object would install a second orphan copy in its export table
+		// — so a mid-flight connection death keeps the pre-pool
+		// at-most-once regime: the ship fails, the morph never happens,
+		// and the object stays live here (CONCURRENCY.md §10).
+		resp, err := n.cache.Call(targetEndpoint, req)
 		if err != nil {
 			migErr = fmt.Errorf("node %s: migrate call: %w", n.name, err)
 			return
@@ -144,12 +146,10 @@ func (n *Node) migrateViaHome(proxy *vm.Object, targetEndpoint string) error {
 		if home == targetEndpoint {
 			return // already there
 		}
-		client, err := n.client(home)
-		if err != nil {
-			retErr = fmt.Errorf("node %s: migrate-out dial home: %w", n.name, err)
-			return
-		}
-		resp, err := client.Call(&wire.Request{
+		// Unlike the ship above, OpMigrateOut may ride the pool's
+		// failover retry: a duplicate delivery finds the home's export
+		// already forwarding and just returns the new reference.
+		resp, err := n.callEndpoint(home, id, &wire.Request{
 			ID: n.nextReqID(), Op: wire.OpMigrateOut, GUID: id, Endpoint: targetEndpoint,
 		})
 		if err != nil {

@@ -8,7 +8,6 @@ import (
 	"rafda/internal/policy"
 	"rafda/internal/telemetry"
 	"rafda/internal/transform"
-	"rafda/internal/transport"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
 )
@@ -245,16 +244,23 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 
 // callRemote sends a request while the VM lock is released, so incoming
 // work (including callbacks from the callee) can execute meanwhile.
+// The call rides the pool shard its affinity key selects — the target
+// GUID, so one object's calls share one socket.  OpCreate is exempt
+// from the pool's shard-failover retry, like the migration ship
+// (CONCURRENCY.md §10): creation is not idempotent — a duplicate
+// delivery would run the constructor twice and strand the first
+// instance in the server's export table forever — so it rides the
+// shard-0 no-retry path and a mid-flight connection death surfaces as
+// the pre-pool sys.RemoteException.
 func (n *Node) callRemote(env *vm.Env, endpoint string, req *wire.Request) (*wire.Response, error) {
 	var resp *wire.Response
 	var err error
 	env.RunUnlocked(func() {
-		var c transport.Client
-		c, err = n.client(endpoint)
-		if err != nil {
-			return
+		if req.Op == wire.OpCreate {
+			resp, err = n.cache.Call(endpoint, req)
+		} else {
+			resp, err = n.callEndpoint(endpoint, affinityKey(req), req)
 		}
-		resp, err = c.Call(req)
 	})
 	return resp, err
 }

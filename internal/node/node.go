@@ -36,6 +36,7 @@ import (
 	"rafda/internal/transform"
 	"rafda/internal/transport"
 	"rafda/internal/vm"
+	"rafda/internal/wire"
 )
 
 // Config configures a node.
@@ -55,6 +56,11 @@ type Config struct {
 	// lazily when it first dials out, so peers can attribute (and
 	// migrate toward) its call affinity.
 	VolunteerCallback bool
+	// PoolSize is the per-endpoint connection pool width (shards per
+	// peer); <= 0 takes transport.DefaultPoolShards() (GOMAXPROCS,
+	// capped).  Outgoing invocations spread across the shards by
+	// object-GUID affinity; gossip stays pinned to shard 0.
+	PoolSize int
 }
 
 // Node is one address space.
@@ -72,9 +78,12 @@ type Node struct {
 	endpoints map[string]string // proto -> this node's endpoint
 	closed    bool
 
-	// cache holds one client per dialled endpoint.  It is shared with
-	// the cluster coordination plane (StartCluster), so gossip rides the
-	// same multiplexed connections as invocations.
+	// cache holds one sharded connection pool per dialled endpoint
+	// (Config.PoolSize shards, defaulting from GOMAXPROCS).  It is
+	// shared with the cluster coordination plane (StartCluster), so
+	// gossip rides the same multiplexed connections as invocations —
+	// pinned to shard 0, so membership RTT pings stay comparable while
+	// invocations spread across the pool by object-GUID affinity.
 	cache *transport.ClientCache
 
 	// epSnap is a lock-free copy of endpoints, republished by Serve:
@@ -175,7 +184,7 @@ func New(cfg Config) (*Node, error) {
 		exports:    registry.New(cfg.Name),
 		pol:        policy.NewTable(),
 		endpoints:  make(map[string]string),
-		cache:      transport.NewClientCache(reg),
+		cache:      transport.NewClientCachePool(reg, cfg.PoolSize),
 		singletons: make(map[string]*singletonEntry),
 		volunteer:  cfg.VolunteerCallback,
 	}
@@ -345,10 +354,31 @@ func (n *Node) Close() error {
 	return firstErr
 }
 
-// client returns a cached client for endpoint, dialling on first use.
-func (n *Node) client(endpoint string) (transport.Client, error) {
-	return n.cache.Get(endpoint)
+// callEndpoint performs one request against endpoint through the shared
+// connection pool, routed by affinity key ("" round-robins, with shard
+// failover).  Dispatch, proxy calls and migration all go through here;
+// gossip uses cache.Call (shard 0) instead, so its RTT samples always
+// measure one stable socket.
+func (n *Node) callEndpoint(endpoint, key string, req *wire.Request) (*wire.Response, error) {
+	return n.cache.CallKey(endpoint, key, req)
 }
+
+// affinityKey picks the pool affinity key for a request: the target
+// object's GUID when there is one (per-object calls stay on one shard,
+// preserving wire order per object), the class for statics-singleton
+// invocations, and "" (round-robin) otherwise.
+func affinityKey(req *wire.Request) string {
+	if req.GUID != "" {
+		return req.GUID
+	}
+	if req.Op == wire.OpInvokeClass {
+		return req.Class
+	}
+	return ""
+}
+
+// PoolShards returns the per-endpoint connection pool width.
+func (n *Node) PoolShards() int { return n.cache.Shards() }
 
 // nextReqID issues a request id (lock-free; callable from any goroutine).
 func (n *Node) nextReqID() uint64 {

@@ -1,0 +1,130 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rafda/internal/policy"
+	"rafda/internal/transform"
+	"rafda/internal/vm"
+)
+
+// TestPooledTransportInvocationsAndMigration drives the full node stack
+// over a widened connection pool: the dev container defaults to pool
+// size 1 (GOMAXPROCS), so this test pins PoolSize 4 to exercise the
+// sharded path — concurrent proxy invocations spread across shards by
+// GUID affinity, a migration mid-load (which ships round-robin and
+// morphs under the gate), and redirect-retargeted calls — under the
+// race detector in CI.
+func TestPooledTransportInvocationsAndMigration(t *testing.T) {
+	src := `
+class Counter {
+    int n;
+    Counter(int n) { this.n = n; }
+    int bump() { n = n + 1; return n; }
+    int get() { return n; }
+}
+class Mk {
+    static Counter make() { return new Counter(0); }
+}
+class Main { static void main() {} }`
+	res := transformSource(t, src)
+
+	server, err := New(Config{Name: "server", Result: res, PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Close() })
+	endpoint, err := server.Serve("rrp", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := New(Config{Name: "client", Result: res, PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	clientEp, err := client.Serve("rrp", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := client.PoolShards(); got != 4 {
+		t.Fatalf("PoolShards() = %d, want 4", got)
+	}
+
+	// Place Counter remotely and create one hot object per worker, so
+	// the GUID affinity hash spreads the workers across pool shards.
+	pl, err := policy.RemoteAt(endpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Policy().SetClass("Counter", pl)
+	const workers = 8
+	const callsPer = 40
+	refs := make([]vm.Value, workers)
+	for i := range refs {
+		v, err := client.InvokeStatic("Mk", "make")
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = v
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsPer; i++ {
+				if _, err := client.CallOn(refs[g], "bump"); err != nil {
+					errs <- fmt.Errorf("worker %d call %d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Migrate one of the hot objects to the client mid-load: the ship
+	// goes round-robin over the pool while its object's own calls hold
+	// the gate, and post-morph calls retarget through the redirect.
+	if err := server.Migrate(serverExportOf(t, server, refs[0]), clientEp); err != nil {
+		errs <- fmt.Errorf("migrate: %w", err)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Monitor semantics survived the pooling: no update was lost.
+	for g := 0; g < workers; g++ {
+		got, err := client.CallOn(refs[g], "get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != callsPer {
+			t.Fatalf("worker %d counter = %d, want %d (lost updates across pool shards)", g, got.I, callsPer)
+		}
+	}
+}
+
+// serverExportOf resolves the server-side live object behind a client
+// proxy reference, so the test can migrate it from its home.
+func serverExportOf(t *testing.T, server *Node, ref vm.Value) vm.Value {
+	t.Helper()
+	if ref.O == nil {
+		t.Fatal("nil ref")
+	}
+	_, fields := ref.O.View()
+	guid := fields[transform.ProxyFieldGUID].S
+	if guid == "" {
+		t.Fatalf("ref is not a proxy: %s", ref.O.ClassName())
+	}
+	obj, ok := server.exports.Get(guid)
+	if !ok {
+		t.Fatalf("server does not export %s", guid)
+	}
+	return vm.RefV(obj)
+}

@@ -25,6 +25,7 @@ package telemetry
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -182,10 +183,31 @@ type ClassStats struct {
 // of migrating = remote calls × RTT) and of multi-hop evidence in the
 // cluster plane; it is fed by outgoing proxy calls and by gossip pings,
 // so a peer's RTT is known even before any invocation targets it.
+//
+// Rollups are per *peer*, never per socket: the transport pools several
+// connections per endpoint, and an RTT fragmented across pool shards
+// would hand CostAffinityRule and the gossip suspicion ladder N thin,
+// noisy estimates instead of one coherent latency.  Today's recording
+// sites (proxy calls, gossip pings) already pass canonical endpoints;
+// forPeer folds through PeerKey anyway so the invariant holds even if
+// a shard-qualified socket name (transport.Pool.ShardID) ever reaches
+// a recording path — the guard the pool sharding made worth pinning.
 type PeerStats struct {
 	calls atomic.Uint64
 	bytes atomic.Uint64
 	rtt   ewma
+}
+
+// PeerKey canonicalises an endpoint for per-peer aggregation: the
+// shard-qualified socket names the connection pool uses in diagnostics
+// ("rrp://h:p#3", transport.Pool.ShardID) fold back to their peer
+// endpoint, so observations from different pool shards land in one
+// PeerStats.  Canonical endpoints pass through unchanged.
+func PeerKey(endpoint string) string {
+	if i := strings.LastIndexByte(endpoint, '#'); i >= 0 {
+		return endpoint[:i]
+	}
+	return endpoint
 }
 
 // Recorder is one node's metrics plane.  The zero value is not usable;
@@ -262,8 +284,10 @@ func (r *Recorder) RecordOutbound(class, endpoint string, bytes int, lat time.Du
 	ps.rtt.observe(lat)
 }
 
-// forPeer returns endpoint's rollup, creating it on first use.
+// forPeer returns endpoint's rollup, creating it on first use.  The
+// index key is always the PeerKey form, so per-socket names aggregate.
 func (r *Recorder) forPeer(endpoint string) *PeerStats {
+	endpoint = PeerKey(endpoint)
 	if s, ok := r.peers.Load(endpoint); ok {
 		return s.(*PeerStats)
 	}

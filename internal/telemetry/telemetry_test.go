@@ -209,3 +209,39 @@ func TestPeerRollups(t *testing.T) {
 		t.Fatalf("PeerRTTs: %+v", rtts)
 	}
 }
+
+func TestPeerRTTAggregatesAcrossPoolShards(t *testing.T) {
+	// The transport pools several sockets per endpoint; observations
+	// tagged with shard-qualified socket names (transport.Pool.ShardID,
+	// "ep#N") must fold into ONE per-peer rollup — a per-socket split
+	// would hand CostAffinityRule and gossip suspicion timing N thin
+	// EWMAs instead of one coherent peer latency.
+	if got := PeerKey("rrp://b:1#3"); got != "rrp://b:1" {
+		t.Fatalf("PeerKey shard form: %q", got)
+	}
+	if got := PeerKey("rrp://b:1"); got != "rrp://b:1" {
+		t.Fatalf("PeerKey canonical form: %q", got)
+	}
+
+	r := NewRecorder()
+	r.RecordOutbound("C", "rrp://b:1#0", 100, 2*time.Millisecond)
+	r.RecordOutbound("C", "rrp://b:1#1", 100, 2*time.Millisecond)
+	r.RecordOutbound("C", "rrp://b:1", 100, 2*time.Millisecond)
+	r.RecordPeerRTT("rrp://b:1#7", 2*time.Millisecond)
+
+	peers := r.SnapshotPeers()
+	if len(peers) != 1 {
+		t.Fatalf("shard-qualified endpoints fragmented the rollup: %+v", peers)
+	}
+	p := peers[0]
+	if p.Endpoint != "rrp://b:1" || p.Calls != 3 || p.Bytes != 300 {
+		t.Fatalf("aggregated peer rollup: %+v", p)
+	}
+	if p.RTTEWMANs != float64(2*time.Millisecond) {
+		t.Fatalf("aggregated RTT EWMA: %v", p.RTTEWMANs)
+	}
+	rtts := r.PeerRTTs()
+	if len(rtts) != 1 || rtts["rrp://b:1"] == 0 {
+		t.Fatalf("PeerRTTs keyed per socket: %+v", rtts)
+	}
+}

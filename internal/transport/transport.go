@@ -12,12 +12,18 @@
 // out-of-order responses; a writer and a reader goroutine own the
 // socket), soap/json ride net/http's pooled connections, and inproc
 // invokes the handler directly.  No implementation holds a lock across
-// a network round trip.  Servers dispatch each inbound request on its
-// own goroutine (rrp bounds in-flight requests per connection by
-// Options.MaxInflight), so the Handler — the node runtime — must be
-// concurrency-safe; the contract it follows is docs/CONCURRENCY.md.
-// Connection failures poison only their connection: every in-flight
-// call on it fails immediately and later calls redial.
+// a network round trip.  A node additionally pools rrp connections per
+// endpoint (ClientCache/Pool): calls are distributed across up to
+// GOMAXPROCS multiplexed connections by object-GUID affinity, lifting
+// the single writer/reader-pair ceiling on many-core clients while
+// keeping each object's calls on one socket.  Servers dispatch each
+// inbound request on its own goroutine (rrp bounds in-flight requests
+// per connection by Options.MaxInflight), so the Handler — the node
+// runtime — must be concurrency-safe; the contract it follows is
+// docs/CONCURRENCY.md.  Connection failures poison only their
+// connection: every in-flight call on it fails immediately, the pool
+// evicts the broken shard (retrying the call on the survivors), and
+// later calls redial.
 package transport
 
 import (
@@ -188,69 +194,103 @@ func (r *Registry) Dial(endpoint string) (Client, error) {
 	return t.Dial(endpoint)
 }
 
-// ClientCache caches one Client per endpoint, dialling on first use.  It
-// is the connection-sharing point of a node: the invocation runtime and
-// the cluster coordination plane hold the same cache, so gossip traffic
-// piggybacks on the multiplexed connections invocations already keep
-// open instead of dialling a second socket per peer.  Safe for
-// concurrent use; Get never holds the cache lock across a dial.
+// ClientCache caches one connection Pool per endpoint, each pool's
+// shards dialled lazily on first use.  It is the connection-sharing
+// point of a node: the invocation runtime and the cluster coordination
+// plane hold the same cache, so gossip traffic piggybacks on the
+// multiplexed connections invocations already keep open instead of
+// dialling a second socket per peer — pinned to shard 0, so membership
+// RTT pings always measure the same socket.  Safe for concurrent use;
+// no lock is ever held across a dial (pools are created empty under the
+// cache lock; shards dial lock-free, see Pool).
 type ClientCache struct {
-	reg *Registry
+	reg    *Registry
+	shards int
 
-	mu      sync.Mutex
-	clients map[string]Client
-	closed  bool
+	mu     sync.Mutex
+	pools  map[string]*Pool
+	closed bool
 }
 
-// NewClientCache returns an empty cache dialling through reg.
+// NewClientCache returns an empty cache dialling through reg, with the
+// default pool width (one shard per scheduler processor, capped).
 func NewClientCache(reg *Registry) *ClientCache {
-	return &ClientCache{reg: reg, clients: make(map[string]Client)}
+	return NewClientCachePool(reg, 0)
 }
 
-// Get returns the cached client for endpoint, dialling on first use.
-// Two racing first uses both dial; the loser's connection is closed and
-// every caller converges on one client per endpoint.
-func (cc *ClientCache) Get(endpoint string) (Client, error) {
+// NewClientCachePool returns an empty cache whose per-endpoint pools
+// hold size connections each; size <= 0 means DefaultPoolShards().
+func NewClientCachePool(reg *Registry, size int) *ClientCache {
+	if size <= 0 {
+		size = DefaultPoolShards()
+	}
+	return &ClientCache{reg: reg, shards: size, pools: make(map[string]*Pool)}
+}
+
+// Shards returns the per-endpoint pool width.
+func (cc *ClientCache) Shards() int { return cc.shards }
+
+// Pool returns the endpoint's connection pool, creating it (undialled)
+// on first use.
+func (cc *ClientCache) Pool(endpoint string) (*Pool, error) {
 	cc.mu.Lock()
-	if c, ok := cc.clients[endpoint]; ok {
-		cc.mu.Unlock()
-		return c, nil
-	}
-	closed := cc.closed
-	cc.mu.Unlock()
-	if closed {
-		return nil, fmt.Errorf("client cache closed")
-	}
-	c, err := cc.reg.Dial(endpoint)
-	if err != nil {
-		return nil, err
-	}
-	cc.mu.Lock()
+	defer cc.mu.Unlock()
 	if cc.closed {
-		cc.mu.Unlock()
-		_ = c.Close()
 		return nil, fmt.Errorf("client cache closed")
 	}
-	if prev, ok := cc.clients[endpoint]; ok {
-		cc.mu.Unlock()
-		_ = c.Close()
-		return prev, nil
+	p, ok := cc.pools[endpoint]
+	if !ok {
+		p = newPool(cc.reg, endpoint, cc.shards)
+		cc.pools[endpoint] = p
 	}
-	cc.clients[endpoint] = c
-	cc.mu.Unlock()
-	return c, nil
+	return p, nil
 }
 
-// Call dials (or reuses) endpoint and performs one request.
-func (cc *ClientCache) Call(endpoint string, req *wire.Request) (*wire.Response, error) {
-	c, err := cc.Get(endpoint)
+// Get returns the endpoint's canonical (shard 0) client, dialling on
+// first use.  Two racing first uses both dial; the loser's connection
+// is closed and every caller converges on one client per shard.  The
+// cluster plane gets its connection here, so gossip and RTT pings ride
+// one stable socket regardless of the pool width.
+func (cc *ClientCache) Get(endpoint string) (Client, error) {
+	p, err := cc.Pool(endpoint)
 	if err != nil {
 		return nil, err
 	}
-	return c.Call(req)
+	return p.client(0)
 }
 
-// Close closes every cached client and rejects further Gets.
+// Call performs one request on the endpoint's canonical shard-0
+// connection (the gossip path).  A failed connection is evicted so the
+// next call redials instead of hitting a poisoned client forever.
+func (cc *ClientCache) Call(endpoint string, req *wire.Request) (*wire.Response, error) {
+	p, err := cc.Pool(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.client(0)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call(req)
+	if err != nil {
+		p.evict(0, c)
+	}
+	return resp, err
+}
+
+// CallKey performs one request on the shard of the endpoint's pool that
+// the affinity key selects ("" round-robins), with shard failover — the
+// invocation path.
+func (cc *ClientCache) CallKey(endpoint, key string, req *wire.Request) (*wire.Response, error) {
+	p, err := cc.Pool(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return p.CallKey(key, req)
+}
+
+// Close closes every shard of every pool exactly once and rejects
+// further use.
 func (cc *ClientCache) Close() error {
 	cc.mu.Lock()
 	if cc.closed {
@@ -258,12 +298,12 @@ func (cc *ClientCache) Close() error {
 		return nil
 	}
 	cc.closed = true
-	clients := cc.clients
-	cc.clients = make(map[string]Client)
+	pools := cc.pools
+	cc.pools = make(map[string]*Pool)
 	cc.mu.Unlock()
 	var firstErr error
-	for _, c := range clients {
-		if err := c.Close(); err != nil && firstErr == nil {
+	for _, p := range pools {
+		if err := p.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -55,6 +55,12 @@ type NodeConfig struct {
 	// migrate hot objects toward it) instead of binning its traffic as
 	// anonymous.
 	NoCallback bool
+	// PoolSize is the per-peer connection pool width: outgoing calls
+	// spread across this many multiplexed connections per endpoint,
+	// routed by object affinity so per-object ordering is preserved.
+	// <= 0 sizes the pool from GOMAXPROCS (capped at 8); 1 restores the
+	// historical one-connection-per-peer shape.
+	PoolSize int
 }
 
 // Node is one address space hosting the transformed program.
@@ -96,6 +102,7 @@ func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
 		Output:            cfg.Output,
 		VMOpts:            vmOpts,
 		VolunteerCallback: !cfg.NoCallback,
+		PoolSize:          cfg.PoolSize,
 	})
 	if err != nil {
 		return nil, err
