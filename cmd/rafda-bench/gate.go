@@ -17,8 +17,9 @@ import (
 //	e9   converged_ratio                     (adaptive convergence)
 //	e10  converged_ratio                     (cluster convergence)
 //	e11  best pooled sim-LAN p=64 calls/s    (pooled-transport ceiling)
+//	e12  exactly_once_ok                     (chaos-audited correctness)
 //
-// Ratios (e9/e10) are machine-independent.  The calls/s rows (e7/e11)
+// Ratios (e9/e10) and the e12 pass fraction are machine-independent.  The calls/s rows (e7/e11)
 // are only as sharp as the committed side: today's committed records
 // come from the 1-core dev container, so against a faster CI runner
 // they catch only catastrophic transport regressions — the ROADMAP
@@ -85,6 +86,12 @@ func gateKeyMetric(exp, dir string) (name string, val float64, err error) {
 			return "", 0, fmt.Errorf("e11: no pooled lan/p64 rows in %s", dir)
 		}
 		return "best pooled lan/p64 calls/s", best, nil
+	case "e12":
+		var r E12Report
+		if err := readReport(dir, exp, &r); err != nil {
+			return "", 0, err
+		}
+		return "exactly_once_ok", r.ExactlyOnceOK, nil
 	default:
 		return "", 0, fmt.Errorf("gate: no key metric defined for experiment %q", exp)
 	}

@@ -21,12 +21,18 @@
 //	rafda-bench -exp e11  pooled-transport saturation: per-endpoint pool
 //	                      width 1→8 at parallelism 64 vs the single-socket
 //	                      ceiling (writes BENCH_E11.json)
+//	rafda-bench -exp e12  exactly-once under injected faults: seeded frame
+//	                      duplication/drop/kill chaos over the adaptive
+//	                      workload; counter == acked calls, zero create
+//	                      orphans, bounded windows (writes BENCH_E12.json)
 //	rafda-bench -exp all  everything
 //
 // The -adapt-* flags tune e9's engine (window, threshold, min calls,
 // confirm windows, migration budget); the -e10-* flags tune e10's
 // cluster (heartbeat, phase length, parallelism, acceptance ratio);
-// -pool overrides the connection pool width of e9/e10's nodes.
+// the -e12-* flags tune e12's fault schedules (seed matrix, per-mille
+// rates, phase length, dedup window cap); -pool overrides the
+// connection pool width of e9/e10/e12's nodes.
 //
 // -gate switches to the CI perf-regression comparator instead of
 // running experiments: it compares freshly generated records (in
@@ -34,7 +40,7 @@
 // and exits non-zero when an experiment's key row regressed more than
 // -gate-tolerance:
 //
-//	rafda-bench -gate e7,e9,e10,e11 -gate-fresh .gate
+//	rafda-bench -gate e7,e9,e10,e11,e12 -gate-fresh .gate
 package main
 
 import (
@@ -87,12 +93,13 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e11 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e12 or all)")
 	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
 	e8json := flag.String("e8json", "BENCH_E8.json", "path for e8's machine-readable results (empty to skip)")
 	e9json := flag.String("e9json", "BENCH_E9.json", "path for e9's machine-readable results (empty to skip)")
 	e10json := flag.String("e10json", "BENCH_E10.json", "path for e10's machine-readable results (empty to skip)")
 	e11json := flag.String("e11json", "BENCH_E11.json", "path for e11's machine-readable results (empty to skip)")
+	e12json := flag.String("e12json", "BENCH_E12.json", "path for e12's machine-readable results (empty to skip)")
 	pool := flag.Int("pool", 0, "connection pool width of e9/e10's nodes (0: GOMAXPROCS, capped at 8)")
 	gate := flag.String("gate", "", "run the perf-regression gate over these experiments (e.g. \"e7,e9,e10,e11\") instead of benchmarks")
 	gateCommitted := flag.String("gate-committed", ".", "directory holding the committed BENCH_*.json records")
@@ -115,6 +122,15 @@ func main() {
 	e11cfg := e11Config{}
 	flag.IntVar(&e11cfg.parallel, "e11-parallel", 64, "e11: concurrent caller goroutines")
 	flag.Float64Var(&e11cfg.minLift, "e11-min-lift", 0, "e11: required pooled/single-socket calls/s lift (0: report only; needs real cores)")
+	e12cfg := e12Config{}
+	flag.DurationVar(&e12cfg.phase, "e12-seconds", 3*time.Second, "e12: invoke-chaos duration per seed")
+	flag.IntVar(&e12cfg.parallel, "e12-parallel", 8, "e12: concurrent caller goroutines")
+	flag.StringVar(&e12cfg.seeds, "e12-seeds", "1,2,3", "e12: comma-separated fault-schedule seeds")
+	flag.IntVar(&e12cfg.dup, "e12-dup-permille", 30, "e12: per-mille frames delivered twice")
+	flag.IntVar(&e12cfg.drop, "e12-drop-permille", 3, "e12: per-mille frames swallowed (link then torn down)")
+	flag.IntVar(&e12cfg.kill, "e12-kill-permille", 3, "e12: per-mille frames killed mid-flight")
+	flag.IntVar(&e12cfg.window, "e12-window", 256, "e12: per-caller dedup window cap under audit")
+	flag.IntVar(&e12cfg.creates, "e12-creates", 150, "e12: phase-B chaos creates for the orphan audit")
 	flag.Parse()
 	if *gate != "" {
 		if err := runGate(strings.Split(*gate, ","), *gateCommitted, *gateFresh, *gateTol); err != nil {
@@ -125,6 +141,7 @@ func main() {
 	}
 	e9cfg.pool = *pool
 	e10cfg.pool = *pool
+	e12cfg.pool = *pool
 	run := func(id string, f func() error) {
 		if *exp != "all" && *exp != id {
 			return
@@ -146,6 +163,7 @@ func main() {
 	run("e9", func() error { return e9(e9cfg, *e9json) })
 	run("e10", func() error { return e10(e10cfg, *e10json) })
 	run("e11", func() error { return e11(e11cfg, *e11json) })
+	run("e12", func() error { return e12(e12cfg, *e12json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,

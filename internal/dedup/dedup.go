@@ -1,0 +1,387 @@
+// Package dedup implements the exactly-once invocation contract's two
+// halves: the caller-side Issuer that stamps every logical call with a
+// (caller, sequence, attempt) token, and the callee-side Table of
+// bounded per-caller windows that recognises duplicate deliveries of a
+// tokened call and suppresses their re-execution.
+//
+// The protocol (docs/CONCURRENCY.md §10 spells out the full contract):
+//
+//   - Every logical call gets one token for its lifetime.  Physical
+//     retries — transport shard failover, a duplicated frame, a
+//     re-send at a migrated object's new home — reuse the token with
+//     the attempt ordinal bumped.
+//   - The callee keeps one window per caller.  The first delivery of a
+//     sequence executes and its response is recorded; a duplicate of an
+//     in-flight call parks until the first attempt completes and then
+//     replays its response; a duplicate of a completed call replays
+//     immediately; a duplicate of a retired call is rejected (never
+//     re-executed — at-most-once is preserved even past the cache).
+//   - Entries retire by the caller's acked watermark (Token.Ack,
+//     piggybacked on every subsequent request: the caller has the
+//     response for every sequence <= Ack, so replay can never be
+//     needed).  A bounded replay cache caps memory regardless of ack
+//     progress: past the cap the oldest completed entries are evicted
+//     and the per-caller retired watermark advances over them.
+//
+// # Thread safety
+//
+// Issuer and Table are safe for concurrent use.  A window's lock is
+// held only for map bookkeeping — never across an execution or a park —
+// so dedup adds two short critical sections per tokened call.
+package dedup
+
+import (
+	"fmt"
+	"sync"
+
+	"rafda/internal/telemetry"
+	"rafda/internal/wire"
+)
+
+// DefaultWindow is the default per-caller replay-cache bound (completed
+// entries retained for replay); in-flight entries are bounded by the
+// transport's per-connection in-flight cap, not by this.
+const DefaultWindow = 1024
+
+// Issuer allocates call tokens for one node incarnation and tracks
+// which sequences have had their responses delivered, maintaining the
+// ack watermark every outgoing token piggybacks.
+type Issuer struct {
+	caller string
+
+	mu      sync.Mutex
+	next    uint64
+	floor   uint64              // every seq <= floor is finished
+	pending map[uint64]struct{} // finished seqs above a gap, awaiting floor advance
+}
+
+// NewIssuer returns an issuer stamping tokens for the given caller
+// incarnation id.  The id must be unique per node *instance* (a restart
+// must not reuse its predecessor's id, or stale windows at peers could
+// confuse the two histories); the node runtime derives it from its GUID
+// generator.
+func NewIssuer(caller string) *Issuer {
+	return &Issuer{caller: caller, pending: make(map[uint64]struct{})}
+}
+
+// Caller returns the issuer's incarnation id.
+func (i *Issuer) Caller() string { return i.caller }
+
+// Stamp allocates the next sequence and stamps req with a fresh token
+// carrying the current ack watermark.  It returns the sequence for the
+// matching Finish call.
+func (i *Issuer) Stamp(req *wire.Request) uint64 {
+	i.mu.Lock()
+	i.next++
+	seq := i.next
+	tok := &wire.CallToken{Caller: i.caller, Seq: seq, Ack: i.floor}
+	i.mu.Unlock()
+	req.Token = tok
+	return seq
+}
+
+// Retry bumps req's token attempt ordinal in place (same logical call,
+// next physical delivery) and refreshes the piggybacked watermark.
+func (i *Issuer) Retry(req *wire.Request) {
+	if req.Token == nil {
+		return
+	}
+	req.Token.Attempt++
+	i.mu.Lock()
+	req.Token.Ack = i.floor
+	i.mu.Unlock()
+}
+
+// Finish marks seq's logical call settled at the caller: its response
+// was delivered (or the call was abandoned after a terminal transport
+// error — the caller will never re-send the token, so the callee's
+// entry is dead weight either way).  The watermark advances over every
+// contiguous finished sequence.
+func (i *Issuer) Finish(seq uint64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if seq <= i.floor {
+		return
+	}
+	i.pending[seq] = struct{}{}
+	for {
+		if _, ok := i.pending[i.floor+1]; !ok {
+			return
+		}
+		delete(i.pending, i.floor+1)
+		i.floor++
+	}
+}
+
+// Ack returns the current watermark (for tests and diagnostics).
+func (i *Issuer) Ack() uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.floor
+}
+
+// Table is one node's dedup state: a window per caller incarnation.
+type Table struct {
+	cap   int
+	stats *telemetry.DedupStats
+
+	mu      sync.Mutex
+	windows map[string]*Window
+}
+
+// NewTable builds a table whose windows retain up to cap completed
+// entries each (cap <= 0 takes DefaultWindow).
+func NewTable(cap int) *Table {
+	if cap <= 0 {
+		cap = DefaultWindow
+	}
+	return &Table{cap: cap, stats: &telemetry.DedupStats{}, windows: make(map[string]*Window)}
+}
+
+// Stats returns the table's live counters (always recording; attach to
+// a telemetry.Recorder to expose them through the metrics plane).
+func (t *Table) Stats() *telemetry.DedupStats { return t.stats }
+
+// Cap returns the per-caller completed-entry bound.
+func (t *Table) Cap() int { return t.cap }
+
+// window returns caller's window, creating it on first use.
+func (t *Table) window(caller string) *Window {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.windows[caller]
+	if !ok {
+		w = &Window{table: t, entries: make(map[uint64]*Entry)}
+		t.windows[caller] = w
+		t.stats.Windows.Add(1)
+	}
+	return w
+}
+
+// Window is one caller's dedup state at this node.
+type Window struct {
+	table *Table
+
+	mu      sync.Mutex
+	entries map[uint64]*Entry
+	// retired is the watermark below which entries have been dropped
+	// (acked by the caller or evicted by the cache bound): every seq <=
+	// retired is settled and a late duplicate of it must be rejected,
+	// not executed.
+	retired uint64
+	// completed counts entries in entries with a recorded response (the
+	// replay cache); the cap applies to these, not to in-flight entries.
+	completed int
+	// minSeq-ish eviction scan cursor: completed entries are evicted in
+	// ascending seq order; lowSeq lower-bounds the scan so eviction stays
+	// amortised O(1) per insert.
+	lowSeq uint64
+}
+
+// Entry tracks one logical call at the callee.
+type Entry struct {
+	seq    uint64
+	target string // GUID or class key the call executed against (migration filter)
+
+	done chan struct{}  // closed once resp is set
+	resp *wire.Response // recorded response; nil while in flight
+}
+
+// Verdict says what a delivery should do.
+type Verdict int
+
+const (
+	// Execute: first delivery of the sequence — run the call, then
+	// Complete the entry.
+	Execute Verdict = iota
+	// Replay: duplicate of a settled call — answer with Entry.Response
+	// without executing.  (A duplicate of an in-flight call parks inside
+	// Begin until the first attempt completes, then returns Replay.)
+	Replay
+	// Stale: duplicate of a retired call — reject without executing.
+	Stale
+)
+
+// Begin admits one tokened delivery.  target names what the call will
+// execute against (object GUID or class singleton key); it travels with
+// the entry so migration can ship the object's slice of the window.
+//
+// A duplicate of an in-flight sequence blocks here until the first
+// attempt completes — the park that turns concurrent duplicate
+// deliveries into one execution — so Begin must not be called while
+// holding locks the executing attempt needs.
+func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
+	w := t.window(tok.Caller)
+	w.mu.Lock()
+	w.retire(tok.Ack)
+	if tok.Seq <= w.retired {
+		w.mu.Unlock()
+		t.stats.StaleRejected.Add(1)
+		return nil, Stale
+	}
+	if e, ok := w.entries[tok.Seq]; ok {
+		inFlight := e.resp == nil
+		w.mu.Unlock()
+		if inFlight {
+			t.stats.Parked.Add(1)
+			<-e.done // first attempt completes and records its response
+		} else {
+			t.stats.ReplayHits.Add(1)
+		}
+		return e, Replay
+	}
+	e := &Entry{seq: tok.Seq, target: target, done: make(chan struct{})}
+	w.entries[tok.Seq] = e
+	w.mu.Unlock()
+	return e, Execute
+}
+
+// Complete records the executed call's response on e and releases any
+// parked duplicates.  The response is retained for replay until the
+// entry retires; callers must not mutate it afterwards.
+func (t *Table) Complete(caller string, e *Entry, resp *wire.Response) {
+	w := t.window(caller)
+	w.mu.Lock()
+	e.resp = resp
+	// The entry may already have been shipped out by a migration racing
+	// this completion; only count it if it is still ours.
+	if w.entries[e.seq] == e {
+		w.completed++
+		t.stats.NoteEntries(1)
+		w.evictOverCap()
+	}
+	w.mu.Unlock()
+	close(e.done)
+}
+
+// Abandon withdraws an entry whose execution never produced a response
+// (the dispatcher panicked past it); parked duplicates fail over to
+// executing... they cannot — so the entry records a terminal error
+// response instead.  Kept minimal: the node runtime always completes.
+func (t *Table) Abandon(caller string, e *Entry) {
+	t.Complete(caller, e, &wire.Response{Err: fmt.Sprintf("call %d abandoned mid-execution", e.seq)})
+}
+
+// Response returns the recorded response re-addressed to wire id.  The
+// duplicate's transport correlation id differs from the original's, so
+// the replayed copy carries the duplicate's.
+func (e *Entry) Response(id uint64) *wire.Response {
+	resp := *e.resp
+	resp.ID = id
+	return &resp
+}
+
+// retire drops every completed entry with seq <= ack.  In-flight
+// entries above the watermark are untouched (they cannot be acked: the
+// caller acks only delivered responses).  Caller holds w.mu.
+func (w *Window) retire(ack uint64) {
+	if ack <= w.retired {
+		return
+	}
+	for seq, e := range w.entries {
+		if seq <= ack && e.resp != nil {
+			delete(w.entries, seq)
+			w.completed--
+			w.table.stats.NoteEntries(-1)
+			w.table.stats.Retired.Add(1)
+		}
+	}
+	w.retired = ack
+}
+
+// evictOverCap enforces the replay-cache bound: completed entries past
+// the cap are dropped in ascending sequence order and the retired
+// watermark advances over every sequence at or below the last evicted
+// one, so a late duplicate of an evicted call is rejected as Stale
+// rather than re-executed.  Caller holds w.mu.
+func (w *Window) evictOverCap() {
+	for w.completed > w.table.cap {
+		// Find the smallest completed seq at or above the scan cursor.
+		var victim *Entry
+		min := uint64(0)
+		for seq, e := range w.entries {
+			if e.resp == nil || seq < w.lowSeq {
+				continue
+			}
+			if victim == nil || seq < min {
+				victim, min = e, seq
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(w.entries, min)
+		w.completed--
+		w.lowSeq = min + 1
+		if min > w.retired {
+			w.retired = min
+		}
+		w.table.stats.NoteEntries(-1)
+		w.table.stats.Retired.Add(1)
+	}
+}
+
+// ExtractFor removes and returns every completed entry recorded against
+// target, in wire form, for shipment inside a migration snapshot.  The
+// entries leave this node's windows — the object's dedup history moves
+// with the object — but the per-caller retired watermarks stay, so a
+// duplicate arriving here after the move is still recognised (as Stale
+// if below the watermark, or forwarded with its token so the new home's
+// adopted window replays it).  In-flight entries stay: their executions
+// are completing here and their responses will be recorded here.
+func (t *Table) ExtractFor(target string) []wire.DedupEntry {
+	t.mu.Lock()
+	type wref struct {
+		caller string
+		w      *Window
+	}
+	ws := make([]wref, 0, len(t.windows))
+	for caller, w := range t.windows {
+		ws = append(ws, wref{caller, w})
+	}
+	t.mu.Unlock()
+	var out []wire.DedupEntry
+	for _, r := range ws {
+		r.w.mu.Lock()
+		for seq, e := range r.w.entries {
+			if e.target != target || e.resp == nil {
+				continue
+			}
+			out = append(out, wire.DedupEntry{Caller: r.caller, Seq: seq, Resp: *e.resp})
+			delete(r.w.entries, seq)
+			r.w.completed--
+			t.stats.NoteEntries(-1)
+		}
+		r.w.mu.Unlock()
+	}
+	return out
+}
+
+// Adopt seeds windows from a migration snapshot's shipped entries,
+// recorded against target (the object's GUID at this node).  Entries at
+// or below a window's retired watermark are dropped — the caller
+// already acked them here.
+func (t *Table) Adopt(target string, entries []wire.DedupEntry) {
+	for i := range entries {
+		in := &entries[i]
+		w := t.window(in.Caller)
+		w.mu.Lock()
+		if in.Seq <= w.retired {
+			w.mu.Unlock()
+			continue
+		}
+		if _, ok := w.entries[in.Seq]; ok {
+			w.mu.Unlock()
+			continue
+		}
+		resp := in.Resp
+		e := &Entry{seq: in.Seq, target: target, done: make(chan struct{}), resp: &resp}
+		close(e.done)
+		w.entries[in.Seq] = e
+		w.completed++
+		t.stats.NoteEntries(1)
+		t.stats.Adopted.Add(1)
+		w.evictOverCap()
+		w.mu.Unlock()
+	}
+}

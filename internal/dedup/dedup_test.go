@@ -1,0 +1,235 @@
+package dedup
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"rafda/internal/wire"
+)
+
+func tok(caller string, seq, ack uint64) *wire.CallToken {
+	return &wire.CallToken{Caller: caller, Seq: seq, Ack: ack}
+}
+
+func TestIssuerStampAndWatermark(t *testing.T) {
+	iss := NewIssuer("n1!1")
+	var reqs [4]wire.Request
+	for i := range reqs {
+		seq := iss.Stamp(&reqs[i])
+		if seq != uint64(i+1) {
+			t.Fatalf("seq %d want %d", seq, i+1)
+		}
+		if reqs[i].Token.Caller != "n1!1" || reqs[i].Token.Seq != seq {
+			t.Fatalf("bad token %+v", reqs[i].Token)
+		}
+	}
+	// Out-of-order settlement: the watermark only advances over a
+	// contiguous finished prefix.
+	iss.Finish(3)
+	iss.Finish(2)
+	if got := iss.Ack(); got != 0 {
+		t.Fatalf("ack %d before seq 1 finished, want 0", got)
+	}
+	iss.Finish(1)
+	if got := iss.Ack(); got != 3 {
+		t.Fatalf("ack %d after contiguous finish, want 3", got)
+	}
+	// The next stamped token piggybacks the watermark.
+	var r wire.Request
+	iss.Stamp(&r)
+	if r.Token.Ack != 3 {
+		t.Fatalf("piggybacked ack %d want 3", r.Token.Ack)
+	}
+	// Retry bumps the attempt and refreshes the ack.
+	iss.Finish(4)
+	iss.Retry(&r)
+	if r.Token.Attempt != 1 || r.Token.Ack != 4 {
+		t.Fatalf("retry token %+v want attempt 1 ack 4", r.Token)
+	}
+}
+
+func TestTableExecuteReplayStale(t *testing.T) {
+	tab := NewTable(8)
+	e, v := tab.Begin(tok("c", 1, 0), "g1")
+	if v != Execute {
+		t.Fatalf("first delivery verdict %v want Execute", v)
+	}
+	tab.Complete("c", e, &wire.Response{ID: 10, Result: wire.Value{Kind: wire.KInt, Int: 42}})
+
+	// Duplicate of a completed call replays the recorded response,
+	// re-addressed to the duplicate's wire id.
+	e2, v := tab.Begin(tok("c", 1, 0), "g1")
+	if v != Replay {
+		t.Fatalf("duplicate verdict %v want Replay", v)
+	}
+	resp := e2.Response(99)
+	if resp.ID != 99 || resp.Result.Int != 42 {
+		t.Fatalf("replayed response %+v", resp)
+	}
+
+	// The caller acks seq 1: the entry retires and a late duplicate is
+	// rejected, never re-executed.
+	if _, v := tab.Begin(tok("c", 2, 1), "g1"); v != Execute {
+		t.Fatal("fresh seq 2 should execute")
+	}
+	if _, v := tab.Begin(tok("c", 1, 1), "g1"); v != Stale {
+		t.Fatalf("retired duplicate verdict %v want Stale", v)
+	}
+	s := tab.Stats().Snapshot()
+	if s.ReplayHits != 1 || s.StaleRejected != 1 || s.Retired != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDuplicateWhileInFlightParks(t *testing.T) {
+	tab := NewTable(8)
+	e, v := tab.Begin(tok("c", 1, 0), "g1")
+	if v != Execute {
+		t.Fatal("first delivery should execute")
+	}
+	got := make(chan int64, 1)
+	go func() {
+		dup, v := tab.Begin(tok("c", 1, 0), "g1")
+		if v != Replay {
+			got <- -1
+			return
+		}
+		got <- dup.Response(2).Result.Int
+	}()
+	// Wait until the duplicate is actually parked (the counter bumps
+	// before the wait), then complete the first attempt: the duplicate
+	// must resume with the recorded response.
+	for tab.Stats().Parked.Load() == 0 {
+		runtime.Gosched()
+	}
+	tab.Complete("c", e, &wire.Response{ID: 1, Result: wire.Value{Kind: wire.KInt, Int: 7}})
+	if r := <-got; r != 7 {
+		t.Fatalf("parked duplicate got %d want 7", r)
+	}
+	if p := tab.Stats().Parked.Load(); p != 1 {
+		t.Fatalf("parked counter %d want 1", p)
+	}
+}
+
+// TestEvictionBoundsWindow pins the replay-cache bound: completed
+// entries past the cap evict in ascending seq order, the retired
+// watermark advances over them, and a late duplicate of an evicted call
+// is Stale — at-most-once is preserved past the cache, at the cost of
+// replay.
+func TestEvictionBoundsWindow(t *testing.T) {
+	const cap = 4
+	tab := NewTable(cap)
+	for seq := uint64(1); seq <= 10; seq++ {
+		e, v := tab.Begin(tok("c", seq, 0), "g1")
+		if v != Execute {
+			t.Fatalf("seq %d verdict %v", seq, v)
+		}
+		tab.Complete("c", e, &wire.Response{ID: seq})
+	}
+	s := tab.Stats().Snapshot()
+	if s.Entries != cap {
+		t.Fatalf("live entries %d want %d", s.Entries, cap)
+	}
+	if s.EntriesHighWater > cap+1 {
+		t.Fatalf("high water %d exceeded cap+1", s.EntriesHighWater)
+	}
+	// Seqs 1..6 were evicted: duplicates are rejected, not executed.
+	if _, v := tab.Begin(tok("c", 3, 0), "g1"); v != Stale {
+		t.Fatalf("evicted duplicate verdict %v want Stale", v)
+	}
+	// Seqs 7..10 still replay.
+	if _, v := tab.Begin(tok("c", 8, 0), "g1"); v != Replay {
+		t.Fatalf("cached duplicate verdict %v want Replay", v)
+	}
+}
+
+// TestWatermarkRetirementUnderWraparound drives many concurrent callers
+// through small windows with acks trailing behind, checking (under
+// -race) that retirement, eviction and parking stay consistent while
+// the eviction cursor wraps past the cap many times over.
+func TestWatermarkRetirementUnderWraparound(t *testing.T) {
+	const (
+		callers = 4
+		perSeq  = 200
+		cap     = 8
+	)
+	tab := NewTable(cap)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		caller := fmt.Sprintf("c%d", c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ack uint64
+			for seq := uint64(1); seq <= perSeq; seq++ {
+				e, v := tab.Begin(tok(caller, seq, ack), "g1")
+				switch v {
+				case Execute:
+					tab.Complete(caller, e, &wire.Response{ID: seq})
+				case Replay, Stale:
+					t.Errorf("%s seq %d unexpected verdict %v", caller, seq, v)
+					return
+				}
+				// Ack trails several sequences behind, like a pipelined
+				// caller's piggybacked watermark.
+				if seq > 3 {
+					ack = seq - 3
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := tab.Stats().Snapshot()
+	if s.Entries > callers*cap {
+		t.Fatalf("live entries %d exceed bound %d", s.Entries, callers*cap)
+	}
+	if s.EntriesHighWater > int64(callers*(cap+1)) {
+		t.Fatalf("high water %d exceeds bound %d", s.EntriesHighWater, callers*(cap+1))
+	}
+	if s.Windows != callers {
+		t.Fatalf("windows %d want %d", s.Windows, callers)
+	}
+}
+
+func TestExtractAdoptMovesHistory(t *testing.T) {
+	src := NewTable(8)
+	for seq := uint64(1); seq <= 3; seq++ {
+		target := "g1"
+		if seq == 3 {
+			target = "g2" // different object — must not travel
+		}
+		e, _ := src.Begin(tok("c", seq, 0), target)
+		src.Complete("c", e, &wire.Response{ID: seq, Result: wire.Value{Kind: wire.KInt, Int: int64(seq)}})
+	}
+	shipped := src.ExtractFor("g1")
+	if len(shipped) != 2 {
+		t.Fatalf("shipped %d entries want 2", len(shipped))
+	}
+	// After extraction the source no longer replays them...
+	if _, v := src.Begin(tok("c", 1, 0), "g1"); v != Execute {
+		t.Fatal("extracted entry should be forgotten at source")
+	}
+	// ...but the destination does, under the object's new GUID.
+	dst := NewTable(8)
+	dst.Adopt("remote#1", shipped)
+	e, v := dst.Begin(tok("c", 2, 0), "remote#1")
+	if v != Replay {
+		t.Fatalf("adopted duplicate verdict %v want Replay", v)
+	}
+	if e.Response(5).Result.Int != 2 {
+		t.Fatal("adopted entry replays wrong response")
+	}
+	if dst.Stats().Adopted.Load() != 2 {
+		t.Fatal("adopted counter")
+	}
+	// Entries at or below the destination's retired watermark are
+	// dropped on adoption.
+	dst2 := NewTable(8)
+	dst2.window("c").retired = 2
+	dst2.Adopt("remote#1", shipped)
+	if _, v := dst2.Begin(tok("c", 2, 0), "remote#1"); v != Stale {
+		t.Fatalf("adoption below watermark should stay Stale, got %v", v)
+	}
+}

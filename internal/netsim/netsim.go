@@ -38,7 +38,57 @@ type Profile struct {
 	FailAfterWrites int64
 	// Seed drives jitter; a fixed seed keeps runs reproducible.
 	Seed uint64
+	// Faults, when non-nil, injects seeded per-link chaos — frame
+	// duplication, silent drops and mid-flight connection kills — the
+	// adversary the E12 exactly-once experiment runs against.  A pointer
+	// keeps Profile comparable (the zero-Profile fast paths).
+	Faults *Faults
 }
+
+// Faults is a seeded per-link fault schedule.  Each wrapped connection
+// derives its own deterministic pseudo-random stream from Seed and a
+// per-process connection ordinal, and consults it once per write:
+//
+//   - with probability KillPerMille/1000 the connection dies before the
+//     frame goes out (the frame is lost, the writer sees the error
+//     immediately, readers on both sides unblock with a closed
+//     connection) — a mid-flight connection kill;
+//   - else with probability DropPerMille/1000 the frame is silently
+//     swallowed (the writer is told it was sent) and the connection is
+//     torn down shortly after — loss followed by the compressed
+//     equivalent of a retransmission-timeout reset, since a stream
+//     transport cannot lose one frame and keep the framing;
+//   - else with probability DupPerMille/1000 the frame is delivered
+//     twice, back to back — duplication at the delivery layer, which is
+//     exactly what a transport-level retry after a lost response looks
+//     like to the application.
+//
+// Writes here are frames: the transports write one complete frame per
+// Write call (net.Buffers falls back to per-buffer writes on wrapped
+// conns), so duplication and loss are frame-granular and framing stays
+// valid.
+type Faults struct {
+	// Seed drives the fault schedule; runs with the same seed and
+	// connection order inject the same faults.
+	Seed uint64
+	// DupPerMille is the per-write probability (0-1000) of duplicating
+	// the frame.
+	DupPerMille int
+	// DropPerMille is the per-write probability (0-1000) of silently
+	// losing the frame and tearing the link down asynchronously.
+	DropPerMille int
+	// KillPerMille is the per-write probability (0-1000) of killing the
+	// connection before the frame is sent.
+	KillPerMille int
+	// FirstSafeWrites exempts each connection's first N writes, so a
+	// link can always complete a handshake-like prefix before chaos
+	// starts (and low-traffic control connections mostly escape).
+	FirstSafeWrites int64
+}
+
+// connSeq hands each faulty connection a distinct ordinal, decorrelating
+// the per-connection fault streams under one seed.
+var connSeq atomic.Uint64
 
 // Common profiles used by the experiments.
 var (
@@ -55,7 +105,13 @@ func (p Profile) Conn(c net.Conn) net.Conn {
 	if p == (Profile{}) {
 		return c
 	}
-	return &conn{Conn: c, p: p, rng: p.Seed | 1}
+	w := &conn{Conn: c, p: p, rng: p.Seed | 1}
+	if p.Faults != nil {
+		// Each connection gets its own deterministic fault stream: the
+		// schedule seed folded with a process-wide connection ordinal.
+		w.frng = splitmix(p.Faults.Seed^(connSeq.Add(1)*0x9e3779b97f4a7c15)) | 1
+	}
+	return w
 }
 
 // Listener wraps l so every accepted connection carries the profile.
@@ -97,9 +153,11 @@ type conn struct {
 	net.Conn
 	p      Profile
 	writes atomic.Int64
+	killed atomic.Bool // fault-injected death; later writes fail fast
 
-	mu  sync.Mutex
-	rng uint64
+	mu   sync.Mutex
+	rng  uint64
+	frng uint64 // fault stream, separate so faults don't perturb jitter
 
 	// Delivery queue for propagation delay (latency/jitter): writes are
 	// timestamped and handed to a single goroutine that releases them to
@@ -127,8 +185,38 @@ func (e *FailedError) Error() string {
 
 func (c *conn) Write(p []byte) (int, error) {
 	n := c.writes.Add(1)
+	if c.killed.Load() {
+		return 0, &FailedError{Writes: n - 1}
+	}
 	if c.p.FailAfterWrites > 0 && n > c.p.FailAfterWrites {
 		return 0, &FailedError{Writes: n - 1}
+	}
+	dup := false
+	if f := c.p.Faults; f != nil && n > f.FirstSafeWrites {
+		c.mu.Lock()
+		c.frng = splitmix(c.frng)
+		roll := c.frng % 1000
+		c.mu.Unlock()
+		switch {
+		case roll < uint64(f.KillPerMille):
+			// Mid-flight kill: this frame is lost and the connection is
+			// dead; the writer learns immediately, readers on both ends
+			// unblock on the close.
+			c.kill()
+			return 0, &FailedError{Writes: n - 1}
+		case roll < uint64(f.KillPerMille+f.DropPerMille):
+			// Silent loss: the writer is told the frame was sent.  A
+			// stream cannot skip one frame and keep its framing, so the
+			// link is torn down shortly after — the compressed equivalent
+			// of the retransmission timeout that follows real loss.
+			go func() {
+				time.Sleep(c.p.Latency + time.Millisecond)
+				c.kill()
+			}()
+			return len(p), nil
+		case roll < uint64(f.KillPerMille+f.DropPerMille+f.DupPerMille):
+			dup = true
+		}
 	}
 	// Serialisation delay: the sender occupies the link.
 	if c.p.BandwidthBps > 0 {
@@ -136,6 +224,11 @@ func (c *conn) Write(p []byte) (int, error) {
 	}
 	// Propagation delay: the payload travels while the sender moves on.
 	if c.p.Latency <= 0 && c.p.Jitter <= 0 {
+		if dup {
+			if _, err := c.Conn.Write(p); err != nil {
+				return 0, err
+			}
+		}
 		return c.Conn.Write(p)
 	}
 	d := c.p.Latency
@@ -167,10 +260,25 @@ func (c *conn) Write(p []byte) (int, error) {
 	}
 	c.last = at
 	// Copy: callers recycle their buffers as soon as Write returns.
-	c.queue = append(c.queue, delivery{data: append([]byte(nil), p...), at: at})
+	data := append([]byte(nil), p...)
+	c.queue = append(c.queue, delivery{data: data, at: at})
+	if dup {
+		// Duplicate delivered back to back (the delivery loop never
+		// mutates the payload, so the copies share one backing array).
+		c.queue = append(c.queue, delivery{data: data, at: at})
+	}
 	c.dcond.Signal()
 	c.dmu.Unlock()
 	return len(p), nil
+}
+
+// kill marks the connection dead to future writes and tears it down,
+// unblocking readers on both ends.
+func (c *conn) kill() {
+	if c.killed.Swap(true) {
+		return
+	}
+	_ = c.Close()
 }
 
 func (c *conn) deliverLoop() {

@@ -229,3 +229,125 @@ func TestDialerWraps(t *testing.T) {
 		t.Fatal("dialled conn not wrapped")
 	}
 }
+
+// faultProfile builds a profile whose only behaviour is the fault
+// schedule (no latency/bandwidth shaping), seeded deterministically.
+func faultProfile(f Faults) Profile {
+	return Profile{Seed: 1, Faults: &f}
+}
+
+func TestFaultDuplicationDeliversFrameTwice(t *testing.T) {
+	// 100% duplication: every written frame arrives twice, back to back.
+	a, b := pipePair(t, faultProfile(Faults{Seed: 7, DupPerMille: 1000}))
+	go a.Write([]byte("xyz"))
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "xyzxyz" {
+		t.Fatalf("got %q want the frame twice", buf)
+	}
+}
+
+func TestFaultKillFailsWriteAndUnblocksReader(t *testing.T) {
+	a, b := pipePair(t, faultProfile(Faults{Seed: 7, KillPerMille: 1000}))
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 4))
+		readErr <- err
+	}()
+	_, err := a.Write([]byte("doomed"))
+	var fe *FailedError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want injected FailedError, got %v", err)
+	}
+	// The frame was lost and the link is dead: the peer's read unblocks
+	// with an error instead of hanging on a frame that never comes.
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("peer read returned data from a killed link")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer read still blocked after kill")
+	}
+	// Subsequent writes fail fast.
+	if _, err := a.Write([]byte("after")); err == nil {
+		t.Fatal("write on killed connection succeeded")
+	}
+}
+
+func TestFaultDropSwallowsFrameThenTearsDown(t *testing.T) {
+	a, b := pipePair(t, faultProfile(Faults{Seed: 7, DropPerMille: 1000}))
+	if _, err := a.Write([]byte("lost")); err != nil {
+		t.Fatalf("drop must report success to the writer, got %v", err)
+	}
+	// The frame never arrives; instead the link is torn down shortly
+	// after (a stream cannot skip one frame and keep its framing).
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := b.Read(make([]byte, 8))
+	if err == nil || n > 0 {
+		t.Fatalf("dropped frame delivered: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultFirstSafeWritesExemption(t *testing.T) {
+	a, b := pipePair(t, faultProfile(Faults{Seed: 7, KillPerMille: 1000, FirstSafeWrites: 3}))
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := a.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d inside the safe prefix failed: %v", i, err)
+		}
+	}
+	if _, err := a.Write([]byte("boom")); err == nil {
+		t.Fatal("write past the safe prefix survived a 100% kill schedule")
+	}
+}
+
+// TestFaultScheduleIsDeterministic replays the same seed over the same
+// per-connection write sequence and expects identical outcomes — the
+// property the E12 chaos experiment's fixed seed matrix relies on.
+func TestFaultScheduleIsDeterministic(t *testing.T) {
+	outcomes := func() []bool {
+		// Reset decorrelation is impossible (connSeq is process-wide),
+		// so determinism is asserted per connection stream: one conn,
+		// fixed seed folded with its ordinal, many writes.
+		f := Faults{Seed: 99, KillPerMille: 0, DropPerMille: 0, DupPerMille: 500}
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		w := &conn{Conn: a, p: Profile{Seed: 1, Faults: &f}}
+		w.frng = splitmix(f.Seed) | 1
+		go io.Copy(io.Discard, b)
+		var out []bool
+		buf := []byte("f")
+		for i := 0; i < 64; i++ {
+			before := w.frng
+			w.Write(buf)
+			// A changed stream with a dup decision shows up as the next
+			// state's low bit pattern; record the roll outcome directly.
+			out = append(out, splitmix(before)%1000 < 500)
+		}
+		return out
+	}
+	first, second := outcomes(), outcomes()
+	dups := 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("fault schedule diverged at write %d", i)
+		}
+		if first[i] {
+			dups++
+		}
+	}
+	if dups == 0 || dups == len(first) {
+		t.Fatalf("degenerate schedule: %d/%d dups", dups, len(first))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rafda/internal/dedup"
 	"rafda/internal/guid"
 	"rafda/internal/stdlib"
 	"rafda/internal/telemetry"
@@ -32,10 +33,40 @@ import (
 // cross-thread class-initialisation cycles (docs/CONCURRENCY.md §7).
 func (n *Node) dispatch(req *wire.Request) *wire.Response {
 	n.stats.remoteCallsIn.Add(1)
+	// Effect-free plane ops never carry tokens and skip the dedup window.
 	switch req.Op {
 	case wire.OpPing:
 		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: n.name}}
+	case wire.OpGossip:
+		return n.dispatchGossip(req)
+	}
+	// Side-effectful ops: a tokened delivery passes through the dedup
+	// window first (docs/CONCURRENCY.md §10).  First delivery executes
+	// and records its response; a duplicate of an in-flight call parks
+	// inside Begin until the first attempt completes; a duplicate of a
+	// completed call replays the recorded response; a duplicate of a
+	// retired call is rejected — never re-executed.  Untokened requests
+	// (legacy peers) keep the historical at-least-once path.
+	if req.Token != nil {
+		e, verdict := n.dedupTab.Begin(req.Token, dedupTarget(req))
+		switch verdict {
+		case dedup.Stale:
+			return wire.Errorf(req, "node %s: duplicate of retired call %s/%d rejected",
+				n.name, req.Token.Caller, req.Token.Seq)
+		case dedup.Replay:
+			return e.Response(req.ID)
+		}
+		resp := n.dispatchEffect(req)
+		n.dedupTab.Complete(req.Token.Caller, e, resp)
+		return resp
+	}
+	return n.dispatchEffect(req)
+}
 
+// dispatchEffect serves the side-effectful ops (everything except
+// ping/gossip); dispatch runs it at most once per logical call.
+func (n *Node) dispatchEffect(req *wire.Request) *wire.Response {
+	switch req.Op {
 	case wire.OpCreate:
 		return n.dispatchCreate(req)
 
@@ -51,12 +82,22 @@ func (n *Node) dispatch(req *wire.Request) *wire.Response {
 	case wire.OpMigrateOut:
 		return n.dispatchMigrateOut(req)
 
-	case wire.OpGossip:
-		return n.dispatchGossip(req)
-
 	default:
 		return wire.Errorf(req, "node %s: unsupported op %v", n.name, req.Op)
 	}
+}
+
+// dedupTarget names what a tokened call executes against, recorded on
+// its dedup entry so migration can ship the target object's slice of
+// the window along with the object (dedup.Table.ExtractFor).
+func dedupTarget(req *wire.Request) string {
+	if req.GUID != "" {
+		return req.GUID
+	}
+	if req.Op == wire.OpInvokeClass {
+		return guid.ClassGUID(req.Class)
+	}
+	return ""
 }
 
 func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
@@ -161,6 +202,16 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 	for attempt := 0; ; attempt++ {
 		*resp = wire.Response{ID: req.ID}
 		interrupted := n.machine.ExecOnCatching(target, func(env *vm.Env) {
+			// Forwarding hop: when the gate opened onto a proxy (the
+			// object migrated away), the nested proxy call re-sends the
+			// *same logical call* to the new home, so it must reuse the
+			// inbound token rather than stamp a fresh one — the new
+			// home's adopted window then recognises a duplicate of work
+			// the old home already completed.  The class check is stable
+			// here: migration morphs only under this gate.
+			if req.Token != nil && isProxyObject(target) {
+				env.SetForward(req.Token)
+			}
 			if st != nil {
 				t0 := time.Now()
 				defer func() { svc = time.Since(t0) }()
@@ -268,6 +319,15 @@ func (n *Node) dispatchMigrateIn(req *wire.Request) *wire.Response {
 			return
 		}
 		resp.Result = mv
+		// Adopt the object's shipped dedup history under its GUID here
+		// (marshalValue just exported it): a caller's retry of a call the
+		// old home already completed replays its recorded response
+		// instead of executing twice.
+		if len(req.Dedup) > 0 {
+			if g, ok := n.exports.GUIDOf(obj); ok {
+				n.dedupTab.Adopt(g, req.Dedup)
+			}
+		}
 	})
 	return resp
 }

@@ -2,11 +2,22 @@ package node
 
 import (
 	"fmt"
+	"time"
 
 	"rafda/internal/transform"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
 )
+
+// parkDrainPatience bounds how long Migrate waits for invocations
+// parked mid-method (Env.RunUnlocked) to resume and finish before
+// snapshotting.  A drained park executes exactly once; an interrupted
+// one is retried whole at the new home, re-running its pre-park prefix
+// (docs/CONCURRENCY.md §8) — so migration trades a short delay for
+// keeping that prefix re-execution a bounded exception rather than the
+// rule.  Kept well under typical method latencies' tail but far above a
+// nested call's round trip.
+const parkDrainPatience = 100 * time.Millisecond
 
 // Migrate moves a live object to the node at targetEndpoint and morphs
 // the local instance, in place, into a proxy to its new home.  Every
@@ -31,12 +42,15 @@ import (
 //
 // An invocation parked inside Env.RunUnlocked — blocked on its own
 // nested remote call — has released the gate, so a migration can land
-// mid-method.  The object's morph epoch catches this on gate
-// re-acquisition: the parked invocation unwinds with a
-// vm.MigrationInterrupt and is retried whole through the morphed proxy,
-// executing under the object's gate at its new home (the seed silently
-// resumed old-class bytecode instead; docs/CONCURRENCY.md §8 — note
-// the retried method re-runs its pre-park prefix, at-least-once).
+// mid-method.  Migrate first waits up to parkDrainPatience for parked
+// invocations to resume and finish (they then execute exactly once,
+// entirely at the old home).  Past that patience the object's morph
+// epoch catches the park on gate re-acquisition: the invocation
+// unwinds with a vm.MigrationInterrupt and is retried whole through
+// the morphed proxy, executing under the object's gate at its new home
+// (the seed silently resumed old-class bytecode instead;
+// docs/CONCURRENCY.md §8 — the retried method re-runs its pre-park
+// prefix, the contract's one bounded at-least-once exception).
 func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	if ref.O == nil {
 		return fmt.Errorf("node %s: migrate of nil reference", n.name)
@@ -55,82 +69,132 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 
 	var viaProxy bool
 	var migErr error
-	n.machine.ExecOn(obj, func(env *vm.Env) {
-		cls, fields := obj.View()
-		if isProxyClass(cls) {
-			// Lost the race to another migration while waiting for the
-			// gate; retarget through the home instead (outside the gate,
-			// since migrateViaHome re-acquires it).
-			viaProxy = true
-			return
-		}
-		base, kind := transform.BaseOfGenerated(cls.Name)
-		if kind != transform.SuffixOLocal {
-			migErr = fmt.Errorf("node %s: cannot migrate %s (only local transformed instances move)", n.name, cls.Name)
-			return
-		}
-
-		// Snapshot.  Referenced objects are exported and travel as
-		// references back to this node.
-		req := &wire.Request{ID: n.nextReqID(), Op: wire.OpMigrateIn, Class: base}
-		for name, val := range fields {
-			mv, err := n.marshalValue(val, proto)
-			if err != nil {
-				migErr = fmt.Errorf("node %s: marshal field %s: %w", n.name, name, err)
+	// Park-drain loop: an invocation parked in Env.RunUnlocked has
+	// released the gate, so ExecOn can land mid-method.  Rather than
+	// interrupting it immediately (forcing a whole-method retry at the
+	// new home, §8), release the gate and let it finish — bounded by
+	// parkDrainPatience, after which the migration proceeds and the
+	// parked call takes the MigrationInterrupt path.
+	deadline := time.Now().Add(parkDrainPatience)
+	for {
+		var parkedWait bool
+		n.machine.ExecOn(obj, func(env *vm.Env) {
+			cls, fields := obj.View()
+			if isProxyClass(cls) {
+				// Lost the race to another migration while waiting for the
+				// gate; retarget through the home instead (outside the gate,
+				// since migrateViaHome re-acquires it).
+				viaProxy = true
 				return
 			}
-			req.Fields = append(req.Fields, wire.NamedValue{Name: name, Value: mv})
-		}
+			base, kind := transform.BaseOfGenerated(cls.Name)
+			if kind != transform.SuffixOLocal {
+				migErr = fmt.Errorf("node %s: cannot migrate %s (only local transformed instances move)", n.name, cls.Name)
+				return
+			}
+			if obj.Parked() > 0 && time.Now().Before(deadline) {
+				// Waiting here would deadlock — the parked invocation
+				// needs this gate to resume — so bail out and retry.
+				parkedWait = true
+				return
+			}
 
-		// Ship, still holding the gate: invocations arriving now block
-		// until the morph lands and then forward to the new home.  The
-		// shipment goes over the pool's shard-0 connection WITHOUT the
-		// failover retry (cache.Call, not CallKey): OpMigrateIn is not
-		// idempotent — a retry after the target already adopted the
-		// object would install a second orphan copy in its export table
-		// — so a mid-flight connection death keeps the pre-pool
-		// at-most-once regime: the ship fails, the morph never happens,
-		// and the object stays live here (CONCURRENCY.md §10).
-		resp, err := n.cache.Call(targetEndpoint, req)
-		if err != nil {
-			migErr = fmt.Errorf("node %s: migrate call: %w", n.name, err)
-			return
+			migErr = n.shipAndMorph(obj, base, fields, proto, targetEndpoint)
+		})
+		if parkedWait {
+			time.Sleep(time.Millisecond)
+			continue
 		}
-		if resp.Err != "" {
-			migErr = fmt.Errorf("node %s: migrate rejected: %s", n.name, resp.Err)
-			return
-		}
-		if resp.Result.Kind != wire.KRef || resp.Result.Ref == nil {
-			migErr = fmt.Errorf("node %s: migrate returned no reference", n.name)
-			return
-		}
-		newRef := resp.Result.Ref
-
-		// Morph the local object into a proxy to its new home.  All
-		// existing references (including this node's export-table entry,
-		// which now forwards) follow automatically.
-		proxyClass := transform.OProxy(base, newRef.Proto)
-		pf := map[string]vm.Value{
-			transform.ProxyFieldGUID:     vm.StringV(newRef.GUID),
-			transform.ProxyFieldEndpoint: vm.StringV(newRef.Endpoint),
-			transform.ProxyFieldProto:    vm.StringV(newRef.Proto),
-			transform.ProxyFieldTarget:   vm.StringV(base),
-		}
-		if err := n.machine.Morph(obj, proxyClass, pf); err != nil {
-			migErr = fmt.Errorf("node %s: morph after migrate: %w", n.name, err)
-			return
-		}
-		n.stats.migrationsOut.Add(1)
-		// Publish the move into the cluster's placement directory (if
-		// this node is in one): peers learn the object's new home via
-		// gossip and resolve it directly instead of walking our
-		// forwarding proxy.
-		n.recordMove(obj, base, *newRef)
-	})
+		break
+	}
 	if viaProxy {
 		return n.migrateViaHome(obj, targetEndpoint)
 	}
 	return migErr
+}
+
+// shipAndMorph performs the snapshot→ship→morph sequence for Migrate.
+// The caller holds obj's invocation gate throughout.
+func (n *Node) shipAndMorph(obj *vm.Object, base string, fields map[string]vm.Value, proto, targetEndpoint string) error {
+	// Snapshot.  Referenced objects are exported and travel as
+	// references back to this node.
+	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpMigrateIn, Class: base}
+	for name, val := range fields {
+		mv, err := n.marshalValue(val, proto)
+		if err != nil {
+			return fmt.Errorf("node %s: marshal field %s: %w", n.name, name, err)
+		}
+		req.Fields = append(req.Fields, wire.NamedValue{Name: name, Value: mv})
+	}
+
+	// The object's slice of the dedup window travels inside the
+	// snapshot: a caller's post-migration retry of a call this node
+	// already completed is then recognised at the new home and replayed
+	// there instead of executing twice (docs/CONCURRENCY.md §10).  An
+	// object never exported has never served a tokened call, so there is
+	// nothing to ship.
+	var shipped []wire.DedupEntry
+	oldGUID, exported := n.exports.GUIDOf(obj)
+	if exported && !n.untokened {
+		shipped = n.dedupTab.ExtractFor(oldGUID)
+		req.Dedup = shipped
+	}
+
+	// Ship, still holding the gate: invocations arriving now block
+	// until the morph lands and then forward to the new home.  The
+	// shipment is a tokened call riding the pool's failover retry: a
+	// duplicate delivery after the target already adopted the object
+	// hits the target's dedup window and replays the recorded response
+	// — same GUID, no second orphan copy — which is what lets migration
+	// survive a mid-flight connection death instead of keeping the old
+	// shard-0 no-retry exemption.  Untokened legacy interop keeps that
+	// exemption: the ship fails, the morph never happens, and the
+	// object stays live here (CONCURRENCY.md §10).
+	var resp *wire.Response
+	var err error
+	if n.untokened {
+		resp, err = n.cache.Call(targetEndpoint, req)
+	} else {
+		defer n.issuer.Finish(n.issuer.Stamp(req))
+		resp, err = n.callEndpoint(targetEndpoint, oldGUID, req)
+	}
+	if err != nil || resp.Err != "" {
+		// The ship failed outright: the object stays live here, so its
+		// extracted replay history must be restored or late duplicates
+		// of already-completed calls would re-execute.
+		if len(shipped) > 0 {
+			n.dedupTab.Adopt(oldGUID, shipped)
+		}
+		if err != nil {
+			return fmt.Errorf("node %s: migrate call: %w", n.name, err)
+		}
+		return fmt.Errorf("node %s: migrate rejected: %s", n.name, resp.Err)
+	}
+	if resp.Result.Kind != wire.KRef || resp.Result.Ref == nil {
+		return fmt.Errorf("node %s: migrate returned no reference", n.name)
+	}
+	newRef := resp.Result.Ref
+
+	// Morph the local object into a proxy to its new home.  All
+	// existing references (including this node's export-table entry,
+	// which now forwards) follow automatically.
+	proxyClass := transform.OProxy(base, newRef.Proto)
+	pf := map[string]vm.Value{
+		transform.ProxyFieldGUID:     vm.StringV(newRef.GUID),
+		transform.ProxyFieldEndpoint: vm.StringV(newRef.Endpoint),
+		transform.ProxyFieldProto:    vm.StringV(newRef.Proto),
+		transform.ProxyFieldTarget:   vm.StringV(base),
+	}
+	if err := n.machine.Morph(obj, proxyClass, pf); err != nil {
+		return fmt.Errorf("node %s: morph after migrate: %w", n.name, err)
+	}
+	n.stats.migrationsOut.Add(1)
+	// Publish the move into the cluster's placement directory (if
+	// this node is in one): peers learn the object's new home via
+	// gossip and resolve it directly instead of walking our
+	// forwarding proxy.
+	n.recordMove(obj, base, *newRef)
+	return nil
 }
 
 // migrateViaHome forwards a migration request through a proxy to the
@@ -146,12 +210,17 @@ func (n *Node) migrateViaHome(proxy *vm.Object, targetEndpoint string) error {
 		if home == targetEndpoint {
 			return // already there
 		}
-		// Unlike the ship above, OpMigrateOut may ride the pool's
-		// failover retry: a duplicate delivery finds the home's export
-		// already forwarding and just returns the new reference.
-		resp, err := n.callEndpoint(home, id, &wire.Request{
+		// OpMigrateOut rides the pool's failover retry with a token: a
+		// duplicate delivery is either replayed from the home's dedup
+		// window or — for an untokened legacy peer — finds the home's
+		// export already forwarding and just returns the new reference.
+		req := &wire.Request{
 			ID: n.nextReqID(), Op: wire.OpMigrateOut, GUID: id, Endpoint: targetEndpoint,
-		})
+		}
+		if !n.untokened {
+			defer n.issuer.Finish(n.issuer.Stamp(req))
+		}
+		resp, err := n.callEndpoint(home, id, req)
 		if err != nil {
 			retErr = fmt.Errorf("node %s: migrate-out: %w", n.name, err)
 			return

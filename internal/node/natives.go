@@ -135,6 +135,14 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	if recv.O == nil {
 		return vm.Value{}, remoteError(env, "proxy invocation on null"), nil
 	}
+	// Consume forwarded-token baggage first, whichever path the call
+	// takes below: this execution is a forwarding hop for an inbound
+	// tokened call (the dispatcher deposited the token when the gate
+	// opened onto a proxy), and the re-send must reuse that token so the
+	// new home recognises a duplicate of work the old home already
+	// completed.  Taking it unconditionally keeps it from leaking into a
+	// later nested call of the same execution.
+	fwd, _ := env.TakeForward().(*wire.CallToken)
 	// One consistent snapshot of the proxy's reference triple: a
 	// concurrent retarget (migration) can never hand us the GUID of one
 	// home and the endpoint of another.  ReadFields is the
@@ -191,6 +199,14 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	}
 
 	req := &wire.Request{ID: n.nextReqID(), Method: method, Caller: n.callerEndpoint(proto)}
+	if fwd != nil {
+		// Same logical call, next physical delivery: copy the inbound
+		// token with the attempt ordinal bumped (the copy keeps the
+		// original request's token immutable for its own replay path).
+		t := *fwd
+		t.Attempt++
+		req.Token = &t
+	}
 	if classSide {
 		req.Op = wire.OpInvokeClass
 		req.Class = target
@@ -245,18 +261,28 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 // callRemote sends a request while the VM lock is released, so incoming
 // work (including callbacks from the callee) can execute meanwhile.
 // The call rides the pool shard its affinity key selects — the target
-// GUID, so one object's calls share one socket.  OpCreate is exempt
-// from the pool's shard-failover retry, like the migration ship
-// (CONCURRENCY.md §10): creation is not idempotent — a duplicate
-// delivery would run the constructor twice and strand the first
-// instance in the server's export table forever — so it rides the
-// shard-0 no-retry path and a mid-flight connection death surfaces as
-// the pre-pool sys.RemoteException.
+// GUID, so one object's calls share one socket.
+//
+// Exactly-once regime (docs/CONCURRENCY.md §10): unless the request
+// already carries a token (a forwarded call reusing its inbound token)
+// or untokened legacy interop is configured, the call is stamped with a
+// fresh (caller, seq, attempt) token and rides the pool's persistent
+// failover retry — the callee's dedup window makes a duplicate delivery
+// replay the recorded response instead of executing twice, so even
+// OpCreate retries safely (a replayed create returns the original GUID
+// rather than stranding an orphan instance).  The historical OpCreate
+// exemption survives only for untokened requests: without a token a
+// duplicate create really would run the constructor twice, so legacy
+// creates keep the shard-0 no-retry path and a mid-flight connection
+// death surfaces as the pre-pool sys.RemoteException.
 func (n *Node) callRemote(env *vm.Env, endpoint string, req *wire.Request) (*wire.Response, error) {
+	if req.Token == nil && !n.untokened {
+		defer n.issuer.Finish(n.issuer.Stamp(req))
+	}
 	var resp *wire.Response
 	var err error
 	env.RunUnlocked(func() {
-		if req.Op == wire.OpCreate {
+		if req.Op == wire.OpCreate && req.Token == nil {
 			resp, err = n.cache.Call(endpoint, req)
 		} else {
 			resp, err = n.callEndpoint(endpoint, affinityKey(req), req)

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"rafda/internal/cluster"
+	"rafda/internal/dedup"
 	"rafda/internal/ir"
 	"rafda/internal/policy"
 	"rafda/internal/registry"
@@ -61,6 +62,16 @@ type Config struct {
 	// capped).  Outgoing invocations spread across the shards by
 	// object-GUID affinity; gossip stays pinned to shard 0.
 	PoolSize int
+	// DedupWindow bounds the per-caller replay cache (completed dedup
+	// entries retained per calling node); <= 0 takes
+	// dedup.DefaultWindow.  See docs/CONCURRENCY.md §10.
+	DedupWindow int
+	// UntokenedWire disables call-token stamping on outgoing requests —
+	// the capability flag for interop with legacy peers whose binary
+	// decoder rejects the token extension.  Untokened calls keep the
+	// historical at-least-once/no-retry semantics; inbound tokened
+	// requests are still deduplicated regardless.
+	UntokenedWire bool
 }
 
 // Node is one address space.
@@ -124,7 +135,20 @@ type Node struct {
 	// 1 = in progress, 2 = settled (one atomic load thereafter).
 	volunteer      bool
 	volunteerState atomic.Int32
+
+	// Exactly-once plane (docs/CONCURRENCY.md §10): issuer stamps every
+	// outgoing logical call with a (caller, seq, attempt) token unless
+	// untokened legacy interop is configured; dedupTab recognises
+	// duplicate deliveries of inbound tokened calls and replays their
+	// recorded responses instead of re-executing.
+	issuer    *dedup.Issuer
+	dedupTab  *dedup.Table
+	untokened bool
 }
+
+// nodeSeq decorrelates caller-incarnation ids of same-named nodes in
+// one process (tests build many); ids stay deterministic within a run.
+var nodeSeq atomic.Uint64
 
 type singletonEntry struct {
 	val     vm.Value
@@ -187,6 +211,9 @@ func New(cfg Config) (*Node, error) {
 		cache:      transport.NewClientCachePool(reg, cfg.PoolSize),
 		singletons: make(map[string]*singletonEntry),
 		volunteer:  cfg.VolunteerCallback,
+		issuer:     dedup.NewIssuer(fmt.Sprintf("%s!%d", cfg.Name, nodeSeq.Add(1))),
+		dedupTab:   dedup.NewTable(cfg.DedupWindow),
+		untokened:  cfg.UntokenedWire,
 	}
 	n.registerFactoryNatives()
 	n.registerProxyNatives()
@@ -211,7 +238,18 @@ func (n *Node) EnableTelemetry() *telemetry.Recorder {
 		return r
 	}
 	n.telem.CompareAndSwap(nil, telemetry.NewRecorder())
-	return n.telem.Load()
+	r := n.telem.Load()
+	r.AttachDedup(n.dedupTab.Stats())
+	return r
+}
+
+// DedupSnapshot returns the exactly-once plane's counters (replay hits,
+// parked duplicates, window occupancy high-water, ...).  Unlike the rest
+// of the metrics plane these are always live — the dedup table counts
+// regardless of EnableTelemetry — so chaos experiments can assert on
+// them without paying for full telemetry.
+func (n *Node) DedupSnapshot() telemetry.DedupSample {
+	return n.dedupTab.Stats().Snapshot()
 }
 
 // Telemetry returns the node's recorder, or nil when telemetry is
@@ -437,13 +475,17 @@ func (n *Node) CallOn(recv vm.Value, method string, args ...vm.Value) (vm.Value,
 	if recv.K == 0 || recv.O == nil {
 		return vm.Value{}, fmt.Errorf("node %s: CallOn with nil receiver", n.name)
 	}
-	// Host-driven calls count as local affinity evidence — but only for
-	// objects that already carry a stats record (i.e. have seen remote
-	// traffic): an object no peer knows cannot be migrated, so there is
-	// nothing to weigh its host usage against.  One atomic slot load;
-	// no GUID lookup, no clock read.
+	// Host-driven calls count as local affinity evidence.  The common
+	// case is one atomic slot load; when telemetry is on and the object
+	// has no stats record yet (host touched it before any peer did), the
+	// record is created here — otherwise every pre-remote host call is
+	// invisible and the placement engine weighs the object's local usage
+	// as zero against the first burst of remote traffic.
 	if s, ok := recv.O.Telemetry().(*telemetry.ObjStats); ok && s != nil {
 		s.RecordLocal()
+	} else if rec := n.telem.Load(); rec != nil {
+		guid := n.exports.Ensure(recv.O)
+		rec.ForObject(recv.O, guid, baseClassOf(recv.O.ClassName())).RecordLocal()
 	}
 	var res vm.Value
 	var thrown *vm.Thrown

@@ -284,10 +284,11 @@ class Main { static void main() {} }`
 }
 
 // TestHostCallsCountAsLocalAffinity pins the telemetry wiring for
-// host-driven calls: once an object carries a stats record (it has
-// been seen by a peer), Node.CallOn counts as local affinity evidence
-// — without this, a remote peer's trickle could out-vote the hosting
-// node's own heavy usage and migrate the object away from it.
+// host-driven calls: with telemetry on, Node.CallOn counts as local
+// affinity evidence from the very first host call, creating the stats
+// record itself if no peer has seen the object yet — without this, a
+// remote peer's trickle could out-vote the hosting node's own heavy
+// pre-remote usage and migrate the object away from it.
 func TestHostCallsCountAsLocalAffinity(t *testing.T) {
 	src := `
 class Cell {
@@ -310,23 +311,26 @@ class Main { static void main() {} }`
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Before any peer knows the object there is no stats record, so
-	// host calls are not tracked (nothing to weigh them against).
+	// The very first host call creates the stats record: pre-remote
+	// host usage is evidence too, and must already be on the books when
+	// the first peer shows up.
 	if _, err := n.CallOn(ref, "bump"); err != nil {
 		t.Fatal(err)
 	}
-	if got := rec.SnapshotObjects(); len(got) != 0 {
-		t.Fatalf("untracked object gained samples: %+v", got)
+	got := rec.SnapshotObjects()
+	if len(got) != 1 || got[0].Local != 1 || got[0].Class != "Cell" {
+		t.Fatalf("first host call not tracked: %+v", got)
 	}
-	// A peer observed it (simulated inbound): now host calls count.
-	rec.ForObject(ref.O, "g1", "Cell").RecordInbound("rrp://peer:1", 1, 1, 0)
+	// A peer observed it (simulated inbound): both kinds accumulate on
+	// the same record.
+	rec.ForObject(ref.O, got[0].GUID, "Cell").RecordInbound("rrp://peer:1", 1, 1, 0)
 	for i := 0; i < 3; i++ {
 		if _, err := n.CallOn(ref, "bump"); err != nil {
 			t.Fatal(err)
 		}
 	}
 	samples := rec.SnapshotObjects()
-	if len(samples) != 1 || samples[0].Local != 3 || samples[0].Remote != 1 {
+	if len(samples) != 1 || samples[0].Local != 4 || samples[0].Remote != 1 {
 		t.Fatalf("host calls not counted as local affinity: %+v", samples)
 	}
 }

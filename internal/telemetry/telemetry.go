@@ -210,6 +210,80 @@ func PeerKey(endpoint string) string {
 	return endpoint
 }
 
+// DedupStats counts the exactly-once machinery's work at one node: how
+// often the per-caller dedup windows suppressed duplicate deliveries,
+// and how much window memory is live.  Unlike the affinity plane the
+// dedup table always records (the counters are the E12 chaos
+// experiment's pass/fail evidence and the operator's only view of
+// suppression working), so the struct lives here but is owned by the
+// dedup table and merely attached to a Recorder when telemetry is on.
+// All fields are atomics; recording never blocks.
+type DedupStats struct {
+	// ReplayHits counts duplicates answered from the replay cache (the
+	// first attempt had completed; its recorded response was re-sent).
+	ReplayHits atomic.Uint64
+	// Parked counts duplicates that arrived while the first attempt was
+	// still executing and waited for its completion instead of running.
+	Parked atomic.Uint64
+	// StaleRejected counts duplicates of calls already retired from the
+	// window (acked or evicted): they are refused, never re-executed.
+	StaleRejected atomic.Uint64
+	// Retired counts entries dropped by ack watermark or cache eviction.
+	Retired atomic.Uint64
+	// Adopted counts entries seeded from migration snapshots.
+	Adopted atomic.Uint64
+	// Entries is the live completed-entry gauge across all windows;
+	// EntriesHighWater its observed maximum.  Windows is the live
+	// per-caller window count.
+	Entries          atomic.Int64
+	EntriesHighWater atomic.Int64
+	Windows          atomic.Int64
+}
+
+// NoteEntries bumps the live-entry gauge by delta and folds the result
+// into the high-water mark.
+func (s *DedupStats) NoteEntries(delta int64) {
+	n := s.Entries.Add(delta)
+	for {
+		hw := s.EntriesHighWater.Load()
+		if n <= hw || s.EntriesHighWater.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+// DedupSample is one node's dedup counters at snapshot time.
+type DedupSample struct {
+	ReplayHits       uint64 `json:"replay_hits"`
+	Parked           uint64 `json:"parked_duplicates"`
+	StaleRejected    uint64 `json:"stale_rejected"`
+	Retired          uint64 `json:"retired"`
+	Adopted          uint64 `json:"adopted"`
+	Entries          int64  `json:"entries"`
+	EntriesHighWater int64  `json:"entries_high_water"`
+	Windows          int64  `json:"windows"`
+}
+
+// Suppressed returns the total duplicate deliveries that did not
+// re-execute: replayed, parked-then-replayed, or rejected as stale.
+func (s DedupSample) Suppressed() uint64 {
+	return s.ReplayHits + s.Parked + s.StaleRejected
+}
+
+// Snapshot reads the counters.
+func (s *DedupStats) Snapshot() DedupSample {
+	return DedupSample{
+		ReplayHits:       s.ReplayHits.Load(),
+		Parked:           s.Parked.Load(),
+		StaleRejected:    s.StaleRejected.Load(),
+		Retired:          s.Retired.Load(),
+		Adopted:          s.Adopted.Load(),
+		Entries:          s.Entries.Load(),
+		EntriesHighWater: s.EntriesHighWater.Load(),
+		Windows:          s.Windows.Load(),
+	}
+}
+
 // Recorder is one node's metrics plane.  The zero value is not usable;
 // construct with NewRecorder.  A nil *Recorder is the disabled plane:
 // the node runtime checks for nil before the (cheap) record calls.
@@ -217,6 +291,22 @@ type Recorder struct {
 	objs    sync.Map // guid -> *ObjStats
 	classes sync.Map // class -> *ClassStats
 	peers   sync.Map // endpoint -> *PeerStats
+	dedup   atomic.Pointer[DedupStats]
+}
+
+// AttachDedup publishes the node's dedup counters through the recorder,
+// so the metrics plane exposes suppression alongside affinity.
+func (r *Recorder) AttachDedup(s *DedupStats) { r.dedup.Store(s) }
+
+// SnapshotDedup returns the attached dedup counters, or nil when the
+// node runs without a dedup table.
+func (r *Recorder) SnapshotDedup() *DedupSample {
+	s := r.dedup.Load()
+	if s == nil {
+		return nil
+	}
+	sample := s.Snapshot()
+	return &sample
 }
 
 // NewRecorder returns an empty metrics plane.
@@ -427,6 +517,9 @@ func RequestSize(req *wire.Request) int {
 	}
 	for i := range req.Fields {
 		n += len(req.Fields[i].Name) + valueSize(&req.Fields[i].Value)
+	}
+	if req.Token != nil {
+		n += len(req.Token.Caller) + 12
 	}
 	return n
 }

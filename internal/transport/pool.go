@@ -161,24 +161,45 @@ func (p *Pool) Call(req *wire.Request) (*wire.Response, error) {
 	return p.CallKey("", req)
 }
 
+// TokenedRetryRounds is how many passes over the shard set a *tokened*
+// request makes before giving up (each attempt redials its slot, so one
+// pass already survives every connection dying once).  Untokened
+// requests keep the single pass: without a dedup token a retry risks
+// double execution, so legacy traffic fails fast instead.
+const TokenedRetryRounds = 4
+
 // CallKey performs one request on the shard the affinity key hashes to
 // ("" round-robins).  A shard whose connection has died is evicted and
 // the call moves to the next shard — each attempt redialling an empty
 // slot — so one broken socket costs only the calls in flight on it, not
-// the peer.  Note the retry regime: a call that failed mid-flight may
-// have executed at the server before the connection died, so under
-// shard failover delivery is at-least-once (docs/CONCURRENCY.md §10);
-// with every shard down the last error is returned and surfaces as
-// sys.RemoteException exactly as before.
+// the peer.
+//
+// Retry regime: a call that failed mid-flight may have executed at the
+// server before the connection died, so the retry is a potential
+// duplicate delivery.  Tokened requests (wire.Request.Token) make the
+// failover safe — the server's dedup window recognises the token and
+// replays the recorded response instead of executing twice
+// (docs/CONCURRENCY.md §10) — so they retry persistently, for
+// TokenedRetryRounds passes over the pool, and each retry bumps the
+// token's attempt ordinal.  Untokened (legacy) requests get one pass,
+// the historical at-least-once regime.  With every attempt exhausted
+// the last error is returned and surfaces as sys.RemoteException.
 func (p *Pool) CallKey(key string, req *wire.Request) (*wire.Response, error) {
 	start := p.shardIndex(key)
+	attempts := len(p.shards)
+	if req.Token != nil {
+		attempts *= TokenedRetryRounds
+	}
 	var lastErr error
-	for attempt := 0; attempt < len(p.shards); attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		i := (start + attempt) % len(p.shards)
 		c, err := p.client(i)
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if attempt > 0 && req.Token != nil {
+			req.Token.Attempt++
 		}
 		resp, err := c.Call(req)
 		if err == nil {

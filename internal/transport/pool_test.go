@@ -327,3 +327,51 @@ func TestDefaultPoolShardsBounds(t *testing.T) {
 		t.Fatalf("DefaultPoolShards() = %d, want within [1,%d]", n, MaxDefaultPoolShards)
 	}
 }
+
+// TestPoolTokenedRetryPersists pins the exactly-once failover regime:
+// an untokened call gets one pass over the shards (legacy at-least-once:
+// fail fast rather than risk double execution), while a tokened call
+// keeps retrying across rounds — each round redialling evicted slots —
+// and bumps the token's attempt ordinal per retry.
+func TestPoolTokenedRetryPersists(t *testing.T) {
+	const ep = "fake://peer"
+
+	// Untokened: kill both shards; the single pass finds only the dead
+	// connections and surfaces the error.
+	cc, ft := fakeCache(t, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := cc.CallKey(ep, "", &wire.Request{ID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range ft.dialled() {
+		c.dead.Store(true)
+	}
+	if _, err := cc.CallKey(ep, "", &wire.Request{ID: 2}); err == nil {
+		t.Fatal("untokened call retried past one pass")
+	}
+	cc.Close()
+
+	// Tokened: same double kill, but the next round redials the evicted
+	// slots and the call succeeds.
+	cc, ft = fakeCache(t, 2)
+	defer cc.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := cc.CallKey(ep, "", &wire.Request{ID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range ft.dialled() {
+		c.dead.Store(true)
+	}
+	req := &wire.Request{ID: 3, Token: &wire.CallToken{Caller: "n!1", Seq: 9}}
+	if _, err := cc.CallKey(ep, "", req); err != nil {
+		t.Fatalf("tokened call did not survive an all-shard kill: %v", err)
+	}
+	if req.Token.Attempt == 0 {
+		t.Fatal("retries did not bump the token attempt ordinal")
+	}
+	if req.Token.Seq != 9 || req.Token.Caller != "n!1" {
+		t.Fatalf("retry mutated token identity: %+v", req.Token)
+	}
+}

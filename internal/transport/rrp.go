@@ -365,9 +365,17 @@ func (c *rrpClient) readLoop() {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if !ok {
-			// A response nothing is waiting for means the stream is
-			// corrupt; abandon the connection.
-			c.fail(fmt.Errorf("rrp: unexpected response id %d", resp.ID))
+			// No call is waiting for this id.  Under injected or real
+			// delivery duplication a request frame can reach the server
+			// twice, producing two responses with one wire id: the first
+			// matched, this one is a benign duplicate — as is a straggler
+			// for a call fail() already abandoned.  Any id at or below the
+			// issued sequence is such a duplicate and is dropped; an id
+			// never issued means the stream really is corrupt.
+			if resp.ID <= c.seq.Load() {
+				continue
+			}
+			c.fail(fmt.Errorf("rrp: response id %d never issued", resp.ID))
 			return
 		}
 		ch <- rrpResult{resp: resp}

@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"bufio"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -288,4 +290,83 @@ func TestRRPLargePayloadRoundTrip(t *testing.T) {
 		}(size)
 	}
 	wg.Wait()
+}
+
+// rawRRPServer accepts one connection and serves each request frame
+// through respond, which returns the frames to write back — letting
+// tests inject duplicate or unsolicited responses below the transport's
+// own server implementation.
+func rawRRPServer(t *testing.T, respond func(req *wire.Request) []*wire.Response) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		for {
+			bufp, frame, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			req, err := wire.DecodeRequestBytes(frame)
+			putFrameBuf(bufp)
+			if err != nil {
+				return
+			}
+			for _, resp := range respond(req) {
+				full := wire.AppendResponse(make([]byte, frameHeadroom, 256), resp)
+				if _, err := conn.Write(appendLengthPrefix(full)); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return JoinEndpoint("rrp", l.Addr().String())
+}
+
+// TestRRPDuplicateResponseDropped pins the reader's duplicate
+// tolerance: injected frame duplication can make the server answer one
+// wire id twice, and the second copy must be dropped — not poison the
+// connection — while a response id that was never issued still does.
+func TestRRPDuplicateResponseDropped(t *testing.T) {
+	ep := rawRRPServer(t, func(req *wire.Request) []*wire.Response {
+		// Answer every request twice: the duplicate-delivery shape.
+		r := &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KInt, Int: 5}}
+		return []*wire.Response{r, r}
+	})
+	c, err := NewRRP(Options{}).Dial(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Call(&wire.Request{ID: uint64(100 + i), Op: wire.OpPing})
+		if err != nil {
+			t.Fatalf("call %d after duplicate responses: %v", i, err)
+		}
+		if resp.Result.Int != 5 {
+			t.Fatalf("call %d bad result %+v", i, resp)
+		}
+	}
+}
+
+func TestRRPNeverIssuedResponsePoisons(t *testing.T) {
+	ep := rawRRPServer(t, func(req *wire.Request) []*wire.Response {
+		return []*wire.Response{{ID: req.ID + 1000}} // an id no call issued
+	})
+	c, err := NewRRP(Options{}).Dial(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(&wire.Request{ID: 1, Op: wire.OpPing}); err == nil {
+		t.Fatal("call matched a never-issued response id")
+	}
 }

@@ -95,6 +95,26 @@ type Env struct {
 
 	holdsHost bool      // execution entered through the host-compat lock
 	gates     []gateRef // invocation gates held, in acquisition order
+
+	// forward is one-shot baggage for the node runtime: when an inbound
+	// tokened invocation's target turns out to be a forwarding proxy,
+	// the dispatcher deposits the inbound call token here and the proxy
+	// native consumes it, so the forwarded request reuses the original
+	// token — the new home recognises a retry of work the old home
+	// already completed (docs/CONCURRENCY.md §8).  Typed any to keep the
+	// vm layer free of wire types.
+	forward any
+}
+
+// SetForward deposits one-shot forwarding baggage (see Env.forward).
+func (e *Env) SetForward(v any) { e.forward = v }
+
+// TakeForward consumes the forwarding baggage, returning nil when none
+// was deposited (or it was already taken).
+func (e *Env) TakeForward() any {
+	v := e.forward
+	e.forward = nil
+	return v
 }
 
 // gateRef is one held invocation gate plus the object's epoch at
@@ -115,10 +135,14 @@ type gateRef struct {
 // retries the whole invocation against the object's new class: the
 // morphed proxy forwards it to the object's new home.
 //
-// Retry semantics are at-least-once for the interrupted method's
-// pre-park prefix: writes it applied before parking were shipped with
-// the object, and the retried invocation re-executes the method from the
-// top at the new home (docs/CONCURRENCY.md §8).
+// Retry semantics: the retried invocation reuses the original call's
+// dedup token (the node runtime forwards it via Env.SetForward), so if
+// the old home had already completed the call its shipped window entry
+// replays at the new home instead of re-executing.  A genuinely
+// interrupted method — parked mid-body past the migration's bounded
+// park-drain — re-executes from the top, re-running its pre-park prefix;
+// the drain makes this the bounded exception rather than the rule
+// (docs/CONCURRENCY.md §8).
 type MigrationInterrupt struct {
 	Obj *Object
 }
@@ -229,6 +253,7 @@ func (e *Env) Throw(class, msg string) *Thrown { return e.vm.throwSys(class, msg
 // the frames' view.
 func (e *Env) RunUnlocked(f func()) {
 	for i := len(e.gates) - 1; i >= 0; i-- {
+		e.gates[i].obj.parked.Add(1)
 		e.gates[i].obj.gate.Unlock()
 	}
 	if e.holdsHost {
@@ -241,6 +266,7 @@ func (e *Env) RunUnlocked(f func()) {
 		}
 		for _, g := range e.gates {
 			g.obj.gate.Lock()
+			g.obj.parked.Add(-1)
 		}
 		if !completed {
 			return // f panicked; don't replace its panic

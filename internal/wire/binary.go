@@ -40,7 +40,40 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	}
 	dst = appendString(dst, req.Endpoint)
 	dst = appendString(dst, req.Caller)
-	return appendCluster(dst, req.Cluster)
+	dst = appendCluster(dst, req.Cluster)
+	// Exactly-once extension: emitted only when present, so a tokenless
+	// request encodes byte-for-byte as the pre-token protocol and legacy
+	// decoders (which reject trailing bytes) still accept it.  The
+	// decoder treats end-of-frame here as "no extension".
+	if req.Token == nil && len(req.Dedup) == 0 {
+		return dst
+	}
+	dst = appendUvarint(dst, reqExtTokens)
+	if req.Token == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendToken(dst, req.Token)
+	}
+	dst = appendUvarint(dst, uint64(len(req.Dedup)))
+	for i := range req.Dedup {
+		e := &req.Dedup[i]
+		dst = appendString(dst, e.Caller)
+		dst = appendUvarint(dst, e.Seq)
+		dst = AppendResponse(dst, &e.Resp)
+	}
+	return dst
+}
+
+// reqExtTokens tags the request extension section carrying the call
+// token and migrated dedup entries.
+const reqExtTokens = 1
+
+func appendToken(dst []byte, t *CallToken) []byte {
+	dst = appendString(dst, t.Caller)
+	dst = appendUvarint(dst, t.Seq)
+	dst = appendUvarint(dst, uint64(t.Attempt))
+	return appendUvarint(dst, t.Ack)
 }
 
 // AppendResponse appends resp's encoding to dst and returns the extended
@@ -98,6 +131,24 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 	req.Endpoint = d.str()
 	req.Caller = d.str()
 	req.Cluster = d.cluster()
+	// Legacy frames end here; the extension section is optional.
+	if d.err == nil && d.off < len(d.b) {
+		if ext := d.u64(); d.err == nil && ext != reqExtTokens {
+			return nil, fmt.Errorf("unknown request extension %d", ext)
+		}
+		if d.boolean() {
+			req.Token = d.token()
+		}
+		n = d.u64()
+		if d.err == nil && n > maxSeq {
+			return nil, fmt.Errorf("dedup list length %d too large", n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			e := DedupEntry{Caller: d.str(), Seq: d.u64()}
+			d.response(&e.Resp)
+			req.Dedup = append(req.Dedup, e)
+		}
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -108,6 +159,17 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 func DecodeResponseBytes(b []byte) (*Response, error) {
 	d := &bdec{b: b}
 	resp := &Response{}
+	d.response(resp)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// response decodes one embedded response written by AppendResponse (the
+// encoding is self-delimiting, so responses nest inside request
+// extension sections without a length prefix).
+func (d *bdec) response(resp *Response) {
 	resp.ID = d.u64()
 	resp.Result = d.value()
 	resp.ExClass = d.str()
@@ -115,10 +177,17 @@ func DecodeResponseBytes(b []byte) (*Response, error) {
 	resp.Err = d.str()
 	resp.Redirect = d.ref()
 	resp.Cluster = d.cluster()
-	if err := d.finish(); err != nil {
-		return nil, err
+}
+
+// token decodes a CallToken written by appendToken.
+func (d *bdec) token() *CallToken {
+	t := &CallToken{Caller: d.str(), Seq: d.u64()}
+	t.Attempt = uint32(d.u64())
+	t.Ack = d.u64()
+	if d.err != nil {
+		return nil
 	}
-	return resp, nil
+	return t
 }
 
 // EncodeRequest serialises req to a stream.

@@ -144,6 +144,47 @@ type Request struct {
 	// Cluster carries the sender's gossip payload on OpGossip requests
 	// (nil on every other op; docs/CLUSTER.md).
 	Cluster *ClusterPayload `json:"cluster,omitempty" xml:"cluster,omitempty"`
+	// Token stamps the logical call this request carries for the
+	// callee's per-caller dedup window: a retry (transport failover, a
+	// duplicated frame, a post-migration re-send) carries the same
+	// (Caller, Seq) and is suppressed or answered from the replay cache
+	// instead of executing twice.  nil on untokened requests — legacy
+	// peers and the side-effect-free ops (ping, gossip) — which bypass
+	// dedup entirely.  The binary codec emits it as a trailing optional
+	// section, omitted byte-for-byte when nil, so tokenless frames are
+	// identical to the pre-token protocol (capability flag:
+	// docs/DESIGN.md wire spec).
+	Token *CallToken `json:"token,omitempty" xml:"token,omitempty"`
+	// Dedup ships completed dedup-window entries alongside an
+	// OpMigrateIn snapshot: the adopting node seeds its own windows with
+	// them, so a caller's retry of a call the old home already completed
+	// replays at the new home instead of re-executing (docs/CONCURRENCY.md
+	// §8).  Empty on every other op.
+	Dedup []DedupEntry `json:"dedup,omitempty" xml:"dedup,omitempty"`
+}
+
+// CallToken identifies one logical call across any number of physical
+// deliveries.  Caller is the issuing node's unique incarnation id, Seq
+// its monotonically increasing call counter, Attempt the retry ordinal
+// (0 = first send) for diagnostics.  Ack piggybacks the caller's
+// retirement watermark: every call with Seq <= Ack has had its response
+// delivered to the caller, so the callee drops those window entries —
+// the window stays bounded by the caller's in-flight set plus the
+// replay-cache cap, not by history.
+type CallToken struct {
+	Caller  string `json:"caller" xml:"caller,attr"`
+	Seq     uint64 `json:"seq" xml:"seq,attr"`
+	Attempt uint32 `json:"attempt,omitempty" xml:"attempt,attr,omitempty"`
+	Ack     uint64 `json:"ack,omitempty" xml:"ack,attr,omitempty"`
+}
+
+// DedupEntry is one completed call's record as shipped inside a
+// migration snapshot: the token coordinates that identify the logical
+// call and the response its execution produced.
+type DedupEntry struct {
+	Caller string   `json:"caller" xml:"caller,attr"`
+	Seq    uint64   `json:"seq" xml:"seq,attr"`
+	Resp   Response `json:"resp" xml:"resp"`
 }
 
 // NamedValue is a field name/value pair (migration payloads).

@@ -73,6 +73,16 @@ func randomRequest(r *rand.Rand) *Request {
 	for i := 0; i < r.Intn(3); i++ {
 		req.Fields = append(req.Fields, NamedValue{Name: randString(r), Value: randomValue(r, 1)})
 	}
+	if r.Intn(2) == 1 {
+		req.Token = &CallToken{Caller: randString(r), Seq: r.Uint64(),
+			Attempt: uint32(r.Intn(5)), Ack: r.Uint64()}
+		for i := 0; i < r.Intn(3); i++ {
+			req.Dedup = append(req.Dedup, DedupEntry{
+				Caller: randString(r), Seq: r.Uint64(),
+				Resp: Response{ID: r.Uint64(), Result: randomValue(r, 1), Err: randString(r)},
+			})
+		}
+	}
 	return req
 }
 
@@ -375,6 +385,90 @@ func TestDecodeBytesRejectsTrailingGarbage(t *testing.T) {
 	breq := AppendRequest(nil, &Request{ID: 4, Op: OpPing})
 	if _, err := DecodeRequestBytes(append(breq, 0)); err == nil {
 		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestTokenExtensionLegacyInterop pins the capability contract of the
+// token extension: an untokened request encodes to the exact byte
+// prefix a tokened one extends — i.e. tokenless frames are
+// byte-identical to the pre-extension format, so legacy decoders (which
+// reject any trailing bytes) still parse everything an untokened peer
+// sends, and the current decoder parses legacy frames as Token == nil.
+func TestTokenExtensionLegacyInterop(t *testing.T) {
+	base := &Request{ID: 9, Op: OpInvoke, GUID: "g#1", Method: "m",
+		Args: []Value{{Kind: KInt, Int: 5}}, Caller: "rrp://c:1"}
+	legacy := AppendRequest(nil, base)
+
+	tokened := *base
+	tokened.Token = &CallToken{Caller: "n!1", Seq: 7, Attempt: 1, Ack: 3}
+	tokened.Dedup = []DedupEntry{{Caller: "n!1", Seq: 6,
+		Resp: Response{ID: 2, Result: Value{Kind: KInt, Int: 1}}}}
+	ext := AppendRequest(nil, &tokened)
+
+	if !bytes.HasPrefix(ext, legacy) {
+		t.Fatal("tokened frame does not extend the legacy encoding byte-for-byte")
+	}
+	if len(ext) == len(legacy) {
+		t.Fatal("token extension emitted no bytes")
+	}
+	// A legacy frame decodes with no token.
+	back, err := DecodeRequestBytes(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Token != nil || back.Dedup != nil {
+		t.Fatalf("legacy frame decoded with token state: %+v", back)
+	}
+	// The tokened frame round-trips the extension.
+	back, err = DecodeRequestBytes(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&tokened, back) {
+		t.Fatalf("token round trip:\n%+v\n%+v", &tokened, back)
+	}
+	// An unknown extension tag is rejected, not silently skipped.
+	if _, err := DecodeRequestBytes(append(append([]byte{}, legacy...), 0x7f)); err == nil {
+		t.Fatal("unknown extension tag accepted")
+	}
+}
+
+// TestTokenHTTPCodecs checks the token rides the SOAP/JSON carriers: the
+// whole-struct marshal picks up the new optional fields for free, and
+// their absence round-trips as nil for legacy payloads.
+func TestTokenHTTPCodecs(t *testing.T) {
+	req := &Request{ID: 1, Op: OpInvoke, GUID: "g", Method: "m",
+		Token: &CallToken{Caller: "n!2", Seq: 4, Ack: 2},
+		Dedup: []DedupEntry{{Caller: "n!2", Seq: 3, Resp: Response{ID: 8}}}}
+	jb, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jback Request
+	if err := json.Unmarshal(jb, &jback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req.Token, jback.Token) || len(jback.Dedup) != 1 {
+		t.Fatalf("json token round trip: %+v", jback)
+	}
+	xb, err := xml.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xback Request
+	if err := xml.Unmarshal(xb, &xback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req.Token, xback.Token) {
+		t.Fatalf("xml token round trip: %+v\n%s", xback.Token, xb)
+	}
+	// Legacy payload without the fields.
+	var lback Request
+	if err := json.Unmarshal([]byte(`{"id":1,"op":2,"guid":"g"}`), &lback); err != nil {
+		t.Fatal(err)
+	}
+	if lback.Token != nil {
+		t.Fatal("token materialised from legacy json")
 	}
 }
 

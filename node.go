@@ -21,6 +21,20 @@ type NetProfile struct {
 	Jitter          time.Duration
 	BandwidthBps    int64
 	FailAfterWrites int64
+	// Faults injects deterministic per-connection chaos (seeded frame
+	// drop/duplicate/kill-mid-flight schedules); nil leaves the link
+	// healthy.  Drives the E12 fault-injection experiment.
+	Faults *NetFaults
+}
+
+// NetFaults mirrors internal/netsim.Faults: seeded per-mille schedules
+// of injected write faults, applied independently per connection.
+type NetFaults struct {
+	Seed            uint64
+	DupPerMille     int
+	DropPerMille    int
+	KillPerMille    int
+	FirstSafeWrites int64
 }
 
 // Predefined profiles mirroring internal/netsim.
@@ -31,13 +45,23 @@ var (
 )
 
 func (np NetProfile) profile() netsim.Profile {
-	return netsim.Profile{
+	p := netsim.Profile{
 		Latency:         np.Latency,
 		Jitter:          np.Jitter,
 		BandwidthBps:    np.BandwidthBps,
 		FailAfterWrites: np.FailAfterWrites,
 		Seed:            1,
 	}
+	if f := np.Faults; f != nil {
+		p.Faults = &netsim.Faults{
+			Seed:            f.Seed,
+			DupPerMille:     f.DupPerMille,
+			DropPerMille:    f.DropPerMille,
+			KillPerMille:    f.KillPerMille,
+			FirstSafeWrites: f.FirstSafeWrites,
+		}
+	}
+	return p
 }
 
 // NodeConfig configures a RAFDA address space.
@@ -61,6 +85,15 @@ type NodeConfig struct {
 	// <= 0 sizes the pool from GOMAXPROCS (capped at 8); 1 restores the
 	// historical one-connection-per-peer shape.
 	PoolSize int
+	// DedupWindow bounds the per-caller replay cache of the exactly-once
+	// plane (completed call responses retained for duplicate replay);
+	// <= 0 takes the default (1024).  See docs/CONCURRENCY.md §10.
+	DedupWindow int
+	// UntokenedWire disables call-token stamping on outgoing requests —
+	// the capability flag for interop with legacy peers that predate the
+	// token extension.  Untokened calls keep the historical
+	// at-least-once/no-retry semantics.
+	UntokenedWire bool
 }
 
 // Node is one address space hosting the transformed program.
@@ -103,6 +136,8 @@ func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
 		VMOpts:            vmOpts,
 		VolunteerCallback: !cfg.NoCallback,
 		PoolSize:          cfg.PoolSize,
+		DedupWindow:       cfg.DedupWindow,
+		UntokenedWire:     cfg.UntokenedWire,
 	})
 	if err != nil {
 		return nil, err
@@ -252,6 +287,42 @@ func (n *Node) Stats() NodeStats {
 		MigrationsOut:  s.MigrationsOut,
 		MigrationsIn:   s.MigrationsIn,
 		Exports:        n.n.Exports(),
+	}
+}
+
+// DedupStats counts the exactly-once plane's activity at one node:
+// duplicate deliveries suppressed (replayed, parked behind the first
+// attempt, or rejected as stale) and the bounded dedup-window occupancy.
+type DedupStats struct {
+	ReplayHits       uint64
+	ParkedDuplicates uint64
+	StaleRejected    uint64
+	Retired          uint64
+	Adopted          uint64
+	Entries          int64
+	EntriesHighWater int64
+	Windows          int64
+}
+
+// Suppressed returns the total duplicate deliveries that did not
+// re-execute.
+func (s DedupStats) Suppressed() uint64 {
+	return s.ReplayHits + s.ParkedDuplicates + s.StaleRejected
+}
+
+// DedupStats snapshots the exactly-once plane's counters.  Always live,
+// independent of EnableTelemetry.
+func (n *Node) DedupStats() DedupStats {
+	s := n.n.DedupSnapshot()
+	return DedupStats{
+		ReplayHits:       s.ReplayHits,
+		ParkedDuplicates: s.Parked,
+		StaleRejected:    s.StaleRejected,
+		Retired:          s.Retired,
+		Adopted:          s.Adopted,
+		Entries:          s.Entries,
+		EntriesHighWater: s.EntriesHighWater,
+		Windows:          s.Windows,
 	}
 }
 
