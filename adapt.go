@@ -37,6 +37,13 @@ type AdaptConfig struct {
 	// NsPerByte prices shipped state for the cost comparison (0 takes
 	// the engine default, ~100 MB/s).
 	NsPerByte float64
+	// MaxWriteShare is the write fraction above which an object is not
+	// considered read-mostly and the replication rule abstains, in
+	// (0,1] (0 takes the engine default, one write in ten calls).
+	MaxWriteShare float64
+	// ReplicaFanout caps how many caller endpoints a replication
+	// proposal targets — the rule's top-k (0 takes the engine default).
+	ReplicaFanout int
 	// OnDecision, when set, observes every decision as it is made.
 	OnDecision func(AdaptDecision)
 }
@@ -46,7 +53,7 @@ type AdaptDecision struct {
 	At       time.Time
 	Window   int
 	Rule     string
-	Action   string // "migrate" or "place-class"
+	Action   string // "migrate", "place-class" or "replicate"
 	GUID     string
 	Class    string
 	Endpoint string // destination; "" means local placement
@@ -117,6 +124,10 @@ func (n *Node) NewAdapter(cfg AdaptConfig) *Adapter {
 			return ""
 		},
 		IsLocalObject: in.IsMigratable,
+		ReplicateObject: func(obj *vm.Object, endpoints []string) error {
+			return in.Replicate(vm.RefV(obj), endpoints...)
+		},
+		IsReplicated:  in.IsReplicated,
 		SelfEndpoints: in.Endpoints,
 		StateBytes:    in.StateBytes,
 		PeerRTTs: func() map[string]float64 {
@@ -155,6 +166,8 @@ func (n *Node) NewAdapter(cfg AdaptConfig) *Adapter {
 		BudgetWindows: cfg.BudgetWindows,
 		CostBased:     cfg.CostBased,
 		NsPerByte:     cfg.NsPerByte,
+		MaxWriteShare: cfg.MaxWriteShare,
+		ReplicaFanout: cfg.ReplicaFanout,
 	}
 	if cfg.OnDecision != nil {
 		ecfg.OnDecision = func(d adapt.Decision) { cfg.OnDecision(fromEngineDecision(d)) }

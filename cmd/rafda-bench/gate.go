@@ -18,8 +18,9 @@ import (
 //	e10  converged_ratio                     (cluster convergence)
 //	e11  best pooled sim-LAN p=64 calls/s    (pooled-transport ceiling)
 //	e12  exactly_once_ok                     (chaos-audited correctness)
+//	e13  read_lift                           (replication read scaling)
 //
-// Ratios (e9/e10) and the e12 pass fraction are machine-independent.  The calls/s rows (e7/e11)
+// Ratios (e9/e10/e13) and the e12 pass fraction are machine-independent.  The calls/s rows (e7/e11)
 // are only as sharp as the committed side: today's committed records
 // come from the 1-core dev container, so against a faster CI runner
 // they catch only catastrophic transport regressions — the ROADMAP
@@ -92,6 +93,12 @@ func gateKeyMetric(exp, dir string) (name string, val float64, err error) {
 			return "", 0, err
 		}
 		return "exactly_once_ok", r.ExactlyOnceOK, nil
+	case "e13":
+		var r E13Report
+		if err := readReport(dir, exp, &r); err != nil {
+			return "", 0, err
+		}
+		return "read_lift", r.ReadLift, nil
 	default:
 		return "", 0, fmt.Errorf("gate: no key metric defined for experiment %q", exp)
 	}

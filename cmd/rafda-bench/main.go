@@ -25,14 +25,20 @@
 //	                      duplication/drop/kill chaos over the adaptive
 //	                      workload; counter == acked calls, zero create
 //	                      orphans, bounded windows (writes BENCH_E12.json)
+//	rafda-bench -exp e13  read replication: a read-hot object replicated to
+//	                      its two caller nodes; reads route to the local
+//	                      copies while writes serialise through the
+//	                      lease-holding primary (writes BENCH_E13.json)
 //	rafda-bench -exp all  everything
 //
 // The -adapt-* flags tune e9's engine (window, threshold, min calls,
 // confirm windows, migration budget); the -e10-* flags tune e10's
 // cluster (heartbeat, phase length, parallelism, acceptance ratio);
 // the -e12-* flags tune e12's fault schedules (seed matrix, per-mille
-// rates, phase length, dedup window cap); -pool overrides the
-// connection pool width of e9/e10/e12's nodes.
+// rates, phase length, dedup window cap); the -e13-* flags tune e13's
+// replication run (heartbeat, phase length, per-reader parallelism,
+// acceptance lift); -pool overrides the connection pool width of
+// e9/e10/e12/e13's nodes.
 //
 // -gate switches to the CI perf-regression comparator instead of
 // running experiments: it compares freshly generated records (in
@@ -40,7 +46,7 @@
 // and exits non-zero when an experiment's key row regressed more than
 // -gate-tolerance:
 //
-//	rafda-bench -gate e7,e9,e10,e11,e12 -gate-fresh .gate
+//	rafda-bench -gate e7,e9,e10,e11,e12,e13 -gate-fresh .gate
 package main
 
 import (
@@ -93,13 +99,14 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e13 or all)")
 	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
 	e8json := flag.String("e8json", "BENCH_E8.json", "path for e8's machine-readable results (empty to skip)")
 	e9json := flag.String("e9json", "BENCH_E9.json", "path for e9's machine-readable results (empty to skip)")
 	e10json := flag.String("e10json", "BENCH_E10.json", "path for e10's machine-readable results (empty to skip)")
 	e11json := flag.String("e11json", "BENCH_E11.json", "path for e11's machine-readable results (empty to skip)")
 	e12json := flag.String("e12json", "BENCH_E12.json", "path for e12's machine-readable results (empty to skip)")
+	e13json := flag.String("e13json", "BENCH_E13.json", "path for e13's machine-readable results (empty to skip)")
 	pool := flag.Int("pool", 0, "connection pool width of e9/e10's nodes (0: GOMAXPROCS, capped at 8)")
 	gate := flag.String("gate", "", "run the perf-regression gate over these experiments (e.g. \"e7,e9,e10,e11\") instead of benchmarks")
 	gateCommitted := flag.String("gate-committed", ".", "directory holding the committed BENCH_*.json records")
@@ -131,6 +138,11 @@ func main() {
 	flag.IntVar(&e12cfg.kill, "e12-kill-permille", 3, "e12: per-mille frames killed mid-flight")
 	flag.IntVar(&e12cfg.window, "e12-window", 256, "e12: per-caller dedup window cap under audit")
 	flag.IntVar(&e12cfg.creates, "e12-creates", 150, "e12: phase-B chaos creates for the orphan audit")
+	e13cfg := e13Config{}
+	flag.DurationVar(&e13cfg.heartbeat, "e13-heartbeat", 50*time.Millisecond, "e13: cluster gossip period")
+	flag.DurationVar(&e13cfg.phase, "e13-seconds", 3*time.Second, "e13: duration of each measured phase")
+	flag.IntVar(&e13cfg.parallel, "e13-parallel", 4, "e13: concurrent caller goroutines per reader node")
+	flag.Float64Var(&e13cfg.minLift, "e13-min-lift", 2.0, "e13: required replicated/single-home reads/s lift")
 	flag.Parse()
 	if *gate != "" {
 		if err := runGate(strings.Split(*gate, ","), *gateCommitted, *gateFresh, *gateTol); err != nil {
@@ -142,6 +154,7 @@ func main() {
 	e9cfg.pool = *pool
 	e10cfg.pool = *pool
 	e12cfg.pool = *pool
+	e13cfg.pool = *pool
 	run := func(id string, f func() error) {
 		if *exp != "all" && *exp != id {
 			return
@@ -164,6 +177,7 @@ func main() {
 	run("e10", func() error { return e10(e10cfg, *e10json) })
 	run("e11", func() error { return e11(e11cfg, *e11json) })
 	run("e12", func() error { return e12(e12cfg, *e12json) })
+	run("e13", func() error { return e13(e13cfg, *e13json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,

@@ -47,6 +47,10 @@ const (
 	// KindPlaceClass re-points the policy table entry for a class, so
 	// future creations and discoveries land at the new placement.
 	KindPlaceClass
+	// KindReplicate installs read replicas of one read-mostly object at
+	// its hottest caller endpoints; this node stays the lease-holding
+	// primary and keeps serialising writes (docs/REPLICATION.md).
+	KindReplicate
 )
 
 func (k DecisionKind) String() string {
@@ -55,6 +59,8 @@ func (k DecisionKind) String() string {
 		return "migrate"
 	case KindPlaceClass:
 		return "place-class"
+	case KindReplicate:
+		return "replicate"
 	default:
 		return fmt.Sprintf("DecisionKind(%d)", uint8(k))
 	}
@@ -67,7 +73,11 @@ type Proposal struct {
 	GUID     string     // object identity (KindMigrate)
 	Class    string
 	Endpoint string // destination; "" means local (KindPlaceClass only)
-	Reason   string
+	// Endpoints lists the replica target endpoints of a KindReplicate
+	// proposal, sorted.  Endpoint carries their canonical join so the
+	// hysteresis streak restarts when the target set changes.
+	Endpoints []string
+	Reason    string
 	// Priority is the proposal's evidence strength (typically the
 	// dominant caller's window call count).  When the node is in a
 	// cluster, confirmed migrations are delegated as placement intents
@@ -79,10 +89,14 @@ type Proposal struct {
 
 // key identifies a proposal for hysteresis and budget accounting.
 func (p Proposal) key() string {
-	if p.Kind == KindMigrate {
+	switch p.Kind {
+	case KindMigrate:
 		return "obj:" + p.GUID
+	case KindReplicate:
+		return "repl:" + p.GUID
+	default:
+		return "class:" + p.Class
 	}
-	return "class:" + p.Class
 }
 
 // Decision is one engine outcome: a proposal that survived hysteresis,
@@ -111,12 +125,17 @@ type Decision struct {
 // ObjWindow is one object's activity during the evaluated window
 // (deltas, not cumulative counts).
 type ObjWindow struct {
-	GUID    string
-	Class   string
-	Obj     *vm.Object
-	Local   uint64
-	Remote  uint64
-	Anon    uint64
+	GUID   string
+	Class  string
+	Obj    *vm.Object
+	Local  uint64
+	Remote uint64
+	Anon   uint64
+	// Reads / Writes split the window's invocations by the verifier's
+	// method-effect classification (unclassified calls count as writes) —
+	// the replication rule's eligibility signal.
+	Reads   uint64
+	Writes  uint64
 	Callers map[string]uint64
 	// EWMALatencyNs is the smoothed inbound service latency (cumulative
 	// EWMA, not a delta).
@@ -131,6 +150,11 @@ type ObjWindow struct {
 	// non-migratable objects — the engine could only suppress the
 	// decision, forever, as log noise.
 	Migratable bool
+	// Replicated reports whether the object already has a live replica
+	// set with this node as primary; the replication rule proposes only
+	// for unreplicated objects (growing or shrinking an existing set is
+	// the cluster plane's lease machinery's job, not the rule's).
+	Replicated bool
 }
 
 // Calls returns the window's total inbound invocations.
@@ -196,6 +220,16 @@ type Actions struct {
 	// PeerRTTs returns the RTT EWMA per peer endpoint in nanoseconds
 	// (optional; enables cost-based rules).
 	PeerRTTs func() map[string]float64
+	// ReplicateObject installs read replicas of obj at the given
+	// endpoints, leaving this node as the lease-holding primary.  Unlike
+	// migration, replication is not delegated through the intent plane:
+	// only the primary can install replicas of its own object, so there
+	// is no cross-node conflict to reconcile.
+	ReplicateObject func(obj *vm.Object, endpoints []string) error
+	// IsReplicated reports whether obj already belongs to a replica set
+	// with this node as primary (optional; nil reports every object
+	// unreplicated).
+	IsReplicated func(obj *vm.Object) bool
 	// SubmitIntent, when set, delegates a confirmed migration to the
 	// cluster coordination plane instead of executing it here: the
 	// cluster reconciles conflicting intents cluster-wide and the
@@ -223,6 +257,13 @@ type Config struct {
 	Budget int
 	// BudgetWindows is the budget horizon, in windows.
 	BudgetWindows int
+	// MaxWriteShare is the write fraction (writes over classified calls)
+	// above which an object no longer counts as read-mostly and the
+	// replication rule abstains (0 = DefaultMaxWriteShare).
+	MaxWriteShare float64
+	// ReplicaFanout caps how many caller endpoints a replication
+	// proposal targets — the rule's top-k (0 = DefaultReplicaFanout).
+	ReplicaFanout int
 	// CostBased swaps the count-based object affinity rule for the
 	// cost-based one: migrate only when the traffic saved (remote calls
 	// × peer RTT EWMA) outweighs the shipping cost (estimated state
@@ -250,6 +291,14 @@ const (
 	// DefaultNsPerByte prices shipped state at ~100 MB/s — deliberately
 	// pessimistic, so borderline bulky objects stay put.
 	DefaultNsPerByte = 10.0
+	// DefaultMaxWriteShare admits at most one classified write per ten
+	// classified calls before replication stops paying: every write fans
+	// out to all replicas synchronously, so write-heavy objects lose.
+	DefaultMaxWriteShare = 0.1
+	// DefaultReplicaFanout replicates to at most the top two caller
+	// endpoints — enough for the three-node read-scaling experiments
+	// without inflating every write's fan-out.
+	DefaultReplicaFanout = 2
 )
 
 func (c Config) withDefaults() Config {
@@ -274,6 +323,12 @@ func (c Config) withDefaults() Config {
 	if c.NsPerByte <= 0 {
 		c.NsPerByte = DefaultNsPerByte
 	}
+	if c.MaxWriteShare <= 0 || c.MaxWriteShare > 1 {
+		c.MaxWriteShare = DefaultMaxWriteShare
+	}
+	if c.ReplicaFanout <= 0 {
+		c.ReplicaFanout = DefaultReplicaFanout
+	}
 	if c.Rules == nil {
 		c.Rules = DefaultRules(c)
 	}
@@ -287,6 +342,7 @@ func (c Config) withDefaults() Config {
 // kept so each tick evaluates deltas.
 type objCum struct {
 	local, remote, anon uint64
+	reads, writes       uint64
 	callers             map[string]uint64
 }
 
@@ -530,6 +586,26 @@ func (e *Engine) decide(p Proposal, polVersion *uint64) {
 			e.logDecision(d)
 			return
 		}
+	case KindReplicate:
+		// Replication never delegates: only the primary can install
+		// replicas of its own object, so the intent plane has nothing to
+		// reconcile.  The object must still be a live local instance —
+		// a concurrent migration turns the proposal stale.
+		if e.act.ReplicateObject == nil {
+			d.Err = "suppressed: node has no replication capability"
+			e.logDecision(d)
+			return
+		}
+		if e.act.IsLocalObject != nil && !e.act.IsLocalObject(p.Obj) {
+			d.Err = "suppressed: object is no longer a live local instance"
+			e.logDecision(d)
+			return
+		}
+		if err := e.act.ReplicateObject(p.Obj, p.Endpoints); err != nil {
+			d.Err = err.Error()
+			e.logDecision(d)
+			return
+		}
 	case KindPlaceClass:
 		if err := e.act.PlaceClass(p.Class, p.Endpoint, *polVersion); err != nil {
 			d.Err = err.Error()
@@ -587,6 +663,8 @@ func (e *Engine) buildView() *View {
 			Local:         s.Local - prev.local,
 			Remote:        s.Remote - prev.remote,
 			Anon:          s.Anon - prev.anon,
+			Reads:         s.Reads - prev.reads,
+			Writes:        s.Writes - prev.writes,
 			Callers:       deltaMap(s.Callers, prev.callers),
 			EWMALatencyNs: s.EWMALatencyNs,
 		}
@@ -596,7 +674,11 @@ func (e *Engine) buildView() *View {
 		if w.Migratable && e.act.StateBytes != nil {
 			w.StateBytes = e.act.StateBytes(s.Obj)
 		}
-		e.prevObj[s.GUID] = objCum{local: s.Local, remote: s.Remote, anon: s.Anon, callers: s.Callers}
+		if e.act.IsReplicated != nil {
+			w.Replicated = e.act.IsReplicated(s.Obj)
+		}
+		e.prevObj[s.GUID] = objCum{local: s.Local, remote: s.Remote, anon: s.Anon,
+			reads: s.Reads, writes: s.Writes, callers: s.Callers}
 		if w.Calls() > 0 {
 			v.Objects = append(v.Objects, w)
 		}

@@ -24,6 +24,7 @@ type harness struct {
 	local     map[*vm.Object]bool
 	polV      uint64
 	placement map[string]string
+	replicas  map[*vm.Object][]string
 }
 
 func newHarness(t *testing.T, cfg Config) *harness {
@@ -32,6 +33,7 @@ func newHarness(t *testing.T, cfg Config) *harness {
 		rec:       telemetry.NewRecorder(),
 		local:     map[*vm.Object]bool{},
 		placement: map[string]string{},
+		replicas:  map[*vm.Object][]string{},
 	}
 	act := Actions{
 		MigrateObject: func(obj *vm.Object, ep string) error {
@@ -52,6 +54,11 @@ func newHarness(t *testing.T, cfg Config) *harness {
 		ClassPlacement: func(class string) string { return h.placement[class] },
 		IsLocalObject:  func(obj *vm.Object) bool { return h.local[obj] },
 		SelfEndpoints:  func() []string { return []string{epB} },
+		ReplicateObject: func(obj *vm.Object, eps []string) error {
+			h.replicas[obj] = append([]string(nil), eps...)
+			return nil
+		},
+		IsReplicated: func(obj *vm.Object) bool { return len(h.replicas[obj]) > 0 },
 	}
 	h.eng = New(h.rec, act, cfg)
 	return h
@@ -425,5 +432,114 @@ func TestMigrationDelegatesToCluster(t *testing.T) {
 	h.eng.Tick()
 	if len(h.migrated) != 1 {
 		t.Fatalf("fallback to direct execution failed: %v (log %+v)", h.migrated, h.eng.Decisions())
+	}
+}
+
+// readTraffic records a window of spread-out read-mostly traffic: calls
+// from each endpoint plus the verifier-classified effect split.
+func readTraffic(s *telemetry.ObjStats, perCaller map[string]int, reads, writes int) {
+	for ep, n := range perCaller {
+		for i := 0; i < n; i++ {
+			s.RecordInbound(ep, 8, 8, time.Microsecond)
+		}
+	}
+	for i := 0; i < reads; i++ {
+		s.RecordEffect(false)
+	}
+	for i := 0; i < writes; i++ {
+		s.RecordEffect(true)
+	}
+}
+
+func TestReplicateReadMostlySpreadObject(t *testing.T) {
+	h := newHarness(t, Config{Threshold: 0.6, MinCalls: 10, Confirm: 2})
+	const epC = "rrp://c:1"
+	obj := h.hotObject("g1", 0, epA)
+	s := h.rec.ForObject(obj, "g1", "C")
+
+	// Two remote callers, neither dominant; all calls classified reads.
+	readTraffic(s, map[string]int{epA: 30, epC: 25}, 55, 0)
+	h.eng.Tick() // streak 1
+	if len(h.replicas) != 0 {
+		t.Fatalf("replicated before hysteresis confirmed: %v", h.replicas)
+	}
+	readTraffic(s, map[string]int{epA: 30, epC: 25}, 55, 0)
+	h.eng.Tick() // streak 2: act
+	got := h.replicas[obj]
+	if len(got) != 2 || got[0] != epA || got[1] != epC {
+		t.Fatalf("replica targets = %v, want [%s %s]", got, epA, epC)
+	}
+	dl := h.eng.Decisions()
+	if len(dl) != 1 || !dl[0].Executed || dl[0].Kind != KindReplicate || dl[0].Rule != "replicate" {
+		t.Fatalf("bad decision log: %+v", dl)
+	}
+
+	// Already replicated: the rule must not re-propose.
+	readTraffic(s, map[string]int{epA: 30, epC: 25}, 55, 0)
+	h.eng.Tick()
+	readTraffic(s, map[string]int{epA: 30, epC: 25}, 55, 0)
+	h.eng.Tick()
+	if len(h.eng.Decisions()) != 1 {
+		t.Fatalf("re-proposed for a replicated object: %+v", h.eng.Decisions())
+	}
+}
+
+func TestWriteHeavyObjectNotReplicated(t *testing.T) {
+	h := newHarness(t, Config{Threshold: 0.6, MinCalls: 10, Confirm: 1})
+	const epC = "rrp://c:1"
+	obj := h.hotObject("g1", 0, epA)
+	s := h.rec.ForObject(obj, "g1", "C")
+	// 20% writes > DefaultMaxWriteShare: replication would tax every
+	// write with a synchronous fan-out for little read win.
+	readTraffic(s, map[string]int{epA: 30, epC: 25}, 44, 11)
+	h.eng.Tick()
+	if len(h.eng.Decisions()) != 0 {
+		t.Fatalf("write-heavy object replicated: %+v", h.eng.Decisions())
+	}
+}
+
+func TestDominantCallerPrefersMigration(t *testing.T) {
+	h := newHarness(t, Config{Threshold: 0.6, MinCalls: 10, Confirm: 1})
+	obj := h.hotObject("g1", 0, epA)
+	s := h.rec.ForObject(obj, "g1", "C")
+	// One remote endpoint makes 100% of the calls: even though the
+	// object is read-only, moving it there beats pinning a replica set.
+	readTraffic(s, map[string]int{epA: 50}, 50, 0)
+	h.eng.Tick()
+	if len(h.replicas) != 0 {
+		t.Fatalf("replicated a single-caller object: %v", h.replicas)
+	}
+	if len(h.migrated) != 1 {
+		t.Fatalf("affinity migration missing: %+v", h.eng.Decisions())
+	}
+}
+
+func TestReplicateFanoutPicksHottestCallers(t *testing.T) {
+	h := newHarness(t, Config{Threshold: 0.9, MinCalls: 10, Confirm: 1, ReplicaFanout: 2})
+	const epC = "rrp://c:1"
+	const epD = "rrp://d:1"
+	obj := h.hotObject("g1", 0, epA)
+	s := h.rec.ForObject(obj, "g1", "C")
+	// Three remote callers; fan-out 2 must take the two heaviest.
+	readTraffic(s, map[string]int{epA: 40, epC: 35, epD: 5}, 80, 0)
+	h.eng.Tick()
+	got := h.replicas[obj]
+	if len(got) != 2 || got[0] != epA || got[1] != epC {
+		t.Fatalf("replica targets = %v, want the two hottest [%s %s]", got, epA, epC)
+	}
+}
+
+func TestUnclassifiedTrafficNotReplicated(t *testing.T) {
+	h := newHarness(t, Config{Threshold: 0.6, MinCalls: 10, Confirm: 1})
+	const epC = "rrp://c:1"
+	obj := h.hotObject("g1", 0, epA)
+	s := h.rec.ForObject(obj, "g1", "C")
+	// Calls arrive but the effect plane classified none of them as
+	// reads (e.g. an untransformed or natively-dispatched class): no
+	// proof of read-mostliness, no replication.
+	readTraffic(s, map[string]int{epA: 30, epC: 25}, 0, 0)
+	h.eng.Tick()
+	if len(h.eng.Decisions()) != 0 {
+		t.Fatalf("replicated on unclassified traffic: %+v", h.eng.Decisions())
 	}
 }

@@ -3,11 +3,13 @@ package adapt
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // DefaultRules returns the built-in rule set: per-object call-affinity
-// migration (count-based, or cost-based under Config.CostBased) plus
-// the two class-placement flips (pull-local and push-remote).
+// migration (count-based, or cost-based under Config.CostBased), the
+// two class-placement flips (pull-local and push-remote), and
+// read-replication of read-mostly objects.
 func DefaultRules(cfg Config) []Rule {
 	objRule := Rule(&AffinityRule{Threshold: cfg.Threshold, MinCalls: cfg.MinCalls})
 	if cfg.CostBased {
@@ -19,6 +21,8 @@ func DefaultRules(cfg Config) []Rule {
 		objRule,
 		&ClassPullRule{Threshold: cfg.Threshold, MinCalls: cfg.MinCalls},
 		&ClassPushRule{Threshold: cfg.Threshold, MinCalls: cfg.MinCalls},
+		&ReplicateRule{MinCalls: cfg.MinCalls, MaxWriteShare: cfg.MaxWriteShare,
+			Fanout: cfg.ReplicaFanout, MigrateThreshold: cfg.Threshold},
 	}
 }
 
@@ -149,6 +153,110 @@ func (r *CostAffinityRule) Evaluate(v *View) []Proposal {
 			Priority: int64(n),
 			Reason: fmt.Sprintf("saving %d calls × %.0fµs RTT (%.0fµs) beats shipping %dB (%.0fµs)",
 				n, rtt/1e3, benefit/1e3, w.StateBytes, cost/1e3),
+		})
+	}
+	return out
+}
+
+// ReplicateRule is migration's sibling for the workload shape affinity
+// cannot improve: a read-mostly object whose calls are spread across
+// several remote endpoints.  Moving it chases one caller and abandons
+// the rest; replicating it gives each hot caller a local read copy
+// while this node stays the lease-holding primary for writes
+// (docs/REPLICATION.md).  Eligibility is driven by the telemetry
+// plane's effect counters — reads and writes as classified by the
+// verifier's method-effect analysis — and the per-endpoint caller
+// affinity counters:
+//
+//   - the object is a live local instance and not already replicated;
+//   - window activity ≥ MinCalls, with at least one classified read;
+//   - writes / (reads + writes) ≤ MaxWriteShare — every write fans out
+//     to all replicas synchronously, so write-heavy objects lose;
+//   - no single remote endpoint exceeds MigrateThreshold of the
+//     window's calls: that shape is the affinity rule's territory, and
+//     a whole-object migration beats pinning a replica set there.
+//
+// The proposal targets the top-Fanout remote caller endpoints by call
+// count (deterministic tie-break), sorted into Endpoints with their
+// canonical join in Endpoint so hysteresis restarts when the hot set
+// shifts.
+type ReplicateRule struct {
+	MinCalls      uint64
+	MaxWriteShare float64
+	// Fanout caps the replica target count (top-k callers).
+	Fanout int
+	// MigrateThreshold is the dominant-caller share above which the rule
+	// abstains in favour of migration.
+	MigrateThreshold float64
+}
+
+// Name implements Rule.
+func (r *ReplicateRule) Name() string { return "replicate" }
+
+// Evaluate implements Rule.
+func (r *ReplicateRule) Evaluate(v *View) []Proposal {
+	var out []Proposal
+	for _, w := range v.Objects {
+		if !w.Migratable || w.Replicated {
+			continue
+		}
+		total := w.Calls()
+		if total < r.MinCalls {
+			continue
+		}
+		classified := w.Reads + w.Writes
+		if classified == 0 || w.Reads == 0 {
+			continue // nothing provably read-only to scale
+		}
+		if float64(w.Writes)/float64(classified) > r.MaxWriteShare {
+			continue
+		}
+		// Remote callers by window calls, heaviest first (lexicographic
+		// tie-break keeps the proposal deterministic).
+		type epCalls struct {
+			ep string
+			n  uint64
+		}
+		var remote []epCalls
+		for ep, n := range w.Callers {
+			if ep == "" || v.Self[ep] {
+				continue
+			}
+			remote = append(remote, epCalls{ep, n})
+		}
+		if len(remote) == 0 {
+			continue
+		}
+		sort.Slice(remote, func(i, j int) bool {
+			if remote[i].n != remote[j].n {
+				return remote[i].n > remote[j].n
+			}
+			return remote[i].ep < remote[j].ep
+		})
+		if float64(remote[0].n)/float64(total) >= r.MigrateThreshold {
+			continue // one dominant caller: migration's territory
+		}
+		k := r.Fanout
+		if k <= 0 || k > len(remote) {
+			k = len(remote)
+		}
+		eps := make([]string, 0, k)
+		var covered uint64
+		for _, rc := range remote[:k] {
+			eps = append(eps, rc.ep)
+			covered += rc.n
+		}
+		sort.Strings(eps)
+		out = append(out, Proposal{
+			Kind:      KindReplicate,
+			Obj:       w.Obj,
+			GUID:      w.GUID,
+			Class:     w.Class,
+			Endpoint:  strings.Join(eps, ","),
+			Endpoints: eps,
+			Priority:  int64(covered),
+			Reason: fmt.Sprintf("read-mostly object (%d reads / %d writes) spread over %d remote callers; replicating to top %d (%d/%d calls)",
+				w.Reads, w.Writes, len(remote), len(eps), covered, total),
 		})
 	}
 	return out

@@ -14,6 +14,9 @@ import (
 type fakeNet struct {
 	mu    sync.Mutex
 	nodes map[string]*Coordinator // by endpoint
+	// down marks endpoints as partitioned: calls to them fail, so the
+	// node is unreachable rather than merely quiet.
+	down map[string]bool
 	// owners maps guid -> endpoint currently hosting it live.
 	owners map[string]string
 	// guidSeq numbers re-exported GUIDs after migrations.
@@ -23,7 +26,7 @@ type fakeNet struct {
 }
 
 func newFakeNet() *fakeNet {
-	return &fakeNet{nodes: map[string]*Coordinator{}, owners: map[string]string{}}
+	return &fakeNet{nodes: map[string]*Coordinator{}, down: map[string]bool{}, owners: map[string]string{}}
 }
 
 type fakeRuntime struct {
@@ -36,9 +39,13 @@ type fakeRuntime struct {
 func (r *fakeRuntime) Call(endpoint string, req *wire.Request) (*wire.Response, error) {
 	r.net.mu.Lock()
 	c := r.net.nodes[endpoint]
+	cut := r.net.down[endpoint] || r.net.down[r.self]
 	r.net.mu.Unlock()
 	if c == nil {
 		return nil, fmt.Errorf("no node at %s", endpoint)
+	}
+	if cut {
+		return nil, fmt.Errorf("partition: %s unreachable from %s", endpoint, r.self)
 	}
 	if req.Op != wire.OpGossip {
 		return nil, fmt.Errorf("unexpected op %v", req.Op)
@@ -424,5 +431,214 @@ func TestIntentsExpireWhenOriginStops(t *testing.T) {
 		if n := len(co.Intents()); n != 0 {
 			t.Fatalf("%s still holds %d intents after the origin went quiet (echo keeps TTL alive)", co.ID(), n)
 		}
+	}
+}
+
+// replicaSet builds the canonical test set: a primaries g with replica
+// copies exported as rb@b and rc@c.
+func replicaSet(primary string) wire.ReplicaSet {
+	return wire.ReplicaSet{
+		GUID: "g", Class: "C", Primary: primary, Epoch: 1,
+		Replicas: []wire.ReplicaInfo{
+			{Endpoint: "rrp://b", GUID: "rb"},
+			{Endpoint: "rrp://c", GUID: "rc"},
+		},
+	}
+}
+
+func TestReplicaSetDisseminatesAndRoutesReads(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{})
+	b, _ := net.addNode(t, "b", Config{})
+	c, _ := net.addNode(t, "c", Config{})
+	d, _ := net.addNode(t, "d", Config{}) // pure caller: no replica
+	joinAll(t, a, b, c, d)
+	a.RecordReplicaSet(replicaSet(a.Self()))
+	tickAll(2, a, b, c, d)
+
+	// Replica holders serve reads locally under a live lease.
+	for _, co := range []*Coordinator{b, c} {
+		rt, ok := co.ReadTarget("g")
+		if !ok || !rt.Local || rt.Endpoint != co.Self() {
+			t.Fatalf("%s read route = %+v (ok=%v), want local replica", co.ID(), rt, ok)
+		}
+		if !co.LeaseValid("g") {
+			t.Fatalf("%s lease invalid right after direct primary gossip", co.ID())
+		}
+	}
+	// A pure caller routes to a live replica, not the primary.
+	rt, ok := d.ReadTarget("g")
+	if !ok || rt.Local || rt.Endpoint == a.Self() {
+		t.Fatalf("pure caller route = %+v (ok=%v), want a remote replica", rt, ok)
+	}
+	if rt.GUID != "rb" && rt.GUID != "rc" {
+		t.Fatalf("pure caller routed to unknown replica GUID %q", rt.GUID)
+	}
+	// The primary itself reports no self-replica route.
+	if art, ok := a.ReadTarget("g"); !ok || art.Local {
+		t.Fatalf("primary route = %+v (ok=%v)", art, ok)
+	}
+
+	// Epoch advances ride the same merge.
+	a.UpdateReplicaEpoch("g", 7)
+	tickAll(2, a, b, c, d)
+	if rt, _ := b.ReadTarget("g"); rt.Epoch != 7 {
+		t.Fatalf("epoch did not disseminate: %+v", rt)
+	}
+}
+
+// TestLeaseNeedsDirectPrimaryContact pins the lease soundness rule: a
+// replica partitioned from its primary must stop serving reads after
+// LeaseTicks even while third parties keep relaying the set to it.
+func TestLeaseNeedsDirectPrimaryContact(t *testing.T) {
+	net := newFakeNet()
+	cfg := Config{LeaseTicks: 3, SuspectAfter: 10, DeadAfter: 20}
+	a, _ := net.addNode(t, "a", cfg)
+	b, _ := net.addNode(t, "b", cfg)
+	c, _ := net.addNode(t, "c", cfg)
+	joinAll(t, a, b, c)
+	a.RecordReplicaSet(replicaSet(a.Self()))
+	tickAll(1, a, b, c)
+	if !b.LeaseValid("g") {
+		t.Fatal("lease not granted by direct primary gossip")
+	}
+
+	// a partitions away; b and c keep gossiping the set at each other.
+	net.mu.Lock()
+	net.down[a.Self()] = true
+	net.mu.Unlock()
+	tickAll(5, b, c)
+	if b.LeaseValid("g") {
+		t.Fatal("relayed gossip renewed the lease: stale reads now possible")
+	}
+	if rt, ok := b.ReadTarget("g"); !ok || rt.Local {
+		t.Fatalf("expired-lease replica still routes reads to itself: %+v", rt)
+	}
+
+	// Direct contact from the primary restores it.
+	net.mu.Lock()
+	net.down[a.Self()] = false
+	net.mu.Unlock()
+	tickAll(1, a, b, c)
+	if !b.LeaseValid("g") {
+		t.Fatal("lease not renewed once the primary resumed")
+	}
+}
+
+// TestDeadPrimaryPromotesSmallestReplica drives the failover path: the
+// primary dies, the lexicographically smallest live replica endpoint
+// promotes itself (Version+1, OnPromote fired), the other replica
+// follows the new primary and regains a lease from it, and the deposed
+// primary is told to stand down when it reconnects.
+func TestDeadPrimaryPromotesSmallestReplica(t *testing.T) {
+	net := newFakeNet()
+	cfg := Config{SuspectAfter: 2, DeadAfter: 4, LeaseTicks: 3}
+	var promoted, demoted []string
+	cfgB := cfg
+	cfgB.OnPromote = func(guid, class, selfGUID string) {
+		promoted = append(promoted, guid+"/"+class+"/"+selfGUID)
+	}
+	cfgA := cfg
+	cfgA.OnDemote = func(guid string) { demoted = append(demoted, guid) }
+	a, _ := net.addNode(t, "a", cfgA)
+	b, _ := net.addNode(t, "b", cfgB)
+	c, _ := net.addNode(t, "c", cfg)
+	joinAll(t, a, b, c)
+	a.RecordReplicaSet(replicaSet(a.Self()))
+	tickAll(2, a, b, c)
+	before, _ := b.ReplicaSet("g")
+
+	// a dies; b and c walk it down the ladder, then b (smallest replica
+	// endpoint) takes over.
+	net.mu.Lock()
+	net.down[a.Self()] = true
+	net.mu.Unlock()
+	tickAll(6, b, c)
+	if len(promoted) != 1 || promoted[0] != "g/C/rb" {
+		t.Fatalf("promotions = %v, want [g/C/rb]", promoted)
+	}
+	set, ok := b.ReplicaSet("g")
+	if !ok || set.Primary != b.Self() || set.Version <= before.Version {
+		t.Fatalf("promoted set = %+v (ok=%v)", set, ok)
+	}
+	if replicaMember(set, b.Self()) {
+		t.Fatalf("new primary still lists itself as replica: %+v", set)
+	}
+	// c follows and regains a lease from the NEW primary's direct gossip.
+	tickAll(2, b, c)
+	cset, _ := c.ReplicaSet("g")
+	if cset.Primary != b.Self() {
+		t.Fatalf("c did not follow the new primary: %+v", cset)
+	}
+	if !c.LeaseValid("g") {
+		t.Fatal("c has no lease from the new primary")
+	}
+
+	// a reconnects, learns the higher-Version set, and stands down.
+	net.mu.Lock()
+	net.down[a.Self()] = false
+	net.mu.Unlock()
+	tickAll(2, a, b, c)
+	if len(demoted) != 1 || demoted[0] != "g" {
+		t.Fatalf("demotions = %v, want [g]", demoted)
+	}
+	aset, _ := a.ReplicaSet("g")
+	if aset.Primary != b.Self() {
+		t.Fatalf("deposed primary kept its own set: %+v", aset)
+	}
+}
+
+// TestEvictReplicaWaitsOutLease pins the write-path eviction contract:
+// removing an unreachable replica bumps the set version, and the
+// returned wait covers the evicted member's full lease window (plus a
+// tick of phase skew) so it cannot serve a stale read after the write
+// acks.
+func TestEvictReplicaWaitsOutLease(t *testing.T) {
+	net := newFakeNet()
+	cfg := Config{LeaseTicks: 3, Heartbeat: 10 * time.Millisecond}
+	a, _ := net.addNode(t, "a", cfg)
+	b, _ := net.addNode(t, "b", cfg)
+	joinAll(t, a, b)
+	a.RecordReplicaSet(replicaSet(a.Self()))
+	before, _ := a.ReplicaSet("g")
+
+	wait := a.EvictReplica("g", "rrp://b")
+	if want := 4 * 10 * time.Millisecond; wait != want {
+		t.Fatalf("lease wait = %v, want %v", wait, want)
+	}
+	set, _ := a.ReplicaSet("g")
+	if replicaMember(set, "rrp://b") || set.Version != before.Version+1 {
+		t.Fatalf("eviction did not bump membership/version: %+v", set)
+	}
+	// The evicted member learns it is out and stops self-routing.
+	tickAll(2, a, b)
+	if b.LeaseValid("g") {
+		t.Fatal("evicted replica still holds a lease")
+	}
+	if rt, ok := b.ReadTarget("g"); ok && rt.Local {
+		t.Fatalf("evicted replica still routes reads to itself: %+v", rt)
+	}
+	// Unknown sets cost no wait.
+	if w := a.EvictReplica("nosuch", "rrp://b"); w != 0 {
+		t.Fatalf("eviction of unknown set returned wait %v", w)
+	}
+}
+
+// TestDropReplicaSetTombstones: dissolving a set gossips a tombstone
+// that stops read routing everywhere.
+func TestDropReplicaSetTombstones(t *testing.T) {
+	net := newFakeNet()
+	a, _ := net.addNode(t, "a", Config{})
+	b, _ := net.addNode(t, "b", Config{})
+	joinAll(t, a, b)
+	a.RecordReplicaSet(replicaSet(a.Self()))
+	tickAll(2, a, b)
+	a.DropReplicaSet("g")
+	tickAll(2, a, b)
+	if _, ok := b.ReadTarget("g"); ok {
+		t.Fatal("tombstoned set still routes reads")
+	}
+	if b.LeaseValid("g") {
+		t.Fatal("tombstoned set left a live lease")
 	}
 }

@@ -112,6 +112,20 @@ type Config struct {
 	// FollowClassPlacements applies gossiped class placement entries to
 	// the local policy table, converging creation policy cluster-wide.
 	FollowClassPlacements bool
+	// LeaseTicks is how many local ticks a replica's read lease lasts
+	// after direct primary contact; an expired lease falls reads back to
+	// the primary (docs/REPLICATION.md).
+	LeaseTicks int
+	// OnPromote, when set, is called after this node promotes itself to
+	// primary of a replica set whose old primary died: guid is the
+	// object's cluster-wide key, selfGUID this node's replica export
+	// that now carries the state.  The node runtime re-routes writes
+	// from here (RecordMove).  Called outside the coordinator lock.
+	OnPromote func(guid, class, selfGUID string)
+	// OnDemote, when set, is called when a Version merge shows this node
+	// was deposed as guid's primary while partitioned (split-brain
+	// repair).  Called outside the coordinator lock.
+	OnDemote func(guid string)
 	// OnEvent observes every event as it is logged (called outside the
 	// coordinator lock).
 	OnEvent func(Event)
@@ -133,6 +147,10 @@ const (
 	DefaultMaxRollups    = 8
 	DefaultThreshold     = 0.6
 	DefaultMinCalls      = 16
+	// DefaultLeaseTicks matches the suspicion ladder: a replica stops
+	// serving reads at the same horizon its peers would start doubting
+	// the link that stopped renewing it.
+	DefaultLeaseTicks = DefaultSuspectAfter
 )
 
 func (c Config) withDefaults() Config {
@@ -168,6 +186,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinCalls == 0 {
 		c.MinCalls = DefaultMinCalls
+	}
+	if c.LeaseTicks <= 0 {
+		c.LeaseTicks = DefaultLeaseTicks
 	}
 	if c.Seed == 0 {
 		for _, b := range []byte(c.ID) {
@@ -214,6 +235,7 @@ type Coordinator struct {
 	intents map[string]*intentState  // by object GUID
 	cool    map[string]uint64        // guid -> tick the cooldown expires at
 	rollups map[string]*rollupState  // by object GUID
+	repl    map[string]*replState    // replica sets, by primary GUID
 	applied map[string]uint64        // class -> directory version last applied locally
 	events  []Event
 	pending []Event // events this call, delivered to OnEvent after unlock
@@ -222,6 +244,11 @@ type Coordinator struct {
 	// dirSnap is the chain-collapsed, lock-free resolution view consumed
 	// on every proxy invocation (Resolve).
 	dirSnap atomic.Pointer[map[string]wire.RemoteRef]
+	// replSnap is the lock-free read-routing view consumed on every
+	// classified-read proxy invocation (ReadTarget); tickAtomic mirrors
+	// the tick counter so lease deadlines evaluate without the lock.
+	replSnap   atomic.Pointer[map[string]replRoute]
+	tickAtomic atomic.Uint64
 
 	running bool
 	stop    chan struct{}
@@ -249,6 +276,7 @@ func New(cfg Config) (*Coordinator, error) {
 		intents: make(map[string]*intentState),
 		cool:    make(map[string]uint64),
 		rollups: make(map[string]*rollupState),
+		repl:    make(map[string]*replState),
 		applied: make(map[string]uint64),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}, nil
@@ -354,6 +382,7 @@ func (c *Coordinator) Tick() {
 
 	c.mu.Lock()
 	c.tick++
+	c.tickAtomic.Store(c.tick)
 	for i := range samples {
 		samples[i].Home = c.cfg.Self
 		c.rollups[samples[i].GUID] = &rollupState{s: samples[i], seen: c.tick}
@@ -364,11 +393,25 @@ func (c *Coordinator) Tick() {
 		c.proposeMultiHopLocked()
 	}
 	due := c.dueIntentsLocked()
+	direct, promos := c.replicaTickLocked()
 	targets := c.gossipTargets(c.cfg.Fanout)
+	// Primaries gossip to every replica member each tick — that direct
+	// contact is what renews read leases, so it must not depend on the
+	// random fan-out happening to pick them.
+	for _, ep := range direct {
+		if !contains(targets, ep) {
+			targets = append(targets, ep)
+		}
+	}
 	fired := c.pending
 	c.pending = nil
 	c.mu.Unlock()
 	c.deliver(fired)
+	for _, p := range promos {
+		if c.cfg.OnPromote != nil {
+			c.cfg.OnPromote(p.guid, p.class, p.selfGUID)
+		}
+	}
 
 	// Execute won intents (we are the home): the migration goes through
 	// the node's ordinary Migrate path, which takes the object's gate
@@ -455,10 +498,16 @@ func (c *Coordinator) merge(in *wire.ClusterPayload) {
 		}
 		c.rollups[s.GUID] = &rollupState{s: s, seen: c.tick}
 	}
+	demoted := c.mergeReplicasLocked(in.Replicas, in.From)
 	fired := c.pending
 	c.pending = nil
 	c.mu.Unlock()
 	c.deliver(fired)
+	for _, guid := range demoted {
+		if c.cfg.OnDemote != nil {
+			c.cfg.OnDemote(guid)
+		}
+	}
 
 	// Apply class placements outside the lock (policy table has its own
 	// synchronisation).  The epoch is recorded as applied only on
@@ -515,7 +564,25 @@ func (c *Coordinator) buildPayload() *wire.ClusterPayload {
 		}
 	}
 	sort.Slice(p.Stats, func(i, j int) bool { return p.Stats[i].GUID < p.Stats[j].GUID })
+	// Replica sets relay like directory entries (versioned state, not
+	// origin-gossiped evidence): pure callers need the routes too, and
+	// the merge order makes echoes harmless.  Tombstones travel so drops
+	// converge.
+	for _, st := range c.repl {
+		p.Replicas = append(p.Replicas, st.set)
+	}
+	sort.Slice(p.Replicas, func(i, j int) bool { return p.Replicas[i].GUID < p.Replicas[j].GUID })
 	return p
+}
+
+// contains reports whether eps holds ep (small slices only).
+func contains(eps []string, ep string) bool {
+	for _, e := range eps {
+		if e == ep {
+			return true
+		}
+	}
+	return false
 }
 
 // expireLocked drops intents and rollups that have not been re-asserted

@@ -10,12 +10,18 @@
 //     retries — transport shard failover, a duplicated frame, a
 //     re-send at a migrated object's new home — reuse the token with
 //     the attempt ordinal bumped.
-//   - The callee keeps one window per caller.  The first delivery of a
-//     sequence executes and its response is recorded; a duplicate of an
+//   - The callee keeps one window per caller, with entries keyed by
+//     (sequence, target).  The first delivery of a (sequence, target)
+//     executes and its response is recorded; a duplicate of an
 //     in-flight call parks until the first attempt completes and then
 //     replays its response; a duplicate of a completed call replays
 //     immediately; a duplicate of a retired call is rejected (never
 //     re-executed — at-most-once is preserved even past the cache).
+//     The same sequence arriving for a different target is not a
+//     duplicate: it is the same logical call revisiting this node
+//     further down a proxy-forwarding chain (tokens propagate across
+//     forwards), and it executes under its own entry rather than
+//     deadlocking parked behind its own in-flight ancestor.
 //   - Entries retire by the caller's acked watermark (Token.Ack,
 //     piggybacked on every subsequent request: the caller has the
 //     response for every sequence <= Ack, so replay can never be
@@ -151,11 +157,26 @@ func (t *Table) window(caller string) *Window {
 	defer t.mu.Unlock()
 	w, ok := t.windows[caller]
 	if !ok {
-		w = &Window{table: t, entries: make(map[uint64]*Entry)}
+		w = &Window{table: t, entries: make(map[entryKey]*Entry)}
 		t.windows[caller] = w
 		t.stats.Windows.Add(1)
 	}
 	return w
+}
+
+// entryKey identifies one delivery stream within a window.  Entries
+// are keyed by (sequence, target), not sequence alone: a forwarded
+// call keeps the originating caller's token across proxy hops, so the
+// same sequence can legitimately execute at this node more than once —
+// against a *different* target each time — when a forwarding chain
+// revisits it (g1 here → g2 elsewhere → g3 back here after two
+// migrations).  Keying by sequence alone made that revisit park behind
+// its own in-flight ancestor: a distributed self-deadlock.  With the
+// target in the key, only a true re-delivery of the same hop (same
+// target — a transport failover retry) parks or replays.
+type entryKey struct {
+	seq    uint64
+	target string
 }
 
 // Window is one caller's dedup state at this node.
@@ -163,7 +184,7 @@ type Window struct {
 	table *Table
 
 	mu      sync.Mutex
-	entries map[uint64]*Entry
+	entries map[entryKey]*Entry
 	// retired is the watermark below which entries have been dropped
 	// (acked by the caller or evicted by the cache bound): every seq <=
 	// retired is settled and a late duplicate of it must be rejected,
@@ -210,6 +231,12 @@ const (
 // attempt completes — the park that turns concurrent duplicate
 // deliveries into one execution — so Begin must not be called while
 // holding locks the executing attempt needs.
+//
+// Entries are matched by (sequence, target): the same token arriving
+// for a different target is a forwarding-chain hop of the same logical
+// call revisiting this node, not a duplicate delivery, and gets its own
+// entry so it executes instead of parking behind its in-flight ancestor
+// (docs/CONCURRENCY.md §10).
 func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
 	w := t.window(tok.Caller)
 	w.mu.Lock()
@@ -219,7 +246,7 @@ func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
 		t.stats.StaleRejected.Add(1)
 		return nil, Stale
 	}
-	if e, ok := w.entries[tok.Seq]; ok {
+	if e, ok := w.entries[entryKey{tok.Seq, target}]; ok {
 		inFlight := e.resp == nil
 		w.mu.Unlock()
 		if inFlight {
@@ -231,7 +258,7 @@ func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
 		return e, Replay
 	}
 	e := &Entry{seq: tok.Seq, target: target, done: make(chan struct{})}
-	w.entries[tok.Seq] = e
+	w.entries[entryKey{tok.Seq, target}] = e
 	w.mu.Unlock()
 	return e, Execute
 }
@@ -245,7 +272,7 @@ func (t *Table) Complete(caller string, e *Entry, resp *wire.Response) {
 	e.resp = resp
 	// The entry may already have been shipped out by a migration racing
 	// this completion; only count it if it is still ours.
-	if w.entries[e.seq] == e {
+	if w.entries[entryKey{e.seq, e.target}] == e {
 		w.completed++
 		t.stats.NoteEntries(1)
 		w.evictOverCap()
@@ -278,9 +305,9 @@ func (w *Window) retire(ack uint64) {
 	if ack <= w.retired {
 		return
 	}
-	for seq, e := range w.entries {
-		if seq <= ack && e.resp != nil {
-			delete(w.entries, seq)
+	for k, e := range w.entries {
+		if k.seq <= ack && e.resp != nil {
+			delete(w.entries, k)
 			w.completed--
 			w.table.stats.NoteEntries(-1)
 			w.table.stats.Retired.Add(1)
@@ -297,22 +324,26 @@ func (w *Window) retire(ack uint64) {
 func (w *Window) evictOverCap() {
 	for w.completed > w.table.cap {
 		// Find the smallest completed seq at or above the scan cursor.
-		var victim *Entry
-		min := uint64(0)
-		for seq, e := range w.entries {
-			if e.resp == nil || seq < w.lowSeq {
+		var victim entryKey
+		var found bool
+		for k, e := range w.entries {
+			if e.resp == nil || k.seq < w.lowSeq {
 				continue
 			}
-			if victim == nil || seq < min {
-				victim, min = e, seq
+			if !found || k.seq < victim.seq {
+				victim, found = k, true
 			}
 		}
-		if victim == nil {
+		if !found {
 			return
 		}
-		delete(w.entries, min)
+		min := victim.seq
+		delete(w.entries, victim)
 		w.completed--
-		w.lowSeq = min + 1
+		// The cursor advances to min, not past it: a forwarding chain can
+		// leave sibling entries at the same sequence (one per target), and
+		// min+1 would orphan the survivors below the scan floor.
+		w.lowSeq = min
 		if min > w.retired {
 			w.retired = min
 		}
@@ -343,12 +374,12 @@ func (t *Table) ExtractFor(target string) []wire.DedupEntry {
 	var out []wire.DedupEntry
 	for _, r := range ws {
 		r.w.mu.Lock()
-		for seq, e := range r.w.entries {
+		for k, e := range r.w.entries {
 			if e.target != target || e.resp == nil {
 				continue
 			}
-			out = append(out, wire.DedupEntry{Caller: r.caller, Seq: seq, Resp: *e.resp})
-			delete(r.w.entries, seq)
+			out = append(out, wire.DedupEntry{Caller: r.caller, Seq: k.seq, Resp: *e.resp})
+			delete(r.w.entries, k)
 			r.w.completed--
 			t.stats.NoteEntries(-1)
 		}
@@ -370,14 +401,14 @@ func (t *Table) Adopt(target string, entries []wire.DedupEntry) {
 			w.mu.Unlock()
 			continue
 		}
-		if _, ok := w.entries[in.Seq]; ok {
+		if _, ok := w.entries[entryKey{in.Seq, target}]; ok {
 			w.mu.Unlock()
 			continue
 		}
 		resp := in.Resp
 		e := &Entry{seq: in.Seq, target: target, done: make(chan struct{}), resp: &resp}
 		close(e.done)
-		w.entries[in.Seq] = e
+		w.entries[entryKey{in.Seq, target}] = e
 		w.completed++
 		t.stats.NoteEntries(1)
 		t.stats.Adopted.Add(1)

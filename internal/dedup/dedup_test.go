@@ -233,3 +233,44 @@ func TestExtractAdoptMovesHistory(t *testing.T) {
 		t.Fatalf("adoption below watermark should stay Stale, got %v", v)
 	}
 }
+
+// TestForwardChainRevisitExecutes pins the fix for a distributed
+// self-deadlock: tokens propagate across proxy forwards, so a call that
+// enters a node as g1, forwards away, and returns down the chain as g3
+// (the object migrated twice) delivers the SAME (caller, seq) to this
+// node for a different target while the ancestor hop's entry is still
+// in flight.  That revisit is the same logical call, not a duplicate
+// delivery — it must execute under its own (seq, target) entry instead
+// of parking on the ancestor's done channel (which only closes once the
+// revisit itself completes: a cycle).
+func TestForwardChainRevisitExecutes(t *testing.T) {
+	tab := NewTable(8)
+	outer, v := tab.Begin(tok("c", 1, 0), "g1")
+	if v != Execute {
+		t.Fatal("outer hop should execute")
+	}
+	// Chain revisit under a new target while the outer hop is in flight.
+	inner, v := tab.Begin(tok("c", 1, 0), "g3")
+	if v != Execute {
+		t.Fatalf("chain revisit got verdict %v, want Execute (would deadlock parked behind its own ancestor)", v)
+	}
+	tab.Complete("c", inner, &wire.Response{ID: 2, Result: wire.Value{Kind: wire.KInt, Int: 9}})
+	tab.Complete("c", outer, &wire.Response{ID: 1, Result: wire.Value{Kind: wire.KInt, Int: 9}})
+
+	// A true duplicate delivery — same target — still replays per hop.
+	if _, v := tab.Begin(tok("c", 1, 0), "g1"); v != Replay {
+		t.Fatalf("duplicate of completed outer hop got %v, want Replay", v)
+	}
+	if e, v := tab.Begin(tok("c", 1, 0), "g3"); v != Replay {
+		t.Fatalf("duplicate of completed revisit got %v, want Replay", v)
+	} else if r := e.Response(3).Result.Int; r != 9 {
+		t.Fatalf("replayed revisit got %d want 9", r)
+	}
+	// Acking seq 1 retires every entry of the chain at once.
+	if _, v := tab.Begin(tok("c", 2, 1), "g9"); v != Execute {
+		t.Fatal("fresh seq should execute")
+	}
+	if _, v := tab.Begin(tok("c", 1, 1), "g3"); v != Stale {
+		t.Fatal("post-ack duplicate should be Stale")
+	}
+}

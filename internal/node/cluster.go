@@ -33,6 +33,23 @@ func (n *Node) StartCluster(cfg cluster.Config, seeds []string) (*cluster.Coordi
 		return nil, fmt.Errorf("node %s: cluster needs a serving endpoint (Serve first)", n.name)
 	}
 	cfg.Runtime = &clusterRuntime{n: n}
+	// Replication failover hooks, chained ahead of any caller-supplied
+	// observers: promotion re-homes the replica copy as the new primary
+	// and demotion stands a deposed primary down (internal/node
+	// replicate.go) before tests or dashboards hear about it.
+	userPromote, userDemote := cfg.OnPromote, cfg.OnDemote
+	cfg.OnPromote = func(guid, class, selfGUID string) {
+		n.promoteReplica(guid, class, selfGUID)
+		if userPromote != nil {
+			userPromote(guid, class, selfGUID)
+		}
+	}
+	cfg.OnDemote = func(guid string) {
+		n.demoteReplica(guid)
+		if userDemote != nil {
+			userDemote(guid)
+		}
+	}
 	co, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err

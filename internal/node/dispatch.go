@@ -82,6 +82,15 @@ func (n *Node) dispatchEffect(req *wire.Request) *wire.Response {
 	case wire.OpMigrateOut:
 		return n.dispatchMigrateOut(req)
 
+	case wire.OpReplicaInstall:
+		return n.dispatchReplicaInstall(req)
+
+	case wire.OpReplicaUpdate:
+		return n.dispatchReplicaUpdate(req)
+
+	case wire.OpReplicaDrop:
+		return n.dispatchReplicaDrop(req)
+
 	default:
 		return wire.Errorf(req, "node %s: unsupported op %v", n.name, req.Op)
 	}
@@ -149,6 +158,11 @@ func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 			return resp
 		}
 		target = obj
+		// A replica copy serves provable reads itself (epoch-stamped)
+		// and relays everything else to its primary.
+		if rc, isReplica := n.replCopies.Load(req.GUID); isReplica {
+			return n.serveAtReplica(req, obj, rc.(*replicaCopy))
+		}
 	}
 	// The gate is the whole scheduling story: requests for different
 	// objects run here in parallel; requests for this object queue.  If
@@ -157,6 +171,19 @@ func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 	n.servedInvoke(resp, target, req.GUID, req, func(env *vm.Env) {
 		n.invokeOn(env, resp, vm.RefV(target), req)
 	})
+	// Write barrier for replicated primaries: a completed write fans out
+	// to every replica (evicting and lease-waiting the unreachable)
+	// before this response — the acknowledgement — leaves, and the
+	// response carries the epoch the write committed at.  One lock-free
+	// map miss for everything unreplicated.
+	if !classGUID && resp.Err == "" {
+		if _, replicated := n.replPrim.Load(req.GUID); replicated &&
+			n.isWriter(target.ClassName(), req.Method, len(req.Args)) {
+			if epoch := n.replicaWriteBarrier(target, req.GUID); epoch > 0 {
+				resp.Epoch = epoch
+			}
+		}
+	}
 	// When the export is (now) a forwarding proxy, tell the caller where
 	// the object went, so its proxy retargets and subsequent calls skip
 	// the forwarding hop.  Without this, an adaptively migrated object
@@ -229,6 +256,9 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 	}
 	if st != nil {
 		st.RecordInbound(req.Caller, telemetry.RequestSize(req), telemetry.ResponseSize(resp), svc)
+		// Effect classification feeds the replication rule: provable
+		// reads versus (conservatively) everything else.
+		st.RecordEffect(n.isWriter(target.ClassName(), req.Method, len(req.Args)))
 	}
 }
 

@@ -66,6 +66,16 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	if isProxyObject(obj) {
 		return n.migrateViaHome(obj, targetEndpoint)
 	}
+	// A replicated primary dissolves its replica set before moving: the
+	// tombstone re-routes readers to the (new) home and the copies are
+	// dropped.  This runs before the gate is acquired — dropReplication
+	// takes the set lock, and the lock order is set lock, then gate
+	// (CONCURRENCY.md §13).
+	if n.replActive.Load() {
+		if guid, ok := n.exports.GUIDOf(obj); ok {
+			n.dropReplication(guid)
+		}
+	}
 
 	var viaProxy bool
 	var migErr error

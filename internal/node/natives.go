@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rafda/internal/guid"
+	"rafda/internal/ir"
 	"rafda/internal/policy"
 	"rafda/internal/telemetry"
 	"rafda/internal/transform"
@@ -168,6 +169,38 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 			}
 		}
 	}
+
+	// Read routing (docs/REPLICATION.md): a provably read-only call on a
+	// replicated object is served by the nearest lease-valid replica —
+	// this node's own copy when it holds one, else a live remote replica
+	// — instead of the primary.  The retarget is per-call: the proxy's
+	// stored reference keeps naming the primary, because writes must
+	// keep serialising there.  Effect classification keys on the proxy
+	// class itself (the alias hook gave proxy natives their local twins'
+	// effects), so this is two map reads plus one atomic load; routing
+	// is skipped when the proxy points at this very node (the
+	// self-collapse below serves primary-fresh state directly).
+	routedRead := false
+	if !classSide && n.effects.ReadOnly(recv.O.ClassName(), ir.MethodKey(method, len(args))) {
+		if co := n.coord.Load(); co != nil {
+			if route, ok := co.ReadTarget(id); ok {
+				switch {
+				case route.Local:
+					if obj, exp := n.exports.Get(route.GUID); exp {
+						if rec := n.telem.Load(); rec != nil {
+							st := rec.ForObject(obj, route.GUID, target)
+							st.RecordLocal()
+							st.RecordEffect(false)
+						}
+						return env.CallGated(obj, method, args)
+					}
+				case route.Endpoint != "" && route.Endpoint != endpoint && !n.servesEndpoint(endpoint):
+					id, endpoint = route.GUID, route.Endpoint
+					routedRead = true
+				}
+			}
+		}
+	}
 	proto, _, _ := splitProto(endpoint)
 
 	// A proxy can end up pointing at this very node (e.g. after an
@@ -190,10 +223,23 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 			return env.CallGated(me.O, method, args)
 		}
 		if obj, ok := n.exports.Get(id); ok {
+			writer := n.isWriter(obj.ClassName(), method, len(args))
 			if rec := n.telem.Load(); rec != nil {
-				rec.ForObject(obj, id, target).RecordLocal()
+				st := rec.ForObject(obj, id, target)
+				st.RecordLocal()
+				st.RecordEffect(writer)
 			}
-			return env.CallGated(obj, method, args)
+			res, thrown, callErr := env.CallGated(obj, method, args)
+			// A collapsed write on a replicated primary fans out before
+			// returning, like any dispatched write.  RunUnlocked releases
+			// this execution's locks while the barrier re-acquires the
+			// object's gate for its snapshot.
+			if callErr == nil && writer && n.replActive.Load() {
+				if _, replicated := n.replPrim.Load(id); replicated {
+					env.RunUnlocked(func() { n.replicaWriteBarrier(obj, id) })
+				}
+			}
+			return res, thrown, callErr
 		}
 		return vm.Value{}, remoteError(env, "%s.%s: stale self-reference %s", target, method, id), nil
 	}
@@ -242,7 +288,7 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 	// new home directly (and, when the new home is this node, collapses
 	// to a local call).  SetFields writes the reference quadruple
 	// atomically; racing retargets both carry valid homes, last wins.
-	if r := resp.Redirect; r != nil && !classSide && r.GUID != "" && r.Endpoint != "" {
+	if r := resp.Redirect; r != nil && !classSide && !routedRead && r.GUID != "" && r.Endpoint != "" {
 		setProxyFields(recv.O, r.GUID, r.Endpoint, r.Proto, orString(r.Target, target))
 	}
 	if resp.Err != "" {

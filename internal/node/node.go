@@ -36,6 +36,7 @@ import (
 	"rafda/internal/telemetry"
 	"rafda/internal/transform"
 	"rafda/internal/transport"
+	"rafda/internal/verifier"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
 )
@@ -144,6 +145,20 @@ type Node struct {
 	issuer    *dedup.Issuer
 	dedupTab  *dedup.Table
 	untokened bool
+
+	// Replication plane (docs/REPLICATION.md).  effects is the
+	// verifier's whole-program method-effect classification, computed
+	// once at construction and read lock-free: it splits invocations
+	// into provable reads (routable to any lease-valid replica) and
+	// writes (serialised through the lease-holding primary).  replPrim
+	// maps exported GUIDs of objects this node primaries to their
+	// *primaryReplica bookkeeping; replCopies maps replica GUIDs this
+	// node serves to their *replicaCopy.  replActive short-circuits
+	// IsReplicated on nodes that never replicate (one atomic load).
+	effects    *verifier.Effects
+	replPrim   sync.Map
+	replCopies sync.Map
+	replActive atomic.Bool
 }
 
 // nodeSeq decorrelates caller-incarnation ids of same-named nodes in
@@ -215,6 +230,20 @@ func New(cfg Config) (*Node, error) {
 		dedupTab:   dedup.NewTable(cfg.DedupWindow),
 		untokened:  cfg.UntokenedWire,
 	}
+	// Method-effect classification for the replication plane.  The alias
+	// hook gives each generated proxy native the effects of its local
+	// twin — the method it forwards to — so transformed programs keep
+	// their provably-read-only methods (verifier.AnalyzeEffectsAliased).
+	n.effects = verifier.AnalyzeEffectsAliased(machine.Program(), func(class string) (string, bool) {
+		base, _, classSide, ok := transform.IsProxyClass(class)
+		if !ok {
+			return "", false
+		}
+		if classSide {
+			return transform.CLocal(base), true
+		}
+		return transform.OLocal(base), true
+	})
 	n.registerFactoryNatives()
 	n.registerProxyNatives()
 	return n, nil
@@ -481,11 +510,15 @@ func (n *Node) CallOn(recv vm.Value, method string, args ...vm.Value) (vm.Value,
 	// record is created here — otherwise every pre-remote host call is
 	// invisible and the placement engine weighs the object's local usage
 	// as zero against the first burst of remote traffic.
+	writer := n.isWriter(recv.O.ClassName(), method, len(args))
 	if s, ok := recv.O.Telemetry().(*telemetry.ObjStats); ok && s != nil {
 		s.RecordLocal()
+		s.RecordEffect(writer)
 	} else if rec := n.telem.Load(); rec != nil {
 		guid := n.exports.Ensure(recv.O)
-		rec.ForObject(recv.O, guid, baseClassOf(recv.O.ClassName())).RecordLocal()
+		st := rec.ForObject(recv.O, guid, baseClassOf(recv.O.ClassName()))
+		st.RecordLocal()
+		st.RecordEffect(writer)
 	}
 	var res vm.Value
 	var thrown *vm.Thrown
@@ -507,6 +540,15 @@ func (n *Node) CallOn(recv vm.Value, method string, args ...vm.Value) (vm.Value,
 	}
 	if err != nil {
 		return vm.Value{}, err
+	}
+	// A host-driven write on a replicated primary must reach every
+	// replica before CallOn returns — the host's ack is an ack like any
+	// caller's (docs/REPLICATION.md).  One atomic load when the node
+	// replicates nothing.
+	if writer && n.replActive.Load() {
+		if guid, ok := n.exports.GUIDOf(recv.O); ok {
+			n.replicaWriteBarrier(recv.O, guid)
+		}
 	}
 	if thrown != nil {
 		cls, msg := vm.ThrownMessage(thrown)

@@ -1,0 +1,540 @@
+package node
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rafda/internal/ir"
+	"rafda/internal/transform"
+	"rafda/internal/vm"
+	"rafda/internal/wire"
+)
+
+// Read replication (docs/REPLICATION.md): a read-mostly object keeps one
+// lease-holding primary — the node that owns the live instance — and any
+// number of read replicas, full local copies of its state installed at
+// its hottest caller nodes.  The verifier's method-effect analysis
+// (internal/verifier.Effects) splits invocations into provable reads,
+// which any lease-valid replica may serve, and writes, which serialise
+// through the primary: each acknowledged write bumps the object's epoch
+// and has either reached every replica (OpReplicaUpdate) or evicted the
+// unreachable ones and waited out their leases — so no replica ever
+// serves a read older than the last acknowledged write.
+//
+// Lock order: primaryReplica.mu, then the object's invocation gate.
+// replicaWriteBarrier and dropReplication follow it; Replicate and the
+// dispatch handlers take only the gate.  Migrate dissolves replication
+// *before* acquiring the gate for the same reason (CONCURRENCY.md §13).
+
+// primaryReplica is this node's bookkeeping for an object it primaries.
+type primaryReplica struct {
+	// guid is the replica set's key: this node's exported GUID for the
+	// object (the identity callers resolve).
+	guid  string
+	class string
+
+	// mu serialises write fan-outs and membership changes; epoch and
+	// members are guarded by it.  The epoch bump additionally happens
+	// under the object's gate, so epoch order matches state order.
+	mu      sync.Mutex
+	epoch   uint64
+	members []wire.ReplicaInfo
+	// dropped marks a dissolved or demoted set: barriers become no-ops.
+	dropped bool
+}
+
+// replicaCopy is this node's bookkeeping for a replica it serves.
+type replicaCopy struct {
+	class           string
+	primaryGUID     string
+	primaryEndpoint string
+	primaryProto    string
+	// epoch is the write epoch of the local copy's state.  Written only
+	// under the replica object's invocation gate; read lock-free when a
+	// served read stamps its response (also under the gate, so the stamp
+	// matches the state the read observed).
+	epoch atomic.Uint64
+}
+
+// isWriter classifies one invocation using the verifier's effect
+// analysis: true unless the method is provably free of writes to
+// pre-existing state.  Unknown methods — including anything the effects
+// pass never saw — are writers, so misclassification costs read scaling,
+// never correctness.
+func (n *Node) isWriter(class, method string, nargs int) bool {
+	return !n.effects.ReadOnly(class, ir.MethodKey(method, nargs))
+}
+
+// IsReplicated reports whether obj participates in a replica set on this
+// node, as primary or as replica.  The adaptive engine uses it to stop
+// re-proposing replication of an already-replicated object.
+func (n *Node) IsReplicated(obj *vm.Object) bool {
+	if !n.replActive.Load() {
+		return false
+	}
+	guid, ok := n.exports.GUIDOf(obj)
+	if !ok {
+		return false
+	}
+	if _, ok := n.replPrim.Load(guid); ok {
+		return true
+	}
+	_, ok = n.replCopies.Load(guid)
+	return ok
+}
+
+// Replicate installs read replicas of a live local object at the given
+// endpoints and registers the replica set with the cluster's replica
+// plane.  This node stays the object's lease-holding primary: writes
+// keep serialising here, each one fanning out to every replica before it
+// is acknowledged, while provably read-only calls route to the nearest
+// lease-valid replica (proxy side) or are served locally by one
+// (dispatch side).  Requires an attached cluster (StartCluster): the
+// replica plane's gossip is what disseminates routes and renews leases.
+//
+// The snapshot→install→register sequence holds the object's invocation
+// gate, like migration: no write can land between the shipped state and
+// the moment the write barrier starts covering the set.
+func (n *Node) Replicate(ref vm.Value, endpoints ...string) error {
+	if ref.O == nil {
+		return fmt.Errorf("node %s: replicate of nil reference", n.name)
+	}
+	co := n.coord.Load()
+	if co == nil {
+		return fmt.Errorf("node %s: replication needs a cluster (StartCluster first)", n.name)
+	}
+	if len(endpoints) == 0 {
+		return fmt.Errorf("node %s: replicate with no target endpoints", n.name)
+	}
+	obj := ref.O
+	var retErr error
+	n.machine.ExecOn(obj, func(env *vm.Env) {
+		cls, fields := obj.View()
+		base, kind := transform.BaseOfGenerated(cls.Name)
+		if kind != transform.SuffixOLocal {
+			retErr = fmt.Errorf("node %s: cannot replicate %s (only local transformed instances replicate)", n.name, cls.Name)
+			return
+		}
+		id := n.exports.Ensure(obj)
+		if _, ok := n.replPrim.Load(id); ok {
+			retErr = fmt.Errorf("node %s: %s is already replicated", n.name, id)
+			return
+		}
+		if _, ok := n.replCopies.Load(id); ok {
+			retErr = fmt.Errorf("node %s: %s is itself a replica", n.name, id)
+			return
+		}
+		proto, _, err := splitProto(endpoints[0])
+		if err != nil {
+			retErr = err
+			return
+		}
+		fvs := make([]wire.NamedValue, 0, len(fields))
+		for name, val := range fields {
+			mv, err := n.marshalValue(val, proto)
+			if err != nil {
+				retErr = fmt.Errorf("node %s: marshal field %s: %w", n.name, name, err)
+				return
+			}
+			fvs = append(fvs, wire.NamedValue{Name: name, Value: mv})
+		}
+
+		const firstEpoch = 1
+		var members []wire.ReplicaInfo
+		var failures []string
+		for _, ep := range endpoints {
+			if ep == "" || n.servesEndpoint(ep) {
+				continue // replicating to the primary itself is a no-op
+			}
+			req := &wire.Request{
+				ID: n.nextReqID(), Op: wire.OpReplicaInstall, GUID: id, Class: base,
+				Endpoint: co.Self(), Epoch: firstEpoch, Fields: fvs,
+				Caller: n.callerEndpoint(proto),
+			}
+			resp, err := n.sendReplicaOp(ep, req)
+			switch {
+			case err != nil:
+				failures = append(failures, fmt.Sprintf("%s: %v", ep, err))
+			case resp.Err != "":
+				failures = append(failures, fmt.Sprintf("%s: %s", ep, resp.Err))
+			case resp.Result.Kind != wire.KRef || resp.Result.Ref == nil:
+				failures = append(failures, fmt.Sprintf("%s: install returned no reference", ep))
+			default:
+				members = append(members, wire.ReplicaInfo{Endpoint: ep, GUID: resp.Result.Ref.GUID})
+			}
+		}
+		if len(members) == 0 {
+			retErr = fmt.Errorf("node %s: no replica of %s installed: %s",
+				n.name, id, strings.Join(failures, "; "))
+			return
+		}
+		pr := &primaryReplica{guid: id, class: base, epoch: firstEpoch, members: members}
+		n.replPrim.Store(id, pr)
+		n.replActive.Store(true)
+		co.RecordReplicaSet(wire.ReplicaSet{
+			GUID: id, Class: base, Primary: co.Self(), Epoch: firstEpoch, Replicas: members,
+		})
+	})
+	return retErr
+}
+
+// sendReplicaOp performs one replica-maintenance request, tokened unless
+// the node is configured for untokened legacy interop, so a transport
+// retry of an install or update is recognised by the receiver's dedup
+// window instead of executing twice.
+func (n *Node) sendReplicaOp(endpoint string, req *wire.Request) (*wire.Response, error) {
+	if n.untokened {
+		return n.cache.Call(endpoint, req)
+	}
+	defer n.issuer.Finish(n.issuer.Stamp(req))
+	return n.callEndpoint(endpoint, req.GUID, req)
+}
+
+// replicaWriteBarrier propagates a completed write on a replicated
+// primary to every replica before the write is acknowledged, and returns
+// the epoch the write committed at (0 when the object is not a
+// replicated primary here).  The snapshot and the epoch bump share the
+// object's invocation gate, so epoch order equals state order; the
+// fan-out itself runs outside the gate (replicas order updates by
+// epoch).  An unreachable replica is evicted from the set and its lease
+// waited out — after that wait it has provably stopped serving reads —
+// so the acknowledgement's guarantee survives partitions: every replica
+// still in the set holds the new state, and everyone else is lease-dead.
+func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
+	v, ok := n.replPrim.Load(id)
+	if !ok {
+		return 0
+	}
+	pr := v.(*primaryReplica)
+	co := n.coord.Load()
+	if co == nil {
+		return 0
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.dropped {
+		return 0
+	}
+	var epoch uint64
+	var fvs []wire.NamedValue
+	morphed := false
+	n.machine.ExecOn(obj, func(env *vm.Env) {
+		cls, fields := obj.View()
+		if isProxyClass(cls) {
+			morphed = true // migrated away between the write and the barrier
+			return
+		}
+		pr.epoch++
+		epoch = pr.epoch
+		fvs = make([]wire.NamedValue, 0, len(fields))
+		for name, val := range fields {
+			mv, err := n.marshalValue(val, "")
+			if err != nil {
+				morphed = true // unshippable state: skip this round
+				return
+			}
+			fvs = append(fvs, wire.NamedValue{Name: name, Value: mv})
+		}
+	})
+	if morphed {
+		return 0
+	}
+	kept := pr.members[:0]
+	var wait time.Duration
+	for _, m := range pr.members {
+		req := &wire.Request{
+			ID: n.nextReqID(), Op: wire.OpReplicaUpdate,
+			GUID: m.GUID, Fields: fvs, Epoch: epoch,
+		}
+		resp, err := n.sendReplicaOp(m.Endpoint, req)
+		if err == nil && resp.Err == "" {
+			kept = append(kept, m)
+			continue
+		}
+		if w := co.EvictReplica(pr.guid, m.Endpoint); w > wait {
+			wait = w
+		}
+	}
+	pr.members = kept
+	if wait > 0 {
+		// The evicted replicas renew leases only on direct contact with
+		// us; once their lease window passes they refuse local reads, so
+		// the write may be acknowledged without them.
+		time.Sleep(wait)
+	}
+	co.UpdateReplicaEpoch(pr.guid, epoch)
+	return epoch
+}
+
+// dropReplication dissolves a replica set this node primaries: drop
+// requests to every member, a tombstone into the replica plane.  Called
+// before migrating a replicated object away (Migrate takes the gate
+// after this returns — see the lock-order note above) and as the first
+// half of demotion.
+func (n *Node) dropReplication(id string) {
+	v, ok := n.replPrim.LoadAndDelete(id)
+	if !ok {
+		return
+	}
+	pr := v.(*primaryReplica)
+	// Remove promotion-time aliases pointing at the same set.
+	n.replPrim.Range(func(k, val any) bool {
+		if val == v {
+			n.replPrim.Delete(k)
+		}
+		return true
+	})
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.dropped = true
+	members := pr.members
+	pr.members = nil
+	if co := n.coord.Load(); co != nil {
+		co.DropReplicaSet(pr.guid)
+	}
+	for _, m := range members {
+		req := &wire.Request{ID: n.nextReqID(), Op: wire.OpReplicaDrop, GUID: m.GUID}
+		_, _ = n.sendReplicaOp(m.Endpoint, req) // best-effort; the tombstone converges anyway
+	}
+}
+
+// serveAtReplica handles an OpInvoke addressed to a replica copy.  A
+// provable read under a valid lease executes locally, stamped (inside
+// the gate, so the stamp matches the observed state) with the copy's
+// epoch.  Everything else — writes, unclassifiable methods, reads after
+// the lease expired (the primary-partition fallback) — forwards to the
+// primary as the same logical call (token reused, attempt bumped) and
+// carries a Redirect so the caller retargets.
+func (n *Node) serveAtReplica(req *wire.Request, obj *vm.Object, rc *replicaCopy) *wire.Response {
+	co := n.coord.Load()
+	if n.isWriter(obj.ClassName(), req.Method, len(req.Args)) ||
+		co == nil || !co.LeaseValid(rc.primaryGUID) {
+		return n.forwardToPrimary(req, rc)
+	}
+	resp := &wire.Response{ID: req.ID}
+	n.servedInvoke(resp, obj, req.GUID, req, func(env *vm.Env) {
+		n.invokeOn(env, resp, vm.RefV(obj), req)
+		resp.Epoch = rc.epoch.Load()
+	})
+	return resp
+}
+
+// forwardToPrimary relays one replica-refused invocation to the set's
+// primary and tells the caller to go there directly next time.
+func (n *Node) forwardToPrimary(req *wire.Request, rc *replicaCopy) *wire.Response {
+	fwd := &wire.Request{
+		ID: n.nextReqID(), Op: wire.OpInvoke, GUID: rc.primaryGUID,
+		Method: req.Method, Args: req.Args, Caller: req.Caller,
+	}
+	if req.Token != nil {
+		t := *req.Token
+		t.Attempt++
+		fwd.Token = &t
+	}
+	redirect := &wire.RemoteRef{
+		GUID: rc.primaryGUID, Endpoint: rc.primaryEndpoint,
+		Proto: rc.primaryProto, Target: rc.class,
+	}
+	resp, err := n.callEndpoint(rc.primaryEndpoint, rc.primaryGUID, fwd)
+	if err != nil {
+		out := wire.Errorf(req, "node %s: replica %s cannot reach primary %s: %v",
+			n.name, req.GUID, rc.primaryEndpoint, err)
+		out.Redirect = redirect
+		return out
+	}
+	out := *resp
+	out.ID = req.ID
+	out.Redirect = redirect
+	return &out
+}
+
+// dispatchReplicaInstall builds a full local copy of the shipped state,
+// exports it under a fresh GUID and starts serving it as a replica of
+// the primary named in the request.  Like migration adoption, the
+// rebuild runs ungated: the copy is unshared until its reference leaves.
+func (n *Node) dispatchReplicaInstall(req *wire.Request) *wire.Response {
+	if !n.result.Substitutable(req.Class) {
+		return wire.Errorf(req, "node %s: cannot replicate non-substitutable class %s", n.name, req.Class)
+	}
+	if req.GUID == "" || req.Endpoint == "" {
+		return wire.Errorf(req, "node %s: replica install without primary identity", n.name)
+	}
+	proto, _, err := splitProto(req.Endpoint)
+	if err != nil {
+		return wire.Errorf(req, "node %s: replica install: %v", n.name, err)
+	}
+	resp := &wire.Response{ID: req.ID}
+	n.machine.Exec(func(env *vm.Env) {
+		obj, err := env.New(transform.OLocal(req.Class))
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		for _, f := range req.Fields {
+			fv, err := n.unmarshalValue(env, f.Value)
+			if err != nil {
+				resp.Err = err.Error()
+				return
+			}
+			obj.Set(f.Name, fv)
+		}
+		mv, err := n.marshalValue(vm.RefV(obj), "")
+		if err != nil {
+			resp.Err = err.Error()
+			return
+		}
+		resp.Result = mv
+		if g, ok := n.exports.GUIDOf(obj); ok {
+			rc := &replicaCopy{
+				class: req.Class, primaryGUID: req.GUID,
+				primaryEndpoint: req.Endpoint, primaryProto: proto,
+			}
+			rc.epoch.Store(req.Epoch)
+			n.replCopies.Store(g, rc)
+			n.replActive.Store(true)
+		}
+	})
+	return resp
+}
+
+// dispatchReplicaUpdate applies one committed write to a replica copy,
+// under the copy's invocation gate so reads never observe half-applied
+// state.  Updates order by epoch: a stale or duplicate delivery is
+// acknowledged without applying (the fan-out may race; newest wins).
+func (n *Node) dispatchReplicaUpdate(req *wire.Request) *wire.Response {
+	v, ok := n.replCopies.Load(req.GUID)
+	if !ok {
+		return wire.Errorf(req, "node %s: %s is not a replica here", n.name, req.GUID)
+	}
+	rc := v.(*replicaCopy)
+	obj, ok := n.exports.Get(req.GUID)
+	if !ok {
+		return wire.Errorf(req, "node %s: replica %s has no exported copy", n.name, req.GUID)
+	}
+	resp := &wire.Response{ID: req.ID}
+	n.machine.ExecOn(obj, func(env *vm.Env) {
+		if req.Epoch <= rc.epoch.Load() {
+			resp.Epoch = rc.epoch.Load()
+			return
+		}
+		for _, f := range req.Fields {
+			fv, err := n.unmarshalValue(env, f.Value)
+			if err != nil {
+				resp.Err = err.Error()
+				return
+			}
+			obj.Set(f.Name, fv)
+		}
+		rc.epoch.Store(req.Epoch)
+		resp.Epoch = req.Epoch
+	})
+	return resp
+}
+
+// dispatchReplicaDrop tears a replica copy down: it stops serving reads
+// immediately and its export is withdrawn (late reads surface an unknown
+// object error and retarget through the tombstoned set).
+func (n *Node) dispatchReplicaDrop(req *wire.Request) *wire.Response {
+	if _, ok := n.replCopies.LoadAndDelete(req.GUID); ok {
+		n.exports.Remove(req.GUID)
+	}
+	return &wire.Response{ID: req.ID}
+}
+
+// promoteReplica is the coordinator's OnPromote callback: the primary of
+// a set this node replicates is dead and this node won the deterministic
+// election (smallest live replica endpoint).  The local copy stops being
+// a replica, re-exports under the old primary identity — callers' stale
+// proxies and the set key both name it — and starts fielding writes,
+// with the remaining members as its replica set.  A directory move
+// re-routes proxies from the dead endpoint in one hop.
+func (n *Node) promoteReplica(id, class, selfGUID string) {
+	v, ok := n.replCopies.LoadAndDelete(selfGUID)
+	if !ok {
+		return
+	}
+	rc := v.(*replicaCopy)
+	obj, ok := n.exports.Get(selfGUID)
+	if !ok {
+		return
+	}
+	co := n.coord.Load()
+	if co == nil {
+		return
+	}
+	n.exports.Put(id, obj)
+	set, ok := co.ReplicaSet(id)
+	if !ok {
+		return
+	}
+	epoch := rc.epoch.Load()
+	if set.Epoch > epoch {
+		epoch = set.Epoch
+	}
+	pr := &primaryReplica{guid: id, class: class, epoch: epoch, members: set.Replicas}
+	n.replPrim.Store(id, pr)
+	if selfGUID != id {
+		// Writes may arrive addressed to either identity.
+		n.replPrim.Store(selfGUID, pr)
+	}
+	n.replActive.Store(true)
+	if proto, _, err := splitProto(co.Self()); err == nil {
+		co.RecordMove(id, class, wire.RemoteRef{
+			GUID: id, Endpoint: co.Self(), Proto: proto, Target: class,
+		})
+	}
+}
+
+// demoteReplica is the coordinator's OnDemote callback: a Version merge
+// showed this node was failed over while partitioned — another replica
+// is the primary now.  Stand down: stop running barriers, and morph the
+// local copy into a proxy at the new primary so local references follow
+// it.  Writes this node acknowledged alone during the partition are
+// lost — the protocol's split-brain residual (docs/REPLICATION.md
+// failure matrix); leases bound the window in which the *other* side
+// could serve stale reads, not the deposed primary's solo writes.
+func (n *Node) demoteReplica(id string) {
+	v, ok := n.replPrim.Load(id)
+	if !ok {
+		return
+	}
+	pr := v.(*primaryReplica)
+	n.replPrim.Delete(id)
+	n.replPrim.Range(func(k, val any) bool {
+		if val == v {
+			n.replPrim.Delete(k)
+		}
+		return true
+	})
+	pr.mu.Lock()
+	pr.dropped = true
+	pr.members = nil
+	pr.mu.Unlock()
+	co := n.coord.Load()
+	obj, okObj := n.exports.Get(id)
+	if co == nil || !okObj {
+		return
+	}
+	set, okSet := co.ReplicaSet(id)
+	if !okSet || set.Primary == "" || n.servesEndpoint(set.Primary) {
+		return
+	}
+	proto, _, err := splitProto(set.Primary)
+	if err != nil || !n.machine.Program().Has(transform.OProxy(pr.class, proto)) {
+		return
+	}
+	n.machine.ExecOn(obj, func(env *vm.Env) {
+		if isProxyObject(obj) {
+			return // already morphed (e.g. a racing migration)
+		}
+		_ = n.machine.Morph(obj, transform.OProxy(pr.class, proto), map[string]vm.Value{
+			transform.ProxyFieldGUID:     vm.StringV(id),
+			transform.ProxyFieldEndpoint: vm.StringV(set.Primary),
+			transform.ProxyFieldProto:    vm.StringV(proto),
+			transform.ProxyFieldTarget:   vm.StringV(pr.class),
+		})
+	})
+}

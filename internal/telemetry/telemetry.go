@@ -138,6 +138,8 @@ type ObjStats struct {
 	anonCalls   atomic.Uint64 // inbound from peers serving no endpoint
 	bytesIn     atomic.Uint64
 	bytesOut    atomic.Uint64
+	reads       atomic.Uint64         // calls the effect analysis proved read-only
+	writes      atomic.Uint64         // calls that may mutate (incl. unprovable ones)
 	callers     atomic.Pointer[epSet] // inbound calls by caller endpoint
 	lat         ewma                  // in-gate service latency of inbound calls
 }
@@ -164,6 +166,19 @@ func (s *ObjStats) RecordInbound(caller string, reqBytes, respBytes int, lat tim
 // minimal — one atomic add, no clock read — because this is the
 // post-convergence steady-state path.
 func (s *ObjStats) RecordLocal() { s.localCalls.Add(1) }
+
+// RecordEffect counts one invocation by its method-effect class: write
+// when the verifier's analysis could not prove the method read-only.
+// Recorded at the same sites as RecordInbound/RecordLocal; the
+// read/write ratio is the ReplicateRule's eligibility signal
+// (docs/REPLICATION.md).
+func (s *ObjStats) RecordEffect(write bool) {
+	if write {
+		s.writes.Add(1)
+	} else {
+		s.reads.Add(1)
+	}
+}
 
 // ClassStats is one class's activity record: where instances are
 // created, and where this node's outgoing proxy calls for the class go.
@@ -403,7 +418,11 @@ type ObjSample struct {
 	Local, Remote, Anon uint64
 	Callers             map[string]uint64
 	BytesIn, BytesOut   uint64
-	EWMALatencyNs       float64
+	// Reads counts calls proven read-only by the effect analysis,
+	// Writes everything else; they partition the calls that went through
+	// an effect-classified site (proxy dispatch and host CallOn).
+	Reads, Writes uint64
+	EWMALatencyNs float64
 }
 
 // Calls returns the total inbound invocation count.
@@ -432,6 +451,8 @@ func (r *Recorder) SnapshotObjects() []ObjSample {
 			Callers:       snapshotSet(&s.callers),
 			BytesIn:       s.bytesIn.Load(),
 			BytesOut:      s.bytesOut.Load(),
+			Reads:         s.reads.Load(),
+			Writes:        s.writes.Load(),
 			EWMALatencyNs: s.lat.load(),
 		})
 		return true

@@ -1,0 +1,138 @@
+package verifier
+
+import (
+	"testing"
+
+	"rafda/internal/ir"
+	"rafda/internal/transform"
+)
+
+const effectsSource = `
+class Counter {
+    int n;
+    int[] log;
+    Counter(int n) { this.n = n; }
+    int get() { return n; }
+    int doubled() { return this.get() * 2; }
+    void bump() { n = n + 1; }
+    int bumpAndGet() { this.bump(); return this.get(); }
+    int peekVia(Counter other) { return other.get(); }
+    int tally() {
+        int s = 0;
+        for (int i = 0; i < 3; i = i + 1) { s = s + this.get(); }
+        return s;
+    }
+    void record(int v) { log[0] = v; }
+    int shout() { sys.System.println("n"); return n; }
+}
+class Main {
+    static void main() { sys.System.println("x"); }
+}`
+
+func analyze(t *testing.T) *Effects {
+	t.Helper()
+	p := compile(t, effectsSource)
+	return AnalyzeEffects(p)
+}
+
+func TestEffectsDirectClassification(t *testing.T) {
+	e := analyze(t)
+	cases := []struct {
+		method   string
+		nargs    int
+		readOnly bool
+	}{
+		{"get", 0, true},         // field read only
+		{"doubled", 0, true},     // calls a read-only method
+		{"peekVia", 1, true},     // reads through another receiver
+		{"tally", 0, true},       // loop of pure calls
+		{"bump", 0, false},       // OpPutField
+		{"bumpAndGet", 0, false}, // calls a writer
+		{"record", 1, false},     // OpAStore
+		{"shout", 0, false},      // calls a native (println): unknown semantics
+	}
+	for _, c := range cases {
+		got := e.ReadOnly("Counter", ir.MethodKey(c.method, c.nargs))
+		if got != c.readOnly {
+			t.Errorf("Counter.%s/%d: ReadOnly = %v, want %v", c.method, c.nargs, got, c.readOnly)
+		}
+	}
+	// Constructors always write.
+	if e.ReadOnly("Counter", ir.MethodKey(ir.ConstructorName, 1)) {
+		t.Error("constructor classified read-only")
+	}
+	// Unknown methods default to writer.
+	if e.ReadOnly("Counter", ir.MethodKey("nosuch", 0)) {
+		t.Error("unknown method classified read-only")
+	}
+	if e.ReadOnly("NoClass", ir.MethodKey("get", 0)) {
+		t.Error("unknown class classified read-only")
+	}
+}
+
+// TestEffectsVirtualDispatchTaint pins the conservative virtual-dispatch
+// rule: a call site whose method key has any writing override anywhere
+// in the program taints the caller, even if the static receiver type's
+// own implementation is pure.
+func TestEffectsVirtualDispatchTaint(t *testing.T) {
+	src := `
+class A {
+    int probe() { return 1; }
+    int use(A a) { return a.probe(); }
+}
+class B extends A {
+    int x;
+    int probe() { x = x + 1; return x; }
+}
+class Main { static void main() { sys.System.println("x"); } }`
+	e := AnalyzeEffects(compile(t, src))
+	if e.ReadOnly("A", ir.MethodKey("use", 1)) {
+		t.Error("use/1 should be tainted by B's writing override of probe/0")
+	}
+	if !e.ReadOnly("A", ir.MethodKey("probe", 0)) {
+		t.Error("A.probe/0 itself is pure and should classify read-only")
+	}
+}
+
+// TestEffectsSurviveTransform checks the classification holds on the
+// transformed program — where the runtime actually queries it: the
+// A_O_Local class carries the original bodies, so its read-only methods
+// stay provable, while the generated accessors split correctly into
+// getter (read) and setter (write).
+func TestEffectsSurviveTransform(t *testing.T) {
+	p := compile(t, effectsSource)
+	res, err := transform.Transform(p, transform.Options{Protocols: []string{"rrp"}})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	e := AnalyzeEffectsAliased(res.Program, func(name string) (string, bool) {
+		base, _, classSide, ok := transform.IsProxyClass(name)
+		if !ok {
+			return "", false
+		}
+		if classSide {
+			return transform.CLocal(base), true
+		}
+		return transform.OLocal(base), true
+	})
+	local := transform.OLocal("Counter")
+	if !e.ReadOnly(local, ir.MethodKey("get", 0)) {
+		t.Errorf("%s.get/0 not read-only after transform", local)
+	}
+	if !e.ReadOnly(local, ir.MethodKey("doubled", 0)) {
+		t.Errorf("%s.doubled/0 not read-only after transform", local)
+	}
+	if e.ReadOnly(local, ir.MethodKey("bump", 0)) {
+		t.Errorf("%s.bump/0 classified read-only after transform", local)
+	}
+	if !e.ReadOnly(local, ir.MethodKey(transform.Getter("n"), 0)) {
+		t.Errorf("generated getter not read-only")
+	}
+	if e.ReadOnly(local, ir.MethodKey(transform.Setter("n"), 1)) {
+		t.Errorf("generated setter classified read-only")
+	}
+	ro, total := e.ReadOnlyCount(local)
+	if total == 0 || ro == 0 || ro >= total {
+		t.Errorf("ReadOnlyCount(%s) = %d/%d, want a strict mix", local, ro, total)
+	}
+}

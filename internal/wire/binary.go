@@ -41,33 +41,53 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	dst = appendString(dst, req.Endpoint)
 	dst = appendString(dst, req.Caller)
 	dst = appendCluster(dst, req.Cluster)
-	// Exactly-once extension: emitted only when present, so a tokenless
-	// request encodes byte-for-byte as the pre-token protocol and legacy
-	// decoders (which reject trailing bytes) still accept it.  The
-	// decoder treats end-of-frame here as "no extension".
-	if req.Token == nil && len(req.Dedup) == 0 {
-		return dst
+	// Extension sections: each is emitted only when its content is
+	// present, so an extension-free request encodes byte-for-byte as the
+	// pre-extension protocol and legacy decoders (which reject trailing
+	// bytes) still accept it.  The decoder treats end-of-frame here as
+	// "no extensions" and otherwise loops over tagged sections in
+	// ascending tag order.
+	if req.Token != nil || len(req.Dedup) > 0 {
+		dst = appendUvarint(dst, reqExtTokens)
+		if req.Token == nil {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			dst = appendToken(dst, req.Token)
+		}
+		dst = appendUvarint(dst, uint64(len(req.Dedup)))
+		for i := range req.Dedup {
+			e := &req.Dedup[i]
+			dst = appendString(dst, e.Caller)
+			dst = appendUvarint(dst, e.Seq)
+			// Entries embed a full response as a length-prefixed blob:
+			// responses grew their own trailing extension (the read
+			// epoch), so they are no longer self-delimiting and the
+			// prefix marks where each nested response ends.
+			blob := AppendResponse(nil, &e.Resp)
+			dst = appendUvarint(dst, uint64(len(blob)))
+			dst = append(dst, blob...)
+		}
 	}
-	dst = appendUvarint(dst, reqExtTokens)
-	if req.Token == nil {
-		dst = append(dst, 0)
-	} else {
-		dst = append(dst, 1)
-		dst = appendToken(dst, req.Token)
-	}
-	dst = appendUvarint(dst, uint64(len(req.Dedup)))
-	for i := range req.Dedup {
-		e := &req.Dedup[i]
-		dst = appendString(dst, e.Caller)
-		dst = appendUvarint(dst, e.Seq)
-		dst = AppendResponse(dst, &e.Resp)
+	if req.Epoch != 0 {
+		dst = appendUvarint(dst, reqExtReplica)
+		dst = appendUvarint(dst, req.Epoch)
 	}
 	return dst
 }
 
-// reqExtTokens tags the request extension section carrying the call
-// token and migrated dedup entries.
-const reqExtTokens = 1
+// Request extension section tags, emitted in ascending order.
+const (
+	// reqExtTokens carries the exactly-once call token and migrated
+	// dedup entries.
+	reqExtTokens = 1
+	// reqExtReplica carries the write epoch on replica-maintenance ops.
+	reqExtReplica = 2
+)
+
+// respExtEpoch tags the response extension section carrying the read
+// epoch of a replicated object's state.
+const respExtEpoch = 1
 
 func appendToken(dst []byte, t *CallToken) []byte {
 	dst = appendString(dst, t.Caller)
@@ -85,7 +105,14 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = appendString(dst, resp.ExMsg)
 	dst = appendString(dst, resp.Err)
 	dst = appendRef(dst, resp.Redirect)
-	return appendCluster(dst, resp.Cluster)
+	dst = appendCluster(dst, resp.Cluster)
+	// Trailing extension, omitted when zero: epoch-free responses stay
+	// byte-identical to the pre-replication protocol.
+	if resp.Epoch != 0 {
+		dst = appendUvarint(dst, respExtEpoch)
+		dst = appendUvarint(dst, resp.Epoch)
+	}
+	return dst
 }
 
 // appendRef encodes an optional RemoteRef as a presence byte plus the
@@ -131,22 +158,36 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 	req.Endpoint = d.str()
 	req.Caller = d.str()
 	req.Cluster = d.cluster()
-	// Legacy frames end here; the extension section is optional.
-	if d.err == nil && d.off < len(d.b) {
-		if ext := d.u64(); d.err == nil && ext != reqExtTokens {
+	// Legacy frames end here; extension sections are optional and
+	// tagged, in ascending tag order.
+	prev := uint64(0)
+	for d.err == nil && d.off < len(d.b) {
+		ext := d.u64()
+		if d.err != nil {
+			break
+		}
+		if ext <= prev {
+			return nil, fmt.Errorf("request extension %d out of order", ext)
+		}
+		prev = ext
+		switch ext {
+		case reqExtTokens:
+			if d.boolean() {
+				req.Token = d.token()
+			}
+			n = d.u64()
+			if d.err == nil && n > maxSeq {
+				return nil, fmt.Errorf("dedup list length %d too large", n)
+			}
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				e := DedupEntry{Caller: d.str(), Seq: d.u64()}
+				d.nestedResponse(&e.Resp)
+				req.Dedup = append(req.Dedup, e)
+			}
+		case reqExtReplica:
+			req.Epoch = d.u64()
+		default:
 			return nil, fmt.Errorf("unknown request extension %d", ext)
-		}
-		if d.boolean() {
-			req.Token = d.token()
-		}
-		n = d.u64()
-		if d.err == nil && n > maxSeq {
-			return nil, fmt.Errorf("dedup list length %d too large", n)
-		}
-		for i := uint64(0); i < n && d.err == nil; i++ {
-			e := DedupEntry{Caller: d.str(), Seq: d.u64()}
-			d.response(&e.Resp)
-			req.Dedup = append(req.Dedup, e)
 		}
 	}
 	if err := d.finish(); err != nil {
@@ -155,20 +196,57 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 	return req, nil
 }
 
+// nestedResponse decodes a length-prefixed response blob embedded in a
+// request extension section (written by AppendRequest's dedup loop).
+func (d *bdec) nestedResponse(resp *Response) {
+	n := d.u64()
+	if d.err != nil {
+		return
+	}
+	if n > maxSeq || uint64(len(d.b)-d.off) < n {
+		d.fail("truncated nested response at offset %d", d.off)
+		return
+	}
+	sub, err := DecodeResponseBytes(d.b[d.off : d.off+int(n)])
+	if err != nil {
+		d.fail("nested response: %v", err)
+		return
+	}
+	*resp = *sub
+	d.off += int(n)
+}
+
 // DecodeResponseBytes decodes exactly one response from b.
 func DecodeResponseBytes(b []byte) (*Response, error) {
 	d := &bdec{b: b}
 	resp := &Response{}
 	d.response(resp)
+	// Legacy responses end here; extension sections are optional.
+	prev := uint64(0)
+	for d.err == nil && d.off < len(d.b) {
+		ext := d.u64()
+		if d.err != nil {
+			break
+		}
+		if ext <= prev {
+			return nil, fmt.Errorf("response extension %d out of order", ext)
+		}
+		prev = ext
+		switch ext {
+		case respExtEpoch:
+			resp.Epoch = d.u64()
+		default:
+			return nil, fmt.Errorf("unknown response extension %d", ext)
+		}
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
-// response decodes one embedded response written by AppendResponse (the
-// encoding is self-delimiting, so responses nest inside request
-// extension sections without a length prefix).
+// response decodes the fixed (pre-extension) part of a response written
+// by AppendResponse.
 func (d *bdec) response(resp *Response) {
 	resp.ID = d.u64()
 	resp.Result = d.value()
@@ -310,6 +388,21 @@ func appendCluster(dst []byte, c *ClusterPayload) []byte {
 		for j := range s.Callers {
 			dst = appendString(dst, s.Callers[j].Endpoint)
 			dst = appendUvarint(dst, s.Callers[j].Calls)
+		}
+	}
+	dst = appendUvarint(dst, uint64(len(c.Replicas)))
+	for i := range c.Replicas {
+		rs := &c.Replicas[i]
+		dst = appendString(dst, rs.GUID)
+		dst = appendString(dst, rs.Class)
+		dst = appendString(dst, rs.Primary)
+		dst = appendUvarint(dst, rs.Epoch)
+		dst = appendUvarint(dst, rs.Version)
+		dst = appendString(dst, rs.Origin)
+		dst = appendUvarint(dst, uint64(len(rs.Replicas)))
+		for j := range rs.Replicas {
+			dst = appendString(dst, rs.Replicas[j].Endpoint)
+			dst = appendString(dst, rs.Replicas[j].GUID)
 		}
 	}
 	return dst
@@ -466,6 +559,24 @@ func (d *bdec) cluster() *ClusterPayload {
 			s.Callers = append(s.Callers, EndpointCount{Endpoint: d.str(), Calls: d.u64()})
 		}
 		c.Stats = append(c.Stats, s)
+	}
+	n = d.u64()
+	if d.err == nil && n > maxSeq {
+		d.fail("replica list length %d too large", n)
+		return nil
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		rs := ReplicaSet{GUID: d.str(), Class: d.str(), Primary: d.str(),
+			Epoch: d.u64(), Version: d.u64(), Origin: d.str()}
+		m := d.u64()
+		if d.err == nil && m > maxSeq {
+			d.fail("replica member list length %d too large", m)
+			return nil
+		}
+		for j := uint64(0); j < m && d.err == nil; j++ {
+			rs.Replicas = append(rs.Replicas, ReplicaInfo{Endpoint: d.str(), GUID: d.str()})
+		}
+		c.Replicas = append(c.Replicas, rs)
 	}
 	if d.err != nil {
 		return nil

@@ -36,6 +36,18 @@ const (
 	// rollups; the response's Cluster payload is the receiver's, so one
 	// round trip synchronises both peers (internal/cluster).
 	OpGossip
+	// OpReplicaInstall asks the callee to install a read replica of the
+	// object exported under GUID at the primary (Endpoint): Class plus
+	// field state at write-epoch Epoch.  Returns the replica's own
+	// remote reference (docs/REPLICATION.md).
+	OpReplicaInstall
+	// OpReplicaUpdate pushes a committed write to a replica: the
+	// replica's GUID, the full post-write field state, and the new
+	// Epoch.  A replica applies it iff Epoch exceeds its local epoch.
+	OpReplicaUpdate
+	// OpReplicaDrop tears a replica down (demotion or eviction); the
+	// replica stops serving reads immediately.
+	OpReplicaDrop
 )
 
 func (o Op) String() string {
@@ -54,6 +66,12 @@ func (o Op) String() string {
 		return "migrate-out"
 	case OpGossip:
 		return "gossip"
+	case OpReplicaInstall:
+		return "replica-install"
+	case OpReplicaUpdate:
+		return "replica-update"
+	case OpReplicaDrop:
+		return "replica-drop"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -161,6 +179,13 @@ type Request struct {
 	// replays at the new home instead of re-executing (docs/CONCURRENCY.md
 	// §8).  Empty on every other op.
 	Dedup []DedupEntry `json:"dedup,omitempty" xml:"dedup,omitempty"`
+	// Epoch carries the write epoch on replica-maintenance ops
+	// (OpReplicaInstall: the epoch of the shipped state;
+	// OpReplicaUpdate: the epoch of the committed write).  Zero on
+	// every other op.  The binary codec emits it as an optional trailing
+	// extension section, so epoch-free frames stay byte-identical to the
+	// pre-replication protocol (docs/REPLICATION.md).
+	Epoch uint64 `json:"epoch,omitempty" xml:"epoch,attr,omitempty"`
 }
 
 // CallToken identifies one logical call across any number of physical
@@ -214,6 +239,13 @@ type Response struct {
 	// Cluster is the receiver's gossip payload answering an OpGossip
 	// request (push-pull: one round trip synchronises both peers).
 	Cluster *ClusterPayload `json:"cluster,omitempty" xml:"cluster,omitempty"`
+	// Epoch stamps a read served by a replicated object with the write
+	// epoch of the state it observed, letting callers (and the staleness
+	// audit in E13's deterministic test) order reads against acknowledged
+	// writes.  Zero for non-replicated objects; the binary codec emits it
+	// as an optional trailing extension, so epoch-free responses stay
+	// byte-identical to the pre-replication protocol.
+	Epoch uint64 `json:"epoch,omitempty" xml:"epoch,attr,omitempty"`
 }
 
 // ClusterPayload is one node's contribution to a gossip exchange: who it
@@ -235,6 +267,13 @@ type ClusterPayload struct {
 	// Stats are per-object affinity rollups — the cross-node evidence
 	// behind multi-hop placement decisions.
 	Stats []ObjAffinity `json:"stats,omitempty" xml:"stat,omitempty"`
+	// Replicas are the replica-set facts the sender knows of: which
+	// objects have read copies, where, under which primary, and at what
+	// membership version/write epoch.  Primaries re-announce their sets
+	// every tick; receivers merge by (Version, Epoch, Origin).  A gossip
+	// exchange whose From digest is a set's primary also renews the
+	// receiving replica's read lease (docs/REPLICATION.md).
+	Replicas []ReplicaSet `json:"replicas,omitempty" xml:"replicaSet,omitempty"`
 }
 
 // PeerDigest is one node's liveness summary as carried by gossip.
@@ -309,6 +348,37 @@ type ObjAffinity struct {
 	// StateBytes estimates the object's shipped-state size (the cost
 	// side of a cost-based migration decision).
 	StateBytes int64 `json:"stateBytes,omitempty" xml:"stateBytes,attr,omitempty"`
+}
+
+// ReplicaSet is one replicated object's membership fact as gossiped by
+// its primary: the primary's exported GUID (the set's identity), where
+// the primary lives, the read copies, and the ordering coordinates.
+// Version orders membership changes (replica added/evicted, primary
+// promoted) — higher wins a merge; Epoch orders writes within a
+// membership and breaks Version ties; equal (Version, Epoch) ties break
+// on greater Origin, mirroring the placement directory.
+type ReplicaSet struct {
+	// GUID is the primary's exported GUID — the key callers resolve.
+	GUID  string `json:"guid" xml:"guid,attr"`
+	Class string `json:"class,omitempty" xml:"class,attr,omitempty"`
+	// Primary is the endpoint serialising writes and granting leases.
+	Primary string `json:"primary" xml:"primary,attr"`
+	// Epoch is the last write epoch the primary has acknowledged.
+	Epoch uint64 `json:"epoch" xml:"epoch,attr"`
+	// Version is the set-membership version; bumped on every replica
+	// add/evict and on primary promotion.
+	Version uint64 `json:"version" xml:"version,attr"`
+	// Origin is the node id that produced this version.
+	Origin string `json:"origin" xml:"origin,attr"`
+	// Replicas are the read copies (the primary is not listed).
+	Replicas []ReplicaInfo `json:"replicas,omitempty" xml:"replica,omitempty"`
+}
+
+// ReplicaInfo locates one read copy: the node serving it and the GUID
+// the copy is exported under there.
+type ReplicaInfo struct {
+	Endpoint string `json:"endpoint" xml:"endpoint,attr"`
+	GUID     string `json:"guid" xml:"guid,attr"`
 }
 
 // EndpointCount is one (endpoint, count) pair in an affinity rollup.

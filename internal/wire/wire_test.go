@@ -77,11 +77,17 @@ func randomRequest(r *rand.Rand) *Request {
 		req.Token = &CallToken{Caller: randString(r), Seq: r.Uint64(),
 			Attempt: uint32(r.Intn(5)), Ack: r.Uint64()}
 		for i := 0; i < r.Intn(3); i++ {
+			resp := Response{ID: r.Uint64(), Result: randomValue(r, 1), Err: randString(r)}
+			if r.Intn(2) == 1 {
+				resp.Epoch = r.Uint64()
+			}
 			req.Dedup = append(req.Dedup, DedupEntry{
-				Caller: randString(r), Seq: r.Uint64(),
-				Resp: Response{ID: r.Uint64(), Result: randomValue(r, 1), Err: randString(r)},
+				Caller: randString(r), Seq: r.Uint64(), Resp: resp,
 			})
 		}
+	}
+	if r.Intn(2) == 1 {
+		req.Epoch = r.Uint64()
 	}
 	return req
 }
@@ -118,6 +124,15 @@ func randomCluster(r *rand.Rand) *ClusterPayload {
 			s.Callers = append(s.Callers, EndpointCount{Endpoint: randString(r), Calls: r.Uint64()})
 		}
 		c.Stats = append(c.Stats, s)
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		rs := ReplicaSet{GUID: randString(r), Class: randString(r),
+			Primary: randString(r), Epoch: r.Uint64(), Version: r.Uint64(),
+			Origin: randString(r)}
+		for j := 0; j < r.Intn(3); j++ {
+			rs.Replicas = append(rs.Replicas, ReplicaInfo{Endpoint: randString(r), GUID: randString(r)})
+		}
+		c.Replicas = append(c.Replicas, rs)
 	}
 	return c
 }
@@ -210,6 +225,9 @@ func TestBinaryResponseRoundTripProperty(t *testing.T) {
 				Proto:    "rrp",
 				Target:   randString(r),
 			}
+		}
+		if r.Intn(2) == 1 {
+			resp.Epoch = r.Uint64()
 		}
 		var buf bytes.Buffer
 		if err := EncodeResponse(&buf, resp); err != nil {

@@ -267,6 +267,24 @@ func (n *Node) Migrate(ref *Ref, endpoint string) error {
 	return n.n.Migrate(ref.v, endpoint)
 }
 
+// Replicate installs read-only copies of the object behind ref at the
+// given endpoints.  This node stays the lease-holding primary: reads
+// may be served by any live replica while its lease holds, writes
+// serialise here and fan out to every copy before they acknowledge
+// (docs/REPLICATION.md).  Requires cluster membership (JoinCluster).
+func (n *Node) Replicate(ref *Ref, endpoints ...string) error {
+	if ref == nil {
+		return fmt.Errorf("nil object handle")
+	}
+	return n.n.Replicate(ref.v, endpoints...)
+}
+
+// IsReplicated reports whether the object behind ref is part of a
+// replica set on this node, as primary or copy.
+func (n *Node) IsReplicated(ref *Ref) bool {
+	return ref != nil && ref.v.O != nil && n.n.IsReplicated(ref.v.O)
+}
+
 // NodeStats counts node activity.
 type NodeStats struct {
 	RemoteCallsOut uint64
