@@ -241,11 +241,12 @@ func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
 	w := t.window(tok.Caller)
 	w.mu.Lock()
 	w.retire(tok.Ack)
-	if tok.Seq <= w.retired {
-		w.mu.Unlock()
-		t.stats.StaleRejected.Add(1)
-		return nil, Stale
-	}
+	// The entry lookup runs BEFORE the watermark check: cap eviction
+	// (evictOverCap) can advance the watermark over a sequence whose
+	// sibling entries — same sequence, different target, legal on a
+	// forwarding chain — are still windowed, in flight or cached.  A
+	// retry of one of those must park or replay its own entry; only a
+	// sequence with no surviving entry is judged by the watermark.
 	if e, ok := w.entries[entryKey{tok.Seq, target}]; ok {
 		inFlight := e.resp == nil
 		w.mu.Unlock()
@@ -256,6 +257,11 @@ func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
 			t.stats.ReplayHits.Add(1)
 		}
 		return e, Replay
+	}
+	if tok.Seq <= w.retired {
+		w.mu.Unlock()
+		t.stats.StaleRejected.Add(1)
+		return nil, Stale
 	}
 	e := &Entry{seq: tok.Seq, target: target, done: make(chan struct{})}
 	w.entries[entryKey{tok.Seq, target}] = e
@@ -320,7 +326,11 @@ func (w *Window) retire(ack uint64) {
 // the cap are dropped in ascending sequence order and the retired
 // watermark advances over every sequence at or below the last evicted
 // one, so a late duplicate of an evicted call is rejected as Stale
-// rather than re-executed.  Caller holds w.mu.
+// rather than re-executed.  Sibling entries at the evicted sequence
+// (other targets on a forwarding chain) may survive at or below the
+// watermark — in flight or cached — which is why Begin matches the
+// entries map before consulting the watermark: their retries keep
+// parking or replaying.  Caller holds w.mu.
 func (w *Window) evictOverCap() {
 	for w.completed > w.table.cap {
 		// Find the smallest completed seq at or above the scan cursor.

@@ -274,3 +274,78 @@ func TestForwardChainRevisitExecutes(t *testing.T) {
 		t.Fatal("post-ack duplicate should be Stale")
 	}
 }
+
+// TestEvictionSparesSiblingEntries pins Begin's lookup order: cap
+// eviction advances the retired watermark over an evicted sequence, but
+// sibling entries at that sequence (same logical call, different target
+// on a forwarding chain) can survive in the window — a retry of a
+// surviving sibling must park or replay its own entry, not get rejected
+// as Stale off the watermark.
+func TestEvictionSparesSiblingEntries(t *testing.T) {
+	tab := NewTable(1)
+
+	// Two completed siblings of seq 1 (a forwarding chain revisiting
+	// this node).  Cap 1 evicts exactly one, advancing the watermark to
+	// 1 while the other stays cached below it.
+	ea, va := tab.Begin(tok("c", 1, 0), "gA")
+	if va != Execute {
+		t.Fatalf("first hop verdict %v want Execute", va)
+	}
+	tab.Complete("c", ea, &wire.Response{Result: wire.Value{Kind: wire.KInt, Int: 11}})
+	eb, vb := tab.Begin(tok("c", 1, 0), "gB")
+	if vb != Execute {
+		t.Fatalf("sibling hop verdict %v want Execute", vb)
+	}
+	tab.Complete("c", eb, &wire.Response{Result: wire.Value{Kind: wire.KInt, Int: 22}})
+
+	var replays, stales int
+	for _, target := range []string{"gA", "gB"} {
+		e, v := tab.Begin(tok("c", 1, 0), target)
+		switch v {
+		case Replay:
+			replays++
+			if got := e.Response(9).Result.Int; got != 11 && got != 22 {
+				t.Fatalf("replayed sibling %s carries wrong response %d", target, got)
+			}
+		case Stale:
+			stales++
+		default:
+			t.Fatalf("retry of seq-1 sibling %s re-executed (verdict %v)", target, v)
+		}
+	}
+	if replays != 1 || stales != 1 {
+		t.Fatalf("sibling retries: %d replays, %d stales; want the cached one to replay and the evicted one to reject", replays, stales)
+	}
+
+	// In-flight sibling: seq 2 executes while cap pressure from later
+	// sequences pushes the watermark past it.  A duplicate delivery must
+	// park on the in-flight entry and replay its response — a Stale
+	// rejection here would break the exactly-once replay contract for a
+	// transport retry of a still-executing hop.
+	ec, vc := tab.Begin(tok("c", 2, 0), "gC")
+	if vc != Execute {
+		t.Fatalf("in-flight hop verdict %v want Execute", vc)
+	}
+	e3, _ := tab.Begin(tok("c", 3, 0), "gD")
+	tab.Complete("c", e3, &wire.Response{})
+	e4, _ := tab.Begin(tok("c", 4, 0), "gE")
+	tab.Complete("c", e4, &wire.Response{})
+
+	type res struct {
+		e *Entry
+		v Verdict
+	}
+	dup := make(chan res, 1)
+	go func() {
+		e, v := tab.Begin(tok("c", 2, 0), "gC")
+		dup <- res{e, v}
+	}()
+	tab.Complete("c", ec, &wire.Response{Result: wire.Value{Kind: wire.KInt, Int: 33}})
+	got := <-dup
+	if got.v != Replay {
+		t.Fatalf("duplicate of in-flight sibling verdict %v want Replay", got.v)
+	}
+	if got.e.Response(5).Result.Int != 33 {
+		t.Fatalf("parked duplicate replayed wrong response %+v", got.e.Response(5))
+	}
+}

@@ -24,10 +24,12 @@ import (
 // unreachable ones and waited out their leases — so no replica ever
 // serves a read older than the last acknowledged write.
 //
-// Lock order: primaryReplica.mu, then the object's invocation gate.
-// replicaWriteBarrier and dropReplication follow it; Replicate and the
-// dispatch handlers take only the gate.  Migrate dissolves replication
-// *before* acquiring the gate for the same reason (CONCURRENCY.md §13).
+// Lock order: primaryReplica.fanMu, then the object's invocation gate,
+// then primaryReplica.mu (a leaf — held only for field access, never
+// across the gate, the network, or a lease wait).  replicaWriteBarrier
+// follows the full chain; dropReplication and demoteReplica take only
+// mu, so dissolving or demoting a set never blocks behind an in-flight
+// fan-out or its eviction wait (CONCURRENCY.md §13).
 
 // primaryReplica is this node's bookkeeping for an object it primaries.
 type primaryReplica struct {
@@ -36,9 +38,16 @@ type primaryReplica struct {
 	guid  string
 	class string
 
-	// mu serialises write fan-outs and membership changes; epoch and
-	// members are guarded by it.  The epoch bump additionally happens
-	// under the object's gate, so epoch order matches state order.
+	// fanMu serialises write barriers: it is held across the epoch bump,
+	// the fan-out, and any eviction lease wait, so one write's
+	// acknowledgement gate cannot be overtaken by the next write's.
+	// Deliberate back-pressure: concurrent writes to the same replicated
+	// object queue here for up to one lease window when a replica is
+	// partitioned.
+	fanMu sync.Mutex
+	// mu guards epoch, members and dropped with short critical sections
+	// only.  The epoch bump additionally happens under the object's
+	// gate, so epoch order matches state order.
 	mu      sync.Mutex
 	epoch   uint64
 	members []wire.ReplicaInfo
@@ -127,14 +136,13 @@ func (n *Node) Replicate(ref vm.Value, endpoints ...string) error {
 			retErr = fmt.Errorf("node %s: %s is itself a replica", n.name, id)
 			return
 		}
-		proto, _, err := splitProto(endpoints[0])
-		if err != nil {
-			retErr = err
-			return
-		}
+		// One snapshot serves every target: values marshal with the
+		// neutral "" proto (exactly as the write barrier does), so a
+		// mixed-proto endpoint list never receives values marshalled for
+		// a different transport.
 		fvs := make([]wire.NamedValue, 0, len(fields))
 		for name, val := range fields {
-			mv, err := n.marshalValue(val, proto)
+			mv, err := n.marshalValue(val, "")
 			if err != nil {
 				retErr = fmt.Errorf("node %s: marshal field %s: %w", n.name, name, err)
 				return
@@ -148,6 +156,11 @@ func (n *Node) Replicate(ref vm.Value, endpoints ...string) error {
 		for _, ep := range endpoints {
 			if ep == "" || n.servesEndpoint(ep) {
 				continue // replicating to the primary itself is a no-op
+			}
+			proto, _, err := splitProto(ep)
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", ep, err))
+				continue
 			}
 			req := &wire.Request{
 				ID: n.nextReqID(), Op: wire.OpReplicaInstall, GUID: id, Class: base,
@@ -199,10 +212,19 @@ func (n *Node) sendReplicaOp(endpoint string, req *wire.Request) (*wire.Response
 // replicated primary here).  The snapshot and the epoch bump share the
 // object's invocation gate, so epoch order equals state order; the
 // fan-out itself runs outside the gate (replicas order updates by
-// epoch).  An unreachable replica is evicted from the set and its lease
-// waited out — after that wait it has provably stopped serving reads —
-// so the acknowledgement's guarantee survives partitions: every replica
-// still in the set holds the new state, and everyone else is lease-dead.
+// epoch).  A replica that cannot be reached — or that acks an epoch
+// other than the one pushed, which means its copy diverged — is evicted
+// from the set and its lease waited out — after that wait it has
+// provably stopped serving reads — so the acknowledgement's guarantee
+// survives partitions: every replica still in the set holds the new
+// state, and everyone else is lease-dead.
+//
+// Locking: fanMu is held end to end (barriers for the same object
+// serialise, including the eviction wait — the back-pressure is the
+// point: the next write cannot be acknowledged past a replica that
+// might still serve the previous state).  pr.mu is taken only for the
+// epoch bump and the membership edit, so dropReplication and
+// demoteReplica never block behind a fan-out or a lease wait.
 func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
 	v, ok := n.replPrim.Load(id)
 	if !ok {
@@ -213,56 +235,75 @@ func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
 	if co == nil {
 		return 0
 	}
-	pr.mu.Lock()
-	defer pr.mu.Unlock()
-	if pr.dropped {
-		return 0
-	}
+	pr.fanMu.Lock()
+	defer pr.fanMu.Unlock()
 	var epoch uint64
 	var fvs []wire.NamedValue
-	morphed := false
+	skip := false
 	n.machine.ExecOn(obj, func(env *vm.Env) {
 		cls, fields := obj.View()
 		if isProxyClass(cls) {
-			morphed = true // migrated away between the write and the barrier
+			skip = true // migrated away between the write and the barrier
+			return
+		}
+		pr.mu.Lock()
+		if pr.dropped {
+			pr.mu.Unlock()
+			skip = true
 			return
 		}
 		pr.epoch++
 		epoch = pr.epoch
+		pr.mu.Unlock()
 		fvs = make([]wire.NamedValue, 0, len(fields))
 		for name, val := range fields {
 			mv, err := n.marshalValue(val, "")
 			if err != nil {
-				morphed = true // unshippable state: skip this round
+				skip = true // unshippable state: skip this round
 				return
 			}
 			fvs = append(fvs, wire.NamedValue{Name: name, Value: mv})
 		}
 	})
-	if morphed {
+	if skip {
 		return 0
 	}
-	kept := pr.members[:0]
+	pr.mu.Lock()
+	members := append([]wire.ReplicaInfo(nil), pr.members...)
+	pr.mu.Unlock()
+	evicted := make(map[string]bool)
 	var wait time.Duration
-	for _, m := range pr.members {
+	for _, m := range members {
 		req := &wire.Request{
 			ID: n.nextReqID(), Op: wire.OpReplicaUpdate,
 			GUID: m.GUID, Fields: fvs, Epoch: epoch,
 		}
 		resp, err := n.sendReplicaOp(m.Endpoint, req)
-		if err == nil && resp.Err == "" {
-			kept = append(kept, m)
+		if err == nil && resp.Err == "" && resp.Epoch == epoch {
 			continue
 		}
+		evicted[m.Endpoint] = true
 		if w := co.EvictReplica(pr.guid, m.Endpoint); w > wait {
 			wait = w
 		}
 	}
-	pr.members = kept
+	if len(evicted) > 0 {
+		pr.mu.Lock()
+		kept := pr.members[:0]
+		for _, m := range pr.members {
+			if !evicted[m.Endpoint] {
+				kept = append(kept, m)
+			}
+		}
+		pr.members = kept
+		pr.mu.Unlock()
+	}
 	if wait > 0 {
 		// The evicted replicas renew leases only on direct contact with
 		// us; once their lease window passes they refuse local reads, so
-		// the write may be acknowledged without them.
+		// the write may be acknowledged without them.  fanMu (not pr.mu)
+		// covers the sleep: a concurrent dissolution or demotion edits
+		// the set freely while we wait.
 		time.Sleep(wait)
 	}
 	co.UpdateReplicaEpoch(pr.guid, epoch)
@@ -315,10 +356,23 @@ func (n *Node) serveAtReplica(req *wire.Request, obj *vm.Object, rc *replicaCopy
 		return n.forwardToPrimary(req, rc)
 	}
 	resp := &wire.Response{ID: req.ID}
+	expired := false
 	n.servedInvoke(resp, obj, req.GUID, req, func(env *vm.Env) {
+		// The pre-gate lease check above only admits the read to the
+		// queue; it may have waited on the gate past the lease's expiry —
+		// and past the primary's eviction wait, whose guarantee would be
+		// defeated by executing now.  Re-check under the gate, next to
+		// the epoch stamp, which lives here for the same reason.
+		if !co.LeaseValid(rc.primaryGUID) {
+			expired = true
+			return
+		}
 		n.invokeOn(env, resp, vm.RefV(obj), req)
 		resp.Epoch = rc.epoch.Load()
 	})
+	if expired {
+		return n.forwardToPrimary(req, rc)
+	}
 	return resp
 }
 
@@ -470,10 +524,21 @@ func (n *Node) promoteReplica(id, class, selfGUID string) {
 	if !ok {
 		return
 	}
+	// Seed the write epoch strictly above anything the dead primary can
+	// have pushed.  Barriers serialise (fanMu) and every *acknowledged*
+	// epoch reached every surviving member, so member epochs can exceed
+	// max(local epoch, set epoch) by at most one: the single unacked
+	// fan-out the primary may have died inside.  Jumping one past the
+	// max means this primary's first write commits at an epoch no
+	// replica has seen — a member that applied the dead primary's
+	// unacked update can never equal-epoch-collide with it, silently
+	// acking a new write it did not apply and then serving the dead
+	// primary's state after the write is acknowledged.
 	epoch := rc.epoch.Load()
 	if set.Epoch > epoch {
 		epoch = set.Epoch
 	}
+	epoch++
 	pr := &primaryReplica{guid: id, class: class, epoch: epoch, members: set.Replicas}
 	n.replPrim.Store(id, pr)
 	if selfGUID != id {

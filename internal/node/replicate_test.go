@@ -383,3 +383,165 @@ func TestMigrationDissolvesReplication(t *testing.T) {
 		t.Fatalf("read after dissolution: %v %v", got, err)
 	}
 }
+
+// TestFailoverEpochJumpNoStaleReadAtDivergedReplica pins the promotion
+// epoch jump: the dead primary can have died inside ONE unacked fan-out,
+// so a surviving replica may already hold epoch E while the promoted
+// node and the set record E-1.  Promotion must seed the write epoch
+// strictly above E — otherwise the new primary's first acknowledged
+// write commits at E, the diverged replica equal-epoch-acks it WITHOUT
+// applying, and then serves the dead primary's state to reads after the
+// write was acknowledged, breaking the stale-read invariant across
+// failover.
+func TestFailoverEpochJumpNoStaleReadAtDivergedReplica(t *testing.T) {
+	home, readerA, readerB, coords, eps, obj, refA, refB := replCluster(t, func(c *cluster.Config) {
+		c.SuspectAfter, c.DeadAfter, c.LeaseTicks = 2, 3, 3
+	})
+	if err := home.Replicate(vm.RefV(obj), eps[1], eps[2]); err != nil {
+		t.Fatal(err)
+	}
+	tickAll(coords, 4)
+	guid, _ := home.exports.GUIDOf(obj)
+
+	// Last acknowledged write before the crash.
+	if _, err := home.CallOn(vm.RefV(obj), "set", vm.IntV(7)); err != nil {
+		t.Fatal(err)
+	}
+	set, ok := coords[0].ReplicaSet(guid)
+	if !ok {
+		t.Fatal("no replica set at primary")
+	}
+
+	// The election winner is the smallest live endpoint; the OTHER
+	// survivor is the one we diverge.
+	winner, loser := readerA, readerB
+	winnerEp, loserEp := eps[1], eps[2]
+	winnerRef, loserRef := refA, refB
+	if eps[2] < eps[1] {
+		winner, loser = readerB, readerA
+		winnerEp, loserEp = eps[2], eps[1]
+		winnerRef, loserRef = refB, refA
+	}
+	_ = winnerRef
+	var loserGUID string
+	for _, r := range set.Replicas {
+		if r.Endpoint == loserEp {
+			loserGUID = r.GUID
+		}
+	}
+	if loserGUID == "" {
+		t.Fatalf("loser not in replica set %+v", set)
+	}
+
+	// The dead primary's unacked in-flight fan-out: one epoch past the
+	// last acknowledged one, applied at the loser only, never acked.
+	div := loser.dispatch(&wire.Request{
+		ID: 99, Op: wire.OpReplicaUpdate, GUID: loserGUID, Epoch: set.Epoch + 1,
+		Fields: []wire.NamedValue{{Name: "v", Value: wire.Value{Kind: wire.KInt, Int: 777}}},
+	})
+	if div.Err != "" || div.Epoch != set.Epoch+1 {
+		t.Fatalf("diverging update: %+v", div)
+	}
+
+	if err := home.Close(); err != nil {
+		t.Fatal(err)
+	}
+	survivors := coords[1:]
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tickAll(survivors, 1)
+		if s, ok := winner.Cluster().ReplicaSet(guid); ok && s.Primary == winnerEp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("promotion never happened")
+		}
+	}
+	tickAll(survivors, 4)
+
+	// First acknowledged write through the new primary.  It must commit
+	// at an epoch strictly above the dead primary's in-flight one so the
+	// diverged loser APPLIES it; the barrier's ack then really covers
+	// the loser's state.
+	if got, err := loser.CallOn(loserRef, "set", vm.IntV(9)); err != nil || got.I != 9 {
+		t.Fatalf("write after failover: %v %v", got, err)
+	}
+	if got, err := loser.CallOn(loserRef, "get"); err != nil || got.I != 9 {
+		t.Fatalf("diverged replica read after acked write: %v %v, want 9 (served the dead primary's unacked state)", got, err)
+	}
+}
+
+// TestReplicaReadQueuedPastLeaseExpiryForwards pins the gate-time lease
+// re-check: a read that passes the pre-gate lease check and then waits
+// on the copy's invocation gate until after the lease lapses must NOT
+// execute against the (possibly stale) local copy — by then the
+// primary's eviction wait may have elapsed and a newer write been
+// acknowledged.  It forwards to the primary instead, surfacing the
+// primary's unavailability rather than stale state.
+func TestReplicaReadQueuedPastLeaseExpiryForwards(t *testing.T) {
+	home, readerA, _, coords, eps, obj, _, _ := replCluster(t, func(c *cluster.Config) {
+		// Failover must not fire mid-test: only the lease lapses.
+		c.SuspectAfter, c.DeadAfter, c.LeaseTicks = 50, 100, 3
+	})
+	if err := home.Replicate(vm.RefV(obj), eps[1], eps[2]); err != nil {
+		t.Fatal(err)
+	}
+	tickAll(coords, 4)
+	guid, _ := home.exports.GUIDOf(obj)
+	set, ok := coords[0].ReplicaSet(guid)
+	if !ok {
+		t.Fatal("no replica set at primary")
+	}
+	var repGUID string
+	for _, r := range set.Replicas {
+		if r.Endpoint == eps[1] {
+			repGUID = r.GUID
+		}
+	}
+	if repGUID == "" {
+		t.Fatalf("readerA not in replica set %+v", set)
+	}
+	rep, ok := readerA.exports.Get(repGUID)
+	if !ok {
+		t.Fatal("replica has no exported copy")
+	}
+
+	// Hold the copy's invocation gate while a read queues behind it.
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(hold)
+		}
+	}
+	defer release()
+	go readerA.machine.ExecOn(rep, func(env *vm.Env) {
+		close(held)
+		<-hold
+	})
+	<-held
+	respCh := make(chan *wire.Response, 1)
+	go func() {
+		respCh <- readerA.dispatch(&wire.Request{ID: 7, Op: wire.OpInvoke, GUID: repGUID, Method: "get"})
+	}()
+	// Let the read pass the pre-gate lease check and park on the gate,
+	// then lapse the lease: the primary goes silent and the replica's
+	// own ticks carry its clock past the lease deadline.
+	time.Sleep(50 * time.Millisecond)
+	if err := home.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		coords[1].Tick()
+	}
+	if readerA.Cluster().LeaseValid(guid) {
+		t.Fatal("lease still valid after silent ticks; test set-up broken")
+	}
+	release()
+	resp := <-respCh
+	if resp.Redirect == nil {
+		t.Fatalf("queued read served from the local copy after lease expiry: %+v, want a forward to the primary", resp)
+	}
+}
