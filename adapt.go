@@ -169,8 +169,16 @@ func (n *Node) NewAdapter(cfg AdaptConfig) *Adapter {
 		MaxWriteShare: cfg.MaxWriteShare,
 		ReplicaFanout: cfg.ReplicaFanout,
 	}
-	if cfg.OnDecision != nil {
-		ecfg.OnDecision = func(d adapt.Decision) { cfg.OnDecision(fromEngineDecision(d)) }
+	// Every decision lands in the node's flight recorder as an adapt
+	// span (a no-op under NoTrace), interleaving placement decisions
+	// with the call traffic that triggered them; a user callback chains
+	// after the recording.
+	ecfg.OnDecision = func(d adapt.Decision) {
+		in.RecordAdaptDecision(d.Rule, d.Kind.String(), d.GUID, d.Class, d.Endpoint,
+			d.Reason, d.Executed, d.Delegated, d.Err)
+		if cfg.OnDecision != nil {
+			cfg.OnDecision(fromEngineDecision(d))
+		}
 	}
 	a := &Adapter{eng: adapt.New(rec, act, ecfg)}
 	n.attachAdapter(a)

@@ -19,6 +19,7 @@ import (
 //	e11  best pooled sim-LAN p=64 calls/s    (pooled-transport ceiling)
 //	e12  exactly_once_ok                     (chaos-audited correctness)
 //	e13  read_lift                           (replication read scaling)
+//	e14  overhead_ok                         (tracing overhead bound + chaos trace audit)
 //
 // Ratios (e9/e10/e13) and the e12 pass fraction are machine-independent.  The calls/s rows (e7/e11)
 // are only as sharp as the committed side: today's committed records
@@ -99,6 +100,12 @@ func gateKeyMetric(exp, dir string) (name string, val float64, err error) {
 			return "", 0, err
 		}
 		return "read_lift", r.ReadLift, nil
+	case "e14":
+		var r E14Report
+		if err := readReport(dir, exp, &r); err != nil {
+			return "", 0, err
+		}
+		return "overhead_ok", r.OverheadOK, nil
 	default:
 		return "", 0, fmt.Errorf("gate: no key metric defined for experiment %q", exp)
 	}

@@ -99,7 +99,7 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e13 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e14 or all)")
 	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
 	e8json := flag.String("e8json", "BENCH_E8.json", "path for e8's machine-readable results (empty to skip)")
 	e9json := flag.String("e9json", "BENCH_E9.json", "path for e9's machine-readable results (empty to skip)")
@@ -107,6 +107,7 @@ func main() {
 	e11json := flag.String("e11json", "BENCH_E11.json", "path for e11's machine-readable results (empty to skip)")
 	e12json := flag.String("e12json", "BENCH_E12.json", "path for e12's machine-readable results (empty to skip)")
 	e13json := flag.String("e13json", "BENCH_E13.json", "path for e13's machine-readable results (empty to skip)")
+	e14json := flag.String("e14json", "BENCH_E14.json", "path for e14's machine-readable results (empty to skip)")
 	pool := flag.Int("pool", 0, "connection pool width of e9/e10's nodes (0: GOMAXPROCS, capped at 8)")
 	gate := flag.String("gate", "", "run the perf-regression gate over these experiments (e.g. \"e7,e9,e10,e11\") instead of benchmarks")
 	gateCommitted := flag.String("gate-committed", ".", "directory holding the committed BENCH_*.json records")
@@ -143,6 +144,17 @@ func main() {
 	flag.DurationVar(&e13cfg.phase, "e13-seconds", 3*time.Second, "e13: duration of each measured phase")
 	flag.IntVar(&e13cfg.parallel, "e13-parallel", 4, "e13: concurrent caller goroutines per reader node")
 	flag.Float64Var(&e13cfg.minLift, "e13-min-lift", 2.0, "e13: required replicated/single-home reads/s lift")
+	e14cfg := e14Config{}
+	flag.IntVar(&e14cfg.rounds, "e14-rounds", 5, "e14: alternating overhead rounds per arm (0: chaos trace audit only)")
+	flag.IntVar(&e14cfg.calls, "e14-calls", 12000, "e14: echo calls per overhead round")
+	flag.IntVar(&e14cfg.parallel, "e14-parallel", 64, "e14: concurrent caller goroutines")
+	flag.Float64Var(&e14cfg.maxOverhead, "e14-max-overhead", 0.05, "e14: tolerated traced-vs-untraced throughput loss fraction")
+	flag.StringVar(&e14cfg.seeds, "e14-seeds", "1,2", "e14: comma-separated audit fault-schedule seeds")
+	flag.IntVar(&e14cfg.auditCalls, "e14-audit-calls", 1200, "e14: acked calls per audit seed (must fit the span ring)")
+	flag.IntVar(&e14cfg.dup, "e14-dup-permille", 30, "e14: per-mille frames delivered twice during the audit")
+	flag.IntVar(&e14cfg.drop, "e14-drop-permille", 3, "e14: per-mille frames swallowed during the audit")
+	flag.IntVar(&e14cfg.kill, "e14-kill-permille", 3, "e14: per-mille frames killed mid-flight during the audit")
+	flag.IntVar(&e14cfg.traceSpans, "e14-trace-spans", 1<<15, "e14: per-node flight-recorder ring capacity under audit")
 	flag.Parse()
 	if *gate != "" {
 		if err := runGate(strings.Split(*gate, ","), *gateCommitted, *gateFresh, *gateTol); err != nil {
@@ -155,6 +167,7 @@ func main() {
 	e10cfg.pool = *pool
 	e12cfg.pool = *pool
 	e13cfg.pool = *pool
+	e14cfg.pool = *pool
 	run := func(id string, f func() error) {
 		if *exp != "all" && *exp != id {
 			return
@@ -178,6 +191,7 @@ func main() {
 	run("e11", func() error { return e11(e11cfg, *e11json) })
 	run("e12", func() error { return e12(e12cfg, *e12json) })
 	run("e13", func() error { return e13(e13cfg, *e13json) })
+	run("e14", func() error { return e14(e14cfg, *e14json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,

@@ -7,7 +7,8 @@
 //	    -place C=rrp://10.0.0.2:7001 -place Audit=soap://10.0.0.3:7002 \
 //	    [-main Main] [-name node1] [-pool 4] [-adapt] [-adapt-window 250ms] \
 //	    [-cluster] [-join rrp://10.0.0.2:7001] [-cluster-heartbeat 100ms] \
-//	    [-cluster-propose] [-cluster-fanout 2]
+//	    [-cluster-propose] [-cluster-fanout 2] \
+//	    [-pprof 127.0.0.1:6060] [-trace-spans 8192] [-no-trace]
 //
 // Without -main the node serves until interrupted.  -adapt switches on
 // the adaptive placement engine (docs/ADAPTIVE.md): the node watches
@@ -22,11 +23,19 @@
 // unilaterally.  -cluster-propose additionally lets this node propose
 // multi-hop migrations (move an object between two *other* nodes) from
 // the gossiped affinity evidence.
+//
+// Observability (docs/OBSERVABILITY.md): the node always runs a
+// bounded flight recorder of call spans unless -no-trace.  -pprof
+// serves net/http/pprof plus /debug/rafda (the unified introspection
+// snapshot, also reachable remotely via rafdac), and SIGQUIT dumps the
+// recorder and metrics to stderr without stopping the node.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +76,9 @@ func run() error {
 	clusterHB := flag.Duration("cluster-heartbeat", 100*time.Millisecond, "cluster gossip period")
 	clusterFanout := flag.Int("cluster-fanout", 2, "peers gossiped to per round")
 	clusterPropose := flag.Bool("cluster-propose", false, "propose multi-hop migrations from gossiped affinity evidence")
+	pprofAddr := flag.String("pprof", "", "debug HTTP address serving net/http/pprof and /debug/rafda (empty: off)")
+	traceSpans := flag.Int("trace-spans", 0, "flight recorder ring capacity (0: default 4096)")
+	noTrace := flag.Bool("no-trace", false, "disable the distributed-tracing plane (docs/OBSERVABILITY.md)")
 	flag.Parse()
 
 	if *archive == "" {
@@ -92,11 +104,44 @@ func run() error {
 		return err
 	}
 
-	node, err := tr.NewNode(rafda.NodeConfig{Name: *name, Output: os.Stdout, PoolSize: *poolSize})
+	node, err := tr.NewNode(rafda.NodeConfig{
+		Name: *name, Output: os.Stdout, PoolSize: *poolSize,
+		TraceSpans: *traceSpans, NoTrace: *noTrace,
+	})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+
+	// Debug surfaces: -pprof serves the standard net/http/pprof tree
+	// plus /debug/rafda?section=metrics|spans|trace&id=<hex> — the same
+	// snapshot wire.OpIntrospect serves remotely.  SIGQUIT dumps the
+	// flight recorder and metrics to stderr without stopping the node
+	// (replacing the Go runtime's default die-with-stacks behaviour).
+	if *pprofAddr != "" {
+		http.HandleFunc("/debug/rafda", func(w http.ResponseWriter, r *http.Request) {
+			out, err := node.IntrospectJSON(r.URL.Query().Get("section"), r.URL.Query().Get("id"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, out)
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rafda-node: debug http:", err)
+			}
+		}()
+		fmt.Printf("debug http on %s (/debug/pprof/, /debug/rafda)\n", *pprofAddr)
+	}
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			dumpDebug(node)
+		}
+	}()
 
 	for _, s := range serves {
 		proto, addr, ok := strings.Cut(s, "://")
@@ -177,6 +222,19 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	return nil
+}
+
+// dumpDebug writes the unified metrics snapshot and the flight
+// recorder's ring to stderr — the SIGQUIT crash-cart view.
+func dumpDebug(node *rafda.Node) {
+	for _, section := range []string{"metrics", "spans"} {
+		out, err := node.IntrospectJSON(section, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rafda-node: dump %s: %v\n", section, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "=== rafda %s ===\n%s\n", section, out)
+	}
 }
 
 func hasFactories(p *rafda.Program) bool {

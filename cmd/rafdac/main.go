@@ -6,9 +6,15 @@
 //	rafdac disasm   [-code] [-class C] file.mj|.rar
 //	rafdac run      [-main C] [-transformed] file.mj|.rar
 //	rafdac verify   file.mj|.rar
+//	rafdac trace    -node proto://host:port [-node ...] <hex-trace-id>
+//	rafdac top      -node proto://host:port [-node ...]
 //
 // Inputs ending in .rar are binary class archives produced by compile or
-// transform; anything else is treated as mini-Java source.
+// transform; anything else is treated as mini-Java source.  trace and
+// top query running nodes over the effect-free introspection op
+// (docs/OBSERVABILITY.md): trace reassembles one distributed call's
+// span tree across every queried node's flight recorder, top prints
+// each node's activity counters and per-kind latency digest.
 package main
 
 import (
@@ -30,10 +36,14 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rafdac <compile|analyze|transform|disasm|run|verify> [flags] files...")
+		return fmt.Errorf("usage: rafdac <compile|analyze|transform|disasm|run|verify|trace|top> [flags] files...")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "trace":
+		return cmdTrace(rest)
+	case "top":
+		return cmdTop(rest)
 	case "compile":
 		return cmdCompile(rest)
 	case "analyze":

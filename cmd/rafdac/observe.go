@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rafda"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// Observability views (docs/OBSERVABILITY.md): "rafdac trace" and
+// "rafdac top" pull nodes' flight recorders and unified metrics over
+// the effect-free wire.OpIntrospect op and render them — a trace as a
+// causally-ordered span tree assembled across every queried node, top
+// as per-node latency digests.
+
+// span mirrors internal/trace.Span's JSON shape.
+type span struct {
+	Trace  uint64 `json:"trace"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent"`
+	Node   string `json:"node"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	Target string `json:"target"`
+	Start  int64  `json:"start"`
+	Queue  int64  `json:"queue"`
+	Dur    int64  `json:"dur"`
+	Note   string `json:"note"`
+	Err    string `json:"err"`
+}
+
+// metrics mirrors the slice of internal/node.Introspection that top
+// renders.
+type metrics struct {
+	Node     string `json:"node"`
+	Exports  int    `json:"exports"`
+	Activity struct {
+		RemoteCallsOut uint64
+		RemoteCallsIn  uint64
+		Creates        uint64
+		MigrationsOut  uint64
+		MigrationsIn   uint64
+	} `json:"activity"`
+	Dedup struct {
+		ReplayHits    uint64 `json:"replay_hits"`
+		Parked        uint64 `json:"parked_duplicates"`
+		StaleRejected uint64 `json:"stale_rejected"`
+	} `json:"dedup"`
+	Trace *struct {
+		Spans    int    `json:"spans"`
+		Capacity int    `json:"capacity"`
+		Emitted  uint64 `json:"emitted"`
+		Kinds    []struct {
+			Kind   string  `json:"kind"`
+			Count  uint64  `json:"count"`
+			P50us  float64 `json:"p50_us"`
+			P99us  float64 `json:"p99_us"`
+			P999us float64 `json:"p999_us"`
+			MaxUs  float64 `json:"max_us"`
+		} `json:"kinds"`
+	} `json:"trace"`
+}
+
+// cmdTrace assembles and prints one distributed call trace: every
+// -node is asked for its spans of the given hex trace id, and the
+// union is printed as a parent/child tree in causal order.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	var nodes multiFlag
+	fs.Var(&nodes, "node", "endpoint of a node to query, proto://host:port (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("trace needs at least one -node endpoint")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rafdac trace -node ep [-node ep...] <hex-trace-id>")
+	}
+	id := fs.Arg(0)
+	var spans []span
+	for _, ep := range nodes {
+		out, err := rafda.IntrospectEndpoint(ep, "trace", id)
+		if err != nil {
+			return err
+		}
+		var part []span
+		if err := json.Unmarshal([]byte(out), &part); err != nil {
+			return fmt.Errorf("%s: bad trace payload: %w", ep, err)
+		}
+		spans = append(spans, part...)
+	}
+	if len(spans) == 0 {
+		fmt.Printf("trace %s: no spans at %d node(s) (evicted from the ring, or wrong id?)\n", id, len(nodes))
+		return nil
+	}
+	printTree(id, spans)
+	return nil
+}
+
+// printTree renders spans as an indented causal tree.  A span whose
+// parent is unknown (rolled out of some ring) prints as a root marked
+// detached, so partial traces stay readable.
+func printTree(id string, spans []span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	known := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		known[s.ID] = true
+	}
+	children := make(map[uint64][]span)
+	var roots []span
+	for _, s := range spans {
+		if s.Parent != 0 && known[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	nodes := make(map[string]bool)
+	for _, s := range spans {
+		nodes[s.Node] = true
+	}
+	fmt.Printf("trace %s: %d span(s) across %d node(s)\n", id, len(spans), len(nodes))
+	var walk func(s span, depth int)
+	walk = func(s span, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Print("  ")
+		}
+		line := fmt.Sprintf("%s %s @%s", s.Kind, s.Name, s.Node)
+		if s.Target != "" {
+			line += " -> " + s.Target
+		}
+		if s.Queue > 0 {
+			line += fmt.Sprintf("  queue %v", time.Duration(s.Queue).Round(time.Microsecond))
+		}
+		if s.Dur > 0 {
+			line += fmt.Sprintf("  run %v", time.Duration(s.Dur).Round(time.Microsecond))
+		}
+		if s.Note != "" {
+			line += "  [" + s.Note + "]"
+		}
+		if s.Err != "" {
+			line += "  ERR " + s.Err
+		}
+		fmt.Println(line)
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		if r.Parent != 0 {
+			fmt.Printf("(detached: parent %x not in any queried ring)\n", r.Parent)
+		}
+		walk(r, 1)
+	}
+}
+
+// cmdTop prints each node's unified metrics snapshot: activity and
+// dedup counters plus the flight recorder's per-kind latency digest.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	var nodes multiFlag
+	fs.Var(&nodes, "node", "endpoint of a node to query, proto://host:port (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("top needs at least one -node endpoint")
+	}
+	for _, ep := range nodes {
+		out, err := rafda.IntrospectEndpoint(ep, "metrics", "")
+		if err != nil {
+			return err
+		}
+		var m metrics
+		if err := json.Unmarshal([]byte(out), &m); err != nil {
+			return fmt.Errorf("%s: bad metrics payload: %w", ep, err)
+		}
+		fmt.Printf("%s (%s)\n", m.Node, ep)
+		fmt.Printf("  calls in %d  out %d  creates %d  migrations out %d in %d  exports %d\n",
+			m.Activity.RemoteCallsIn, m.Activity.RemoteCallsOut, m.Activity.Creates,
+			m.Activity.MigrationsOut, m.Activity.MigrationsIn, m.Exports)
+		fmt.Printf("  dedup replay %d  parked %d  stale %d\n",
+			m.Dedup.ReplayHits, m.Dedup.Parked, m.Dedup.StaleRejected)
+		if m.Trace == nil {
+			fmt.Println("  tracing disabled")
+			continue
+		}
+		fmt.Printf("  recorder %d/%d spans (%d emitted)\n", m.Trace.Spans, m.Trace.Capacity, m.Trace.Emitted)
+		if len(m.Trace.Kinds) > 0 {
+			fmt.Printf("  %-13s %9s %10s %10s %10s %10s\n", "kind", "count", "p50", "p99", "p999", "max")
+			for _, k := range m.Trace.Kinds {
+				fmt.Printf("  %-13s %9d %9.1fµs %9.1fµs %9.1fµs %9.1fµs\n",
+					k.Kind, k.Count, k.P50us, k.P99us, k.P999us, k.MaxUs)
+			}
+		}
+	}
+	return nil
+}

@@ -238,6 +238,17 @@ const (
 // entry so it executes instead of parking behind its in-flight ancestor
 // (docs/CONCURRENCY.md §10).
 func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
+	e, verdict, _ := t.BeginObserved(tok, target)
+	return e, verdict
+}
+
+// BeginObserved is Begin plus the park observation: parked reports
+// whether this delivery was a duplicate of an in-flight call and
+// blocked until the first attempt completed (such deliveries return
+// Replay like any settled duplicate).  The node's trace plane records
+// the distinction — a parked duplicate spent wall-clock waiting, a
+// replayed one answered immediately.
+func (t *Table) BeginObserved(tok *wire.CallToken, target string) (_ *Entry, _ Verdict, parked bool) {
 	w := t.window(tok.Caller)
 	w.mu.Lock()
 	w.retire(tok.Ack)
@@ -256,17 +267,17 @@ func (t *Table) Begin(tok *wire.CallToken, target string) (*Entry, Verdict) {
 		} else {
 			t.stats.ReplayHits.Add(1)
 		}
-		return e, Replay
+		return e, Replay, inFlight
 	}
 	if tok.Seq <= w.retired {
 		w.mu.Unlock()
 		t.stats.StaleRejected.Add(1)
-		return nil, Stale
+		return nil, Stale, false
 	}
 	e := &Entry{seq: tok.Seq, target: target, done: make(chan struct{})}
 	w.entries[entryKey{tok.Seq, target}] = e
 	w.mu.Unlock()
-	return e, Execute
+	return e, Execute, false
 }
 
 // Complete records the executed call's response on e and releases any

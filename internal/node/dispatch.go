@@ -8,6 +8,7 @@ import (
 	"rafda/internal/guid"
 	"rafda/internal/stdlib"
 	"rafda/internal/telemetry"
+	"rafda/internal/trace"
 	"rafda/internal/transform"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
@@ -39,6 +40,8 @@ func (n *Node) dispatch(req *wire.Request) *wire.Response {
 		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: n.name}}
 	case wire.OpGossip:
 		return n.dispatchGossip(req)
+	case wire.OpIntrospect:
+		return n.dispatchIntrospect(req)
 	}
 	// Side-effectful ops: a tokened delivery passes through the dedup
 	// window first (docs/CONCURRENCY.md §10).  First delivery executes
@@ -46,14 +49,23 @@ func (n *Node) dispatch(req *wire.Request) *wire.Response {
 	// inside Begin until the first attempt completes; a duplicate of a
 	// completed call replays the recorded response; a duplicate of a
 	// retired call is rejected — never re-executed.  Untokened requests
-	// (legacy peers) keep the historical at-least-once path.
+	// (legacy peers) keep the historical at-least-once path.  Each
+	// suppressed duplicate leaves a dedup event span on the call's
+	// trace, so a call tree shows which delivery executed and which
+	// were absorbed.
 	if req.Token != nil {
-		e, verdict := n.dedupTab.Begin(req.Token, dedupTarget(req))
+		e, verdict, parked := n.dedupTab.BeginObserved(req.Token, dedupTarget(req))
 		switch verdict {
 		case dedup.Stale:
+			n.emitDedup(req, "stale")
 			return wire.Errorf(req, "node %s: duplicate of retired call %s/%d rejected",
 				n.name, req.Token.Caller, req.Token.Seq)
 		case dedup.Replay:
+			if parked {
+				n.emitDedup(req, "park")
+			} else {
+				n.emitDedup(req, "replay")
+			}
 			return e.Response(req.ID)
 		}
 		resp := n.dispatchEffect(req)
@@ -66,9 +78,13 @@ func (n *Node) dispatch(req *wire.Request) *wire.Response {
 // dispatchEffect serves the side-effectful ops (everything except
 // ping/gossip); dispatch runs it at most once per logical call.
 func (n *Node) dispatchEffect(req *wire.Request) *wire.Response {
+	// Invocations get their server span inside servedInvoke (where the
+	// gate-wait/run split is measurable) and migrate-out inside the
+	// migration path (which emits richer drain/ship/morph spans); the
+	// remaining effectful ops are wrapped in a plain server span here.
 	switch req.Op {
 	case wire.OpCreate:
-		return n.dispatchCreate(req)
+		return n.tracedEffect(req, n.dispatchCreate)
 
 	case wire.OpInvoke:
 		return n.dispatchInvoke(req)
@@ -77,19 +93,19 @@ func (n *Node) dispatchEffect(req *wire.Request) *wire.Response {
 		return n.dispatchInvokeClass(req)
 
 	case wire.OpMigrateIn:
-		return n.dispatchMigrateIn(req)
+		return n.tracedEffect(req, n.dispatchMigrateIn)
 
 	case wire.OpMigrateOut:
 		return n.dispatchMigrateOut(req)
 
 	case wire.OpReplicaInstall:
-		return n.dispatchReplicaInstall(req)
+		return n.tracedEffect(req, n.dispatchReplicaInstall)
 
 	case wire.OpReplicaUpdate:
-		return n.dispatchReplicaUpdate(req)
+		return n.tracedEffect(req, n.dispatchReplicaUpdate)
 
 	case wire.OpReplicaDrop:
-		return n.dispatchReplicaDrop(req)
+		return n.tracedEffect(req, n.dispatchReplicaDrop)
 
 	default:
 		return wire.Errorf(req, "node %s: unsupported op %v", n.name, req.Op)
@@ -168,18 +184,20 @@ func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 	// objects run here in parallel; requests for this object queue.  If
 	// the object was migrated away while this request waited, the gate
 	// opens onto a proxy and the call transparently forwards.
-	n.servedInvoke(resp, target, req.GUID, req, func(env *vm.Env) {
+	ctx := n.servedInvoke(resp, target, req.GUID, req, func(env *vm.Env) {
 		n.invokeOn(env, resp, vm.RefV(target), req)
 	})
 	// Write barrier for replicated primaries: a completed write fans out
 	// to every replica (evicting and lease-waiting the unreachable)
 	// before this response — the acknowledgement — leaves, and the
 	// response carries the epoch the write committed at.  One lock-free
-	// map miss for everything unreplicated.
+	// map miss for everything unreplicated.  The barrier continues the
+	// server span's trace, so fan-out update spans at the replicas hang
+	// off the write that caused them.
 	if !classGUID && resp.Err == "" {
 		if _, replicated := n.replPrim.Load(req.GUID); replicated &&
 			n.isWriter(target.ClassName(), req.Method, len(req.Args)) {
-			if epoch := n.replicaWriteBarrier(target, req.GUID); epoch > 0 {
+			if epoch := n.replicaWriteBarrier(target, req.GUID, ctx); epoch > 0 {
 				resp.Epoch = epoch
 			}
 		}
@@ -215,17 +233,30 @@ func (n *Node) dispatchInvokeClass(req *wire.Request) *wire.Response {
 // (retrying when the target is migrated away mid-call: the parked
 // invocation unwinds with a MigrationInterrupt via ExecOnCatching and
 // the retry forwards through the morphed proxy) and records the served
-// call in the telemetry plane.  The latency clock runs inside the gate
-// — service time, not queueing — and the recording happens after the
-// gate is released; with the plane disabled the whole cost is one nil
-// check.
-func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID string, req *wire.Request, call func(env *vm.Env)) {
+// call in the telemetry and trace planes.  The latency clock runs
+// inside the gate — service time, not queueing — and the recording
+// happens after the gate is released; with both planes disabled the
+// whole cost is two nil checks.
+//
+// The trace plane emits the server span here: queue time (entry to
+// inside-the-gate, including migration-retry unwinds) split from run
+// time, and the span's context deposited as env baggage so every
+// nested proxy call the execution makes — forwarding hops included —
+// parents to it.  The returned context is that server span's (zero
+// when untraced), for legs that continue the call after the gate
+// releases, like the replica write barrier.
+func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID string, req *wire.Request, call func(env *vm.Env)) trace.Ctx {
 	rec := n.telem.Load()
 	var st *telemetry.ObjStats
 	if rec != nil {
 		st = rec.ForObject(target, targetGUID, baseClassOf(target.ClassName()))
 	}
-	var svc time.Duration
+	name := req.Method
+	if name == "" {
+		name = req.Op.String()
+	}
+	sp := n.startSpan(traceCtxOf(req), trace.KindServer, name, targetGUID)
+	var svc, queue time.Duration
 	for attempt := 0; ; attempt++ {
 		*resp = wire.Response{ID: req.ID}
 		interrupted := n.machine.ExecOnCatching(target, func(env *vm.Env) {
@@ -239,9 +270,19 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 			if req.Token != nil && isProxyObject(target) {
 				env.SetForward(req.Token)
 			}
-			if st != nil {
+			if sp != nil {
+				env.SetTraceCtx(sp.Trace, sp.ID)
+			}
+			if st != nil || sp != nil {
 				t0 := time.Now()
-				defer func() { svc = time.Since(t0) }()
+				if sp != nil {
+					// Queue is everything between the span's Start and this
+					// execution actually entering the gate, minus service
+					// time already spent in interrupted attempts — derived
+					// from t0, so the split costs no extra clock read.
+					queue = time.Duration(t0.UnixNano() - sp.Start - int64(svc))
+				}
+				defer func() { svc += time.Since(t0) }()
 			}
 			call(env)
 		})
@@ -254,12 +295,21 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 			break
 		}
 	}
+	var ctx trace.Ctx
+	if sp != nil {
+		ctx = sp.Ctx()
+		sp.Queue = int64(queue)
+		sp.Dur = int64(svc)
+		sp.Err = resp.Err
+		n.tracer.Emit(sp)
+	}
 	if st != nil {
 		st.RecordInbound(req.Caller, telemetry.RequestSize(req), telemetry.ResponseSize(resp), svc)
 		// Effect classification feeds the replication rule: provable
 		// reads versus (conservatively) everything else.
 		st.RecordEffect(n.isWriter(target.ClassName(), req.Method, len(req.Args)))
 	}
+	return ctx
 }
 
 // singletonTarget resolves (creating on first use) the local statics
@@ -377,7 +427,7 @@ func (n *Node) dispatchMigrateOut(req *wire.Request) *wire.Response {
 	if ref, forwarding := proxyRefOf(obj); forwarding {
 		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KRef, Ref: &ref}}
 	}
-	if err := n.Migrate(vm.RefV(obj), req.Endpoint); err != nil {
+	if err := n.migrate(vm.RefV(obj), req.Endpoint, traceCtxOf(req)); err != nil {
 		return wire.Errorf(req, "%v", err)
 	}
 	// After Migrate the object is a proxy holding the new location.

@@ -1,0 +1,181 @@
+package node
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rafda/internal/telemetry"
+	"rafda/internal/trace"
+	"rafda/internal/wire"
+)
+
+// Unified introspection plane (docs/OBSERVABILITY.md): one effect-free
+// wire op — OpIntrospect — exposes everything a node knows about
+// itself: activity counters, the exactly-once plane's dedup counters,
+// telemetry samples (when enabled), the cluster's view (when attached),
+// and the flight recorder's per-kind latency digests and span ring.
+// Effect-free means exactly that: serving an introspection request
+// mutates nothing, takes no object gate, and rides the same dispatch
+// path as OpPing, so it is safe to poll a wedged node.
+
+// Introspection is the unified metrics snapshot served for the
+// "metrics" section.  Optional planes marshal as absent rather than
+// zeroed, so a reader can tell "telemetry disabled" from "no traffic".
+type Introspection struct {
+	Node       string   `json:"node"`
+	Endpoints  []string `json:"endpoints,omitempty"`
+	Exports    int      `json:"exports"`
+	PoolShards int      `json:"pool_shards"`
+
+	Activity Stats                 `json:"activity"`
+	Dedup    telemetry.DedupSample `json:"dedup"`
+
+	// Telemetry samples; nil slices when EnableTelemetry was never
+	// called on this node.
+	Objects []ObjIntro              `json:"objects,omitempty"`
+	Classes []telemetry.ClassSample `json:"classes,omitempty"`
+	Peers   []telemetry.PeerSample  `json:"peers,omitempty"`
+
+	Cluster *ClusterIntro `json:"cluster,omitempty"`
+
+	// Trace is the flight recorder's digest — per-kind HDR-style
+	// latency quantiles and ring occupancy — nil under Config.NoTrace.
+	Trace *trace.Stats `json:"trace,omitempty"`
+}
+
+// ObjIntro is telemetry.ObjSample without its live object pointer,
+// shaped for the wire.
+type ObjIntro struct {
+	GUID          string            `json:"guid"`
+	Class         string            `json:"class"`
+	Local         uint64            `json:"local"`
+	Remote        uint64            `json:"remote"`
+	Anon          uint64            `json:"anon,omitempty"`
+	Callers       map[string]uint64 `json:"callers,omitempty"`
+	BytesIn       uint64            `json:"bytes_in"`
+	BytesOut      uint64            `json:"bytes_out"`
+	Reads         uint64            `json:"reads"`
+	Writes        uint64            `json:"writes"`
+	EWMALatencyNs float64           `json:"ewma_latency_ns"`
+}
+
+// ClusterIntro is the coordinator's current view: membership,
+// placement directory, replica sets and in-flight placement intents.
+type ClusterIntro struct {
+	Self        string            `json:"self"`
+	Peers       []PeerIntro       `json:"peers,omitempty"`
+	Directory   []wire.DirEntry   `json:"directory,omitempty"`
+	ReplicaSets []wire.ReplicaSet `json:"replica_sets,omitempty"`
+	Intents     []wire.Intent     `json:"intents,omitempty"`
+}
+
+// PeerIntro is one membership-table row.
+type PeerIntro struct {
+	ID        string `json:"id"`
+	Endpoint  string `json:"endpoint"`
+	Heartbeat uint64 `json:"heartbeat"`
+	Health    string `json:"health"`
+}
+
+// introspection assembles the unified snapshot.
+func (n *Node) introspection() *Introspection {
+	in := &Introspection{
+		Node:       n.name,
+		Endpoints:  n.Endpoints(),
+		Exports:    n.exports.Len(),
+		PoolShards: n.cache.Shards(),
+		Activity:   n.Snapshot(),
+		Dedup:      n.DedupSnapshot(),
+	}
+	sort.Strings(in.Endpoints)
+	if rec := n.telem.Load(); rec != nil {
+		for _, s := range rec.SnapshotObjects() {
+			in.Objects = append(in.Objects, ObjIntro{
+				GUID: s.GUID, Class: s.Class,
+				Local: s.Local, Remote: s.Remote, Anon: s.Anon,
+				Callers: s.Callers, BytesIn: s.BytesIn, BytesOut: s.BytesOut,
+				Reads: s.Reads, Writes: s.Writes, EWMALatencyNs: s.EWMALatencyNs,
+			})
+		}
+		sort.Slice(in.Objects, func(i, j int) bool { return in.Objects[i].GUID < in.Objects[j].GUID })
+		in.Classes = rec.SnapshotClasses()
+		sort.Slice(in.Classes, func(i, j int) bool { return in.Classes[i].Class < in.Classes[j].Class })
+		in.Peers = rec.SnapshotPeers()
+		sort.Slice(in.Peers, func(i, j int) bool { return in.Peers[i].Endpoint < in.Peers[j].Endpoint })
+	}
+	if co := n.coord.Load(); co != nil {
+		ci := &ClusterIntro{Self: co.Self()}
+		for _, p := range co.Peers() {
+			ci.Peers = append(ci.Peers, PeerIntro{
+				ID: p.ID, Endpoint: p.Endpoint, Heartbeat: p.Heartbeat, Health: p.Health,
+			})
+		}
+		ci.Directory = co.Directory()
+		ci.ReplicaSets = co.ReplicaSets()
+		ci.Intents = co.Intents()
+		in.Cluster = ci
+	}
+	if tr := n.tracer; tr != nil {
+		st := tr.Stats()
+		in.Trace = &st
+	}
+	return in
+}
+
+// Introspect renders one introspection section as JSON.  Sections:
+//
+//	"metrics" (or ""): the unified Introspection snapshot
+//	"spans":           the flight recorder's ring, oldest first
+//	"trace":           spans of the one trace whose hex id is arg
+//
+// It is the single implementation behind wire.OpIntrospect, the
+// facade's IntrospectJSON, rafda-node's /debug/rafda endpoint and its
+// SIGQUIT dump — every view of a node shows the same truth.
+func (n *Node) Introspect(section, arg string) (string, error) {
+	var v any
+	switch section {
+	case "", "metrics":
+		v = n.introspection()
+	case "spans":
+		if n.tracer == nil {
+			return "", fmt.Errorf("node %s: tracing disabled", n.name)
+		}
+		v = n.tracer.Spans()
+	case "trace":
+		if n.tracer == nil {
+			return "", fmt.Errorf("node %s: tracing disabled", n.name)
+		}
+		id, err := strconv.ParseUint(arg, 16, 64)
+		if err != nil || id == 0 {
+			return "", fmt.Errorf("node %s: introspect trace wants a hex trace id, got %q", n.name, arg)
+		}
+		spans := []trace.Span{}
+		for _, sp := range n.tracer.Spans() {
+			if sp.Trace == id {
+				spans = append(spans, sp)
+			}
+		}
+		v = spans
+	default:
+		return "", fmt.Errorf("node %s: unknown introspection section %q", n.name, section)
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("node %s: introspect %s: %w", n.name, section, err)
+	}
+	return string(b), nil
+}
+
+// dispatchIntrospect serves wire.OpIntrospect: Method selects the
+// section, GUID carries the hex trace id for "trace".  The snapshot
+// travels as a JSON string — introspection is a debugging surface, and
+// an opaque string keeps the wire layer ignorant of its shape.
+func (n *Node) dispatchIntrospect(req *wire.Request) *wire.Response {
+	out, err := n.Introspect(req.Method, req.GUID)
+	if err != nil {
+		return wire.Errorf(req, "%v", err)
+	}
+	return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: out}}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rafda/internal/trace"
 	"rafda/internal/transform"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
@@ -52,6 +53,15 @@ const parkDrainPatience = 100 * time.Millisecond
 // docs/CONCURRENCY.md §8 — the retried method re-runs its pre-park
 // prefix, the contract's one bounded at-least-once exception).
 func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
+	return n.migrate(ref, targetEndpoint, trace.Ctx{})
+}
+
+// migrate is Migrate with a span context: a host-driven migration roots
+// its own trace (zero ctx), while a remote-requested migrate-out
+// continues the requester's (dispatchMigrateOut), so the drain, the
+// shipment's OpMigrateIn leg and the adoption at the new home all hang
+// off whatever caused the move.
+func (n *Node) migrate(ref vm.Value, targetEndpoint string, ctx trace.Ctx) error {
 	if ref.O == nil {
 		return fmt.Errorf("node %s: migrate of nil reference", n.name)
 	}
@@ -64,7 +74,7 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 	// node.  (A stale answer is harmless: the gated re-check below
 	// catches a migration that completes after this look.)
 	if isProxyObject(obj) {
-		return n.migrateViaHome(obj, targetEndpoint)
+		return n.migrateViaHome(obj, targetEndpoint, ctx)
 	}
 	// A replicated primary dissolves its replica set before moving: the
 	// tombstone re-routes readers to the (new) home and the copies are
@@ -79,6 +89,13 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 
 	var viaProxy bool
 	var migErr error
+	// The migration span covers drain→ship→morph end to end; the drain
+	// wait (gate acquisition plus park patience) is split out in the
+	// Note so a flight-recorder read distinguishes a slow shipment from
+	// a migration stalled behind parked invocations.
+	sp := n.startSpan(ctx, trace.KindMigration, "migrate", targetEndpoint)
+	drainStart := time.Now()
+	var drained time.Duration
 	// Park-drain loop: an invocation parked in Env.RunUnlocked has
 	// released the gate, so ExecOn can land mid-method.  Rather than
 	// interrupting it immediately (forcing a whole-method retry at the
@@ -109,7 +126,8 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 				return
 			}
 
-			migErr = n.shipAndMorph(obj, base, fields, proto, targetEndpoint)
+			drained = time.Since(drainStart)
+			migErr = n.shipAndMorph(obj, base, fields, proto, targetEndpoint, sp)
 		})
 		if parkedWait {
 			time.Sleep(time.Millisecond)
@@ -118,17 +136,35 @@ func (n *Node) Migrate(ref vm.Value, targetEndpoint string) error {
 		break
 	}
 	if viaProxy {
-		return n.migrateViaHome(obj, targetEndpoint)
+		if sp != nil {
+			sp.Note = "lost-race"
+		}
+		n.finishSpan(sp, "")
+		return n.migrateViaHome(obj, targetEndpoint, ctx)
 	}
+	if sp != nil {
+		sp.Note = fmt.Sprintf("drain %v %s", drained.Round(time.Microsecond), sp.Note)
+	}
+	errMsg := ""
+	if migErr != nil {
+		errMsg = migErr.Error()
+	}
+	n.finishSpan(sp, errMsg)
 	return migErr
 }
 
 // shipAndMorph performs the snapshot→ship→morph sequence for Migrate.
-// The caller holds obj's invocation gate throughout.
-func (n *Node) shipAndMorph(obj *vm.Object, base string, fields map[string]vm.Value, proto, targetEndpoint string) error {
+// The caller holds obj's invocation gate throughout.  sp, when non-nil,
+// is the caller's migration span: the shipment rides it as a child leg
+// (the adoption's server span at the new home parents to it) and the
+// ship/morph timing lands in its Note.
+func (n *Node) shipAndMorph(obj *vm.Object, base string, fields map[string]vm.Value, proto, targetEndpoint string, sp *trace.Span) error {
 	// Snapshot.  Referenced objects are exported and travel as
 	// references back to this node.
 	req := &wire.Request{ID: n.nextReqID(), Op: wire.OpMigrateIn, Class: base}
+	if sp != nil {
+		req.Trace = wireCtx(sp)
+	}
 	for name, val := range fields {
 		mv, err := n.marshalValue(val, proto)
 		if err != nil {
@@ -162,12 +198,14 @@ func (n *Node) shipAndMorph(obj *vm.Object, base string, fields map[string]vm.Va
 	// object stays live here (CONCURRENCY.md §10).
 	var resp *wire.Response
 	var err error
+	shipStart := time.Now()
 	if n.untokened {
 		resp, err = n.cache.Call(targetEndpoint, req)
 	} else {
 		defer n.issuer.Finish(n.issuer.Stamp(req))
 		resp, err = n.callEndpoint(targetEndpoint, oldGUID, req)
 	}
+	ship := time.Since(shipStart)
 	if err != nil || resp.Err != "" {
 		// The ship failed outright: the object stays live here, so its
 		// extracted replay history must be restored or late duplicates
@@ -198,6 +236,11 @@ func (n *Node) shipAndMorph(obj *vm.Object, base string, fields map[string]vm.Va
 	if err := n.machine.Morph(obj, proxyClass, pf); err != nil {
 		return fmt.Errorf("node %s: morph after migrate: %w", n.name, err)
 	}
+	if sp != nil {
+		morph := time.Since(shipStart) - ship
+		sp.Note = fmt.Sprintf("ship %v morph %v",
+			ship.Round(time.Microsecond), morph.Round(time.Microsecond))
+	}
 	n.stats.migrationsOut.Add(1)
 	// Publish the move into the cluster's placement directory (if
 	// this node is in one): peers learn the object's new home via
@@ -211,7 +254,7 @@ func (n *Node) shipAndMorph(obj *vm.Object, base string, fields map[string]vm.Va
 // object's current home and retargets the proxy to the new location.
 // It holds the proxy's gate so concurrent retargets of the same proxy
 // serialise and readers never race a half-written reference.
-func (n *Node) migrateViaHome(proxy *vm.Object, targetEndpoint string) error {
+func (n *Node) migrateViaHome(proxy *vm.Object, targetEndpoint string, ctx trace.Ctx) error {
 	var retErr error
 	n.machine.ExecOn(proxy, func(env *vm.Env) {
 		_, fields := proxy.View()
@@ -227,23 +270,33 @@ func (n *Node) migrateViaHome(proxy *vm.Object, targetEndpoint string) error {
 		req := &wire.Request{
 			ID: n.nextReqID(), Op: wire.OpMigrateOut, GUID: id, Endpoint: targetEndpoint,
 		}
+		// The migrate-out leg continues ctx's trace; the home's own
+		// migration span (its n.migrate) parents to this one.
+		sp := n.startSpan(ctx, trace.KindMigration, "migrate-out", home)
+		if sp != nil {
+			req.Trace = wireCtx(sp)
+		}
 		if !n.untokened {
 			defer n.issuer.Finish(n.issuer.Stamp(req))
 		}
 		resp, err := n.callEndpoint(home, id, req)
 		if err != nil {
+			n.finishSpan(sp, err.Error())
 			retErr = fmt.Errorf("node %s: migrate-out: %w", n.name, err)
 			return
 		}
 		if resp.Err != "" {
+			n.finishSpan(sp, resp.Err)
 			retErr = fmt.Errorf("node %s: migrate-out rejected: %s", n.name, resp.Err)
 			return
 		}
 		newRef := resp.Result.Ref
 		if resp.Result.Kind != wire.KRef || newRef == nil {
+			n.finishSpan(sp, "migrate-out returned no reference")
 			retErr = fmt.Errorf("node %s: migrate-out returned no reference", n.name)
 			return
 		}
+		n.finishSpan(sp, "")
 		setProxyFields(proxy, newRef.GUID, newRef.Endpoint, newRef.Proto, newRef.Target)
 	})
 	return retErr

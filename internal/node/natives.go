@@ -8,6 +8,7 @@ import (
 	"rafda/internal/ir"
 	"rafda/internal/policy"
 	"rafda/internal/telemetry"
+	"rafda/internal/trace"
 	"rafda/internal/transform"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
@@ -236,7 +237,7 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 			// object's gate for its snapshot.
 			if callErr == nil && writer && n.replActive.Load() {
 				if _, replicated := n.replPrim.Load(id); replicated {
-					env.RunUnlocked(func() { n.replicaWriteBarrier(obj, id) })
+					env.RunUnlocked(func() { n.replicaWriteBarrier(obj, id, envCtx(env)) })
 				}
 			}
 			return res, thrown, callErr
@@ -271,11 +272,34 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 
 	n.stats.remoteCallsOut.Add(1)
 	rec := n.telem.Load()
+	// Client span: parented to the server span that started this
+	// execution (env baggage) so the remote leg joins the inbound
+	// call's trace — or rooting a fresh trace for host-driven calls.
+	// The context rides the request, so the callee's server span (and
+	// any failover spans the pool emits en route) parent to this one.
+	sp := n.startSpan(envCtx(env), trace.KindClient, method, endpoint)
+	if sp != nil {
+		if routedRead {
+			sp.Note = "routed-read"
+		}
+		req.Trace = wireCtx(sp)
+	}
 	var start time.Time
 	if rec != nil {
 		start = time.Now()
 	}
 	resp, callErr := n.callRemote(env, endpoint, req)
+	if sp != nil {
+		// Dur from the span's own Start stamp — no second clock read on
+		// the traced path when telemetry is off.
+		sp.Dur = time.Now().UnixNano() - sp.Start
+		if callErr != nil {
+			sp.Err = callErr.Error()
+		} else if resp.Err != "" {
+			sp.Err = resp.Err
+		}
+		n.tracer.Emit(sp)
+	}
 	if callErr != nil {
 		return vm.Value{}, remoteError(env, "%s.%s at %s: %v", target, method, endpoint, callErr), nil
 	}

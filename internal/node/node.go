@@ -34,6 +34,7 @@ import (
 	"rafda/internal/policy"
 	"rafda/internal/registry"
 	"rafda/internal/telemetry"
+	"rafda/internal/trace"
 	"rafda/internal/transform"
 	"rafda/internal/transport"
 	"rafda/internal/verifier"
@@ -73,6 +74,16 @@ type Config struct {
 	// historical at-least-once/no-retry semantics; inbound tokened
 	// requests are still deduplicated regardless.
 	UntokenedWire bool
+	// TraceSpans sizes the flight recorder's span ring (rounded up to a
+	// power of two); <= 0 takes trace.DefaultSpans.  Memory is fixed at
+	// construction and the recorder overwrites oldest — see
+	// docs/OBSERVABILITY.md.
+	TraceSpans int
+	// NoTrace disables the flight recorder entirely.  Tracing is
+	// always-on by default (the E14 experiment bounds its overhead at
+	// <5% of the echo tier); this flag exists for that measurement and
+	// for memory-constrained embeddings.
+	NoTrace bool
 }
 
 // Node is one address space.
@@ -159,6 +170,12 @@ type Node struct {
 	replPrim   sync.Map
 	replCopies sync.Map
 	replActive atomic.Bool
+
+	// tracer is the always-on flight recorder (nil only under
+	// Config.NoTrace).  Set once at construction, read lock-free at
+	// every emission site; emission itself is lock-free and never
+	// blocks (internal/trace, docs/OBSERVABILITY.md).
+	tracer *trace.Recorder
 }
 
 // nodeSeq decorrelates caller-incarnation ids of same-named nodes in
@@ -244,10 +261,21 @@ func New(cfg Config) (*Node, error) {
 		}
 		return transform.OLocal(base), true
 	})
+	if !cfg.NoTrace {
+		n.tracer = trace.New(cfg.Name, cfg.TraceSpans)
+		// Transport failover attempts become spans on the trace of the
+		// request that failed over, so a call tree shows every redial
+		// between a client span and its eventual server span.
+		n.cache.SetFailoverObserver(n.emitFailover)
+	}
 	n.registerFactoryNatives()
 	n.registerProxyNatives()
 	return n, nil
 }
+
+// Tracer returns the node's flight recorder, or nil when tracing is
+// disabled (Config.NoTrace).
+func (n *Node) Tracer() *trace.Recorder { return n.tracer }
 
 // Name returns the node name.
 func (n *Node) Name() string { return n.name }
@@ -547,7 +575,9 @@ func (n *Node) CallOn(recv vm.Value, method string, args ...vm.Value) (vm.Value,
 	// replicates nothing.
 	if writer && n.replActive.Load() {
 		if guid, ok := n.exports.GUIDOf(recv.O); ok {
-			n.replicaWriteBarrier(recv.O, guid)
+			// Host-driven: no inbound span to continue, so the barrier
+			// roots its own trace.
+			n.replicaWriteBarrier(recv.O, guid, trace.Ctx{})
 		}
 	}
 	if thrown != nil {

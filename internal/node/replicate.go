@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rafda/internal/ir"
+	"rafda/internal/trace"
 	"rafda/internal/transform"
 	"rafda/internal/vm"
 	"rafda/internal/wire"
@@ -225,7 +226,7 @@ func (n *Node) sendReplicaOp(endpoint string, req *wire.Request) (*wire.Response
 // might still serve the previous state).  pr.mu is taken only for the
 // epoch bump and the membership edit, so dropReplication and
 // demoteReplica never block behind a fan-out or a lease wait.
-func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
+func (n *Node) replicaWriteBarrier(obj *vm.Object, id string, ctx trace.Ctx) uint64 {
 	v, ok := n.replPrim.Load(id)
 	if !ok {
 		return 0
@@ -235,6 +236,11 @@ func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
 	if co == nil {
 		return 0
 	}
+	// The barrier span opens before fanMu so its duration covers the
+	// serialisation wait behind earlier barriers — that queueing is the
+	// back-pressure this barrier exists to apply, and hiding it would
+	// make a flight-recorder read of a slow write misleading.
+	sp := n.startSpan(ctx, trace.KindBarrier, "write-barrier", id)
 	pr.fanMu.Lock()
 	defer pr.fanMu.Unlock()
 	var epoch uint64
@@ -266,6 +272,10 @@ func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
 		}
 	})
 	if skip {
+		if sp != nil {
+			sp.Note = "skipped"
+		}
+		n.finishSpan(sp, "")
 		return 0
 	}
 	pr.mu.Lock()
@@ -277,6 +287,9 @@ func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
 		req := &wire.Request{
 			ID: n.nextReqID(), Op: wire.OpReplicaUpdate,
 			GUID: m.GUID, Fields: fvs, Epoch: epoch,
+		}
+		if sp != nil {
+			req.Trace = wireCtx(sp) // fan-out legs join the write's trace
 		}
 		resp, err := n.sendReplicaOp(m.Endpoint, req)
 		if err == nil && resp.Err == "" && resp.Epoch == epoch {
@@ -306,6 +319,10 @@ func (n *Node) replicaWriteBarrier(obj *vm.Object, id string) uint64 {
 		// the set freely while we wait.
 		time.Sleep(wait)
 	}
+	if sp != nil {
+		sp.Note = fmt.Sprintf("epoch %d fan-out %d evicted %d", epoch, len(members), len(evicted))
+	}
+	n.finishSpan(sp, "")
 	co.UpdateReplicaEpoch(pr.guid, epoch)
 	return epoch
 }
@@ -355,6 +372,11 @@ func (n *Node) serveAtReplica(req *wire.Request, obj *vm.Object, rc *replicaCopy
 		co == nil || !co.LeaseValid(rc.primaryGUID) {
 		return n.forwardToPrimary(req, rc)
 	}
+	// The replica-read span marks which plane served the call; the
+	// server span servedInvoke emits alongside it carries the queue/run
+	// split.  Both parent to the caller's span, so the trace shows the
+	// read was absorbed here instead of reaching the primary.
+	sp := n.startSpan(traceCtxOf(req), trace.KindReplicaRead, req.Method, req.GUID)
 	resp := &wire.Response{ID: req.ID}
 	expired := false
 	n.servedInvoke(resp, obj, req.GUID, req, func(env *vm.Env) {
@@ -371,8 +393,16 @@ func (n *Node) serveAtReplica(req *wire.Request, obj *vm.Object, rc *replicaCopy
 		resp.Epoch = rc.epoch.Load()
 	})
 	if expired {
+		if sp != nil {
+			sp.Note = "lease-expired"
+		}
+		n.finishSpan(sp, "")
 		return n.forwardToPrimary(req, rc)
 	}
+	if sp != nil {
+		sp.Note = fmt.Sprintf("epoch %d", resp.Epoch)
+	}
+	n.finishSpan(sp, resp.Err)
 	return resp
 }
 
@@ -388,17 +418,28 @@ func (n *Node) forwardToPrimary(req *wire.Request, rc *replicaCopy) *wire.Respon
 		t.Attempt++
 		fwd.Token = &t
 	}
+	// The forward leg continues the caller's trace through this hop: the
+	// forward span parents to the caller's client span, and the primary's
+	// server span parents to the forward span.
+	sp := n.startSpan(traceCtxOf(req), trace.KindReplicaRead, "forward-primary", rc.primaryGUID)
+	if sp != nil {
+		fwd.Trace = wireCtx(sp)
+	} else {
+		fwd.Trace = req.Trace
+	}
 	redirect := &wire.RemoteRef{
 		GUID: rc.primaryGUID, Endpoint: rc.primaryEndpoint,
 		Proto: rc.primaryProto, Target: rc.class,
 	}
 	resp, err := n.callEndpoint(rc.primaryEndpoint, rc.primaryGUID, fwd)
 	if err != nil {
+		n.finishSpan(sp, err.Error())
 		out := wire.Errorf(req, "node %s: replica %s cannot reach primary %s: %v",
 			n.name, req.GUID, rc.primaryEndpoint, err)
 		out.Redirect = redirect
 		return out
 	}
+	n.finishSpan(sp, resp.Err)
 	out := *resp
 	out.ID = req.ID
 	out.Redirect = redirect

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New("n", 64)
+	if r.Cap() != 64 {
+		t.Fatalf("cap %d, want 64", r.Cap())
+	}
+	for i := 0; i < 100; i++ {
+		r.Emit(&Span{Trace: 1, ID: uint64(i + 1), Kind: KindServer, Dur: int64(i)})
+	}
+	if r.Len() != 64 {
+		t.Fatalf("len %d, want 64 after wrap", r.Len())
+	}
+	if r.Emitted() != 100 {
+		t.Fatalf("emitted %d, want 100", r.Emitted())
+	}
+	spans := r.Spans()
+	if len(spans) != 64 {
+		t.Fatalf("snapshot %d spans, want 64", len(spans))
+	}
+	// Oldest-first: the first 36 emissions were overwritten.
+	if spans[0].ID != 37 || spans[63].ID != 100 {
+		t.Fatalf("window [%d, %d], want [37, 100]", spans[0].ID, spans[63].ID)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{
+		{0, DefaultSpans}, {-5, DefaultSpans}, {1, 64}, {64, 64}, {65, 128}, {1000, 1024},
+	} {
+		if got := New("n", c.ask).Cap(); got != c.want {
+			t.Fatalf("capacity %d rounded to %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestNewIDUniqueNonzero(t *testing.T) {
+	r := New("n", 64)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := r.NewID()
+		if id == 0 {
+			t.Fatal("zero id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %#x", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestConcurrentWrapRace is the satellite invariant: many emitters
+// wrapping the ring concurrently with snapshot readers, under -race.
+// Emitters must never block and the snapshot must only ever see fully
+// published spans.
+func TestConcurrentWrapRace(t *testing.T) {
+	r := New("n", 128)
+	const emitters = 8
+	const each = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Emit(&Span{Trace: uint64(g + 1), ID: r.NewID(),
+					Kind: Kind(i % int(numKinds)), Dur: int64(i), Queue: int64(i % 3)})
+			}
+		}(g)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range r.Spans() {
+					if sp.ID == 0 {
+						t.Error("snapshot saw an unpublished span")
+						return
+					}
+				}
+				r.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := r.Emitted(); got != emitters*each {
+		t.Fatalf("emitted %d, want %d", got, emitters*each)
+	}
+	if r.Len() != 128 {
+		t.Fatalf("len %d, want full ring", r.Len())
+	}
+}
+
+// TestEmitNeverBlocks pins the lock-freedom bound coarsely: a full
+// ring with no reader draining it still absorbs emissions immediately.
+func TestEmitNeverBlocks(t *testing.T) {
+	r := New("n", 64)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100000; i++ {
+			r.Emit(&Span{Trace: 1, ID: uint64(i + 1), Kind: KindClient})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("emitter blocked")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h hist
+	// Uniform 1..1000 microseconds in ns.
+	for i := 1; i <= 1000; i++ {
+		h.observe(uint64(i) * 1000)
+	}
+	st, ok := h.stat("x")
+	if !ok || st.Count != 1000 {
+		t.Fatalf("stat: %+v ok=%v", st, ok)
+	}
+	// Log-linear error bound is 1/32; allow 5%.
+	near := func(got, want float64) bool {
+		return got > want*0.95 && got < want*1.05
+	}
+	if !near(st.P50us, 500) {
+		t.Fatalf("p50 %.1fus, want ~500us", st.P50us)
+	}
+	if !near(st.P99us, 990) {
+		t.Fatalf("p99 %.1fus, want ~990us", st.P99us)
+	}
+	if st.MaxUs != 1000 {
+		t.Fatalf("max %.1fus, want 1000us", st.MaxUs)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h hist
+	for i := 0; i < 100; i++ {
+		h.observe(uint64(i))
+	}
+	if got := h.quantile(0.5); got != 50 {
+		t.Fatalf("small-value p50 = %d, want exactly 50", got)
+	}
+	if histValue(histIndex(77)) != 77 {
+		t.Fatal("exact bucket not exact")
+	}
+}
+
+func TestStatsIncludesQueueSplit(t *testing.T) {
+	r := New("n", 64)
+	r.Emit(&Span{Trace: 1, ID: 1, Kind: KindServer, Dur: 1000, Queue: 500})
+	st := r.Stats()
+	var kinds []string
+	for _, k := range st.Kinds {
+		kinds = append(kinds, k.Kind)
+	}
+	want := map[string]bool{"server": false, "queue": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("stats missing %q row: %v", k, kinds)
+		}
+	}
+}
+
+func TestSpanKindJSONRoundTrip(t *testing.T) {
+	sp := Span{Trace: 1, ID: 2, Parent: 3, Node: "n", Kind: KindReplicaRead,
+		Name: "read", Dur: 42}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sp {
+		t.Fatalf("round trip:\n%+v\n%+v", sp, back)
+	}
+}

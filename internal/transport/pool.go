@@ -39,7 +39,19 @@ type Pool struct {
 	shards   []poolShard
 	rr       atomic.Uint32
 	closed   atomic.Bool
+	// onFailover, when set, observes every failed delivery attempt in
+	// CallKey's failover loop (see FailoverFunc).  Installed at pool
+	// creation from the owning ClientCache; immutable afterwards.
+	onFailover FailoverFunc
 }
+
+// FailoverFunc observes one failed delivery attempt inside a pool's
+// shard-failover loop: the peer endpoint, the shard and attempt
+// ordinals, the trace context the request rides under (zero when
+// untraced) and the error.  Called on the calling goroutine with no
+// pool locks held; implementations must not block (the node runtime
+// uses it to emit failover spans into the lock-free flight recorder).
+type FailoverFunc func(endpoint string, shard, attempt int, tctx wire.TraceContext, err error)
 
 type poolShard struct {
 	c atomic.Pointer[shardConn]
@@ -70,11 +82,12 @@ func DefaultPoolShards() int {
 }
 
 // newPool builds an undialled pool of size shards.
-func newPool(reg *Registry, endpoint string, size int) *Pool {
+func newPool(reg *Registry, endpoint string, size int, onFailover FailoverFunc) *Pool {
 	if size < 1 {
 		size = 1
 	}
-	return &Pool{reg: reg, endpoint: endpoint, shards: make([]poolShard, size)}
+	return &Pool{reg: reg, endpoint: endpoint, shards: make([]poolShard, size),
+		onFailover: onFailover}
 }
 
 // Size returns the pool's shard count.
@@ -196,6 +209,9 @@ func (p *Pool) CallKey(key string, req *wire.Request) (*wire.Response, error) {
 		c, err := p.client(i)
 		if err != nil {
 			lastErr = err
+			if p.onFailover != nil {
+				p.onFailover(p.endpoint, i, attempt, req.Trace, err)
+			}
 			continue
 		}
 		if attempt > 0 && req.Token != nil {
@@ -207,6 +223,9 @@ func (p *Pool) CallKey(key string, req *wire.Request) (*wire.Response, error) {
 		}
 		lastErr = fmt.Errorf("%s: %w", p.ShardID(i), err)
 		p.evict(i, c)
+		if p.onFailover != nil {
+			p.onFailover(p.endpoint, i, attempt, req.Trace, lastErr)
+		}
 	}
 	return nil, lastErr
 }

@@ -207,9 +207,10 @@ type ClientCache struct {
 	reg    *Registry
 	shards int
 
-	mu     sync.Mutex
-	pools  map[string]*Pool
-	closed bool
+	mu         sync.Mutex
+	pools      map[string]*Pool
+	closed     bool
+	onFailover FailoverFunc
 }
 
 // NewClientCache returns an empty cache dialling through reg, with the
@@ -230,6 +231,16 @@ func NewClientCachePool(reg *Registry, size int) *ClientCache {
 // Shards returns the per-endpoint pool width.
 func (cc *ClientCache) Shards() int { return cc.shards }
 
+// SetFailoverObserver installs fn on every pool created after the call
+// (the node runtime installs it before serving, so in practice on all
+// of them).  fn observes each failed delivery attempt in the pools'
+// failover loops; see FailoverFunc for the contract.
+func (cc *ClientCache) SetFailoverObserver(fn FailoverFunc) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.onFailover = fn
+}
+
 // Pool returns the endpoint's connection pool, creating it (undialled)
 // on first use.
 func (cc *ClientCache) Pool(endpoint string) (*Pool, error) {
@@ -240,7 +251,7 @@ func (cc *ClientCache) Pool(endpoint string) (*Pool, error) {
 	}
 	p, ok := cc.pools[endpoint]
 	if !ok {
-		p = newPool(cc.reg, endpoint, cc.shards)
+		p = newPool(cc.reg, endpoint, cc.shards, cc.onFailover)
 		cc.pools[endpoint] = p
 	}
 	return p, nil

@@ -104,6 +104,19 @@ type Env struct {
 	// already completed (docs/CONCURRENCY.md §8).  Typed any to keep the
 	// vm layer free of wire types.
 	forward any
+
+	// traceID/spanID are the causal span context of this execution: the
+	// dispatcher deposits the server span's ids here and every nested
+	// proxy call the execution makes reads them, so remote sends parent
+	// to the span that caused them and the cross-node call tree stays
+	// connected (forwarded retries, migration re-sends, replica
+	// fan-outs).  Unlike forward they are not one-shot — all of an
+	// execution's outbound calls share the same parent.  Stored as two
+	// bare words rather than a boxed struct: depositing them is on the
+	// traced dispatch hot path and must not allocate (the ids keep the
+	// vm layer free of trace types just as well as an any would).
+	traceID uint64
+	spanID  uint64
 }
 
 // SetForward deposits one-shot forwarding baggage (see Env.forward).
@@ -116,6 +129,16 @@ func (e *Env) TakeForward() any {
 	e.forward = nil
 	return v
 }
+
+// SetTraceCtx deposits the execution's span context (see
+// Env.traceID/spanID).
+func (e *Env) SetTraceCtx(traceID, spanID uint64) {
+	e.traceID, e.spanID = traceID, spanID
+}
+
+// TraceCtx reads the execution's span context; zero when the execution
+// was not started by a traced dispatch.
+func (e *Env) TraceCtx() (traceID, spanID uint64) { return e.traceID, e.spanID }
 
 // gateRef is one held invocation gate plus the object's epoch at
 // acquisition, so RunUnlocked can detect a morph that landed while the

@@ -44,11 +44,15 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	// Extension sections: each is emitted only when its content is
 	// present, so an extension-free request encodes byte-for-byte as the
 	// pre-extension protocol and legacy decoders (which reject trailing
-	// bytes) still accept it.  The decoder treats end-of-frame here as
-	// "no extensions" and otherwise loops over tagged sections in
-	// ascending tag order.
+	// bytes) still accept it.  Each section is tag-length-value — a
+	// uvarint tag, a uvarint byte length, then the payload — in strictly
+	// ascending tag order.  The length makes every section skippable: a
+	// decoder that does not know a tag jumps over its payload instead of
+	// rejecting the frame, so new extensions (the trace context below,
+	// and future ones) degrade gracefully on old peers.
 	if req.Token != nil || len(req.Dedup) > 0 {
 		dst = appendUvarint(dst, reqExtTokens)
+		mark := len(dst)
 		if req.Token == nil {
 			dst = append(dst, 0)
 		} else {
@@ -68,10 +72,20 @@ func AppendRequest(dst []byte, req *Request) []byte {
 			dst = appendUvarint(dst, uint64(len(blob)))
 			dst = append(dst, blob...)
 		}
+		dst = insertLength(dst, mark)
 	}
 	if req.Epoch != 0 {
 		dst = appendUvarint(dst, reqExtReplica)
+		mark := len(dst)
 		dst = appendUvarint(dst, req.Epoch)
+		dst = insertLength(dst, mark)
+	}
+	if req.Trace != (TraceContext{}) {
+		dst = appendUvarint(dst, reqExtTrace)
+		mark := len(dst)
+		dst = appendUvarint(dst, req.Trace.Trace)
+		dst = appendUvarint(dst, req.Trace.Span)
+		dst = insertLength(dst, mark)
 	}
 	return dst
 }
@@ -83,6 +97,9 @@ const (
 	reqExtTokens = 1
 	// reqExtReplica carries the write epoch on replica-maintenance ops.
 	reqExtReplica = 2
+	// reqExtTrace carries the causal span context (trace id, parent
+	// span id) the request runs under.
+	reqExtTrace = 3
 )
 
 // respExtEpoch tags the response extension section carrying the read
@@ -96,6 +113,21 @@ func appendToken(dst []byte, t *CallToken) []byte {
 	return appendUvarint(dst, t.Ack)
 }
 
+// insertLength turns dst[mark:] into a length-prefixed TLV payload by
+// inserting its uvarint byte length at mark.  The payload is encoded
+// first and shifted (a short memmove — extension payloads are tens of
+// bytes except for migration dedup shipments) so the encoder stays
+// allocation-free.
+func insertLength(dst []byte, mark int) []byte {
+	body := len(dst) - mark
+	var lb [binary.MaxVarintLen64]byte
+	ln := binary.PutUvarint(lb[:], uint64(body))
+	dst = append(dst, lb[:ln]...)
+	copy(dst[mark+ln:], dst[mark:mark+body])
+	copy(dst[mark:mark+ln], lb[:ln])
+	return dst
+}
+
 // AppendResponse appends resp's encoding to dst and returns the extended
 // slice.
 func AppendResponse(dst []byte, resp *Response) []byte {
@@ -107,10 +139,13 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	dst = appendRef(dst, resp.Redirect)
 	dst = appendCluster(dst, resp.Cluster)
 	// Trailing extension, omitted when zero: epoch-free responses stay
-	// byte-identical to the pre-replication protocol.
+	// byte-identical to the pre-replication protocol.  Same skippable
+	// tag-length-value grammar as request extensions.
 	if resp.Epoch != 0 {
 		dst = appendUvarint(dst, respExtEpoch)
+		mark := len(dst)
 		dst = appendUvarint(dst, resp.Epoch)
+		dst = insertLength(dst, mark)
 	}
 	return dst
 }
@@ -158,8 +193,10 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 	req.Endpoint = d.str()
 	req.Caller = d.str()
 	req.Cluster = d.cluster()
-	// Legacy frames end here; extension sections are optional and
-	// tagged, in ascending tag order.
+	// Legacy frames end here; extension sections are optional
+	// tag-length-value, in ascending tag order.  Unknown tags are
+	// skipped over their declared length so frames from newer peers
+	// degrade gracefully; known tags must consume exactly their length.
 	prev := uint64(0)
 	for d.err == nil && d.off < len(d.b) {
 		ext := d.u64()
@@ -170,6 +207,10 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 			return nil, fmt.Errorf("request extension %d out of order", ext)
 		}
 		prev = ext
+		end, ok := d.extBody(ext)
+		if !ok {
+			break
+		}
 		switch ext {
 		case reqExtTokens:
 			if d.boolean() {
@@ -186,14 +227,33 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 			}
 		case reqExtReplica:
 			req.Epoch = d.u64()
+		case reqExtTrace:
+			req.Trace = TraceContext{Trace: d.u64(), Span: d.u64()}
 		default:
-			return nil, fmt.Errorf("unknown request extension %d", ext)
+			d.off = end
+		}
+		if d.err == nil && d.off != end {
+			return nil, fmt.Errorf("request extension %d length mismatch", ext)
 		}
 	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
 	return req, nil
+}
+
+// extBody reads a TLV extension section's declared byte length and
+// returns the offset where the section's payload ends.
+func (d *bdec) extBody(ext uint64) (end int, ok bool) {
+	n := d.u64()
+	if d.err != nil {
+		return 0, false
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("truncated extension %d at offset %d", ext, d.off)
+		return 0, false
+	}
+	return d.off + int(n), true
 }
 
 // nestedResponse decodes a length-prefixed response blob embedded in a
@@ -221,7 +281,9 @@ func DecodeResponseBytes(b []byte) (*Response, error) {
 	d := &bdec{b: b}
 	resp := &Response{}
 	d.response(resp)
-	// Legacy responses end here; extension sections are optional.
+	// Legacy responses end here; extension sections are optional
+	// tag-length-value, unknown tags skipped (same grammar as request
+	// extensions).
 	prev := uint64(0)
 	for d.err == nil && d.off < len(d.b) {
 		ext := d.u64()
@@ -232,11 +294,18 @@ func DecodeResponseBytes(b []byte) (*Response, error) {
 			return nil, fmt.Errorf("response extension %d out of order", ext)
 		}
 		prev = ext
+		end, ok := d.extBody(ext)
+		if !ok {
+			break
+		}
 		switch ext {
 		case respExtEpoch:
 			resp.Epoch = d.u64()
 		default:
-			return nil, fmt.Errorf("unknown response extension %d", ext)
+			d.off = end
+		}
+		if d.err == nil && d.off != end {
+			return nil, fmt.Errorf("response extension %d length mismatch", ext)
 		}
 	}
 	if err := d.finish(); err != nil {

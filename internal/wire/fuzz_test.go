@@ -9,9 +9,10 @@ import (
 // Seed corpus for the decoder fuzzers: valid encodings exercising every
 // optional section — the token trailing extension, migrated dedup
 // entries (with their length-prefixed nested responses), the replica
-// epoch extensions on both directions, and a gossip payload with every
-// list populated including replica sets.  The fuzzer mutates from these
-// so it reaches the deep sections instead of bouncing off the header.
+// epoch extensions on both directions, the trace-context extension,
+// OpIntrospect probes, and a gossip payload with every list populated
+// including replica sets.  The fuzzer mutates from these so it reaches
+// the deep sections instead of bouncing off the header.
 func seedRequests() []*Request {
 	return []*Request{
 		{ID: 1, Op: OpPing},
@@ -32,6 +33,12 @@ func seedRequests() []*Request {
 			Token:  &CallToken{Caller: "n!1", Seq: 11}},
 		{ID: 6, Op: OpReplicaUpdate, GUID: "r#1", Epoch: 18,
 			Fields: []NamedValue{{Name: "v", Value: Value{Kind: KInt, Int: 9}}}},
+		{ID: 8, Op: OpInvoke, GUID: "g#1", Method: "m",
+			Token: &CallToken{Caller: "n!1", Seq: 12, Attempt: 2},
+			Trace: TraceContext{Trace: 0xfeedface, Span: 0xbeef}},
+		{ID: 9, Op: OpIntrospect, Method: "spans"},
+		{ID: 10, Op: OpIntrospect, GUID: "abcdef0123456789", Method: "trace",
+			Trace: TraceContext{Trace: 1, Span: 2}},
 		{ID: 7, Op: OpGossip, Cluster: &ClusterPayload{
 			From:  PeerDigest{ID: "a", Endpoint: "rrp://a:1", Heartbeat: 5},
 			Peers: []PeerDigest{{ID: "b", Endpoint: "rrp://b:1", Heartbeat: 3, Leaving: true}},

@@ -5,7 +5,11 @@
 // the paper's proxy families differ only in transport.
 package wire
 
-import "fmt"
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+)
 
 // Op enumerates request kinds.
 type Op uint8
@@ -48,6 +52,12 @@ const (
 	// OpReplicaDrop tears a replica down (demotion or eviction); the
 	// replica stops serving reads immediately.
 	OpReplicaDrop
+	// OpIntrospect is an effect-free observability probe: the callee
+	// answers with a JSON snapshot of its unified metrics (stats,
+	// dedup, telemetry, pool, cluster, trace histograms) or recorded
+	// spans, selected by Method ("metrics", "spans", "trace"); for
+	// "trace", GUID carries the hexadecimal trace id to filter on.
+	OpIntrospect
 )
 
 func (o Op) String() string {
@@ -72,6 +82,8 @@ func (o Op) String() string {
 		return "replica-update"
 	case OpReplicaDrop:
 		return "replica-drop"
+	case OpIntrospect:
+		return "introspect"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -186,6 +198,59 @@ type Request struct {
 	// extension section, so epoch-free frames stay byte-identical to the
 	// pre-replication protocol (docs/REPLICATION.md).
 	Epoch uint64 `json:"epoch,omitempty" xml:"epoch,attr,omitempty"`
+	// Trace carries the causal span context this request runs under:
+	// the server-side spans it produces parent to Trace.Span and join
+	// trace Trace.Trace, so forwarded retries, migration re-sends and
+	// replica fan-outs assemble into one cross-node call tree
+	// (internal/trace, docs/OBSERVABILITY.md).  The zero value means the
+	// sender records no trace; the binary codec emits it as an optional
+	// trailing extension, skipped gracefully by peers that predate it.
+	// A value (not a pointer) so stamping a context on the request hot
+	// path allocates nothing; all three codecs omit the zero value, so
+	// untraced frames stay byte-identical to the pre-trace protocol.
+	Trace TraceContext `json:"trace,omitzero" xml:"trace"`
+}
+
+// TraceContext is the span context riding a request: the trace the
+// call belongs to and the sender-side span that caused it (the parent
+// of whatever spans the callee emits).  The zero value means untraced.
+type TraceContext struct {
+	Trace uint64 `json:"trace" xml:"trace,attr"`
+	Span  uint64 `json:"span" xml:"span,attr"`
+}
+
+// MarshalXML keeps the SOAP carrier's format identical to the pointer
+// era: a zero context emits no element at all (encoding/xml has no
+// omitempty for struct values), a live one emits the two id attributes.
+func (tc TraceContext) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	if tc == (TraceContext{}) {
+		return nil
+	}
+	start.Attr = append(start.Attr[:0],
+		xml.Attr{Name: xml.Name{Local: "trace"}, Value: strconv.FormatUint(tc.Trace, 10)},
+		xml.Attr{Name: xml.Name{Local: "span"}, Value: strconv.FormatUint(tc.Span, 10)})
+	if err := e.EncodeToken(start); err != nil {
+		return err
+	}
+	return e.EncodeToken(start.End())
+}
+
+// UnmarshalXML is the inverse: it reads the two id attributes and
+// discards the (empty) element body.
+func (tc *TraceContext) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for _, a := range start.Attr {
+		v, err := strconv.ParseUint(a.Value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("trace attribute %s: %w", a.Name.Local, err)
+		}
+		switch a.Name.Local {
+		case "trace":
+			tc.Trace = v
+		case "span":
+			tc.Span = v
+		}
+	}
+	return d.Skip()
 }
 
 // CallToken identifies one logical call across any number of physical

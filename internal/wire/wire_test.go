@@ -445,9 +445,121 @@ func TestTokenExtensionLegacyInterop(t *testing.T) {
 	if !reflect.DeepEqual(&tokened, back) {
 		t.Fatalf("token round trip:\n%+v\n%+v", &tokened, back)
 	}
-	// An unknown extension tag is rejected, not silently skipped.
+	// A bare unknown tag with no length is a truncated TLV section and
+	// still rejected — skipping requires the declared length.
 	if _, err := DecodeRequestBytes(append(append([]byte{}, legacy...), 0x7f)); err == nil {
-		t.Fatal("unknown extension tag accepted")
+		t.Fatal("truncated unknown extension accepted")
+	}
+}
+
+// TestUnknownExtensionSkipped pins the forward-compatibility half of
+// the TLV grammar: a well-formed extension section with a tag this
+// decoder does not know is skipped over its declared length — the rest
+// of the frame (including later known extensions) still decodes — so
+// peers that predate an extension degrade gracefully instead of
+// rejecting traffic from newer nodes.
+func TestUnknownExtensionSkipped(t *testing.T) {
+	base := &Request{ID: 9, Op: OpInvoke, GUID: "g#1", Method: "m",
+		Token: &CallToken{Caller: "n!1", Seq: 7}}
+	frame := AppendRequest(nil, base)
+	// Append an unknown tag 9 with a 3-byte payload.
+	frame = append(frame, 9, 3, 0xde, 0xad, 0xbf)
+	back, err := DecodeRequestBytes(frame)
+	if err != nil {
+		t.Fatalf("well-formed unknown extension rejected: %v", err)
+	}
+	if back.Token == nil || back.Token.Seq != 7 {
+		t.Fatalf("known extension lost while skipping unknown one: %+v", back)
+	}
+
+	// Several unknown sections in a row (a frame from a peer two
+	// protocol generations ahead) skip independently, and the known
+	// sections before them survive intact.
+	ahead := &Request{ID: 10, Op: OpReplicaUpdate, GUID: "r#1",
+		Token: &CallToken{Caller: "n!1", Seq: 8}, Epoch: 21}
+	multi := AppendRequest(nil, ahead)
+	multi = append(multi, 9, 2, 0x01, 0x02)
+	multi = append(multi, 12, 0) // empty payload is a valid section
+	back, err = DecodeRequestBytes(multi)
+	if err != nil {
+		t.Fatalf("consecutive unknown extensions rejected: %v", err)
+	}
+	if back.Token == nil || back.Token.Seq != 8 || back.Epoch != 21 {
+		t.Fatalf("known extensions lost while skipping unknown ones: %+v", back)
+	}
+
+	// Out-of-order and duplicate tags stay protocol errors: skipping is
+	// for unknown content, not for malformed framing.
+	if _, err := DecodeRequestBytes(append(AppendRequest(nil, base), 0)); err == nil {
+		t.Fatal("extension tag 0 accepted")
+	}
+	dup := AppendRequest(nil, base)
+	dup = append(dup, 1, 0)
+	if _, err := DecodeRequestBytes(dup); err == nil {
+		t.Fatal("duplicate extension tag accepted")
+	}
+	// Truncated payload (declared length runs past the frame) rejected.
+	trunc := AppendRequest(nil, base)
+	trunc = append(trunc, 9, 200, 0x00)
+	if _, err := DecodeRequestBytes(trunc); err == nil {
+		t.Fatal("truncated extension payload accepted")
+	}
+
+	// Responses share the grammar.
+	rfrm := AppendResponse(nil, &Response{ID: 3, Epoch: 4})
+	rfrm = append(rfrm, 7, 1, 0xee)
+	rback, err := DecodeResponseBytes(rfrm)
+	if err != nil {
+		t.Fatalf("unknown response extension rejected: %v", err)
+	}
+	if rback.Epoch != 4 {
+		t.Fatalf("response epoch lost while skipping: %+v", rback)
+	}
+}
+
+// TestTraceExtensionInterop pins the trace context's capability
+// contract, mirroring the token and epoch interop tests: trace-free
+// requests encode byte-identically to the pre-trace protocol, and the
+// context rides after the token and epoch sections in tag order.
+func TestTraceExtensionInterop(t *testing.T) {
+	base := &Request{ID: 11, Op: OpInvoke, GUID: "g#1", Method: "m",
+		Token: &CallToken{Caller: "n!1", Seq: 3}, Epoch: 5}
+	plain := AppendRequest(nil, base)
+	traced := *base
+	traced.Trace = TraceContext{Trace: 0xabcdef, Span: 0x1234}
+	ext := AppendRequest(nil, &traced)
+	if !bytes.HasPrefix(ext, plain) {
+		t.Fatal("traced request does not extend the trace-free encoding byte-for-byte")
+	}
+	back, err := DecodeRequestBytes(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&traced, back) {
+		t.Fatalf("trace round trip:\n%+v\n%+v", &traced, back)
+	}
+	// The span context survives the HTTP carriers too.
+	jb, err := json.Marshal(&traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jback Request
+	if err := json.Unmarshal(jb, &jback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traced.Trace, jback.Trace) {
+		t.Fatalf("json trace round trip: %+v", jback.Trace)
+	}
+	xb, err := xml.Marshal(&traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xback Request
+	if err := xml.Unmarshal(xb, &xback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(traced.Trace, xback.Trace) {
+		t.Fatalf("xml trace round trip: %+v", xback.Trace)
 	}
 }
 

@@ -94,6 +94,15 @@ type NodeConfig struct {
 	// token extension.  Untokened calls keep the historical
 	// at-least-once/no-retry semantics.
 	UntokenedWire bool
+	// TraceSpans sizes the always-on flight recorder's span ring
+	// (rounded up to a power of two; <= 0 takes the default, 4096).
+	// The ring is fixed memory: old spans are overwritten, never
+	// spilled (docs/OBSERVABILITY.md).
+	TraceSpans int
+	// NoTrace disables the distributed-tracing plane entirely — no
+	// flight recorder, no span extensions on outgoing requests.  The
+	// E14 experiment bounds what this saves (<5% on the echo tier).
+	NoTrace bool
 }
 
 // Node is one address space hosting the transformed program.
@@ -138,6 +147,8 @@ func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
 		PoolSize:          cfg.PoolSize,
 		DedupWindow:       cfg.DedupWindow,
 		UntokenedWire:     cfg.UntokenedWire,
+		TraceSpans:        cfg.TraceSpans,
+		NoTrace:           cfg.NoTrace,
 	})
 	if err != nil {
 		return nil, err
@@ -342,6 +353,16 @@ func (n *Node) DedupStats() DedupStats {
 		EntriesHighWater: s.EntriesHighWater,
 		Windows:          s.Windows,
 	}
+}
+
+// IntrospectJSON renders one introspection section of this node as
+// JSON — the same snapshot wire.OpIntrospect serves to remote callers
+// (rafdac's trace/top views, rafda-node's /debug/rafda endpoint).
+// Sections: "metrics" (or ""), the unified counters/histograms
+// snapshot; "spans", the flight recorder's ring oldest-first; "trace",
+// the spans of the one trace whose hex id is arg.
+func (n *Node) IntrospectJSON(section, arg string) (string, error) {
+	return n.n.Introspect(section, arg)
 }
 
 // Ref is an opaque handle to a program object owned by some node.
