@@ -1,0 +1,550 @@
+package main
+
+// E15 — open-loop latency-SLO macro-workload.
+//
+// Every earlier tier is a closed-loop microbenchmark: callers wait for
+// each response before sending the next request, so the offered load
+// self-throttles exactly when the system slows down and the tail
+// disappears from the record.  E15 is the open-loop complement: a
+// Poisson arrival process offers calls at a configured rate whether or
+// not earlier calls have finished, popularity over thousands of objects
+// follows a Zipf law (a few hot objects serialise on their gates while
+// a long tail stays cold), and every arrival carries one of tens of
+// tenant identities plus a wire deadline.  Mid-run the harness injects
+// the two disturbances a production deployment actually sees — a node
+// dies (its shard of objects is lost until re-created elsewhere) and
+// the surviving link degrades (client-side netsim latency/jitter) — and
+// the record reports exact per-tenant p50/p99/p999 for the clean phases
+// against a configured SLO.
+//
+// Latency is measured from each call's *scheduled* arrival time, not
+// its send time, so scheduler lateness under overload counts against
+// the system rather than being silently omitted (the open-loop
+// correction for coordinated omission).
+//
+// Key row (gate): slo_ok — 1.0 iff every tenant's clean-phase p99 met
+// the SLO and the clean-phase error rate stayed under the bound.
+// Binary, machine-independent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rafda"
+	"rafda/internal/netsim"
+	"rafda/internal/telemetry"
+	"rafda/internal/transport"
+	"rafda/internal/wire"
+)
+
+const e15Source = `
+class Item {
+    private int v;
+    Item(int v0) { this.v = v0; }
+    int get() { return v; }
+    int put(int x) { this.v = v + x; return v; }
+}
+class Mk {
+    static Item make(int v0) { return new Item(v0); }
+}
+class Main { static void main() {} }`
+
+type e15Config struct {
+	rate     float64 // offered load, calls/s
+	warm     time.Duration
+	churn    time.Duration
+	recover  time.Duration
+	objects  int
+	tenants  int
+	zipfS    float64
+	seed     uint64
+	deadline time.Duration // per-call wire deadline
+	sloP99   time.Duration // per-tenant clean-phase p99 bar
+	maxErr   float64       // tolerated clean-phase error fraction
+}
+
+// e15Phases names the run's three windows in timeline order.
+var e15Phases = [3]string{"warm", "churn", "recovery"}
+
+// E15Phase is one aggregate timeline-window row.
+type E15Phase struct {
+	Phase           string  `json:"phase"`
+	Calls           int     `json:"calls"`
+	Errors          int     `json:"errors"`
+	Unavailable     int     `json:"unavailable"` // arrivals for a dead shard, never sent
+	DeadlineRejects int     `json:"deadline_rejects"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	P999Ms          float64 `json:"p999_ms"`
+	MaxMs           float64 `json:"max_ms"`
+}
+
+// E15Tenant is one per-tenant clean-phase (warm+recovery) percentile
+// row — the rows the SLO verdict is computed over.
+type E15Tenant struct {
+	Tenant string  `json:"tenant"`
+	Calls  int     `json:"calls"`
+	Errors int     `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	SloMet bool    `json:"slo_met"`
+}
+
+// E15Overload is one server node's overload counters after the run.
+type E15Overload struct {
+	Node string `json:"node"`
+	telemetry.OverloadSample
+}
+
+// E15Report is the top-level BENCH_E15.json document.
+type E15Report struct {
+	Experiment  string `json:"experiment"`
+	Description string `json:"description"`
+	Timestamp   string `json:"timestamp"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+
+	RatePerSec   float64 `json:"rate_per_sec"`
+	Objects      int     `json:"objects"`
+	ChurnObjects int     `json:"churn_objects"` // shard lost and re-created mid-run
+	Tenants      int     `json:"tenants"`
+	ZipfS        float64 `json:"zipf_s"`
+	Seed         uint64  `json:"seed"`
+	DeadlineMs   float64 `json:"deadline_ms"`
+	SloP99Ms     float64 `json:"slo_p99_ms"`
+	MaxErrRate   float64 `json:"max_clean_err_rate"`
+
+	Phases     []E15Phase  `json:"phases"`
+	TenantRows []E15Tenant `json:"tenant_rows"`
+
+	WorstTenantP99Ms float64       `json:"worst_tenant_p99_ms"`
+	CleanErrorRate   float64       `json:"clean_error_rate"`
+	RehomeMs         float64       `json:"rehome_ms"` // churn shard dark time: node death to last object re-created
+	Overload         []E15Overload `json:"server_overload"`
+
+	SloOK float64 `json:"slo_ok"`
+}
+
+// e15Entry is one live object's current address; the pointer in the
+// object table is swapped atomically when the churn shard is re-homed.
+type e15Entry struct {
+	ep   string
+	guid string
+}
+
+// e15Bucket accumulates one (phase, tenant) cell's outcomes.
+type e15Bucket struct {
+	mu              sync.Mutex
+	latMs           []float64
+	errors          int
+	unavailable     int
+	deadlineRejects int
+}
+
+func (b *e15Bucket) ok(ms float64) {
+	b.mu.Lock()
+	b.latMs = append(b.latMs, ms)
+	b.mu.Unlock()
+}
+
+func (b *e15Bucket) fail(resp string, sent bool) {
+	b.mu.Lock()
+	b.errors++
+	if !sent {
+		b.unavailable++
+	}
+	if strings.Contains(resp, "deadline expired") {
+		b.deadlineRejects++
+	}
+	b.mu.Unlock()
+}
+
+// pctile returns the q-quantile (nearest rank) of sorted.
+func pctile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// e15MakeObjects creates n objects through the class factory over the
+// raw wire and returns their table entries.
+func e15MakeObjects(client transport.Client, ep string, base, n int) ([]*e15Entry, error) {
+	entries := make([]*e15Entry, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := client.Call(&wire.Request{
+			ID: 1, Op: wire.OpInvokeClass, Class: "Mk", Method: "make",
+			Args: []wire.Value{{Kind: wire.KInt, Int: int64(base + i)}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("make object %d at %s: %w", base+i, ep, err)
+		}
+		if resp.Err != "" || resp.Result.Ref == nil {
+			return nil, fmt.Errorf("make object %d at %s: %+v", base+i, ep, resp)
+		}
+		entries = append(entries, &e15Entry{ep: ep, guid: resp.Result.Ref.GUID})
+	}
+	return entries, nil
+}
+
+func e15(cfg e15Config, jsonPath string) error {
+	if cfg.objects < 20 || cfg.tenants < 2 {
+		return fmt.Errorf("e15 wants at least 20 objects and 2 tenants (got %d/%d)", cfg.objects, cfg.tenants)
+	}
+	report := E15Report{
+		Experiment: "e15",
+		Description: "open-loop latency SLO: Poisson arrivals, Zipf object popularity, per-tenant " +
+			"deadlined calls; node churn + link degradation mid-run; exact clean-phase percentiles vs SLO",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		RatePerSec: cfg.rate,
+		Objects:    cfg.objects,
+		Tenants:    cfg.tenants,
+		ZipfS:      cfg.zipfS,
+		Seed:       cfg.seed,
+		DeadlineMs: float64(cfg.deadline) / float64(time.Millisecond),
+		SloP99Ms:   float64(cfg.sloP99) / float64(time.Millisecond),
+		MaxErrRate: cfg.maxErr,
+	}
+
+	prog, err := rafda.CompileString(e15Source)
+	if err != nil {
+		return err
+	}
+	tr, err := prog.Transform(rafda.WithProtocols("rrp"))
+	if err != nil {
+		return err
+	}
+	const steps = int64(1) << 40
+	mkNode := func(name string) (*rafda.Node, string, error) {
+		n, err := tr.NewNode(rafda.NodeConfig{Name: name, MaxSteps: steps})
+		if err != nil {
+			return nil, "", err
+		}
+		ep, err := n.Serve("rrp", "")
+		if err != nil {
+			n.Close()
+			return nil, "", err
+		}
+		return n, ep, nil
+	}
+	nodeA, epA, err := mkNode("srv-a")
+	if err != nil {
+		return err
+	}
+	defer nodeA.Close()
+	nodeB, epB, err := mkNode("srv-b")
+	if err != nil {
+		return err
+	}
+	var bClosed atomic.Bool
+	defer func() {
+		if !bClosed.Load() {
+			nodeB.Close()
+		}
+	}()
+
+	// Two client planes to each server: a clean loopback transport and a
+	// degraded one (client-side netsim latency+jitter) that the churn
+	// window swings traffic onto — the "link degradation mid-run" leg.
+	clean := transport.NewRRP(transport.Options{})
+	degradedProfile := netsim.Profile{
+		Latency: 5 * time.Millisecond, Jitter: time.Millisecond,
+		BandwidthBps: 1e8, Seed: cfg.seed | 1,
+	}
+	degraded := transport.NewRRP(transport.Options{Profile: degradedProfile})
+	cleanA, err := clean.Dial(epA)
+	if err != nil {
+		return err
+	}
+	defer cleanA.Close()
+	cleanB, err := clean.Dial(epB)
+	if err != nil {
+		return err
+	}
+	defer cleanB.Close()
+	degA, err := degraded.Dial(epA)
+	if err != nil {
+		return err
+	}
+	defer degA.Close()
+	clientFor := func(ep string, useDegraded bool) transport.Client {
+		if ep == epB {
+			return cleanB // the B shard dies when degradation starts
+		}
+		if useDegraded {
+			return degA
+		}
+		return cleanA
+	}
+
+	// Object table: ~90% of objects on A, every 10th on B (the churn
+	// shard lost mid-run).  Entries swap atomically when re-homed.
+	objs := make([]atomic.Pointer[e15Entry], cfg.objects)
+	var aIdx, bIdx []int
+	for i := 0; i < cfg.objects; i++ {
+		if i%10 == 9 {
+			bIdx = append(bIdx, i)
+		} else {
+			aIdx = append(aIdx, i)
+		}
+	}
+	report.ChurnObjects = len(bIdx)
+	aEntries, err := e15MakeObjects(cleanA, epA, 0, len(aIdx))
+	if err != nil {
+		return err
+	}
+	for k, i := range aIdx {
+		objs[i].Store(aEntries[k])
+	}
+	bEntries, err := e15MakeObjects(cleanB, epB, len(aIdx), len(bIdx))
+	if err != nil {
+		return err
+	}
+	for k, i := range bIdx {
+		objs[i].Store(bEntries[k])
+	}
+
+	// (phase, tenant) outcome cells.
+	buckets := make([][]e15Bucket, len(e15Phases))
+	for p := range buckets {
+		buckets[p] = make([]e15Bucket, cfg.tenants)
+	}
+	total := cfg.warm + cfg.churn + cfg.recover
+	churnAt, recoverAt := cfg.warm, cfg.warm+cfg.churn
+	phaseOf := func(off time.Duration) int {
+		switch {
+		case off < churnAt:
+			return 0
+		case off < recoverAt:
+			return 1
+		default:
+			return 2
+		}
+	}
+
+	// The disturbance timeline: at churnAt node B dies (its shard goes
+	// unavailable until re-created on A) and the link to A degrades; at
+	// recoverAt the link heals.  Re-homing runs concurrently with the
+	// arrival stream, as a real failover would.
+	var useDegraded atomic.Bool
+	var rehomeNs atomic.Int64
+	var timelineWG sync.WaitGroup
+	deadlineUs := uint64(cfg.deadline / time.Microsecond)
+	start := time.Now()
+	timelineWG.Add(1)
+	go func() {
+		defer timelineWG.Done()
+		time.Sleep(time.Until(start.Add(churnAt)))
+		useDegraded.Store(true)
+		died := time.Now()
+		for _, i := range bIdx {
+			objs[i].Store(nil) // shard dark until re-homed
+		}
+		bClosed.Store(true)
+		nodeB.Close()
+		for k, i := range bIdx {
+			re, err := e15MakeObjects(cleanA, epA, cfg.objects+k, 1)
+			if err != nil {
+				return // arrivals keep counting the shard unavailable
+			}
+			objs[i].Store(re[0])
+		}
+		rehomeNs.Store(int64(time.Since(died)))
+	}()
+	timelineWG.Add(1)
+	go func() {
+		defer timelineWG.Done()
+		time.Sleep(time.Until(start.Add(recoverAt)))
+		useDegraded.Store(false)
+	}()
+
+	// The open-loop generator: absolute Poisson schedule, one goroutine
+	// per arrival, never waiting for completions.  A late scheduler
+	// fires immediately and the lateness lands in the measured latency.
+	rng := rand.New(rand.NewSource(int64(cfg.seed)))
+	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.objects-1))
+	var callWG sync.WaitGroup
+	offered := 0
+	for next := time.Duration(0); ; {
+		next += time.Duration(rng.ExpFloat64() / cfg.rate * float64(time.Second))
+		if next >= total {
+			break
+		}
+		obj := int(zipf.Uint64())
+		tenant := offered % cfg.tenants
+		write := offered%10 == 0
+		offered++
+		sched := start.Add(next)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		bucket := &buckets[phaseOf(next)][tenant]
+		callWG.Add(1)
+		go func() {
+			defer callWG.Done()
+			e := objs[obj].Load()
+			if e == nil {
+				bucket.fail("shard unavailable", false)
+				return
+			}
+			req := &wire.Request{
+				ID: 1, Op: wire.OpInvoke, GUID: e.guid, Method: "get",
+				Caller:     fmt.Sprintf("tenant-%02d", tenant),
+				DeadlineUs: deadlineUs,
+			}
+			if write {
+				req.Method = "put"
+				req.Args = []wire.Value{{Kind: wire.KInt, Int: 1}}
+			}
+			resp, err := clientFor(e.ep, useDegraded.Load()).Call(req)
+			ms := float64(time.Since(sched)) / float64(time.Millisecond)
+			switch {
+			case err != nil:
+				bucket.fail(err.Error(), true)
+			case resp.Err != "":
+				bucket.fail(resp.Err, true)
+			default:
+				bucket.ok(ms)
+			}
+		}()
+	}
+	callWG.Wait()
+	timelineWG.Wait()
+
+	// Aggregate: per-phase rows over all tenants, per-tenant rows over
+	// the clean phases (warm + recovery) for the SLO verdict.
+	for p, name := range e15Phases {
+		var all []float64
+		row := E15Phase{Phase: name}
+		for t := range buckets[p] {
+			b := &buckets[p][t]
+			all = append(all, b.latMs...)
+			row.Errors += b.errors
+			row.Unavailable += b.unavailable
+			row.DeadlineRejects += b.deadlineRejects
+		}
+		sort.Float64s(all)
+		row.Calls = len(all) + row.Errors
+		row.P50Ms, row.P99Ms, row.P999Ms = pctile(all, 0.50), pctile(all, 0.99), pctile(all, 0.999)
+		if n := len(all); n > 0 {
+			row.MaxMs = all[n-1]
+		}
+		report.Phases = append(report.Phases, row)
+	}
+	sloOK := true
+	var cleanCalls, cleanErrs int
+	for t := 0; t < cfg.tenants; t++ {
+		var lat []float64
+		row := E15Tenant{Tenant: fmt.Sprintf("tenant-%02d", t)}
+		for _, p := range []int{0, 2} {
+			b := &buckets[p][t]
+			lat = append(lat, b.latMs...)
+			row.Errors += b.errors
+		}
+		sort.Float64s(lat)
+		row.Calls = len(lat) + row.Errors
+		row.P50Ms, row.P99Ms, row.P999Ms = pctile(lat, 0.50), pctile(lat, 0.99), pctile(lat, 0.999)
+		if n := len(lat); n > 0 {
+			row.MaxMs = lat[n-1]
+		}
+		row.SloMet = len(lat) > 0 && row.P99Ms <= report.SloP99Ms
+		if !row.SloMet {
+			sloOK = false
+		}
+		if row.P99Ms > report.WorstTenantP99Ms {
+			report.WorstTenantP99Ms = row.P99Ms
+		}
+		cleanCalls += row.Calls
+		cleanErrs += row.Errors
+		report.TenantRows = append(report.TenantRows, row)
+	}
+	if cleanCalls > 0 {
+		report.CleanErrorRate = float64(cleanErrs) / float64(cleanCalls)
+	}
+	if report.CleanErrorRate > cfg.maxErr {
+		sloOK = false
+	}
+	if sloOK {
+		report.SloOK = 1.0
+	}
+	report.RehomeMs = float64(rehomeNs.Load()) / float64(time.Millisecond)
+
+	// The servers' own view of the run: overload counters out of the
+	// same introspection snapshot rafdac top and /debug/rafda render.
+	for _, sv := range []struct {
+		name string
+		n    *rafda.Node
+	}{{"srv-a", nodeA}, {"srv-b", nodeB}} {
+		out, err := sv.n.IntrospectJSON("metrics", "")
+		if err != nil {
+			return err
+		}
+		var in struct {
+			Overload telemetry.OverloadSample `json:"overload"`
+		}
+		if err := json.Unmarshal([]byte(out), &in); err != nil {
+			return fmt.Errorf("%s introspection: %w", sv.name, err)
+		}
+		report.Overload = append(report.Overload, E15Overload{Node: sv.name, OverloadSample: in.Overload})
+	}
+
+	fmt.Printf("open-loop %.0f calls/s, %d objects (Zipf s=%.2f, %d on the churn shard), %d tenants, "+
+		"deadline %v, %d arrivals offered\n\n",
+		cfg.rate, cfg.objects, cfg.zipfS, report.ChurnObjects, cfg.tenants, cfg.deadline, offered)
+	fmt.Printf("  %-9s %8s %7s %7s %9s %9s %9s %9s\n",
+		"phase", "calls", "errors", "unavail", "p50", "p99", "p999", "max")
+	for _, p := range report.Phases {
+		fmt.Printf("  %-9s %8d %7d %7d %7.2fms %7.2fms %7.2fms %7.2fms\n",
+			p.Phase, p.Calls, p.Errors, p.Unavailable, p.P50Ms, p.P99Ms, p.P999Ms, p.MaxMs)
+	}
+	fmt.Printf("\n  clean-phase per-tenant percentiles vs SLO p99 <= %.0fms:\n", report.SloP99Ms)
+	fmt.Printf("  %-10s %7s %7s %9s %9s %9s  %s\n", "tenant", "calls", "errors", "p50", "p99", "p999", "slo")
+	for _, t := range report.TenantRows {
+		verdict := "met"
+		if !t.SloMet {
+			verdict = "MISSED"
+		}
+		fmt.Printf("  %-10s %7d %7d %7.2fms %7.2fms %7.2fms  %s\n",
+			t.Tenant, t.Calls, t.Errors, t.P50Ms, t.P99Ms, t.P999Ms, verdict)
+	}
+	for _, ov := range report.Overload {
+		fmt.Printf("\n  %s overload: rejects %d  expiries %d  outbox stalls %d  inflight hw %d",
+			ov.Node, ov.AdmissionRejects, ov.DeadlineExpiries, ov.OutboxStalls, ov.InflightHighWater)
+	}
+	fmt.Printf("\n\n  churn shard (%d objects) re-homed onto srv-a in %.1fms\n",
+		report.ChurnObjects, report.RehomeMs)
+	fmt.Printf("  worst tenant p99 %.2fms, clean error rate %.4f (bound %.4f): slo_ok = %.0f\n",
+		report.WorstTenantP99Ms, report.CleanErrorRate, cfg.maxErr, report.SloOK)
+
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s\n", jsonPath)
+	}
+	if report.SloOK != 1.0 {
+		return fmt.Errorf("SLO missed: worst tenant p99 %.2fms (bar %.0fms), clean error rate %.4f (bound %.4f)",
+			report.WorstTenantP99Ms, report.SloP99Ms, report.CleanErrorRate, cfg.maxErr)
+	}
+	return nil
+}

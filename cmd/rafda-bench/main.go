@@ -29,6 +29,13 @@
 //	                      its two caller nodes; reads route to the local
 //	                      copies while writes serialise through the
 //	                      lease-holding primary (writes BENCH_E13.json)
+//	rafda-bench -exp e14  tracing overhead bound + chaos trace audit
+//	                      (writes BENCH_E14.json)
+//	rafda-bench -exp e15  open-loop latency SLO: Poisson arrivals over a
+//	                      Zipf object population with per-tenant deadlined
+//	                      calls, node churn + link degradation mid-run;
+//	                      exact clean-phase p50/p99/p999 per tenant vs the
+//	                      configured SLO (writes BENCH_E15.json)
 //	rafda-bench -exp all  everything
 //
 // The -adapt-* flags tune e9's engine (window, threshold, min calls,
@@ -37,16 +44,19 @@
 // the -e12-* flags tune e12's fault schedules (seed matrix, per-mille
 // rates, phase length, dedup window cap); the -e13-* flags tune e13's
 // replication run (heartbeat, phase length, per-reader parallelism,
-// acceptance lift); -pool overrides the connection pool width of
+// acceptance lift); the -e15-* flags tune e15's open-loop run (arrival
+// rate, phase lengths, object/tenant counts, Zipf skew, per-call
+// deadline, SLO bar); -pool overrides the connection pool width of
 // e9/e10/e12/e13's nodes.
 //
 // -gate switches to the CI perf-regression comparator instead of
 // running experiments: it compares freshly generated records (in
 // -gate-fresh) against the committed BENCH_*.json (in -gate-committed)
 // and exits non-zero when an experiment's key row regressed more than
-// -gate-tolerance:
+// -gate-tolerance (the stable tiers e7/e11/e13/e14 are always held to
+// at most 20%):
 //
-//	rafda-bench -gate e7,e9,e10,e11,e12,e13 -gate-fresh .gate
+//	rafda-bench -gate e7,e9,e10,e11,e12,e13,e14,e15 -gate-fresh .gate
 package main
 
 import (
@@ -99,7 +109,7 @@ class Main {
 }`
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e14 or all)")
+	exp := flag.String("exp", "all", "experiment id (e1..e15 or all)")
 	e7json := flag.String("e7json", "BENCH_E7.json", "path for e7's machine-readable results (empty to skip)")
 	e8json := flag.String("e8json", "BENCH_E8.json", "path for e8's machine-readable results (empty to skip)")
 	e9json := flag.String("e9json", "BENCH_E9.json", "path for e9's machine-readable results (empty to skip)")
@@ -108,6 +118,7 @@ func main() {
 	e12json := flag.String("e12json", "BENCH_E12.json", "path for e12's machine-readable results (empty to skip)")
 	e13json := flag.String("e13json", "BENCH_E13.json", "path for e13's machine-readable results (empty to skip)")
 	e14json := flag.String("e14json", "BENCH_E14.json", "path for e14's machine-readable results (empty to skip)")
+	e15json := flag.String("e15json", "BENCH_E15.json", "path for e15's machine-readable results (empty to skip)")
 	pool := flag.Int("pool", 0, "connection pool width of e9/e10's nodes (0: GOMAXPROCS, capped at 8)")
 	gate := flag.String("gate", "", "run the perf-regression gate over these experiments (e.g. \"e7,e9,e10,e11\") instead of benchmarks")
 	gateCommitted := flag.String("gate-committed", ".", "directory holding the committed BENCH_*.json records")
@@ -155,6 +166,18 @@ func main() {
 	flag.IntVar(&e14cfg.drop, "e14-drop-permille", 3, "e14: per-mille frames swallowed during the audit")
 	flag.IntVar(&e14cfg.kill, "e14-kill-permille", 3, "e14: per-mille frames killed mid-flight during the audit")
 	flag.IntVar(&e14cfg.traceSpans, "e14-trace-spans", 1<<15, "e14: per-node flight-recorder ring capacity under audit")
+	e15cfg := e15Config{}
+	flag.Float64Var(&e15cfg.rate, "e15-rate", 1200, "e15: offered open-loop arrival rate, calls/s")
+	flag.DurationVar(&e15cfg.warm, "e15-warm", 2*time.Second, "e15: warm (clean) phase length")
+	flag.DurationVar(&e15cfg.churn, "e15-churn", 1500*time.Millisecond, "e15: churn window length (node death + link degradation)")
+	flag.DurationVar(&e15cfg.recover, "e15-recover", 2*time.Second, "e15: recovery (clean) phase length")
+	flag.IntVar(&e15cfg.objects, "e15-objects", 2000, "e15: object population size")
+	flag.IntVar(&e15cfg.tenants, "e15-tenants", 20, "e15: tenant identities cycling through arrivals")
+	flag.Float64Var(&e15cfg.zipfS, "e15-zipf", 1.1, "e15: Zipf skew of object popularity (>1)")
+	flag.Uint64Var(&e15cfg.seed, "e15-seed", 1, "e15: arrival/popularity schedule seed")
+	flag.DurationVar(&e15cfg.deadline, "e15-deadline", 250*time.Millisecond, "e15: per-call wire deadline budget")
+	flag.DurationVar(&e15cfg.sloP99, "e15-slo-p99", 100*time.Millisecond, "e15: per-tenant clean-phase p99 SLO bar")
+	flag.Float64Var(&e15cfg.maxErr, "e15-max-err", 0.01, "e15: tolerated clean-phase error fraction")
 	flag.Parse()
 	if *gate != "" {
 		if err := runGate(strings.Split(*gate, ","), *gateCommitted, *gateFresh, *gateTol); err != nil {
@@ -192,6 +215,7 @@ func main() {
 	run("e12", func() error { return e12(e12cfg, *e12json) })
 	run("e13", func() error { return e13(e13cfg, *e13json) })
 	run("e14", func() error { return e14(e14cfg, *e14json) })
+	run("e15", func() error { return e15(e15cfg, *e15json) })
 }
 
 // e1 prints the generated family for the paper's Figure 2 class X,

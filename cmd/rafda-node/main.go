@@ -8,7 +8,7 @@
 //	    [-main Main] [-name node1] [-pool 4] [-adapt] [-adapt-window 250ms] \
 //	    [-cluster] [-join rrp://10.0.0.2:7001] [-cluster-heartbeat 100ms] \
 //	    [-cluster-propose] [-cluster-fanout 2] \
-//	    [-pprof 127.0.0.1:6060] [-trace-spans 8192] [-no-trace]
+//	    [-pprof 127.0.0.1:6060] [-trace-spans 8192] [-no-trace] [-max-inflight 256]
 //
 // Without -main the node serves until interrupted.  -adapt switches on
 // the adaptive placement engine (docs/ADAPTIVE.md): the node watches
@@ -79,6 +79,7 @@ func run() error {
 	pprofAddr := flag.String("pprof", "", "debug HTTP address serving net/http/pprof and /debug/rafda (empty: off)")
 	traceSpans := flag.Int("trace-spans", 0, "flight recorder ring capacity (0: default 4096)")
 	noTrace := flag.Bool("no-trace", false, "disable the distributed-tracing plane (docs/OBSERVABILITY.md)")
+	maxInflight := flag.Int("max-inflight", 0, "per-connection dispatch concurrency bound; with per-call deadlines this is the overload-control knob (0: default 256)")
 	flag.Parse()
 
 	if *archive == "" {
@@ -106,7 +107,7 @@ func run() error {
 
 	node, err := tr.NewNode(rafda.NodeConfig{
 		Name: *name, Output: os.Stdout, PoolSize: *poolSize,
-		TraceSpans: *traceSpans, NoTrace: *noTrace,
+		TraceSpans: *traceSpans, NoTrace: *noTrace, MaxInflight: *maxInflight,
 	})
 	if err != nil {
 		return err

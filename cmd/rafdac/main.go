@@ -7,14 +7,16 @@
 //	rafdac run      [-main C] [-transformed] file.mj|.rar
 //	rafdac verify   file.mj|.rar
 //	rafdac trace    -node proto://host:port [-node ...] <hex-trace-id>
-//	rafdac top      -node proto://host:port [-node ...]
+//	rafdac top      [-watch 2s] -node proto://host:port [-node ...]
 //
 // Inputs ending in .rar are binary class archives produced by compile or
 // transform; anything else is treated as mini-Java source.  trace and
 // top query running nodes over the effect-free introspection op
 // (docs/OBSERVABILITY.md): trace reassembles one distributed call's
 // span tree across every queried node's flight recorder, top prints
-// each node's activity counters and per-kind latency digest.
+// each node's activity and overload counters plus its per-kind,
+// per-op and per-tenant latency digests; -watch re-polls and redraws
+// in place at the given interval.
 package main
 
 import (

@@ -42,6 +42,17 @@ type span struct {
 	Err    string `json:"err"`
 }
 
+// keyRow mirrors internal/trace.KeyStat's JSON shape: one row of a
+// keyed (per-op or per-tenant) latency digest.
+type keyRow struct {
+	Key    string  `json:"key"`
+	Count  uint64  `json:"count"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
 // metrics mirrors the slice of internal/node.Introspection that top
 // renders.
 type metrics struct {
@@ -59,6 +70,13 @@ type metrics struct {
 		Parked        uint64 `json:"parked_duplicates"`
 		StaleRejected uint64 `json:"stale_rejected"`
 	} `json:"dedup"`
+	Overload struct {
+		AdmissionRejects  uint64 `json:"admission_rejects"`
+		DeadlineExpiries  uint64 `json:"deadline_expiries"`
+		OutboxStalls      uint64 `json:"outbox_stalls"`
+		Inflight          int64  `json:"inflight"`
+		InflightHighWater int64  `json:"inflight_high_water"`
+	} `json:"overload"`
 	Trace *struct {
 		Spans    int    `json:"spans"`
 		Capacity int    `json:"capacity"`
@@ -71,6 +89,8 @@ type metrics struct {
 			P999us float64 `json:"p999_us"`
 			MaxUs  float64 `json:"max_us"`
 		} `json:"kinds"`
+		Ops     []keyRow `json:"ops"`
+		Tenants []keyRow `json:"tenants"`
 	} `json:"trace"`
 }
 
@@ -168,18 +188,39 @@ func printTree(id string, spans []span) {
 	}
 }
 
-// cmdTop prints each node's unified metrics snapshot: activity and
-// dedup counters plus the flight recorder's per-kind latency digest.
+// cmdTop prints each node's unified metrics snapshot: activity, dedup
+// and overload counters plus the flight recorder's per-kind, per-op and
+// per-tenant latency digests.  With -watch it re-polls at the given
+// interval and redraws in place, so an operator can watch the overload
+// counters and tail percentiles move under load.
 func cmdTop(args []string) error {
 	fs := flag.NewFlagSet("top", flag.ContinueOnError)
 	var nodes multiFlag
 	fs.Var(&nodes, "node", "endpoint of a node to query, proto://host:port (repeatable)")
+	watch := fs.Duration("watch", 0, "re-poll and redraw in place at this interval (0 = print once)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(nodes) == 0 {
 		return fmt.Errorf("top needs at least one -node endpoint")
 	}
+	if *watch <= 0 {
+		return topOnce(nodes)
+	}
+	for {
+		// Clear screen and home the cursor before each frame so the
+		// display updates in place rather than scrolling.
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Printf("rafdac top  every %v  %s\n\n", *watch, time.Now().Format("15:04:05"))
+		if err := topOnce(nodes); err != nil {
+			return err
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// topOnce polls every node and prints one frame.
+func topOnce(nodes []string) error {
 	for _, ep := range nodes {
 		out, err := rafda.IntrospectEndpoint(ep, "metrics", "")
 		if err != nil {
@@ -195,6 +236,10 @@ func cmdTop(args []string) error {
 			m.Activity.MigrationsOut, m.Activity.MigrationsIn, m.Exports)
 		fmt.Printf("  dedup replay %d  parked %d  stale %d\n",
 			m.Dedup.ReplayHits, m.Dedup.Parked, m.Dedup.StaleRejected)
+		ov := m.Overload
+		fmt.Printf("  overload rejects %d  expiries %d  outbox stalls %d  inflight %d (hw %d)\n",
+			ov.AdmissionRejects, ov.DeadlineExpiries, ov.OutboxStalls,
+			ov.Inflight, ov.InflightHighWater)
 		if m.Trace == nil {
 			fmt.Println("  tracing disabled")
 			continue
@@ -207,6 +252,21 @@ func cmdTop(args []string) error {
 					k.Kind, k.Count, k.P50us, k.P99us, k.P999us, k.MaxUs)
 			}
 		}
+		printKeyed("op", m.Trace.Ops)
+		printKeyed("tenant", m.Trace.Tenants)
 	}
 	return nil
+}
+
+// printKeyed renders one keyed digest (per-op or per-tenant) in the
+// same column layout as the per-kind table.
+func printKeyed(axis string, rows []keyRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("  %-13s %9s %10s %10s %10s %10s\n", axis, "count", "p50", "p99", "p999", "max")
+	for _, r := range rows {
+		fmt.Printf("  %-13s %9d %9.1fµs %9.1fµs %9.1fµs %9.1fµs\n",
+			r.Key, r.Count, r.P50us, r.P99us, r.P999us, r.MaxUs)
+	}
 }

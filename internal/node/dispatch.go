@@ -256,6 +256,20 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 		name = req.Op.String()
 	}
 	sp := n.startSpan(traceCtxOf(req), trace.KindServer, name, targetGUID)
+	// Deadlined calls measure their gate wait even with both planes
+	// disabled: the budget is charged for queueing, and a call whose
+	// budget the queue consumed is rejected before its body runs
+	// (docs/CONCURRENCY.md §15).  The transport's admission check
+	// already charged network-side queueing; this is the dispatch-side
+	// leg of the same decrement chain.
+	deadlined := req.DeadlineUs > 0
+	start := int64(0)
+	if sp != nil {
+		start = sp.Start
+	} else if deadlined {
+		start = time.Now().UnixNano()
+	}
+	expired := false
 	var svc, queue time.Duration
 	for attempt := 0; ; attempt++ {
 		*resp = wire.Response{ID: req.ID}
@@ -273,19 +287,35 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 			if sp != nil {
 				env.SetTraceCtx(sp.Trace, sp.ID)
 			}
-			if st != nil || sp != nil {
+			if st != nil || sp != nil || deadlined {
 				t0 := time.Now()
-				if sp != nil {
+				if sp != nil || deadlined {
 					// Queue is everything between the span's Start and this
 					// execution actually entering the gate, minus service
 					// time already spent in interrupted attempts — derived
 					// from t0, so the split costs no extra clock read.
-					queue = time.Duration(t0.UnixNano() - sp.Start - int64(svc))
+					queue = time.Duration(t0.UnixNano() - start - int64(svc))
+				}
+				if deadlined {
+					remaining := int64(req.DeadlineUs) - int64(queue/time.Microsecond)
+					if remaining <= 0 {
+						expired = true
+						return // before the deferred svc accrual: no body ran
+					}
+					// Nested proxy calls stamp what's left of the budget
+					// onto their outbound requests.
+					env.SetDeadlineUs(uint64(remaining))
 				}
 				defer func() { svc += time.Since(t0) }()
 			}
 			call(env)
 		})
+		if expired {
+			n.overload.NoteDeadlineExpiry()
+			resp.Err = fmt.Sprintf("node %s: %s deadline expired in gate queue (budget %dµs, waited %v)",
+				n.name, name, req.DeadlineUs, queue.Round(time.Microsecond))
+			break
+		}
 		if !interrupted {
 			break
 		}
@@ -308,6 +338,12 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 		// Effect classification feeds the replication rule: provable
 		// reads versus (conservatively) everything else.
 		st.RecordEffect(n.isWriter(target.ClassName(), req.Method, len(req.Args)))
+	}
+	// The SLO plane's keyed view: served-call latency by method and by
+	// caller identity.  Expired calls never ran, so they would only
+	// pollute the service-time distributions.
+	if !expired {
+		n.tracer.ObserveCall(name, req.Caller, int64(svc))
 	}
 	return ctx
 }

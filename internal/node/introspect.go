@@ -32,6 +32,12 @@ type Introspection struct {
 	Activity Stats                 `json:"activity"`
 	Dedup    telemetry.DedupSample `json:"dedup"`
 
+	// Overload is the SLO plane's refusal/pressure counters: admission
+	// rejects, deadline expiries, the in-flight dispatch high-water and
+	// outbox backpressure stalls.  Always present — the counters are
+	// always on.
+	Overload telemetry.OverloadSample `json:"overload"`
+
 	// Telemetry samples; nil slices when EnableTelemetry was never
 	// called on this node.
 	Objects []ObjIntro              `json:"objects,omitempty"`
@@ -88,6 +94,7 @@ func (n *Node) introspection() *Introspection {
 		PoolShards: n.cache.Shards(),
 		Activity:   n.Snapshot(),
 		Dedup:      n.DedupSnapshot(),
+		Overload:   n.overload.Snapshot(),
 	}
 	sort.Strings(in.Endpoints)
 	if rec := n.telem.Load(); rec != nil {

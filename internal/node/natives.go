@@ -284,6 +284,12 @@ func (n *Node) proxyInvoke(env *vm.Env, classSide bool, method string, recv vm.V
 		}
 		req.Trace = wireCtx(sp)
 	}
+	// Deadline propagation: an execution started by a deadlined dispatch
+	// carries its remaining budget as env baggage (already charged for
+	// this node's queue and gate waits); stamp it on the outbound leg so
+	// the next hop's admission and gate checks spend from the same
+	// budget (docs/OBSERVABILITY.md).
+	req.DeadlineUs = env.DeadlineUs()
 	var start time.Time
 	if rec != nil {
 		start = time.Now()

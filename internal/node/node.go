@@ -84,6 +84,12 @@ type Config struct {
 	// <5% of the echo tier); this flag exists for that measurement and
 	// for memory-constrained embeddings.
 	NoTrace bool
+	// Overload, when non-nil, is the overload-counter instance the node
+	// records into (deadline expiries at the dispatch gate; admission
+	// events if the same instance is wired into the transports'
+	// Options.Overload, as the facade does).  Nil allocates a private
+	// one — the counters are always on; they are a few atomics.
+	Overload *telemetry.OverloadStats
 }
 
 // Node is one address space.
@@ -176,6 +182,12 @@ type Node struct {
 	// every emission site; emission itself is lock-free and never
 	// blocks (internal/trace, docs/OBSERVABILITY.md).
 	tracer *trace.Recorder
+
+	// overload counts the SLO plane's refusals and pressure points
+	// (admission rejects, deadline expiries, inflight high-water,
+	// outbox stalls).  Never nil; shared with the transports when the
+	// embedder wires the same instance into their Options.
+	overload *telemetry.OverloadStats
 }
 
 // nodeSeq decorrelates caller-incarnation ids of same-named nodes in
@@ -228,9 +240,15 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node %q: %w", cfg.Name, err)
 	}
+	overload := cfg.Overload
+	if overload == nil {
+		overload = &telemetry.OverloadStats{}
+	}
 	reg := cfg.Transports
 	if reg == nil {
-		reg = transport.Default(transport.Options{})
+		// A defaulted registry shares the node's overload counters, so
+		// transport-admission rejects land in the same snapshot.
+		reg = transport.Default(transport.Options{Overload: overload})
 	}
 	n := &Node{
 		name:       cfg.Name,
@@ -246,6 +264,7 @@ func New(cfg Config) (*Node, error) {
 		issuer:     dedup.NewIssuer(fmt.Sprintf("%s!%d", cfg.Name, nodeSeq.Add(1))),
 		dedupTab:   dedup.NewTable(cfg.DedupWindow),
 		untokened:  cfg.UntokenedWire,
+		overload:   overload,
 	}
 	// Method-effect classification for the replication plane.  The alias
 	// hook gives each generated proxy native the effects of its local
@@ -276,6 +295,9 @@ func New(cfg Config) (*Node, error) {
 // Tracer returns the node's flight recorder, or nil when tracing is
 // disabled (Config.NoTrace).
 func (n *Node) Tracer() *trace.Recorder { return n.tracer }
+
+// Overload returns the node's overload counters (never nil).
+func (n *Node) Overload() *telemetry.OverloadStats { return n.overload }
 
 // Name returns the node name.
 func (n *Node) Name() string { return n.name }

@@ -1,0 +1,95 @@
+package telemetry
+
+import "sync/atomic"
+
+// OverloadStats counts one node's overload-control events: the SLO
+// plane's view of where load was refused or queued rather than served.
+// All fields are atomics and every method is nil-safe, so the transport
+// and dispatch hot paths record unconditionally.  One instance is
+// shared between the node and its transports (they see the same
+// overload), wired through transport.Options and node.Config.
+type OverloadStats struct {
+	// AdmissionRejects counts requests refused at admission — the
+	// dispatch slot was not taken.  Every admission reject of a
+	// deadlined call is also a deadline expiry.
+	AdmissionRejects atomic.Uint64
+	// DeadlineExpiries counts calls whose remaining latency budget ran
+	// out before the method body executed: in the transport admission
+	// queue, or in the object gate queue after a slot was granted.
+	DeadlineExpiries atomic.Uint64
+	// OutboxStalls counts response frames that found the writer outbox
+	// full and had to block — the backpressure cliff before the writer.
+	OutboxStalls atomic.Uint64
+	// Inflight is the live dispatch-slot gauge across connections;
+	// InflightHighWater its observed maximum (the queue-depth
+	// high-water mark of the serve plane).
+	Inflight          atomic.Int64
+	InflightHighWater atomic.Int64
+}
+
+// NoteAdmissionReject counts one refused request; expired marks it as a
+// deadline expiry too.
+func (s *OverloadStats) NoteAdmissionReject(expired bool) {
+	if s == nil {
+		return
+	}
+	s.AdmissionRejects.Add(1)
+	if expired {
+		s.DeadlineExpiries.Add(1)
+	}
+}
+
+// NoteDeadlineExpiry counts a call whose budget ran out after admission
+// (gate-queue expiry).
+func (s *OverloadStats) NoteDeadlineExpiry() {
+	if s == nil {
+		return
+	}
+	s.DeadlineExpiries.Add(1)
+}
+
+// NoteOutboxStall counts one blocked outbox enqueue.
+func (s *OverloadStats) NoteOutboxStall() {
+	if s == nil {
+		return
+	}
+	s.OutboxStalls.Add(1)
+}
+
+// NoteInflight bumps the dispatch-slot gauge by delta and folds the
+// result into the high-water mark.
+func (s *OverloadStats) NoteInflight(delta int64) {
+	if s == nil {
+		return
+	}
+	n := s.Inflight.Add(delta)
+	for {
+		hw := s.InflightHighWater.Load()
+		if n <= hw || s.InflightHighWater.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+// OverloadSample is one node's overload counters at snapshot time.
+type OverloadSample struct {
+	AdmissionRejects  uint64 `json:"admission_rejects"`
+	DeadlineExpiries  uint64 `json:"deadline_expiries"`
+	OutboxStalls      uint64 `json:"outbox_stalls"`
+	Inflight          int64  `json:"inflight"`
+	InflightHighWater int64  `json:"inflight_high_water"`
+}
+
+// Snapshot reads the counters; nil-safe (a nil stats reads as zero).
+func (s *OverloadStats) Snapshot() OverloadSample {
+	if s == nil {
+		return OverloadSample{}
+	}
+	return OverloadSample{
+		AdmissionRejects:  s.AdmissionRejects.Load(),
+		DeadlineExpiries:  s.DeadlineExpiries.Load(),
+		OutboxStalls:      s.OutboxStalls.Load(),
+		Inflight:          s.Inflight.Load(),
+		InflightHighWater: s.InflightHighWater.Load(),
+	}
+}

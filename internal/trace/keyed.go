@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// keyedMax caps the distinct keys a keyedHists tracks.  Op names and
+// tenant identities are small sets in practice (tens), but both arrive
+// off the wire, so without a cap a hostile caller could grow node
+// memory one histogram (~8KB) per fabricated key.  Keys past the cap
+// fold into the shared overflow histogram, reported as "~other".
+const keyedMax = 256
+
+// keyedHists is a set of latency histograms keyed by an arbitrary
+// string (method name, tenant identity).  The hot path is a sync.Map
+// load plus the histogram's atomic bucket increment — no locks, same
+// any-tier safety as Emit.  The key count may overshoot keyedMax by a
+// few under concurrent first-observations; the bound is approximate,
+// the fold is what matters.
+type keyedHists struct {
+	m     sync.Map // string -> *hist
+	n     atomic.Int64
+	other hist
+}
+
+func (k *keyedHists) observe(key string, v uint64) {
+	if h, ok := k.m.Load(key); ok {
+		h.(*hist).observe(v)
+		return
+	}
+	if k.n.Load() >= keyedMax {
+		k.other.observe(v)
+		return
+	}
+	nh := new(hist)
+	if actual, loaded := k.m.LoadOrStore(key, nh); loaded {
+		actual.(*hist).observe(v)
+		return
+	}
+	k.n.Add(1)
+	nh.observe(v)
+}
+
+// stats renders every key's distribution, busiest first, with the
+// overflow histogram (if any) last as "~other".
+func (k *keyedHists) stats() []KeyStat {
+	var out []KeyStat
+	k.m.Range(func(key, h any) bool {
+		if row, ok := h.(*hist).keyStat(key.(string)); ok {
+			out = append(out, row)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if row, ok := k.other.keyStat("~other"); ok {
+		out = append(out, row)
+	}
+	return out
+}
+
+// KeyStat is one key's latency distribution at snapshot time — the
+// keyed twin of KindStat, used for the per-op and per-tenant rows.
+type KeyStat struct {
+	Key    string  `json:"key"`
+	Count  uint64  `json:"count"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// keyStat renders the histogram as a keyed snapshot row; ok is false
+// when no value was ever observed.
+func (h *hist) keyStat(key string) (KeyStat, bool) {
+	n := h.count.Load()
+	if n == 0 {
+		return KeyStat{}, false
+	}
+	us := func(ns uint64) float64 { return float64(ns) / 1e3 }
+	return KeyStat{
+		Key:    key,
+		Count:  n,
+		P50us:  us(h.quantile(0.50)),
+		P99us:  us(h.quantile(0.99)),
+		P999us: us(h.quantile(0.999)),
+		MaxUs:  us(h.max.Load()),
+	}, true
+}
+
+// ObserveCall feeds one served call into the per-op and per-tenant
+// histograms.  op is the dispatched method, tenant the caller identity
+// (the wire Caller endpoint); empty strings skip their axis.  Lock-free
+// and nil-safe, so dispatch can call it unconditionally.
+func (r *Recorder) ObserveCall(op, tenant string, durNs int64) {
+	if r == nil || durNs < 0 {
+		return
+	}
+	v := uint64(durNs)
+	if op != "" {
+		r.ops.observe(op, v)
+	}
+	if tenant != "" {
+		r.tenants.observe(tenant, v)
+	}
+}

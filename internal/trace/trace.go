@@ -137,6 +137,12 @@ type Recorder struct {
 	block atomic.Pointer[spanBlock] // NewSpan's current allocation batch
 	hists [numKinds]hist
 	queue hist // gate-wait split of server spans
+
+	// Keyed distributions for the SLO plane: served-call latency by
+	// dispatched method and by caller identity (tenant).  Fed by
+	// ObserveCall, cardinality-capped (keyed.go).
+	ops     keyedHists
+	tenants keyedHists
 }
 
 // spanBlockSize is NewSpan's allocation batch: spans are bump-allocated
@@ -296,6 +302,11 @@ type Stats struct {
 	Capacity int        `json:"capacity"`
 	Emitted  uint64     `json:"emitted"`
 	Kinds    []KindStat `json:"kinds,omitempty"`
+	// Ops and Tenants are served-call latency by dispatched method and
+	// by caller identity, busiest first (ObserveCall's view); present
+	// only once calls have been observed.
+	Ops     []KeyStat `json:"ops,omitempty"`
+	Tenants []KeyStat `json:"tenants,omitempty"`
 }
 
 // Stats snapshots the per-kind histograms (plus the server gate-wait
@@ -313,5 +324,7 @@ func (r *Recorder) Stats() Stats {
 	if row, ok := r.queue.stat("queue"); ok {
 		st.Kinds = append(st.Kinds, row)
 	}
+	st.Ops = r.ops.stats()
+	st.Tenants = r.tenants.stats()
 	return st
 }

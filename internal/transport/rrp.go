@@ -9,7 +9,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"rafda/internal/telemetry"
 	"rafda/internal/wire"
 )
 
@@ -42,7 +44,7 @@ func (t *RRP) Listen(addr string, h Handler) (Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rrp listen: %w", err)
 	}
-	s := &rrpServer{l: l, inflight: t.opts.maxInflight()}
+	s := &rrpServer{l: l, inflight: t.opts.maxInflight(), ov: t.opts.Overload}
 	go s.acceptLoop(h)
 	return s, nil
 }
@@ -50,6 +52,7 @@ func (t *RRP) Listen(addr string, h Handler) (Server, error) {
 type rrpServer struct {
 	l        net.Listener
 	inflight int
+	ov       *telemetry.OverloadStats
 	wg       sync.WaitGroup
 	closed   sync.Once
 
@@ -109,19 +112,19 @@ func (s *rrpServer) acceptLoop(h Handler) {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
-			serveRRPConn(conn, h, s.inflight)
+			serveRRPConn(conn, h, s.inflight, s.ov)
 		}()
 	}
 }
 
-// serveRRPConn is one connection's read loop: decode each frame, hand the
-// request to a worker goroutine (at most maxInflight concurrently), and
-// let workers queue their responses — in completion order, not arrival
-// order — to the connection's writer goroutine, which batches them into
-// vectored writes.  A slow call therefore delays only itself; later
-// requests on the same connection overtake it and their responses go
-// out first.
-func serveRRPConn(conn net.Conn, h Handler, maxInflight int) {
+// serveRRPConn is one connection's read loop: decode each frame, admit
+// it (see admit), hand the request to a worker goroutine (at most
+// maxInflight concurrently), and let workers queue their responses — in
+// completion order, not arrival order — to the connection's writer
+// goroutine, which batches them into vectored writes.  A slow call
+// therefore delays only itself; later requests on the same connection
+// overtake it and their responses go out first.
+func serveRRPConn(conn net.Conn, h Handler, maxInflight int, ov *telemetry.OverloadStats) {
 	br := bufio.NewReaderSize(conn, rrpBufSize)
 	outbox := make(chan outFrame, outboxDepth)
 	writerDone := make(chan struct{})
@@ -146,17 +149,82 @@ func serveRRPConn(conn net.Conn, h Handler, maxInflight int) {
 		if err != nil {
 			return
 		}
-		sem <- struct{}{}
+		if !admit(req, sem, ov, outbox) {
+			continue // rejected: error response queued, no slot taken
+		}
+		ov.NoteInflight(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			resp := h(req)
-			respBufp := getFrameBuf()
-			full := wire.AppendResponse((*respBufp)[:frameHeadroom], resp)
-			*respBufp = full // adopt the (possibly grown) backing
-			outbox <- outFrame{bufp: respBufp, frame: appendLengthPrefix(full)}
+			defer func() { <-sem; ov.NoteInflight(-1) }()
+			queueResponse(outbox, h(req), ov)
 		}()
+	}
+}
+
+// admit acquires a dispatch slot for req.  A deadline-free request
+// blocks until a slot frees (the pre-deadline behaviour: backpressure
+// on the connection's read loop).  A deadlined request waits at most
+// its remaining budget: if the budget runs out first it is rejected
+// right here — the admission check sits *before* the dispatch
+// semaphore, so an expired call consumes no slot and no handler work
+// (docs/CONCURRENCY.md §15) — and a slot granted in time is charged
+// for the wait by decrementing the budget the call carries on.
+func admit(req *wire.Request, sem chan struct{}, ov *telemetry.OverloadStats, outbox chan<- outFrame) bool {
+	if req.DeadlineUs == 0 {
+		sem <- struct{}{}
+		return true
+	}
+	select {
+	case sem <- struct{}{}: // fast path: free slot, no wait to charge
+		return true
+	default:
+	}
+	start := time.Now()
+	timer := time.NewTimer(time.Duration(req.DeadlineUs) * time.Microsecond)
+	select {
+	case sem <- struct{}{}:
+		timer.Stop()
+		waited := uint64(time.Since(start) / time.Microsecond)
+		if waited >= req.DeadlineUs {
+			// Granted at the buzzer: the budget is gone, so hand the
+			// slot back rather than burn it on a call whose caller has
+			// already given up.
+			<-sem
+			ov.NoteAdmissionReject(true)
+			queueResponse(outbox, deadlineReject(req), ov)
+			return false
+		}
+		req.DeadlineUs -= waited
+		return true
+	case <-timer.C:
+		ov.NoteAdmissionReject(true)
+		queueResponse(outbox, deadlineReject(req), ov)
+		return false
+	}
+}
+
+// deadlineReject is the admission-rejection response: a transport-level
+// error (not an application exception), so pool failover and callers
+// see it the same way as any remote fault.
+func deadlineReject(req *wire.Request) *wire.Response {
+	return &wire.Response{ID: req.ID, Err: fmt.Sprintf(
+		"deadline expired in admission queue (budget was %dµs)", req.DeadlineUs)}
+}
+
+// queueResponse encodes resp into a pooled frame and hands it to the
+// connection's writer, counting — but still honouring — outbox
+// backpressure when the writer has fallen outboxDepth frames behind.
+func queueResponse(outbox chan<- outFrame, resp *wire.Response, ov *telemetry.OverloadStats) {
+	respBufp := getFrameBuf()
+	full := wire.AppendResponse((*respBufp)[:frameHeadroom], resp)
+	*respBufp = full // adopt the (possibly grown) backing
+	of := outFrame{bufp: respBufp, frame: appendLengthPrefix(full)}
+	select {
+	case outbox <- of:
+	default:
+		ov.NoteOutboxStall()
+		outbox <- of
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"rafda/internal/netsim"
+	"rafda/internal/telemetry"
 	"rafda/internal/wire"
 )
 
@@ -96,6 +97,13 @@ type Options struct {
 	// MaxInflight bounds the number of requests a server dispatches
 	// concurrently per connection (rrp); 0 means DefaultMaxInflight.
 	MaxInflight int
+	// Overload, when non-nil, receives the serve plane's overload
+	// events: admission rejects and admission-queue deadline expiries,
+	// the in-flight dispatch-slot gauge/high-water, and outbox
+	// backpressure stalls.  The node shares its own instance here so
+	// one snapshot covers transport and dispatch (nil disables nothing
+	// — all methods are nil-safe — it just records nowhere).
+	Overload *telemetry.OverloadStats
 }
 
 // DefaultMaxInflight is the per-connection concurrent-dispatch bound used

@@ -117,6 +117,14 @@ type Env struct {
 	// vm layer free of trace types just as well as an any would).
 	traceID uint64
 	spanID  uint64
+
+	// deadlineUs is the execution's remaining latency budget in
+	// microseconds (zero: none).  The dispatcher deposits the inbound
+	// call's budget — already charged for queue/gate wait — and nested
+	// proxy calls read it to stamp their outbound requests, so a
+	// deadline propagates down a forwarding or fan-out chain.  Same
+	// bare-word, non-one-shot discipline as the trace context above.
+	deadlineUs uint64
 }
 
 // SetForward deposits one-shot forwarding baggage (see Env.forward).
@@ -139,6 +147,14 @@ func (e *Env) SetTraceCtx(traceID, spanID uint64) {
 // TraceCtx reads the execution's span context; zero when the execution
 // was not started by a traced dispatch.
 func (e *Env) TraceCtx() (traceID, spanID uint64) { return e.traceID, e.spanID }
+
+// SetDeadlineUs deposits the execution's remaining latency budget (see
+// Env.deadlineUs).
+func (e *Env) SetDeadlineUs(us uint64) { e.deadlineUs = us }
+
+// DeadlineUs reads the execution's remaining latency budget; zero when
+// the inbound call carried no deadline.
+func (e *Env) DeadlineUs() uint64 { return e.deadlineUs }
 
 // gateRef is one held invocation gate plus the object's epoch at
 // acquisition, so RunUnlocked can detect a morph that landed while the

@@ -87,6 +87,12 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		dst = appendUvarint(dst, req.Trace.Span)
 		dst = insertLength(dst, mark)
 	}
+	if req.DeadlineUs != 0 {
+		dst = appendUvarint(dst, reqExtDeadline)
+		mark := len(dst)
+		dst = appendUvarint(dst, req.DeadlineUs)
+		dst = insertLength(dst, mark)
+	}
 	return dst
 }
 
@@ -100,6 +106,9 @@ const (
 	// reqExtTrace carries the causal span context (trace id, parent
 	// span id) the request runs under.
 	reqExtTrace = 3
+	// reqExtDeadline carries the call's remaining latency budget in
+	// microseconds; each hop decrements it by measured queue/gate wait.
+	reqExtDeadline = 4
 )
 
 // respExtEpoch tags the response extension section carrying the read
@@ -229,6 +238,8 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 			req.Epoch = d.u64()
 		case reqExtTrace:
 			req.Trace = TraceContext{Trace: d.u64(), Span: d.u64()}
+		case reqExtDeadline:
+			req.DeadlineUs = d.u64()
 		default:
 			d.off = end
 		}

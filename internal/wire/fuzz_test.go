@@ -37,6 +37,11 @@ func seedRequests() []*Request {
 			Token: &CallToken{Caller: "n!1", Seq: 12, Attempt: 2},
 			Trace: TraceContext{Trace: 0xfeedface, Span: 0xbeef}},
 		{ID: 9, Op: OpIntrospect, Method: "spans"},
+		{ID: 11, Op: OpInvoke, GUID: "g#1", Method: "m",
+			Caller: "rrp://c:1", DeadlineUs: 2500},
+		{ID: 12, Op: OpInvoke, GUID: "g#1", Method: "m",
+			Trace:      TraceContext{Trace: 0xcafe, Span: 0xf00d},
+			DeadlineUs: 150000},
 		{ID: 10, Op: OpIntrospect, GUID: "abcdef0123456789", Method: "trace",
 			Trace: TraceContext{Trace: 1, Span: 2}},
 		{ID: 7, Op: OpGossip, Cluster: &ClusterPayload{

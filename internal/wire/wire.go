@@ -209,6 +209,14 @@ type Request struct {
 	// path allocates nothing; all three codecs omit the zero value, so
 	// untraced frames stay byte-identical to the pre-trace protocol.
 	Trace TraceContext `json:"trace,omitzero" xml:"trace"`
+	// DeadlineUs is the call's remaining latency budget in microseconds.
+	// Zero means no deadline.  Each hop decrements it by the queue/gate
+	// wait it measured before executing the call; a server that finds
+	// the budget exhausted rejects at admission instead of burning a
+	// dispatch slot.  The binary codec emits it as an optional trailing
+	// extension (tag 4), so deadline-free frames stay byte-identical to
+	// the pre-deadline protocol and older peers skip the tag gracefully.
+	DeadlineUs uint64 `json:"deadline_us,omitempty" xml:"deadline-us,attr,omitempty"`
 }
 
 // TraceContext is the span context riding a request: the trace the

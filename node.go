@@ -10,6 +10,7 @@ import (
 	"rafda/internal/netsim"
 	"rafda/internal/node"
 	"rafda/internal/policy"
+	"rafda/internal/telemetry"
 	"rafda/internal/transport"
 	"rafda/internal/vm"
 )
@@ -103,6 +104,13 @@ type NodeConfig struct {
 	// flight recorder, no span extensions on outgoing requests.  The
 	// E14 experiment bounds what this saves (<5% on the echo tier).
 	NoTrace bool
+	// MaxInflight bounds how many requests this node's rrp server
+	// dispatches concurrently per connection; <= 0 takes the transport
+	// default (256).  Together with per-call deadlines it is the
+	// overload-control knob: deadlined calls that cannot get a dispatch
+	// slot within their budget are rejected at admission and counted in
+	// the overload section of IntrospectJSON (docs/OBSERVABILITY.md).
+	MaxInflight int
 }
 
 // Node is one address space hosting the transformed program.
@@ -132,7 +140,15 @@ func (n *Node) attachCluster(c *Cluster) {
 
 // NewNode builds a node for the transformed program.
 func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
-	reg := transport.Default(transport.Options{Profile: cfg.Network.profile()})
+	// One overload-counter instance shared by the node and its
+	// transports: admission rejects at the rrp server and gate-queue
+	// expiries at dispatch land in the same introspection snapshot.
+	overload := &telemetry.OverloadStats{}
+	reg := transport.Default(transport.Options{
+		Profile:     cfg.Network.profile(),
+		MaxInflight: cfg.MaxInflight,
+		Overload:    overload,
+	})
 	var vmOpts []vm.Option
 	if cfg.MaxSteps > 0 {
 		vmOpts = append(vmOpts, vm.WithMaxSteps(cfg.MaxSteps))
@@ -149,6 +165,7 @@ func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
 		UntokenedWire:     cfg.UntokenedWire,
 		TraceSpans:        cfg.TraceSpans,
 		NoTrace:           cfg.NoTrace,
+		Overload:          overload,
 	})
 	if err != nil {
 		return nil, err
