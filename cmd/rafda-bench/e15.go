@@ -51,6 +51,11 @@ class Item {
     Item(int v0) { this.v = v0; }
     int get() { return v; }
     int put(int x) { this.v = v + x; return v; }
+    int hold(int us) {
+        sys.Clock.sleepMicros(us);
+        v = v + 1;
+        return v;
+    }
 }
 class Mk {
     static Item make(int v0) { return new Item(v0); }
@@ -69,6 +74,9 @@ type e15Config struct {
 	deadline time.Duration // per-call wire deadline
 	sloP99   time.Duration // per-tenant clean-phase p99 bar
 	maxErr   float64       // tolerated clean-phase error fraction
+
+	arm        string  // main | shed | both
+	shedFactor float64 // shed arm: offered-load multiple of measured capacity
 }
 
 // e15Phases names the run's three windows in timeline order.
@@ -133,6 +141,11 @@ type E15Report struct {
 	Overload         []E15Overload `json:"server_overload"`
 
 	SloOK float64 `json:"slo_ok"`
+
+	// The shed arm (e15shed.go): sustained >=3x saturation against the
+	// proactive shedding tier.  Nil when the arm was not run.
+	ShedArm *E15ShedArm `json:"shed_arm,omitempty"`
+	ShedOK  float64     `json:"shed_ok"`
 }
 
 // e15Entry is one live object's current address; the pointer in the
@@ -201,14 +214,25 @@ func e15MakeObjects(client transport.Client, ep string, base, n int) ([]*e15Entr
 	return entries, nil
 }
 
+// e15 orchestrates the experiment's two arms.  The main arm is the
+// churn/SLO timeline described atop this file; the shed arm
+// (e15shed.go) saturates a shedding-configured node at a multiple of
+// its measured capacity and checks the proactive policies protect the
+// high-priority tenants.  -e15-arm selects main, shed or both.
 func e15(cfg e15Config, jsonPath string) error {
 	if cfg.objects < 20 || cfg.tenants < 2 {
 		return fmt.Errorf("e15 wants at least 20 objects and 2 tenants (got %d/%d)", cfg.objects, cfg.tenants)
 	}
+	runMain := cfg.arm == "" || cfg.arm == "main" || cfg.arm == "both"
+	runShed := cfg.arm == "shed" || cfg.arm == "both"
+	if !runMain && !runShed {
+		return fmt.Errorf("bad -e15-arm %q (want main, shed or both)", cfg.arm)
+	}
 	report := E15Report{
 		Experiment: "e15",
 		Description: "open-loop latency SLO: Poisson arrivals, Zipf object popularity, per-tenant " +
-			"deadlined calls; node churn + link degradation mid-run; exact clean-phase percentiles vs SLO",
+			"deadlined calls; node churn + link degradation mid-run; exact clean-phase percentiles vs SLO; " +
+			"plus a proactive load-shedding arm at >=3x measured capacity",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -221,7 +245,39 @@ func e15(cfg e15Config, jsonPath string) error {
 		SloP99Ms:   float64(cfg.sloP99) / float64(time.Millisecond),
 		MaxErrRate: cfg.maxErr,
 	}
+	if runMain {
+		if err := e15Main(cfg, &report); err != nil {
+			return err
+		}
+	}
+	if runShed {
+		if err := e15Shed(cfg, &report); err != nil {
+			return err
+		}
+	}
 
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("machine-readable results written to %s\n", jsonPath)
+	}
+	if runMain && report.SloOK != 1.0 {
+		return fmt.Errorf("SLO missed: worst tenant p99 %.2fms (bar %.0fms), clean error rate %.4f (bound %.4f)",
+			report.WorstTenantP99Ms, report.SloP99Ms, report.CleanErrorRate, cfg.maxErr)
+	}
+	if runShed && report.ShedOK != 1.0 {
+		return fmt.Errorf("shed arm failed: shed_ok = 0 (see the shed-arm table above)")
+	}
+	return nil
+}
+
+// e15Main runs the churn/SLO arm and fills the report's main-arm rows.
+func e15Main(cfg e15Config, report *E15Report) error {
 	prog, err := rafda.CompileString(e15Source)
 	if err != nil {
 		return err
@@ -531,20 +587,5 @@ func e15(cfg e15Config, jsonPath string) error {
 		report.ChurnObjects, report.RehomeMs)
 	fmt.Printf("  worst tenant p99 %.2fms, clean error rate %.4f (bound %.4f): slo_ok = %.0f\n",
 		report.WorstTenantP99Ms, report.CleanErrorRate, cfg.maxErr, report.SloOK)
-
-	if jsonPath != "" {
-		b, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("machine-readable results written to %s\n", jsonPath)
-	}
-	if report.SloOK != 1.0 {
-		return fmt.Errorf("SLO missed: worst tenant p99 %.2fms (bar %.0fms), clean error rate %.4f (bound %.4f)",
-			report.WorstTenantP99Ms, report.SloP99Ms, report.CleanErrorRate, cfg.maxErr)
-	}
 	return nil
 }

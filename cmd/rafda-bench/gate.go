@@ -21,6 +21,7 @@ import (
 //	e13  read_lift                           (replication read scaling)
 //	e14  overhead_ok                         (tracing overhead bound + chaos trace audit)
 //	e15  slo_ok                              (open-loop per-tenant p99 vs SLO, binary)
+//	e15shed  shed_ok                         (proactive shedding protects hp tenants at >=3x, binary)
 //
 // Ratios (e9/e10/e13) and the e12 pass fraction are machine-independent.  The calls/s rows (e7/e11)
 // are only as sharp as the committed side: today's committed records
@@ -113,6 +114,14 @@ func gateKeyMetric(exp, dir string) (name string, val float64, err error) {
 			return "", 0, err
 		}
 		return "slo_ok", r.SloOK, nil
+	case "e15shed":
+		// The shed arm rides in e15's record; it gets its own gate row so
+		// a shedding regression is named, not folded into slo_ok.
+		var r E15Report
+		if err := readReport(dir, "e15", &r); err != nil {
+			return "", 0, err
+		}
+		return "shed_ok", r.ShedOK, nil
 	default:
 		return "", 0, fmt.Errorf("gate: no key metric defined for experiment %q", exp)
 	}
@@ -120,8 +129,9 @@ func gateKeyMetric(exp, dir string) (name string, val float64, err error) {
 
 // stableTolerance caps the tolerance for the stable tiers — records
 // committed from the same runner class as CI, where 30% of headroom
-// would hide real regressions.  The e15 row is binary (slo_ok is 0 or
-// 1), so any cap below 100% makes 1 -> 0 fail regardless of the flag.
+// would hide real regressions.  The e15/e15shed rows are binary
+// (slo_ok/shed_ok are 0 or 1), so any cap below 100% makes 1 -> 0 fail
+// regardless of the flag.
 const stableTolerance = 0.20
 
 // gateTolerance resolves one experiment's effective tolerance: the
@@ -129,7 +139,7 @@ const stableTolerance = 0.20
 // tiers.
 func gateTolerance(exp string, flagTol float64) float64 {
 	switch exp {
-	case "e7", "e11", "e13", "e14", "e15":
+	case "e7", "e11", "e13", "e14", "e15", "e15shed":
 		if flagTol > stableTolerance {
 			return stableTolerance
 		}

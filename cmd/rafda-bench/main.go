@@ -178,6 +178,8 @@ func main() {
 	flag.DurationVar(&e15cfg.deadline, "e15-deadline", 250*time.Millisecond, "e15: per-call wire deadline budget")
 	flag.DurationVar(&e15cfg.sloP99, "e15-slo-p99", 100*time.Millisecond, "e15: per-tenant clean-phase p99 SLO bar")
 	flag.Float64Var(&e15cfg.maxErr, "e15-max-err", 0.01, "e15: tolerated clean-phase error fraction")
+	flag.StringVar(&e15cfg.arm, "e15-arm", "both", "e15: arm(s) to run: main (churn/SLO), shed (proactive shedding at saturation), or both")
+	flag.Float64Var(&e15cfg.shedFactor, "e15-shed-factor", 3.0, "e15: shed-arm offered load as a multiple of measured capacity (the gate needs >= 3)")
 	flag.Parse()
 	if *gate != "" {
 		if err := runGate(strings.Split(*gate, ","), *gateCommitted, *gateFresh, *gateTol); err != nil {

@@ -8,7 +8,9 @@
 //	    [-main Main] [-name node1] [-pool 4] [-adapt] [-adapt-window 250ms] \
 //	    [-cluster] [-join rrp://10.0.0.2:7001] [-cluster-heartbeat 100ms] \
 //	    [-cluster-propose] [-cluster-fanout 2] \
-//	    [-pprof 127.0.0.1:6060] [-trace-spans 8192] [-no-trace] [-max-inflight 256]
+//	    [-pprof 127.0.0.1:6060] [-trace-spans 8192] [-no-trace] [-max-inflight 256] \
+//	    [-dedup-window 1024] [-shed-priority-at 64] [-shed-fairshare-at 64] \
+//	    [-codel-target 5ms] [-codel-interval 100ms]
 //
 // Without -main the node serves until interrupted.  -adapt switches on
 // the adaptive placement engine (docs/ADAPTIVE.md): the node watches
@@ -80,6 +82,11 @@ func run() error {
 	traceSpans := flag.Int("trace-spans", 0, "flight recorder ring capacity (0: default 4096)")
 	noTrace := flag.Bool("no-trace", false, "disable the distributed-tracing plane (docs/OBSERVABILITY.md)")
 	maxInflight := flag.Int("max-inflight", 0, "per-connection dispatch concurrency bound; with per-call deadlines this is the overload-control knob (0: default 256)")
+	dedupWindow := flag.Int("dedup-window", 0, "per-caller replay cache entries for the exactly-once plane (0: default 1024)")
+	shedPriorityAt := flag.Int("shed-priority-at", 0, "inflight depth where priority-class-0 requests are shed; class p survives to depth<<p (0: off; docs/INTERCEPT.md)")
+	shedFairShareAt := flag.Int("shed-fairshare-at", 0, "inflight depth where tenants over their 1/active fair share are shed (0: off)")
+	codelTarget := flag.Duration("codel-target", 0, "CoDel target for measured dispatch-slot wait (0: off)")
+	codelInterval := flag.Duration("codel-interval", 0, "CoDel sliding window (0: default 100ms)")
 	flag.Parse()
 
 	if *archive == "" {
@@ -107,7 +114,14 @@ func run() error {
 
 	node, err := tr.NewNode(rafda.NodeConfig{
 		Name: *name, Output: os.Stdout, PoolSize: *poolSize,
-		TraceSpans: *traceSpans, NoTrace: *noTrace, MaxInflight: *maxInflight,
+		Limits:  rafda.LimitsConfig{MaxInflight: *maxInflight, DedupWindow: *dedupWindow},
+		Tracing: rafda.TracingConfig{Spans: *traceSpans, Disable: *noTrace},
+		Shed: rafda.ShedConfig{
+			PriorityAt:    *shedPriorityAt,
+			FairShareAt:   *shedFairShareAt,
+			CoDelTarget:   *codelTarget,
+			CoDelInterval: *codelInterval,
+		},
 	})
 	if err != nil {
 		return err

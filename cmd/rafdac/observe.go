@@ -76,7 +76,14 @@ type metrics struct {
 		OutboxStalls      uint64 `json:"outbox_stalls"`
 		Inflight          int64  `json:"inflight"`
 		InflightHighWater int64  `json:"inflight_high_water"`
+		ShedPriority      uint64 `json:"shed_priority"`
+		ShedFairShare     uint64 `json:"shed_fairshare"`
+		ShedCoDel         uint64 `json:"shed_codel"`
 	} `json:"overload"`
+	Shed *struct {
+		ByPriority map[string]uint64 `json:"by_priority"`
+		ByTenant   map[string]uint64 `json:"by_tenant"`
+	} `json:"shed"`
 	Trace *struct {
 		Spans    int    `json:"spans"`
 		Capacity int    `json:"capacity"`
@@ -240,6 +247,14 @@ func topOnce(nodes []string) error {
 		fmt.Printf("  overload rejects %d  expiries %d  outbox stalls %d  inflight %d (hw %d)\n",
 			ov.AdmissionRejects, ov.DeadlineExpiries, ov.OutboxStalls,
 			ov.Inflight, ov.InflightHighWater)
+		if ov.ShedPriority+ov.ShedFairShare+ov.ShedCoDel > 0 {
+			fmt.Printf("  shed priority %d  fair-share %d  codel %d\n",
+				ov.ShedPriority, ov.ShedFairShare, ov.ShedCoDel)
+		}
+		if m.Shed != nil {
+			printShed("shed class", m.Shed.ByPriority)
+			printShed("shed tenant", m.Shed.ByTenant)
+		}
 		if m.Trace == nil {
 			fmt.Println("  tracing disabled")
 			continue
@@ -256,6 +271,23 @@ func topOnce(nodes []string) error {
 		printKeyed("tenant", m.Trace.Tenants)
 	}
 	return nil
+}
+
+// printShed renders one shed-refusal table (per priority class or per
+// tenant), keys sorted, largest tables still one line per key.
+func printShed(axis string, rows map[string]uint64) {
+	if len(rows) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("  %-13s %9s\n", axis, "shed")
+	for _, k := range keys {
+		fmt.Printf("  %-13s %9d\n", k, rows[k])
+	}
 }
 
 // printKeyed renders one keyed digest (per-op or per-tenant) in the

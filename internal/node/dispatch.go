@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"rafda/internal/dedup"
 	"rafda/internal/guid"
+	"rafda/internal/intercept"
 	"rafda/internal/stdlib"
 	"rafda/internal/telemetry"
 	"rafda/internal/trace"
@@ -32,84 +32,15 @@ import (
 // in-progress creation can deadlock if that creation transitively
 // depends on the waiter — the JVM has the same property for
 // cross-thread class-initialisation cycles (docs/CONCURRENCY.md §7).
+//
+// Structurally, dispatch runs the request through the node's
+// interceptor chain (chain.go): counting, plane short-circuits, the
+// proactive shedding tier, user interceptors, the dedup window and
+// trace emission are all ordered interceptors around the effect switch
+// (rootDispatch).  The chain pointer is swapped atomically by Use, so
+// this is one atomic load plus the precomposed call path.
 func (n *Node) dispatch(req *wire.Request) *wire.Response {
-	n.stats.remoteCallsIn.Add(1)
-	// Effect-free plane ops never carry tokens and skip the dedup window.
-	switch req.Op {
-	case wire.OpPing:
-		return &wire.Response{ID: req.ID, Result: wire.Value{Kind: wire.KString, Str: n.name}}
-	case wire.OpGossip:
-		return n.dispatchGossip(req)
-	case wire.OpIntrospect:
-		return n.dispatchIntrospect(req)
-	}
-	// Side-effectful ops: a tokened delivery passes through the dedup
-	// window first (docs/CONCURRENCY.md §10).  First delivery executes
-	// and records its response; a duplicate of an in-flight call parks
-	// inside Begin until the first attempt completes; a duplicate of a
-	// completed call replays the recorded response; a duplicate of a
-	// retired call is rejected — never re-executed.  Untokened requests
-	// (legacy peers) keep the historical at-least-once path.  Each
-	// suppressed duplicate leaves a dedup event span on the call's
-	// trace, so a call tree shows which delivery executed and which
-	// were absorbed.
-	if req.Token != nil {
-		e, verdict, parked := n.dedupTab.BeginObserved(req.Token, dedupTarget(req))
-		switch verdict {
-		case dedup.Stale:
-			n.emitDedup(req, "stale")
-			return wire.Errorf(req, "node %s: duplicate of retired call %s/%d rejected",
-				n.name, req.Token.Caller, req.Token.Seq)
-		case dedup.Replay:
-			if parked {
-				n.emitDedup(req, "park")
-			} else {
-				n.emitDedup(req, "replay")
-			}
-			return e.Response(req.ID)
-		}
-		resp := n.dispatchEffect(req)
-		n.dedupTab.Complete(req.Token.Caller, e, resp)
-		return resp
-	}
-	return n.dispatchEffect(req)
-}
-
-// dispatchEffect serves the side-effectful ops (everything except
-// ping/gossip); dispatch runs it at most once per logical call.
-func (n *Node) dispatchEffect(req *wire.Request) *wire.Response {
-	// Invocations get their server span inside servedInvoke (where the
-	// gate-wait/run split is measurable) and migrate-out inside the
-	// migration path (which emits richer drain/ship/morph spans); the
-	// remaining effectful ops are wrapped in a plain server span here.
-	switch req.Op {
-	case wire.OpCreate:
-		return n.tracedEffect(req, n.dispatchCreate)
-
-	case wire.OpInvoke:
-		return n.dispatchInvoke(req)
-
-	case wire.OpInvokeClass:
-		return n.dispatchInvokeClass(req)
-
-	case wire.OpMigrateIn:
-		return n.tracedEffect(req, n.dispatchMigrateIn)
-
-	case wire.OpMigrateOut:
-		return n.dispatchMigrateOut(req)
-
-	case wire.OpReplicaInstall:
-		return n.tracedEffect(req, n.dispatchReplicaInstall)
-
-	case wire.OpReplicaUpdate:
-		return n.tracedEffect(req, n.dispatchReplicaUpdate)
-
-	case wire.OpReplicaDrop:
-		return n.tracedEffect(req, n.dispatchReplicaDrop)
-
-	default:
-		return wire.Errorf(req, "node %s: unsupported op %v", n.name, req.Op)
-	}
+	return n.chain.Load().Dispatch(req)
 }
 
 // dedupTarget names what a tokened call executes against, recorded on
@@ -156,7 +87,8 @@ func (n *Node) dispatchCreate(req *wire.Request) *wire.Response {
 	return resp
 }
 
-func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
+func (n *Node) dispatchInvoke(cc *intercept.CallCtx) *wire.Response {
+	req := cc.Req
 	resp := &wire.Response{ID: req.ID}
 	var target *vm.Object
 	classGUID := false
@@ -177,14 +109,14 @@ func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 		// A replica copy serves provable reads itself (epoch-stamped)
 		// and relays everything else to its primary.
 		if rc, isReplica := n.replCopies.Load(req.GUID); isReplica {
-			return n.serveAtReplica(req, obj, rc.(*replicaCopy))
+			return n.serveAtReplica(cc, obj, rc.(*replicaCopy))
 		}
 	}
 	// The gate is the whole scheduling story: requests for different
 	// objects run here in parallel; requests for this object queue.  If
 	// the object was migrated away while this request waited, the gate
 	// opens onto a proxy and the call transparently forwards.
-	ctx := n.servedInvoke(resp, target, req.GUID, req, func(env *vm.Env) {
+	ctx := n.servedInvoke(cc, resp, target, req.GUID, func(env *vm.Env) {
 		n.invokeOn(env, resp, vm.RefV(target), req)
 	})
 	// Write barrier for replicated primaries: a completed write fans out
@@ -217,13 +149,14 @@ func (n *Node) dispatchInvoke(req *wire.Request) *wire.Response {
 	return resp
 }
 
-func (n *Node) dispatchInvokeClass(req *wire.Request) *wire.Response {
+func (n *Node) dispatchInvokeClass(cc *intercept.CallCtx) *wire.Response {
+	req := cc.Req
 	resp := &wire.Response{ID: req.ID}
 	me, ok := n.singletonTarget(resp, req.Class)
 	if !ok {
 		return resp
 	}
-	n.servedInvoke(resp, me.O, guid.ClassGUID(req.Class), req, func(env *vm.Env) {
+	n.servedInvoke(cc, resp, me.O, guid.ClassGUID(req.Class), func(env *vm.Env) {
 		n.invokeOn(env, resp, me, req)
 	})
 	return resp
@@ -244,8 +177,11 @@ func (n *Node) dispatchInvokeClass(req *wire.Request) *wire.Response {
 // nested proxy call the execution makes — forwarding hops included —
 // parents to it.  The returned context is that server span's (zero
 // when untraced), for legs that continue the call after the gate
-// releases, like the replica write barrier.
-func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID string, req *wire.Request, call func(env *vm.Env)) trace.Ctx {
+// releases, like the replica write barrier.  The gate measurements are
+// deposited on cc for the trace interceptor (which owns the keyed
+// percentile observation) and any user interceptor above it.
+func (n *Node) servedInvoke(cc *intercept.CallCtx, resp *wire.Response, target *vm.Object, targetGUID string, call func(env *vm.Env)) trace.Ctx {
+	req := cc.Req
 	rec := n.telem.Load()
 	var st *telemetry.ObjStats
 	if rec != nil {
@@ -339,12 +275,14 @@ func (n *Node) servedInvoke(resp *wire.Response, target *vm.Object, targetGUID s
 		// reads versus (conservatively) everything else.
 		st.RecordEffect(n.isWriter(target.ClassName(), req.Method, len(req.Args)))
 	}
-	// The SLO plane's keyed view: served-call latency by method and by
-	// caller identity.  Expired calls never ran, so they would only
-	// pollute the service-time distributions.
-	if !expired {
-		n.tracer.ObserveCall(name, req.Caller, int64(svc))
-	}
+	// Deposit the gate measurements for the chain's trace interceptor,
+	// which performs the keyed percentile observation after this
+	// returns (ObserveCall used to live here; moving it keeps every
+	// dispatch-plane emission in one tier).
+	cc.Served = true
+	cc.Expired = expired
+	cc.QueueNs = int64(queue)
+	cc.SvcNs = int64(svc)
 	return ctx
 }
 

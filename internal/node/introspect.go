@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 
+	"rafda/internal/intercept"
 	"rafda/internal/telemetry"
 	"rafda/internal/trace"
 	"rafda/internal/wire"
@@ -37,6 +38,11 @@ type Introspection struct {
 	// outbox backpressure stalls.  Always present — the counters are
 	// always on.
 	Overload telemetry.OverloadSample `json:"overload"`
+
+	// Shed breaks the proactive-shedding refusals down by priority
+	// class and by tenant; nil unless a Shed policy is configured
+	// (aggregate per-policy totals ride in Overload either way).
+	Shed *intercept.ShedSample `json:"shed,omitempty"`
 
 	// Telemetry samples; nil slices when EnableTelemetry was never
 	// called on this node.
@@ -97,6 +103,10 @@ func (n *Node) introspection() *Introspection {
 		Overload:   n.overload.Snapshot(),
 	}
 	sort.Strings(in.Endpoints)
+	if n.ShedConfigured() {
+		s := n.ShedSnapshot()
+		in.Shed = &s
+	}
 	if rec := n.telem.Load(); rec != nil {
 		for _, s := range rec.SnapshotObjects() {
 			in.Objects = append(in.Objects, ObjIntro{

@@ -30,6 +30,7 @@ import (
 
 	"rafda/internal/cluster"
 	"rafda/internal/dedup"
+	"rafda/internal/intercept"
 	"rafda/internal/ir"
 	"rafda/internal/policy"
 	"rafda/internal/registry"
@@ -90,6 +91,17 @@ type Config struct {
 	// Options.Overload, as the facade does).  Nil allocates a private
 	// one — the counters are always on; they are a few atomics.
 	Overload *telemetry.OverloadStats
+	// Shed configures the proactive shedding interceptors (zero = all
+	// off).  The policies read the shared inflight gauge
+	// (Overload.Inflight), which the RRP transport maintains around
+	// each dispatch slot — so they engage only behind transports that
+	// wire the same OverloadStats into their Options, as the facade
+	// does.  See internal/intercept and docs/CONCURRENCY.md §16.
+	Shed intercept.ShedConfig
+	// Interceptors are user dispatch interceptors, spliced between the
+	// shedding tier and the dedup window in the given order; Node.Use
+	// appends more at run time.  See docs/INTERCEPT.md.
+	Interceptors []intercept.Interceptor
 }
 
 // Node is one address space.
@@ -188,6 +200,17 @@ type Node struct {
 	// outbox stalls).  Never nil; shared with the transports when the
 	// embedder wires the same instance into their Options.
 	overload *telemetry.OverloadStats
+
+	// Dispatch chain (chain.go): the precomposed interceptor pipeline
+	// every inbound request runs through, swapped atomically by Use.
+	// shedIcs holds the constructed shedding interceptors so a rebuild
+	// preserves their live state (per-tenant inflight, CoDel cycle);
+	// userIcs (under mu) is the user tier's accumulated order.
+	chain     atomic.Pointer[intercept.Chain]
+	shedIcs   []intercept.Interceptor
+	userIcs   []intercept.Interceptor
+	shedCfg   intercept.ShedConfig
+	shedStats *intercept.ShedStats
 }
 
 // nodeSeq decorrelates caller-incarnation ids of same-named nodes in
@@ -289,6 +312,25 @@ func New(cfg Config) (*Node, error) {
 	}
 	n.registerFactoryNatives()
 	n.registerProxyNatives()
+	// Assemble the dispatch chain last: the built-in interceptors close
+	// over fully-initialised node state.  Shedding interceptors are
+	// constructed once here and reused across Use rebuilds, so their
+	// live state (per-tenant inflight, CoDel drop cycle) survives.
+	n.shedCfg = cfg.Shed
+	if cfg.Shed.Enabled() {
+		n.shedStats = &intercept.ShedStats{}
+		if cfg.Shed.PriorityAt > 0 {
+			n.shedIcs = append(n.shedIcs, intercept.Priority(cfg.Shed.PriorityAt, overload, n.shedStats))
+		}
+		if cfg.Shed.FairShareAt > 0 {
+			n.shedIcs = append(n.shedIcs, intercept.FairShare(cfg.Shed.FairShareAt, overload, n.shedStats))
+		}
+		if cfg.Shed.CoDelTarget > 0 {
+			n.shedIcs = append(n.shedIcs, intercept.CoDel(cfg.Shed.CoDelTarget, cfg.Shed.CoDelInterval, overload, nil))
+		}
+	}
+	n.userIcs = append(n.userIcs, cfg.Interceptors...)
+	n.chain.Store(n.buildChain(cfg.Interceptors))
 	return n, nil
 }
 

@@ -96,20 +96,6 @@ func (n *Node) emitFailover(endpoint string, shard, attempt int, tctx wire.Trace
 	tr.Emit(sp)
 }
 
-// tracedEffect wraps a side-effectful dispatch handler that does not
-// run through servedInvoke (creation, migration adoption, replica
-// maintenance) in a server span, so those legs appear in call trees
-// too.
-func (n *Node) tracedEffect(req *wire.Request, f func(*wire.Request) *wire.Response) *wire.Response {
-	if n.tracer == nil {
-		return f(req)
-	}
-	sp := n.startSpan(traceCtxOf(req), trace.KindServer, req.Op.String(), req.GUID)
-	resp := f(req)
-	n.finishSpan(sp, resp.Err)
-	return resp
-}
-
 // RecordAdaptDecision surfaces one adaptive-engine decision as a trace
 // event: decisions are root spans of their own traces (nothing causes
 // them but the engine's own evaluation tick), carrying the rule and

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rafda/internal/intercept"
 	"rafda/internal/ir"
 	"rafda/internal/trace"
 	"rafda/internal/transform"
@@ -366,7 +367,8 @@ func (n *Node) dropReplication(id string) {
 // the lease expired (the primary-partition fallback) — forwards to the
 // primary as the same logical call (token reused, attempt bumped) and
 // carries a Redirect so the caller retargets.
-func (n *Node) serveAtReplica(req *wire.Request, obj *vm.Object, rc *replicaCopy) *wire.Response {
+func (n *Node) serveAtReplica(cc *intercept.CallCtx, obj *vm.Object, rc *replicaCopy) *wire.Response {
+	req := cc.Req
 	co := n.coord.Load()
 	if n.isWriter(obj.ClassName(), req.Method, len(req.Args)) ||
 		co == nil || !co.LeaseValid(rc.primaryGUID) {
@@ -379,7 +381,7 @@ func (n *Node) serveAtReplica(req *wire.Request, obj *vm.Object, rc *replicaCopy
 	sp := n.startSpan(traceCtxOf(req), trace.KindReplicaRead, req.Method, req.GUID)
 	resp := &wire.Response{ID: req.ID}
 	expired := false
-	n.servedInvoke(resp, obj, req.GUID, req, func(env *vm.Env) {
+	n.servedInvoke(cc, resp, obj, req.GUID, func(env *vm.Env) {
 		// The pre-gate lease check above only admits the read to the
 		// queue; it may have waited on the gate past the lease's expiry —
 		// and past the primary's eviction wait, whose guarantee would be

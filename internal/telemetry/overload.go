@@ -25,6 +25,14 @@ type OverloadStats struct {
 	// high-water mark of the serve plane).
 	Inflight          atomic.Int64
 	InflightHighWater atomic.Int64
+	// ShedPriority, ShedFairShare and ShedCoDel count requests refused
+	// by the proactive shedding interceptors (internal/intercept): the
+	// strict-priority policy, the per-tenant fair-share policy, and the
+	// CoDel queue controller respectively.  A shed call took a dispatch
+	// slot briefly but never reached dedup or the object gate.
+	ShedPriority  atomic.Uint64
+	ShedFairShare atomic.Uint64
+	ShedCoDel     atomic.Uint64
 }
 
 // NoteAdmissionReject counts one refused request; expired marks it as a
@@ -56,6 +64,33 @@ func (s *OverloadStats) NoteOutboxStall() {
 	s.OutboxStalls.Add(1)
 }
 
+// NoteShedPriority counts one request refused by strict-priority
+// admission.
+func (s *OverloadStats) NoteShedPriority() {
+	if s == nil {
+		return
+	}
+	s.ShedPriority.Add(1)
+}
+
+// NoteShedFairShare counts one request refused by per-tenant fair-share
+// admission.
+func (s *OverloadStats) NoteShedFairShare() {
+	if s == nil {
+		return
+	}
+	s.ShedFairShare.Add(1)
+}
+
+// NoteShedCoDel counts one request dropped by the CoDel queue
+// controller.
+func (s *OverloadStats) NoteShedCoDel() {
+	if s == nil {
+		return
+	}
+	s.ShedCoDel.Add(1)
+}
+
 // NoteInflight bumps the dispatch-slot gauge by delta and folds the
 // result into the high-water mark.
 func (s *OverloadStats) NoteInflight(delta int64) {
@@ -78,6 +113,9 @@ type OverloadSample struct {
 	OutboxStalls      uint64 `json:"outbox_stalls"`
 	Inflight          int64  `json:"inflight"`
 	InflightHighWater int64  `json:"inflight_high_water"`
+	ShedPriority      uint64 `json:"shed_priority,omitempty"`
+	ShedFairShare     uint64 `json:"shed_fairshare,omitempty"`
+	ShedCoDel         uint64 `json:"shed_codel,omitempty"`
 }
 
 // Snapshot reads the counters; nil-safe (a nil stats reads as zero).
@@ -91,5 +129,8 @@ func (s *OverloadStats) Snapshot() OverloadSample {
 		OutboxStalls:      s.OutboxStalls.Load(),
 		Inflight:          s.Inflight.Load(),
 		InflightHighWater: s.InflightHighWater.Load(),
+		ShedPriority:      s.ShedPriority.Load(),
+		ShedFairShare:     s.ShedFairShare.Load(),
+		ShedCoDel:         s.ShedCoDel.Load(),
 	}
 }

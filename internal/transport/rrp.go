@@ -149,9 +149,13 @@ func serveRRPConn(conn net.Conn, h Handler, maxInflight int, ov *telemetry.Overl
 		if err != nil {
 			return
 		}
-		if !admit(req, sem, ov, outbox) {
+		slotWaitUs, ok := admit(req, sem, ov, outbox)
+		if !ok {
 			continue // rejected: error response queued, no slot taken
 		}
+		// Deposit the measured slot wait for the dispatch chain's queue
+		// management (server-local; never serialized).
+		req.SlotWaitUs = slotWaitUs
 		ov.NoteInflight(1)
 		wg.Add(1)
 		go func() {
@@ -162,23 +166,27 @@ func serveRRPConn(conn net.Conn, h Handler, maxInflight int, ov *telemetry.Overl
 	}
 }
 
-// admit acquires a dispatch slot for req.  A deadline-free request
-// blocks until a slot frees (the pre-deadline behaviour: backpressure
-// on the connection's read loop).  A deadlined request waits at most
-// its remaining budget: if the budget runs out first it is rejected
-// right here — the admission check sits *before* the dispatch
-// semaphore, so an expired call consumes no slot and no handler work
-// (docs/CONCURRENCY.md §15) — and a slot granted in time is charged
-// for the wait by decrementing the budget the call carries on.
-func admit(req *wire.Request, sem chan struct{}, ov *telemetry.OverloadStats, outbox chan<- outFrame) bool {
-	if req.DeadlineUs == 0 {
-		sem <- struct{}{}
-		return true
-	}
+// admit acquires a dispatch slot for req and returns the slot wait it
+// measured (µs).  A deadline-free request blocks until a slot frees
+// (the pre-deadline behaviour: backpressure on the connection's read
+// loop); when it has to block, the wait is measured for the dispatch
+// chain's queue-management interceptors — the uncontended fast path
+// reads no clock.  A deadlined request waits at most its remaining
+// budget: if the budget runs out first it is rejected right here — the
+// admission check sits *before* the dispatch semaphore, so an expired
+// call consumes no slot and no handler work (docs/CONCURRENCY.md §15)
+// — and a slot granted in time is charged for the wait by decrementing
+// the budget the call carries on.
+func admit(req *wire.Request, sem chan struct{}, ov *telemetry.OverloadStats, outbox chan<- outFrame) (slotWaitUs uint64, ok bool) {
 	select {
-	case sem <- struct{}{}: // fast path: free slot, no wait to charge
-		return true
+	case sem <- struct{}{}: // fast path: free slot, no wait, no clock read
+		return 0, true
 	default:
+	}
+	if req.DeadlineUs == 0 {
+		start := time.Now()
+		sem <- struct{}{}
+		return uint64(time.Since(start) / time.Microsecond), true
 	}
 	start := time.Now()
 	timer := time.NewTimer(time.Duration(req.DeadlineUs) * time.Microsecond)
@@ -193,14 +201,14 @@ func admit(req *wire.Request, sem chan struct{}, ov *telemetry.OverloadStats, ou
 			<-sem
 			ov.NoteAdmissionReject(true)
 			queueResponse(outbox, deadlineReject(req), ov)
-			return false
+			return 0, false
 		}
 		req.DeadlineUs -= waited
-		return true
+		return waited, true
 	case <-timer.C:
 		ov.NoteAdmissionReject(true)
 		queueResponse(outbox, deadlineReject(req), ov)
-		return false
+		return 0, false
 	}
 }
 

@@ -93,6 +93,12 @@ func AppendRequest(dst []byte, req *Request) []byte {
 		dst = appendUvarint(dst, req.DeadlineUs)
 		dst = insertLength(dst, mark)
 	}
+	if req.Priority != 0 {
+		dst = appendUvarint(dst, reqExtPriority)
+		mark := len(dst)
+		dst = appendUvarint(dst, uint64(req.Priority))
+		dst = insertLength(dst, mark)
+	}
 	return dst
 }
 
@@ -109,6 +115,9 @@ const (
 	// reqExtDeadline carries the call's remaining latency budget in
 	// microseconds; each hop decrements it by measured queue/gate wait.
 	reqExtDeadline = 4
+	// reqExtPriority carries the call's admission priority class;
+	// higher classes survive deeper into server overload.
+	reqExtPriority = 5
 )
 
 // respExtEpoch tags the response extension section carrying the read
@@ -240,6 +249,12 @@ func DecodeRequestBytes(b []byte) (*Request, error) {
 			req.Trace = TraceContext{Trace: d.u64(), Span: d.u64()}
 		case reqExtDeadline:
 			req.DeadlineUs = d.u64()
+		case reqExtPriority:
+			p := d.u64()
+			if p > math.MaxUint32 {
+				p = math.MaxUint32
+			}
+			req.Priority = uint32(p)
 		default:
 			d.off = end
 		}

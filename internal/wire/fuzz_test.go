@@ -44,6 +44,12 @@ func seedRequests() []*Request {
 			DeadlineUs: 150000},
 		{ID: 10, Op: OpIntrospect, GUID: "abcdef0123456789", Method: "trace",
 			Trace: TraceContext{Trace: 1, Span: 2}},
+		{ID: 13, Op: OpInvoke, GUID: "g#1", Method: "m",
+			Caller: "rrp://c:1", Priority: 1},
+		{ID: 14, Op: OpInvoke, GUID: "g#1", Method: "m",
+			Token:      &CallToken{Caller: "n!1", Seq: 13},
+			Trace:      TraceContext{Trace: 0xd00d, Span: 0x77},
+			DeadlineUs: 90000, Priority: 3},
 		{ID: 7, Op: OpGossip, Cluster: &ClusterPayload{
 			From:  PeerDigest{ID: "a", Endpoint: "rrp://a:1", Heartbeat: 5},
 			Peers: []PeerDigest{{ID: "b", Endpoint: "rrp://b:1", Heartbeat: 3, Leaving: true}},

@@ -217,6 +217,22 @@ type Request struct {
 	// extension (tag 4), so deadline-free frames stay byte-identical to
 	// the pre-deadline protocol and older peers skip the tag gracefully.
 	DeadlineUs uint64 `json:"deadline_us,omitempty" xml:"deadline-us,attr,omitempty"`
+	// Priority is the call's admission priority class.  Zero — the
+	// default — is the lowest class; higher classes survive deeper into
+	// overload: when a server's shedding policies engage, a class-p call
+	// is admitted at saturation depths that shed class-(p-1) traffic
+	// (internal/intercept).  The binary codec emits it as an optional
+	// trailing extension (tag 5), so priority-free frames stay
+	// byte-identical to the pre-priority protocol and older peers skip
+	// the tag gracefully.
+	Priority uint32 `json:"priority,omitempty" xml:"priority,attr,omitempty"`
+	// SlotWaitUs is the dispatch-slot wait the receiving transport
+	// measured for this request (microseconds spent blocked on the
+	// server's inflight semaphore before the handler ran).  It is a
+	// server-local measurement deposited by the transport for the
+	// dispatch chain's queue-management interceptors — never serialized;
+	// every codec omits it.
+	SlotWaitUs uint64 `json:"-" xml:"-"`
 }
 
 // TraceContext is the span context riding a request: the trace the

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"rafda/internal/intercept"
 	"rafda/internal/ir"
 	"rafda/internal/netsim"
 	"rafda/internal/node"
@@ -65,6 +66,65 @@ func (np NetProfile) profile() netsim.Profile {
 	return p
 }
 
+// LimitsConfig groups a node's server-capacity knobs.
+type LimitsConfig struct {
+	// MaxInflight bounds how many requests this node's rrp server
+	// dispatches concurrently per connection; <= 0 takes the transport
+	// default (256).  Together with per-call deadlines it is the
+	// reactive overload-control knob: deadlined calls that cannot get a
+	// dispatch slot within their budget are rejected at admission and
+	// counted in the overload section of IntrospectJSON
+	// (docs/OBSERVABILITY.md).  It is also the saturation depth the
+	// Shed policies act relative to.
+	MaxInflight int
+	// DedupWindow bounds the per-caller replay cache of the
+	// exactly-once plane (completed call responses retained for
+	// duplicate replay); <= 0 takes the default (1024).  See
+	// docs/CONCURRENCY.md §10.
+	DedupWindow int
+}
+
+// TracingConfig groups the distributed-tracing plane knobs.
+type TracingConfig struct {
+	// Spans sizes the always-on flight recorder's span ring (rounded up
+	// to a power of two; <= 0 takes the default, 4096).  The ring is
+	// fixed memory: old spans are overwritten, never spilled
+	// (docs/OBSERVABILITY.md).
+	Spans int
+	// Disable turns the tracing plane off entirely — no flight
+	// recorder, no span extensions on outgoing requests.  The E14
+	// experiment bounds what this saves (<5% on the echo tier).
+	Disable bool
+}
+
+// ShedConfig groups the proactive load-shedding knobs (zero = all
+// policies off).  The policies run as dispatch interceptors after the
+// control plane and before the dedup window; each refusal is an
+// infrastructure-error response carrying a "load-shed:" marker and is
+// counted in the overload and shed sections of IntrospectJSON.  See
+// docs/INTERCEPT.md and docs/CONCURRENCY.md §16.
+type ShedConfig struct {
+	// PriorityAt enables strict-priority admission: once the server's
+	// inflight gauge reaches PriorityAt, priority-class-0 requests are
+	// shed; class p survives until PriorityAt<<p.  Callers carry the
+	// class in the request's tag-5 wire extension (zero — the default —
+	// encodes nothing and stays byte-identical to the old protocol).
+	PriorityAt int
+	// FairShareAt enables per-tenant fair-share admission: once the
+	// inflight gauge reaches FairShareAt, a tenant (request Caller)
+	// holding more than its 1/active-tenants share of FairShareAt slots
+	// is shed.  The tenant table is bounded; past 256 distinct callers
+	// the rest share one "~other" bucket.
+	FairShareAt int
+	// CoDelTarget enables CoDel queue management on the measured
+	// dispatch-slot wait: waits persistently above the target for a
+	// full CoDelInterval start a drop cycle with the classic
+	// inverse-sqrt control law.  Zero disables.
+	CoDelTarget time.Duration
+	// CoDelInterval is CoDel's sliding window; <= 0 takes 100ms.
+	CoDelInterval time.Duration
+}
+
 // NodeConfig configures a RAFDA address space.
 type NodeConfig struct {
 	Name    string
@@ -86,32 +146,68 @@ type NodeConfig struct {
 	// <= 0 sizes the pool from GOMAXPROCS (capped at 8); 1 restores the
 	// historical one-connection-per-peer shape.
 	PoolSize int
-	// DedupWindow bounds the per-caller replay cache of the exactly-once
-	// plane (completed call responses retained for duplicate replay);
-	// <= 0 takes the default (1024).  See docs/CONCURRENCY.md §10.
-	DedupWindow int
 	// UntokenedWire disables call-token stamping on outgoing requests —
 	// the capability flag for interop with legacy peers that predate the
 	// token extension.  Untokened calls keep the historical
 	// at-least-once/no-retry semantics.
 	UntokenedWire bool
-	// TraceSpans sizes the always-on flight recorder's span ring
-	// (rounded up to a power of two; <= 0 takes the default, 4096).
-	// The ring is fixed memory: old spans are overwritten, never
-	// spilled (docs/OBSERVABILITY.md).
+
+	// Limits, Tracing and Shed are the grouped server-policy surface:
+	// capacity, observability and proactive shedding in one place.
+	Limits  LimitsConfig
+	Tracing TracingConfig
+	Shed    ShedConfig
+	// Interceptors are user dispatch interceptors, run between the
+	// shedding tier and the dedup window in the given order on every
+	// inbound effectful request; Node.Use appends more at run time.
+	// See docs/INTERCEPT.md for the contract and a worked example.
+	Interceptors []Interceptor
+
+	// Deprecated: flat aliases kept for source compatibility with the
+	// pre-grouped configuration surface.  Each applies only when its
+	// grouped counterpart is zero.
+	//
+	// Deprecated: use Limits.DedupWindow.
+	DedupWindow int
+	// Deprecated: use Tracing.Spans.
 	TraceSpans int
-	// NoTrace disables the distributed-tracing plane entirely — no
-	// flight recorder, no span extensions on outgoing requests.  The
-	// E14 experiment bounds what this saves (<5% on the echo tier).
+	// Deprecated: use Tracing.Disable.
 	NoTrace bool
-	// MaxInflight bounds how many requests this node's rrp server
-	// dispatches concurrently per connection; <= 0 takes the transport
-	// default (256).  Together with per-call deadlines it is the
-	// overload-control knob: deadlined calls that cannot get a dispatch
-	// slot within their budget are rejected at admission and counted in
-	// the overload section of IntrospectJSON (docs/OBSERVABILITY.md).
+	// Deprecated: use Limits.MaxInflight.
 	MaxInflight int
 }
+
+// resolve folds the deprecated flat aliases into the grouped surface
+// (group wins when set) and returns the effective configuration.
+func (cfg NodeConfig) resolve() NodeConfig {
+	if cfg.Limits.MaxInflight == 0 {
+		cfg.Limits.MaxInflight = cfg.MaxInflight
+	}
+	if cfg.Limits.DedupWindow == 0 {
+		cfg.Limits.DedupWindow = cfg.DedupWindow
+	}
+	if cfg.Tracing.Spans == 0 {
+		cfg.Tracing.Spans = cfg.TraceSpans
+	}
+	cfg.Tracing.Disable = cfg.Tracing.Disable || cfg.NoTrace
+	return cfg
+}
+
+// CallContext is the per-call state a dispatch interceptor sees: the
+// inbound wire request plus server-local scratch (measured slot wait,
+// gate measurements).  See internal/intercept.CallCtx for field docs.
+type CallContext = intercept.CallCtx
+
+// DispatchHandler continues an intercepted dispatch (the "next" of a
+// middleware pipeline).
+type DispatchHandler = intercept.Handler
+
+// Interceptor is one composable dispatch middleware stage: it may
+// short-circuit (return without calling next), pass through, or
+// post-process the response.  Built-in concerns (shedding, dedup,
+// tracing) are interceptors of the same shape; user interceptors run
+// between the shedding tier and the dedup window.
+type Interceptor = intercept.Interceptor
 
 // Node is one address space hosting the transformed program.
 type Node struct {
@@ -140,13 +236,16 @@ func (n *Node) attachCluster(c *Cluster) {
 
 // NewNode builds a node for the transformed program.
 func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
+	cfg = cfg.resolve()
 	// One overload-counter instance shared by the node and its
 	// transports: admission rejects at the rrp server and gate-queue
-	// expiries at dispatch land in the same introspection snapshot.
+	// expiries at dispatch land in the same introspection snapshot, and
+	// the shedding interceptors read the same inflight gauge the rrp
+	// server maintains.
 	overload := &telemetry.OverloadStats{}
 	reg := transport.Default(transport.Options{
 		Profile:     cfg.Network.profile(),
-		MaxInflight: cfg.MaxInflight,
+		MaxInflight: cfg.Limits.MaxInflight,
 		Overload:    overload,
 	})
 	var vmOpts []vm.Option
@@ -161,17 +260,30 @@ func (t *Transformed) NewNode(cfg NodeConfig) (*Node, error) {
 		VMOpts:            vmOpts,
 		VolunteerCallback: !cfg.NoCallback,
 		PoolSize:          cfg.PoolSize,
-		DedupWindow:       cfg.DedupWindow,
+		DedupWindow:       cfg.Limits.DedupWindow,
 		UntokenedWire:     cfg.UntokenedWire,
-		TraceSpans:        cfg.TraceSpans,
-		NoTrace:           cfg.NoTrace,
+		TraceSpans:        cfg.Tracing.Spans,
+		NoTrace:           cfg.Tracing.Disable,
 		Overload:          overload,
+		Shed: intercept.ShedConfig{
+			PriorityAt:    cfg.Shed.PriorityAt,
+			FairShareAt:   cfg.Shed.FairShareAt,
+			CoDelTarget:   cfg.Shed.CoDelTarget,
+			CoDelInterval: cfg.Shed.CoDelInterval,
+		},
+		Interceptors: cfg.Interceptors,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Node{n: n}, nil
 }
+
+// Use appends dispatch interceptors to the node's chain at run time, in
+// order, after any configured via NodeConfig.Interceptors.  The swap is
+// atomic with respect to in-flight dispatches: calls already running
+// finish on the chain they started on.
+func (n *Node) Use(ics ...Interceptor) { n.n.Use(ics...) }
 
 // Serve starts listening on a protocol ("inproc", "rrp", "soap",
 // "json"); empty addr picks a free port.  Returns the endpoint.
@@ -371,6 +483,16 @@ func (n *Node) DedupStats() DedupStats {
 		Windows:          s.Windows,
 	}
 }
+
+// ShedSample snapshots the load-shedding plane's per-priority-class and
+// per-tenant refusal counters (both maps nil when no Shed policy is
+// configured or nothing was shed).  Aggregate per-policy totals live in
+// the overload section of IntrospectJSON.
+type ShedSample = intercept.ShedSample
+
+// ShedStats snapshots the cumulative shed tables.  Always live when a
+// Shed policy is configured, independent of EnableTelemetry.
+func (n *Node) ShedStats() ShedSample { return n.n.ShedSnapshot() }
 
 // IntrospectJSON renders one introspection section of this node as
 // JSON — the same snapshot wire.OpIntrospect serves to remote callers
